@@ -1,0 +1,31 @@
+"""Shared fixtures for the benchmark harness.
+
+Every benchmark regenerates one of the paper's tables or figures (see
+DESIGN.md §4).  Workload traces are built once per session so the timings
+measure the experiment itself, not the one-off functional simulation.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.machine import MachineConfig
+from repro.workloads import get_workload, mibench_suite, spec_suite
+
+
+@pytest.fixture(scope="session")
+def default_machine() -> MachineConfig:
+    return MachineConfig(name="default")
+
+
+@pytest.fixture(scope="session", autouse=True)
+def prebuilt_traces():
+    """Materialise all workload traces once, before any timing starts."""
+    for workload in mibench_suite() + spec_suite():
+        workload.trace()
+    return True
+
+
+@pytest.fixture(scope="session")
+def sha_trace():
+    return get_workload("sha").trace()

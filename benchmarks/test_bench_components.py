@@ -1,0 +1,109 @@
+"""Micro-benchmarks of the individual subsystems.
+
+These quantify the cost of each pipeline stage of the framework (functional
+simulation, profiling, cache simulation, detailed simulation, model
+evaluation), which is the basis of the paper's speedup argument: everything
+except the one-off profiling is effectively free compared to detailed
+simulation.
+"""
+
+from __future__ import annotations
+
+from repro.branch.predictors import make_predictor
+from repro.branch.profiler import profile_branches
+from repro.core.model import InOrderMechanisticModel
+from repro.memory.hierarchy import CacheHierarchy
+from repro.memory.single_pass import StackDistanceProfiler
+from repro.pipeline.inorder import InOrderPipeline
+from repro.pipeline.ooo import OutOfOrderPipeline
+from repro.profiler.machine_stats import profile_machine
+from repro.profiler.program import profile_program
+from repro.workloads import get_workload
+from repro.workloads.compiler import InstructionScheduler, LoopUnroller
+
+
+def test_functional_simulation_throughput(benchmark):
+    workload = get_workload("sha")
+    result = benchmark.pedantic(
+        lambda: workload.trace(force=True), rounds=2, iterations=1
+    )
+    assert len(result) > 10_000
+
+
+def test_program_profiling(benchmark, sha_trace):
+    profile = benchmark(profile_program, sha_trace)
+    assert profile.instructions == len(sha_trace)
+
+
+def test_machine_profiling(benchmark, sha_trace, default_machine):
+    misses = benchmark.pedantic(
+        profile_machine, args=(sha_trace, default_machine), rounds=2, iterations=1
+    )
+    assert misses.instructions == len(sha_trace)
+
+
+def test_cache_hierarchy_throughput(benchmark, sha_trace, default_machine):
+    addresses = [dyn.mem_addr for dyn in sha_trace if dyn.mem_addr is not None]
+
+    def run():
+        hierarchy = CacheHierarchy(default_machine.memory_hierarchy_config())
+        for address in addresses:
+            hierarchy.access_data(address)
+        return hierarchy.stats.data_accesses
+
+    assert benchmark(run) == len(addresses)
+
+
+def test_single_pass_profiler_throughput(benchmark, sha_trace):
+    addresses = [dyn.mem_addr for dyn in sha_trace if dyn.mem_addr is not None]
+
+    def run():
+        profiler = StackDistanceProfiler(sets=128, line_size=64)
+        return profiler.profile(addresses)
+
+    result = benchmark(run)
+    assert result.accesses == len(addresses)
+
+
+def test_branch_predictor_throughput(benchmark, sha_trace):
+    def run():
+        return profile_branches(sha_trace, make_predictor("hybrid_3.5kb"))
+
+    profile = benchmark(run)
+    assert profile.conditional_branches > 0
+
+
+def test_detailed_inorder_simulation(benchmark, sha_trace, default_machine):
+    result = benchmark.pedantic(
+        InOrderPipeline(default_machine).run, args=(sha_trace,), rounds=2, iterations=1
+    )
+    assert result.cycles > 0
+
+
+def test_detailed_ooo_simulation(benchmark, sha_trace, default_machine):
+    result = benchmark.pedantic(
+        OutOfOrderPipeline(default_machine).run, args=(sha_trace,), rounds=2, iterations=1
+    )
+    assert result.cycles > 0
+
+
+def test_model_evaluation_is_instantaneous(benchmark, sha_trace, default_machine):
+    """The paper's key speed claim: evaluating the formulas takes microseconds."""
+    program = profile_program(sha_trace)
+    misses = profile_machine(sha_trace, default_machine)
+    model = InOrderMechanisticModel(default_machine)
+    result = benchmark(model.predict, program, misses)
+    assert result.cpi > 0
+    assert benchmark.stats.stats.mean < 0.01  # well under 10 ms per evaluation
+
+
+def test_instruction_scheduler(benchmark):
+    program = get_workload("sha", use_cache=False, optimize=False).program
+    scheduled = benchmark(InstructionScheduler().run, program)
+    assert len(scheduled) == len(program)
+
+
+def test_loop_unroller(benchmark):
+    program = get_workload("tiff2bw", use_cache=False, optimize=False).program
+    unrolled = benchmark(LoopUnroller(factor=2).run, program)
+    assert len(unrolled) >= len(program)

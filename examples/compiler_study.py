@@ -1,0 +1,45 @@
+#!/usr/bin/env python3
+"""Compiler-optimization study (the paper's second case study).
+
+Applies the library's real IR-level passes — list scheduling and loop
+unrolling — to a kernel and shows how the dynamic instruction count, the
+dependency CPI component and the total cycle count respond, mirroring the
+paper's Figure 8 discussion of ``-fno-schedule-insns`` / ``-O3`` /
+``-funroll-loops``.
+
+Run with:  python examples/compiler_study.py [workload ...]
+"""
+
+import sys
+
+from repro import DEFAULT_MACHINE, predict_workload
+from repro.workloads import get_workload
+from repro.workloads.compiler import optimization_variants
+
+DEFAULT_WORKLOADS = ("sha", "gsm_c", "tiffdither")
+
+
+def main(names: list[str]) -> None:
+    machine = DEFAULT_MACHINE
+    for name in names:
+        workload = get_workload(name, use_cache=False, optimize=False)
+        variants = optimization_variants(workload)
+        results = {
+            variant: predict_workload(variants[variant], machine)
+            for variant in ("nosched", "O3", "unroll")
+        }
+        baseline_cycles = results["O3"].cycles
+
+        print(f"=== {name} ===")
+        print(f"  {'variant':10s} {'N':>8s} {'CPI':>7s} {'dep CPI':>8s} "
+              f"{'cycles':>9s} {'vs O3':>7s}")
+        for variant, result in results.items():
+            dependencies = result.stack.grouped().get("dependencies", 0.0)
+            print(f"  {variant:10s} {result.instructions:8d} {result.cpi:7.3f} "
+                  f"{dependencies:8.3f} {result.cycles:9.0f} "
+                  f"{result.cycles / baseline_cycles:7.3f}")
+        print()
+
+
+if __name__ == "__main__":
+    main(sys.argv[1:] or list(DEFAULT_WORKLOADS))

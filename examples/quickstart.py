@@ -1,0 +1,46 @@
+#!/usr/bin/env python3
+"""Quickstart: predict in-order processor performance analytically.
+
+This example walks through the full flow of the paper's framework (Figure 2):
+
+1. pick a workload (a MiBench-like kernel shipped with the library),
+2. profile it once (instruction mix, dependency distances, miss events),
+3. evaluate the mechanistic model for a processor configuration,
+4. compare against the cycle-accurate in-order simulator,
+5. print the CPI stack that explains where the cycles go.
+
+Run with:  python examples/quickstart.py
+"""
+
+from repro import DEFAULT_MACHINE, InOrderPipeline, predict_workload
+from repro.workloads import get_workload
+
+
+def main() -> None:
+    workload = get_workload("sha")
+    machine = DEFAULT_MACHINE
+    print(f"Workload : {workload.name} — {workload.description}")
+    print(f"Machine  : {machine.describe()}")
+    print(f"Dynamic instructions: {workload.dynamic_instruction_count:,}")
+    print()
+
+    # Analytical prediction (instantaneous once the profile exists).
+    model = predict_workload(workload, machine)
+
+    # Reference: detailed cycle-accurate simulation of the same configuration.
+    detailed = InOrderPipeline(machine).run(workload.trace())
+
+    error = (model.cpi - detailed.cpi) / detailed.cpi
+    print(f"model CPI    = {model.cpi:.3f}")
+    print(f"detailed CPI = {detailed.cpi:.3f}")
+    print(f"error        = {error:+.1%}")
+    print()
+
+    print("CPI stack (where the cycles go):")
+    for component, cpi in model.stack.as_rows():
+        bar = "#" * int(round(cpi * 100))
+        print(f"  {component:18s} {cpi:6.3f}  {bar}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,4 @@
+"""Legacy setup shim; the project is configured through pyproject.toml."""
+from setuptools import setup
+
+setup()

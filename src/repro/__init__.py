@@ -1,0 +1,44 @@
+"""repro: mechanistic performance model for superscalar in-order processors.
+
+A from-scratch reproduction of Breughe, Eyerman & Eeckhout, "A Mechanistic
+Performance Model for Superscalar In-Order Processors" (ISPASS 2012),
+including every substrate the paper depends on: an ISA with a functional
+simulator, MiBench-like and SPEC-like workload kernels, cache/TLB and
+branch-predictor models, cycle-accurate in-order and out-of-order pipeline
+simulators, the mechanistic analytical model itself, a McPAT-style power
+model and a design-space exploration driver.
+
+Typical use::
+
+    from repro import DEFAULT_MACHINE, predict_workload, InOrderPipeline
+    from repro.workloads import get_workload
+
+    workload = get_workload("sha")
+    model = predict_workload(workload, DEFAULT_MACHINE)
+    detailed = InOrderPipeline(DEFAULT_MACHINE).run(workload.trace())
+    print(model.cpi, detailed.cpi)
+"""
+
+from repro.machine import DEFAULT_MACHINE, MachineConfig
+from repro.core.model import InOrderMechanisticModel, ModelResult, predict_workload
+from repro.core.cpi_stack import CPIComponent, CPIStack
+from repro.core.ooo import OutOfOrderIntervalModel
+from repro.pipeline.inorder import InOrderPipeline, InOrderResult
+from repro.pipeline.ooo import OutOfOrderPipeline
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "MachineConfig",
+    "DEFAULT_MACHINE",
+    "InOrderMechanisticModel",
+    "OutOfOrderIntervalModel",
+    "ModelResult",
+    "predict_workload",
+    "CPIComponent",
+    "CPIStack",
+    "InOrderPipeline",
+    "InOrderResult",
+    "OutOfOrderPipeline",
+    "__version__",
+]

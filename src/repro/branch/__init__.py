@@ -1,0 +1,34 @@
+"""Branch predictors and branch statistics profiling.
+
+The paper's design space (Table 2) compares a 1KB global-history predictor
+against a 3.5KB hybrid predictor with 10-bit local and 12-bit global history.
+This package provides those two predictors plus simpler baselines (static,
+bimodal, purely local), and a profiler that replays a trace through a
+predictor to collect the misprediction and predicted-taken counts the
+mechanistic model consumes.
+"""
+
+from repro.branch.predictors import (
+    AlwaysNotTakenPredictor,
+    AlwaysTakenPredictor,
+    BimodalPredictor,
+    BranchPredictor,
+    GSharePredictor,
+    HybridPredictor,
+    LocalPredictor,
+    make_predictor,
+)
+from repro.branch.profiler import BranchProfile, profile_branches
+
+__all__ = [
+    "BranchPredictor",
+    "AlwaysTakenPredictor",
+    "AlwaysNotTakenPredictor",
+    "BimodalPredictor",
+    "GSharePredictor",
+    "LocalPredictor",
+    "HybridPredictor",
+    "make_predictor",
+    "BranchProfile",
+    "profile_branches",
+]

@@ -1,0 +1,247 @@
+"""Dynamic branch-direction predictors.
+
+All predictors share the two-bit saturating-counter update rule and the
+``predict`` / ``update`` interface.  Sizes are expressed as hardware budgets
+(bits of state) so the paper's "1KB global history" and "3.5KB hybrid"
+configurations translate directly (see :func:`make_predictor`).
+"""
+
+from __future__ import annotations
+
+import abc
+
+
+def _power_of_two(value: int, what: str) -> None:
+    if value <= 0 or value & (value - 1):
+        raise ValueError(f"{what} must be a positive power of two, got {value}")
+
+
+class BranchPredictor(abc.ABC):
+    """Interface shared by all direction predictors."""
+
+    name = "predictor"
+
+    @abc.abstractmethod
+    def predict(self, pc: int) -> bool:
+        """Predicted direction for the branch at ``pc`` (True = taken)."""
+
+    @abc.abstractmethod
+    def update(self, pc: int, taken: bool) -> None:
+        """Train the predictor with the resolved direction."""
+
+    def reset(self) -> None:  # pragma: no cover - overridden where stateful
+        """Restore the power-on state."""
+
+    @property
+    def storage_bits(self) -> int:
+        """Hardware budget of the predictor in bits (0 for static schemes)."""
+        return 0
+
+
+class AlwaysTakenPredictor(BranchPredictor):
+    """Static predict-taken."""
+
+    name = "always_taken"
+
+    def predict(self, pc: int) -> bool:
+        return True
+
+    def update(self, pc: int, taken: bool) -> None:
+        return None
+
+
+class AlwaysNotTakenPredictor(BranchPredictor):
+    """Static predict-not-taken."""
+
+    name = "always_not_taken"
+
+    def predict(self, pc: int) -> bool:
+        return False
+
+    def update(self, pc: int, taken: bool) -> None:
+        return None
+
+
+class _CounterTable:
+    """A table of 2-bit saturating counters indexed by an arbitrary hash."""
+
+    def __init__(self, entries: int, initial: int = 2):
+        _power_of_two(entries, "counter table entries")
+        self.entries = entries
+        self._initial = initial
+        self._counters = [initial] * entries
+
+    def predict(self, index: int) -> bool:
+        return self._counters[index & (self.entries - 1)] >= 2
+
+    def update(self, index: int, taken: bool) -> None:
+        slot = index & (self.entries - 1)
+        counter = self._counters[slot]
+        if taken:
+            self._counters[slot] = min(3, counter + 1)
+        else:
+            self._counters[slot] = max(0, counter - 1)
+
+    def reset(self) -> None:
+        self._counters = [self._initial] * self.entries
+
+
+class BimodalPredictor(BranchPredictor):
+    """Per-PC 2-bit saturating counters (no history)."""
+
+    name = "bimodal"
+
+    def __init__(self, entries: int = 2048):
+        self._table = _CounterTable(entries)
+
+    def predict(self, pc: int) -> bool:
+        return self._table.predict(pc >> 2)
+
+    def update(self, pc: int, taken: bool) -> None:
+        self._table.update(pc >> 2, taken)
+
+    def reset(self) -> None:
+        self._table.reset()
+
+    @property
+    def storage_bits(self) -> int:
+        return 2 * self._table.entries
+
+
+class GSharePredictor(BranchPredictor):
+    """Global-history predictor: PC xor global history indexes a counter table."""
+
+    name = "gshare"
+
+    def __init__(self, history_bits: int = 12):
+        if history_bits <= 0:
+            raise ValueError("history_bits must be positive")
+        self.history_bits = history_bits
+        self._table = _CounterTable(1 << history_bits)
+        self._history = 0
+
+    def _index(self, pc: int) -> int:
+        return (pc >> 2) ^ self._history
+
+    def predict(self, pc: int) -> bool:
+        return self._table.predict(self._index(pc))
+
+    def update(self, pc: int, taken: bool) -> None:
+        self._table.update(self._index(pc), taken)
+        mask = (1 << self.history_bits) - 1
+        self._history = ((self._history << 1) | int(taken)) & mask
+
+    def reset(self) -> None:
+        self._table.reset()
+        self._history = 0
+
+    @property
+    def storage_bits(self) -> int:
+        return 2 * self._table.entries + self.history_bits
+
+
+class LocalPredictor(BranchPredictor):
+    """Two-level local predictor: per-PC history indexes a shared counter table."""
+
+    name = "local"
+
+    def __init__(self, history_bits: int = 10, history_entries: int = 1024):
+        if history_bits <= 0:
+            raise ValueError("history_bits must be positive")
+        _power_of_two(history_entries, "history_entries")
+        self.history_bits = history_bits
+        self.history_entries = history_entries
+        self._histories = [0] * history_entries
+        self._table = _CounterTable(1 << history_bits)
+
+    def _history_slot(self, pc: int) -> int:
+        return (pc >> 2) & (self.history_entries - 1)
+
+    def predict(self, pc: int) -> bool:
+        return self._table.predict(self._histories[self._history_slot(pc)])
+
+    def update(self, pc: int, taken: bool) -> None:
+        slot = self._history_slot(pc)
+        history = self._histories[slot]
+        self._table.update(history, taken)
+        mask = (1 << self.history_bits) - 1
+        self._histories[slot] = ((history << 1) | int(taken)) & mask
+
+    def reset(self) -> None:
+        self._histories = [0] * self.history_entries
+        self._table.reset()
+
+    @property
+    def storage_bits(self) -> int:
+        return (
+            self.history_bits * self.history_entries + 2 * self._table.entries
+        )
+
+
+class HybridPredictor(BranchPredictor):
+    """Tournament predictor: a chooser selects between two component predictors."""
+
+    name = "hybrid"
+
+    def __init__(self, local: BranchPredictor | None = None,
+                 global_pred: BranchPredictor | None = None,
+                 chooser_entries: int = 1024):
+        self.local = local if local is not None else LocalPredictor()
+        self.global_pred = (
+            global_pred if global_pred is not None else GSharePredictor(12)
+        )
+        # Chooser counters: >= 2 means "trust the global component".
+        self._chooser = _CounterTable(chooser_entries)
+
+    def predict(self, pc: int) -> bool:
+        if self._chooser.predict(pc >> 2):
+            return self.global_pred.predict(pc)
+        return self.local.predict(pc)
+
+    def update(self, pc: int, taken: bool) -> None:
+        local_prediction = self.local.predict(pc)
+        global_prediction = self.global_pred.predict(pc)
+        # Train the chooser only when the components disagree.
+        if local_prediction != global_prediction:
+            self._chooser.update(pc >> 2, global_prediction == taken)
+        self.local.update(pc, taken)
+        self.global_pred.update(pc, taken)
+
+    def reset(self) -> None:
+        self.local.reset()
+        self.global_pred.reset()
+        self._chooser.reset()
+
+    @property
+    def storage_bits(self) -> int:
+        return (
+            self.local.storage_bits
+            + self.global_pred.storage_bits
+            + 2 * self._chooser.entries
+        )
+
+
+def make_predictor(kind: str) -> BranchPredictor:
+    """Factory for the predictor configurations used in the paper.
+
+    * ``"global_1kb"`` — 1KB global-history predictor (gshare with 4096
+      2-bit counters = 8 Kbit = 1 KByte).
+    * ``"hybrid_3.5kb"`` — hybrid predictor with 10-bit local and 12-bit
+      global history (~3.5KB total state).
+    * ``"bimodal"``, ``"always_taken"``, ``"always_not_taken"`` — baselines.
+    """
+    kind = kind.lower()
+    if kind == "global_1kb":
+        return GSharePredictor(history_bits=12)
+    if kind in ("hybrid_3.5kb", "hybrid"):
+        return HybridPredictor(
+            local=LocalPredictor(history_bits=10, history_entries=1024),
+            global_pred=GSharePredictor(history_bits=12),
+        )
+    if kind == "bimodal":
+        return BimodalPredictor()
+    if kind == "always_taken":
+        return AlwaysTakenPredictor()
+    if kind == "always_not_taken":
+        return AlwaysNotTakenPredictor()
+    raise ValueError(f"unknown branch predictor kind {kind!r}")

@@ -1,0 +1,72 @@
+"""Branch statistics profiling over a dynamic trace.
+
+The mechanistic model needs, for a given predictor configuration:
+
+* the number of mispredicted conditional branches (each costs roughly the
+  front-end pipeline depth, Eq. 4 of the paper), and
+* the number of correctly predicted *taken* control transfers (each costs one
+  fetch bubble — the "taken-branch hit penalty" of Section 3.3).
+
+Unconditional jumps are assumed to be correctly predicted (they still pay the
+taken bubble); conditional branches are replayed through the supplied
+predictor in trace order, which is exactly how the detailed pipeline
+simulator consults the predictor, so the two observe identical counts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.branch.predictors import BranchPredictor
+from repro.trace.trace import Trace
+
+
+@dataclass
+class BranchProfile:
+    """Counts extracted from one (trace, predictor) pair."""
+
+    predictor_name: str
+    conditional_branches: int = 0
+    unconditional_jumps: int = 0
+    taken_branches: int = 0
+    mispredictions: int = 0
+    predicted_taken_correct: int = 0
+
+    @property
+    def control_instructions(self) -> int:
+        return self.conditional_branches + self.unconditional_jumps
+
+    @property
+    def misprediction_rate(self) -> float:
+        if self.conditional_branches == 0:
+            return 0.0
+        return self.mispredictions / self.conditional_branches
+
+    @property
+    def taken_bubbles(self) -> int:
+        """Correctly predicted taken transfers (conditional + unconditional)."""
+        return self.predicted_taken_correct + self.unconditional_jumps
+
+
+def profile_branches(trace: Trace, predictor: BranchPredictor) -> BranchProfile:
+    """Replay ``trace`` through ``predictor`` and collect branch statistics."""
+    profile = BranchProfile(predictor_name=predictor.name)
+    for dyn in trace:
+        if not dyn.is_control:
+            continue
+        taken = bool(dyn.taken)
+        if not dyn.is_branch:
+            # Unconditional jump: always taken, assumed correctly predicted.
+            profile.unconditional_jumps += 1
+            profile.taken_branches += 1
+            continue
+        profile.conditional_branches += 1
+        if taken:
+            profile.taken_branches += 1
+        prediction = predictor.predict(dyn.pc)
+        predictor.update(dyn.pc, taken)
+        if prediction != taken:
+            profile.mispredictions += 1
+        elif taken:
+            profile.predicted_taken_correct += 1
+    return profile

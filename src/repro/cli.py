@@ -1,0 +1,56 @@
+"""Command line entry point: ``repro-experiments`` (or ``python -m repro.cli``).
+
+Runs one or all of the paper's experiments and prints their tables.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.experiments import ALL_EXPERIMENTS
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description=(
+            "Reproduce the tables and figures of 'A Mechanistic Performance "
+            "Model for Superscalar In-Order Processors' (ISPASS 2012)."
+        ),
+    )
+    parser.add_argument(
+        "experiment",
+        nargs="?",
+        default="all",
+        choices=sorted(ALL_EXPERIMENTS) + ["all"],
+        help="which experiment to run (default: all)",
+    )
+    parser.add_argument(
+        "--full",
+        action="store_true",
+        help=(
+            "use the full 192-point design space for figure5/figure9 "
+            "(slow: every point needs a detailed simulation)"
+        ),
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    selected = (
+        sorted(ALL_EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    )
+    for name in selected:
+        module = ALL_EXPERIMENTS[name]
+        print(f"\n=== {name} ===")
+        if name in ("figure5", "figure9"):
+            module.main(full=args.full)
+        else:
+            module.main()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,23 @@
+"""The paper's primary contribution: mechanistic in-order performance model.
+
+* :mod:`repro.core.penalties` — the per-event penalty formulas (Eqs. 2-16).
+* :mod:`repro.core.cpi_stack` — CPI stack representation and grouping.
+* :mod:`repro.core.model` — :class:`InOrderMechanisticModel`, which combines
+  program statistics, program-machine statistics and machine parameters into
+  a predicted cycle count and CPI stack.
+* :mod:`repro.core.ooo` — the out-of-order interval model of Eyerman et al.
+  used for the in-order versus out-of-order comparison (Figure 7).
+"""
+
+from repro.core.cpi_stack import CPIComponent, CPIStack
+from repro.core.model import InOrderMechanisticModel, ModelResult, predict_workload
+from repro.core.ooo import OutOfOrderIntervalModel
+
+__all__ = [
+    "CPIComponent",
+    "CPIStack",
+    "InOrderMechanisticModel",
+    "ModelResult",
+    "predict_workload",
+    "OutOfOrderIntervalModel",
+]

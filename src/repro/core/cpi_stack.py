@@ -1,0 +1,129 @@
+"""CPI stacks: breaking predicted cycles into contributing components.
+
+CPI stacks are the main analysis artefact the paper derives from the model
+(Figures 4, 7 and 8): the total CPI is decomposed into a base component
+(N/W) plus one component per penalty source.  The fine-grained components
+defined here can be regrouped into the coarser categories the paper plots
+(e.g. "l2 access" = instruction-side and data-side L1-miss-to-L2-hit).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+
+class CPIComponent(enum.Enum):
+    """Fine-grained CPI stack components."""
+
+    BASE = "base"
+    MUL = "mul"
+    DIV = "div"
+    L1_HIT_EXTRA = "l1_hit_extra"       # only when the L1 takes >1 cycle
+    IL1_MISS = "il1_miss"               # instruction L1 miss, served by the L2
+    IL2_MISS = "il2_miss"               # instruction fetch that goes to memory
+    DL1_MISS = "dl1_miss"               # data L1 miss, served by the L2
+    DL2_MISS = "dl2_miss"               # data access that goes to memory
+    ITLB_MISS = "itlb_miss"
+    DTLB_MISS = "dtlb_miss"
+    BPRED_MISS = "bpred_miss"
+    BPRED_TAKEN = "bpred_taken"         # taken-branch hit bubble
+    DEP_UNIT = "dep_unit"
+    DEP_LONG = "dep_long"
+    DEP_LOAD = "dep_load"
+
+
+#: Regrouping used by the paper's figures: component -> coarse label.
+PAPER_GROUPS: dict[CPIComponent, str] = {
+    CPIComponent.BASE: "base",
+    CPIComponent.MUL: "mul/div",
+    CPIComponent.DIV: "mul/div",
+    CPIComponent.L1_HIT_EXTRA: "l2 access",
+    CPIComponent.IL1_MISS: "l2 access",
+    CPIComponent.DL1_MISS: "l2 access",
+    CPIComponent.IL2_MISS: "l2 miss",
+    CPIComponent.DL2_MISS: "l2 miss",
+    CPIComponent.ITLB_MISS: "TLB miss",
+    CPIComponent.DTLB_MISS: "TLB miss",
+    CPIComponent.BPRED_MISS: "bpred miss",
+    CPIComponent.BPRED_TAKEN: "bpred hit (taken)",
+    CPIComponent.DEP_UNIT: "dependencies",
+    CPIComponent.DEP_LONG: "dependencies",
+    CPIComponent.DEP_LOAD: "dependencies",
+}
+
+#: Order in which the paper stacks the coarse components (Figure 4).
+PAPER_GROUP_ORDER = [
+    "base",
+    "mul/div",
+    "l2 access",
+    "l2 miss",
+    "bpred miss",
+    "bpred hit (taken)",
+    "TLB miss",
+    "dependencies",
+]
+
+
+@dataclass
+class CPIStack:
+    """Cycle counts per component for one (workload, machine) pair."""
+
+    name: str
+    instructions: int
+    cycles: dict[CPIComponent, float] = field(default_factory=dict)
+
+    def add(self, component: CPIComponent, cycles: float) -> None:
+        """Accumulate ``cycles`` into ``component`` (negative values are clamped)."""
+        if cycles <= 0:
+            return
+        self.cycles[component] = self.cycles.get(component, 0.0) + cycles
+
+    def component(self, component: CPIComponent) -> float:
+        """Cycles attributed to ``component``."""
+        return self.cycles.get(component, 0.0)
+
+    @property
+    def total_cycles(self) -> float:
+        return sum(self.cycles.values())
+
+    @property
+    def cpi(self) -> float:
+        return self.total_cycles / self.instructions if self.instructions else 0.0
+
+    def cpi_of(self, component: CPIComponent) -> float:
+        if not self.instructions:
+            return 0.0
+        return self.component(component) / self.instructions
+
+    def grouped(self, groups: dict[CPIComponent, str] | None = None) -> dict[str, float]:
+        """CPI per coarse group, in the paper's plotting order."""
+        mapping = groups if groups is not None else PAPER_GROUPS
+        grouped: dict[str, float] = {}
+        for component, cycles in self.cycles.items():
+            label = mapping.get(component, component.value)
+            grouped[label] = grouped.get(label, 0.0) + cycles / max(1, self.instructions)
+        ordered = {label: grouped[label] for label in PAPER_GROUP_ORDER if label in grouped}
+        for label, value in grouped.items():
+            if label not in ordered:
+                ordered[label] = value
+        return ordered
+
+    def scaled(self, factor: float) -> "CPIStack":
+        """Return a copy with every component multiplied by ``factor``.
+
+        Used to turn CPI stacks into cycle stacks (Figure 8 normalises cycle
+        stacks, i.e. CPI times instruction count).
+        """
+        clone = CPIStack(name=self.name, instructions=self.instructions)
+        for component, cycles in self.cycles.items():
+            clone.cycles[component] = cycles * factor
+        return clone
+
+    def as_rows(self) -> list[tuple[str, float]]:
+        """(component, CPI) rows for tabular output, stacked in paper order."""
+        return [(label, value) for label, value in self.grouped().items()]
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        parts = ", ".join(f"{label}={value:.3f}" for label, value in self.grouped().items())
+        return f"CPIStack({self.name}: CPI={self.cpi:.3f}; {parts})"

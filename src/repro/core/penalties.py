@@ -1,0 +1,121 @@
+"""Penalty formulas of the mechanistic in-order model (Section 3 of the paper).
+
+Every function implements one numbered equation and is written to be directly
+testable against the paper's closed forms.  ``width`` is the superscalar
+width W; penalties are expressed in cycles (possibly fractional, because a
+partially filled issue group costs a fraction of a cycle — Section 3.2).
+"""
+
+from __future__ import annotations
+
+
+def slot_correction(width: int) -> float:
+    """The uniform-placement correction (W - 1) / (2 W).
+
+    A miss or long-latency instruction can fall anywhere inside a W-wide
+    instruction group; on average (W-1)/2 older instructions execute
+    underneath it, hiding (W-1)/(2W) of a cycle (Section 3.3).
+    """
+    if width < 1:
+        raise ValueError("width must be at least 1")
+    return (width - 1) / (2.0 * width)
+
+
+def cache_miss_penalty(miss_latency: float, width: int) -> float:
+    """Eq. 3: penalty of a cache or TLB miss."""
+    return max(0.0, miss_latency - slot_correction(width))
+
+
+def branch_misprediction_penalty(frontend_depth: int, width: int) -> float:
+    """Eq. 4: penalty of a mispredicted branch (front-end flush + partial group)."""
+    if frontend_depth < 1:
+        raise ValueError("front-end depth must be at least 1")
+    return frontend_depth + slot_correction(width)
+
+
+def taken_branch_penalty() -> float:
+    """Section 3.3: one fetch bubble per (correctly) predicted-taken branch."""
+    return 1.0
+
+
+def long_latency_penalty(latency: float, width: int) -> float:
+    """Eq. 6: penalty of a non-unit latency instruction (multiply, divide, ...)."""
+    if latency < 1:
+        raise ValueError("execution latency must be at least 1 cycle")
+    return max(0.0, (latency - 1.0) - slot_correction(width))
+
+
+def probability_same_stage(distance: int, width: int) -> float:
+    """Eq. 9: probability that producer and consumer share a pipeline stage."""
+    if distance < 1:
+        raise ValueError("dependency distance starts at 1")
+    if distance >= width:
+        return 0.0
+    return (width - distance) / width
+
+
+def unit_dependency_penalty(distance: int, width: int) -> float:
+    """Eq. 11 (single term): penalty per dependency on a unit-latency producer."""
+    probability = probability_same_stage(distance, width)
+    lost_slots = probability           # Eq. 10 has the same (W - d)/W form
+    return probability * lost_slots
+
+
+def long_dependency_penalty(distance: int, width: int) -> float:
+    """Eq. 12 (single term): penalty per dependency on a long-latency producer."""
+    if distance < 1:
+        raise ValueError("dependency distance starts at 1")
+    if distance >= width:
+        return 0.0
+    return (width - distance) / width
+
+
+def load_dependency_penalty(distance: int, width: int) -> float:
+    """Eq. 16 (single term): penalty per dependency on a load producer.
+
+    Two placements matter (Section 3.5.3): the load and its consumer share the
+    decode stage (possible for d < W), or the consumer sits one stage behind
+    the load (possible for d < 2W).
+    """
+    if distance < 1:
+        raise ValueError("dependency distance starts at 1")
+    if distance >= 2 * width:
+        return 0.0
+    if distance < width:
+        same_stage_probability = (width - distance) / width
+        same_stage_penalty = (2 * width - distance) / width      # Eq. 13
+        next_stage_probability = distance / width                # Eq. 15, d < W
+        next_stage_penalty = 1.0                                 # Eq. 14, d < W
+        return (same_stage_probability * same_stage_penalty
+                + next_stage_probability * next_stage_penalty)
+    # W <= d < 2W: only the consecutive-stage case remains.
+    probability = (2 * width - distance) / width                 # Eq. 15
+    penalty = (2 * width - distance) / width                     # Eq. 14
+    return probability * penalty
+
+
+def unit_dependency_total(histogram: dict[int, int], width: int) -> float:
+    """Eq. 11: total penalty from dependencies on unit-latency producers."""
+    return sum(
+        count * unit_dependency_penalty(distance, width)
+        for distance, count in histogram.items()
+        if 1 <= distance < width
+    )
+
+
+def long_dependency_total(histogram: dict[int, int], width: int) -> float:
+    """Eq. 12: total penalty from dependencies on long-latency producers."""
+    return sum(
+        count * long_dependency_penalty(distance, width)
+        for distance, count in histogram.items()
+        if 1 <= distance < width
+    )
+
+
+def load_dependency_total(histogram: dict[int, int], width: int) -> float:
+    """Eq. 16: total penalty from dependencies on load producers."""
+    return sum(
+        count * load_dependency_penalty(distance, width)
+        for distance, count in histogram.items()
+        if 1 <= distance < 2 * width
+    )

@@ -1,0 +1,17 @@
+"""Design-space exploration (Table 2 and Figures 5 and 9 of the paper)."""
+
+from repro.dse.space import DesignSpace, default_design_space, reduced_design_space
+from repro.dse.explorer import (
+    DesignPointResult,
+    DesignSpaceExplorer,
+    EDPResult,
+)
+
+__all__ = [
+    "DesignSpace",
+    "default_design_space",
+    "reduced_design_space",
+    "DesignSpaceExplorer",
+    "DesignPointResult",
+    "EDPResult",
+]

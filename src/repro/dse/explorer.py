@@ -1,0 +1,157 @@
+"""Design-space exploration driver.
+
+The explorer evaluates workloads across a :class:`~repro.dse.space.DesignSpace`
+with the analytical model (fast path: one profiling pass per workload per
+configuration's cache/branch structures, then closed-form evaluation) and
+optionally with the detailed in-order simulator (slow path, used as the
+reference).  It also attaches the power model to compute energy and EDP per
+design point, reproducing the paper's Figures 5 and 9.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.model import InOrderMechanisticModel, ModelResult
+from repro.machine import MachineConfig
+from repro.pipeline.inorder import InOrderPipeline
+from repro.power.model import PowerModel
+from repro.profiler.machine_stats import MissProfile, profile_machine
+from repro.profiler.program import ProgramProfile, profile_program
+from repro.validation.compare import ValidationRow, ValidationSummary, summarize
+from repro.workloads.base import Workload
+
+
+@dataclass
+class DesignPointResult:
+    """Model (and optionally simulator) outcome for one (workload, config) pair."""
+
+    workload: str
+    machine: MachineConfig
+    model: ModelResult
+    simulated_cycles: int | None = None
+    model_energy_joules: float | None = None
+    simulated_energy_joules: float | None = None
+
+    @property
+    def model_cpi(self) -> float:
+        return self.model.cpi
+
+    @property
+    def simulated_cpi(self) -> float | None:
+        if self.simulated_cycles is None:
+            return None
+        return self.simulated_cycles / self.model.instructions
+
+    @property
+    def model_edp(self) -> float | None:
+        if self.model_energy_joules is None:
+            return None
+        time_seconds = self.model.cycles * self.machine.cycle_ns * 1e-9
+        return self.model_energy_joules * time_seconds
+
+    @property
+    def simulated_edp(self) -> float | None:
+        if self.simulated_energy_joules is None or self.simulated_cycles is None:
+            return None
+        time_seconds = self.simulated_cycles * self.machine.cycle_ns * 1e-9
+        return self.simulated_energy_joules * time_seconds
+
+
+@dataclass
+class EDPResult:
+    """EDP exploration outcome for one workload across a design space."""
+
+    workload: str
+    points: list[DesignPointResult]
+
+    def best_by_model(self) -> DesignPointResult:
+        return min(self.points, key=lambda point: point.model_edp)
+
+    def best_by_simulation(self) -> DesignPointResult:
+        simulated = [point for point in self.points if point.simulated_edp is not None]
+        if not simulated:
+            raise ValueError("no simulated points available")
+        return min(simulated, key=lambda point: point.simulated_edp)
+
+    def model_choice_edp_gap(self) -> float:
+        """Relative EDP difference between the model's pick and the true optimum.
+
+        This is the paper's Figure 9 headline: for most benchmarks the model
+        picks the optimal configuration; when it does not, the EDP of its pick
+        is within a fraction of a percent of the optimum.
+        """
+        best_simulated = self.best_by_simulation()
+        model_pick = self.best_by_model()
+        model_pick_simulated_edp = next(
+            point.simulated_edp
+            for point in self.points
+            if point.machine.name == model_pick.machine.name
+        )
+        return (model_pick_simulated_edp - best_simulated.simulated_edp) / best_simulated.simulated_edp
+
+
+class DesignSpaceExplorer:
+    """Evaluate workloads across a set of machine configurations."""
+
+    def __init__(self, configurations: list[MachineConfig]):
+        if not configurations:
+            raise ValueError("the design space is empty")
+        self.configurations = configurations
+        self._program_profiles: dict[str, ProgramProfile] = {}
+        self._miss_profiles: dict[tuple[str, str], MissProfile] = {}
+
+    # ------------------------------------------------------------------
+    def _program_profile(self, workload: Workload) -> ProgramProfile:
+        if workload.name not in self._program_profiles:
+            self._program_profiles[workload.name] = profile_program(workload.trace())
+        return self._program_profiles[workload.name]
+
+    def _miss_profile(self, workload: Workload, machine: MachineConfig) -> MissProfile:
+        key = (workload.name, machine.name or machine.describe())
+        if key not in self._miss_profiles:
+            self._miss_profiles[key] = profile_machine(workload.trace(), machine)
+        return self._miss_profiles[key]
+
+    # ------------------------------------------------------------------
+    def evaluate(self, workload: Workload, *, simulate: bool = False,
+                 with_power: bool = False) -> list[DesignPointResult]:
+        """Run the model (and optionally the simulator) across all configurations."""
+        program = self._program_profile(workload)
+        results = []
+        for machine in self.configurations:
+            misses = self._miss_profile(workload, machine)
+            model = InOrderMechanisticModel(machine).predict(program, misses)
+            point = DesignPointResult(workload=workload.name, machine=machine, model=model)
+            if simulate:
+                simulated = InOrderPipeline(machine).run(workload.trace())
+                point.simulated_cycles = simulated.cycles
+            if with_power:
+                power = PowerModel(machine)
+                point.model_energy_joules = power.energy(program, misses, model.cycles).total
+                if point.simulated_cycles is not None:
+                    point.simulated_energy_joules = power.energy(
+                        program, misses, point.simulated_cycles
+                    ).total
+            results.append(point)
+        return results
+
+    def validate(self, workloads: list[Workload]) -> ValidationSummary:
+        """Model-versus-simulator error across the whole space (Figure 5)."""
+        rows: list[ValidationRow] = []
+        for workload in workloads:
+            for point in self.evaluate(workload, simulate=True):
+                rows.append(
+                    ValidationRow(
+                        name=workload.name,
+                        configuration=point.machine.name,
+                        predicted_cpi=point.model_cpi,
+                        simulated_cpi=point.simulated_cpi,
+                    )
+                )
+        return summarize(rows)
+
+    def explore_edp(self, workload: Workload, *, simulate: bool = True) -> EDPResult:
+        """Energy-delay-product exploration for one workload (Figure 9)."""
+        points = self.evaluate(workload, simulate=simulate, with_power=True)
+        return EDPResult(workload=workload.name, points=points)

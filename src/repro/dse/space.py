@@ -1,0 +1,100 @@
+"""Definition of the paper's architecture design space (Table 2).
+
+The full space crosses
+
+* pipeline depth / frequency: (5 stages, 600 MHz), (7, 800 MHz), (9, 1 GHz),
+* processor width: 1, 2, 3, 4,
+* L2 size: 128 KB, 256 KB, 512 KB, 1 MB, with 8- or 16-way associativity,
+* branch predictor: 1 KB global history or 3.5 KB hybrid,
+
+for 3 x 4 x 8 x 2 = 192 design points, all sharing 32 KB 4-way L1 caches.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+
+from repro.machine import MachineConfig
+
+#: (pipeline stages, frequency in MHz) pairs explored by the paper.
+DEPTH_FREQUENCY_POINTS: tuple[tuple[int, int], ...] = (
+    (5, 600),
+    (7, 800),
+    (9, 1000),
+)
+
+WIDTHS: tuple[int, ...] = (1, 2, 3, 4)
+
+L2_SIZES: tuple[int, ...] = (128 * 1024, 256 * 1024, 512 * 1024, 1024 * 1024)
+
+L2_ASSOCIATIVITIES: tuple[int, ...] = (8, 16)
+
+BRANCH_PREDICTORS: tuple[str, ...] = ("global_1kb", "hybrid_3.5kb")
+
+
+@dataclass(frozen=True)
+class DesignSpace:
+    """A cross product of microarchitecture parameter choices."""
+
+    depth_frequency: tuple[tuple[int, int], ...] = DEPTH_FREQUENCY_POINTS
+    widths: tuple[int, ...] = WIDTHS
+    l2_sizes: tuple[int, ...] = L2_SIZES
+    l2_associativities: tuple[int, ...] = L2_ASSOCIATIVITIES
+    branch_predictors: tuple[str, ...] = BRANCH_PREDICTORS
+    base: MachineConfig = field(default_factory=MachineConfig)
+
+    def __len__(self) -> int:
+        return (len(self.depth_frequency) * len(self.widths) * len(self.l2_sizes)
+                * len(self.l2_associativities) * len(self.branch_predictors))
+
+    def configurations(self) -> list[MachineConfig]:
+        """Materialise every design point as a :class:`MachineConfig`."""
+        configurations = []
+        for (stages, frequency), width, l2_size, l2_assoc, predictor in itertools.product(
+            self.depth_frequency,
+            self.widths,
+            self.l2_sizes,
+            self.l2_associativities,
+            self.branch_predictors,
+        ):
+            name = (
+                f"w{width}_d{stages}_f{frequency}"
+                f"_l2-{l2_size // 1024}k-{l2_assoc}w_{predictor}"
+            )
+            configurations.append(
+                self.base.with_(
+                    width=width,
+                    pipeline_stages=stages,
+                    frequency_mhz=frequency,
+                    l2_size=l2_size,
+                    l2_associativity=l2_assoc,
+                    branch_predictor=predictor,
+                    name=name,
+                )
+            )
+        return configurations
+
+    def __iter__(self):
+        return iter(self.configurations())
+
+
+def default_design_space() -> DesignSpace:
+    """The paper's full 192-point design space."""
+    return DesignSpace()
+
+
+def reduced_design_space() -> DesignSpace:
+    """A 24-point subsample used where detailed simulation of all 192 points
+    would be too slow (e.g. the default benchmark harness settings).
+
+    The subsample keeps the extremes and the default of every dimension, so
+    error statistics computed on it are representative of the full space.
+    """
+    return DesignSpace(
+        depth_frequency=((5, 600), (9, 1000)),
+        widths=(1, 2, 4),
+        l2_sizes=(128 * 1024, 512 * 1024),
+        l2_associativities=(8,),
+        branch_predictors=("global_1kb", "hybrid_3.5kb"),
+    )

@@ -1,0 +1,45 @@
+"""Experiment drivers reproducing every table and figure of the paper.
+
+Each module exposes a ``run(...)`` function returning structured results and a
+``main()`` entry point that prints the same rows/series the paper reports:
+
+=================  ==========================================================
+Module             Paper artefact
+=================  ==========================================================
+``table2``         Table 2 — architecture design space
+``figure3``        Figure 3 — model vs detailed simulation, MiBench, default
+``figure4``        Figure 4 — CPI stacks vs superscalar width
+``figure5``        Figure 5 — error CDF across the design space
+``figure6``        Figure 6 — model vs detailed simulation, SPEC-like suite
+``figure7``        Figure 7 — in-order vs out-of-order CPI stacks
+``figure8``        Figure 8 — compiler optimizations, normalized cycle stacks
+``figure9``        Figure 9 — EDP design-space exploration
+``speedup``        Section 5 — model vs detailed-simulation speedup
+=================  ==========================================================
+"""
+
+from repro.experiments import (  # noqa: F401
+    figure3,
+    figure4,
+    figure5,
+    figure6,
+    figure7,
+    figure8,
+    figure9,
+    speedup,
+    table2,
+)
+
+ALL_EXPERIMENTS = {
+    "table2": table2,
+    "figure3": figure3,
+    "figure4": figure4,
+    "figure5": figure5,
+    "figure6": figure6,
+    "figure7": figure7,
+    "figure8": figure8,
+    "figure9": figure9,
+    "speedup": speedup,
+}
+
+__all__ = ["ALL_EXPERIMENTS"]

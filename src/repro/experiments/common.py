@@ -1,0 +1,58 @@
+"""Shared helpers for the experiment drivers."""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.machine import DEFAULT_MACHINE, MachineConfig
+
+#: Benchmarks highlighted in Figure 4 (width scaling behaviour).
+FIGURE4_BENCHMARKS = ("sha", "tiffdither", "dijkstra")
+
+#: Benchmarks shown in Figure 7 (in-order vs out-of-order CPI stacks); the
+#: paper's cjpeg/djpeg/toast map onto our jpeg_c/jpeg_d/gsm_c kernels.
+FIGURE7_BENCHMARKS = (
+    "jpeg_c", "dijkstra", "jpeg_d", "lame", "patricia",
+    "susan_c", "susan_e", "susan_s", "tiff2bw", "tiff2rgba",
+    "tiffdither", "tiffmedian", "gsm_c",
+)
+
+#: Benchmarks shown in Figure 8 (largest compiler-optimization impact).
+FIGURE8_BENCHMARKS = ("gsm_c", "sha", "stringsearch", "susan_s", "tiffdither")
+
+#: Benchmarks shown in Figure 9 (EDP exploration).
+FIGURE9_BENCHMARKS = ("adpcm_d", "gsm_c", "lame", "patricia")
+
+#: Workload subset used by default for design-space validation (Figure 5)
+#: when running the fast configuration; the full run uses all 19.
+FIGURE5_FAST_BENCHMARKS = (
+    "sha", "dijkstra", "qsort", "tiff2bw", "tiffdither", "patricia",
+)
+
+
+def default_machine() -> MachineConfig:
+    """The paper's default processor configuration (Table 2)."""
+    return DEFAULT_MACHINE
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence[object]],
+                 float_format: str = "{:.3f}") -> str:
+    """Render a plain-text table (the experiments print, they do not plot)."""
+    materialized = [
+        [
+            float_format.format(cell) if isinstance(cell, float) else str(cell)
+            for cell in row
+        ]
+        for row in rows
+    ]
+    widths = [len(header) for header in headers]
+    for row in materialized:
+        for column, cell in enumerate(row):
+            widths[column] = max(widths[column], len(cell))
+    lines = []
+    header_line = "  ".join(header.ljust(widths[i]) for i, header in enumerate(headers))
+    lines.append(header_line)
+    lines.append("  ".join("-" * width for width in widths))
+    for row in materialized:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)

@@ -1,0 +1,70 @@
+"""Figure 3: model CPI versus detailed-simulation CPI on MiBench (default config).
+
+The paper reports an average absolute CPI prediction error of 3.1% and a
+maximum of 8.4% for the 19 MiBench benchmarks on the default configuration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.model import predict_workload
+from repro.experiments.common import default_machine, format_table
+from repro.machine import MachineConfig
+from repro.pipeline.inorder import InOrderPipeline
+from repro.validation.compare import ValidationRow, ValidationSummary, summarize
+from repro.workloads import mibench_suite
+
+
+@dataclass
+class Figure3Result:
+    machine: MachineConfig
+    rows: list[ValidationRow]
+    summary: ValidationSummary
+
+
+def run(benchmarks: list[str] | None = None,
+        machine: MachineConfig | None = None) -> Figure3Result:
+    machine = machine if machine is not None else default_machine()
+    rows: list[ValidationRow] = []
+    for workload in mibench_suite(benchmarks):
+        trace = workload.trace()
+        simulated = InOrderPipeline(machine).run(trace)
+        model = predict_workload(workload, machine)
+        rows.append(
+            ValidationRow(
+                name=workload.name,
+                configuration=machine.name or "default",
+                predicted_cpi=model.cpi,
+                simulated_cpi=simulated.cpi,
+            )
+        )
+    return Figure3Result(machine=machine, rows=rows, summary=summarize(rows))
+
+
+def format_result(result: Figure3Result) -> str:
+    table_rows = [
+        (row.name, row.predicted_cpi, row.simulated_cpi, f"{row.error:+.1%}")
+        for row in result.rows
+    ]
+    table = format_table(
+        ("benchmark", "model CPI", "detailed CPI", "error"), table_rows
+    )
+    summary = result.summary
+    return (
+        "Figure 3 — CPI predicted by the model vs detailed simulation "
+        f"({result.machine.describe()})\n{table}\n"
+        f"average |error| = {summary.average_absolute_error:.1%}  "
+        f"max |error| = {summary.maximum_absolute_error:.1%}  "
+        f"(paper: 3.1% average, 8.4% max)"
+    )
+
+
+def main() -> Figure3Result:
+    result = run()
+    print(format_result(result))
+    return result
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,91 @@
+"""Figure 4: CPI stacks as a function of superscalar width (W = 1..4).
+
+The paper contrasts three benchmarks: ``sha`` scales well with width (plenty
+of ILP), ``dijkstra`` barely benefits beyond 2-wide because the shrinking base
+component is offset by a growing dependency component, and ``tiffdither`` sits
+in between.  The detailed-simulation CPI is shown as a reference line.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.cpi_stack import CPIStack
+from repro.core.model import predict_workload
+from repro.experiments.common import FIGURE4_BENCHMARKS, default_machine, format_table
+from repro.machine import MachineConfig
+from repro.pipeline.inorder import InOrderPipeline
+from repro.profiler.program import profile_program
+from repro.workloads import get_workload
+
+
+@dataclass
+class WidthPoint:
+    benchmark: str
+    width: int
+    stack: CPIStack
+    simulated_cpi: float
+
+
+@dataclass
+class Figure4Result:
+    machine: MachineConfig
+    widths: tuple[int, ...]
+    points: list[WidthPoint]
+
+    def for_benchmark(self, name: str) -> list[WidthPoint]:
+        return [point for point in self.points if point.benchmark == name]
+
+
+def run(benchmarks: tuple[str, ...] = FIGURE4_BENCHMARKS,
+        widths: tuple[int, ...] = (1, 2, 3, 4),
+        machine: MachineConfig | None = None) -> Figure4Result:
+    base_machine = machine if machine is not None else default_machine()
+    points: list[WidthPoint] = []
+    for name in benchmarks:
+        workload = get_workload(name)
+        program = profile_program(workload.trace())
+        for width in widths:
+            configured = base_machine.with_(width=width, name=f"W={width}")
+            model = predict_workload(workload, configured, program=program)
+            simulated = InOrderPipeline(configured).run(workload.trace())
+            points.append(
+                WidthPoint(
+                    benchmark=name,
+                    width=width,
+                    stack=model.stack,
+                    simulated_cpi=simulated.cpi,
+                )
+            )
+    return Figure4Result(machine=base_machine, widths=widths, points=points)
+
+
+def format_result(result: Figure4Result) -> str:
+    # Collect every stack component that shows up so the table has stable columns.
+    labels: list[str] = []
+    for point in result.points:
+        for label in point.stack.grouped():
+            if label not in labels:
+                labels.append(label)
+    rows = []
+    for point in result.points:
+        grouped = point.stack.grouped()
+        rows.append(
+            [f"{point.benchmark} W={point.width}"]
+            + [grouped.get(label, 0.0) for label in labels]
+            + [point.stack.cpi, point.simulated_cpi]
+        )
+    table = format_table(
+        ["configuration"] + labels + ["model CPI", "detailed CPI"], rows
+    )
+    return "Figure 4 — CPI stacks vs superscalar width\n" + table
+
+
+def main() -> Figure4Result:
+    result = run()
+    print(format_result(result))
+    return result
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,75 @@
+"""Figure 5: cumulative distribution of the model error across the design space.
+
+The paper validates the model on a 192-point design space (Table 2) crossed
+with 19 benchmarks: 90% of the design points show an error below 6%, the
+average error is 2.5% and the maximum 9.6%.  Because each point requires a
+detailed simulation, the default invocation uses the reduced design space and
+a representative benchmark subset; pass ``full=True`` to sweep everything the
+paper did.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.dse.explorer import DesignSpaceExplorer
+from repro.dse.space import default_design_space, reduced_design_space
+from repro.experiments.common import FIGURE5_FAST_BENCHMARKS, format_table
+from repro.validation.compare import ValidationSummary, cumulative_distribution
+from repro.workloads import mibench_suite
+
+
+@dataclass
+class Figure5Result:
+    summary: ValidationSummary
+    cdf: list[tuple[float, float]]
+    design_points: int
+    benchmarks: tuple[str, ...]
+
+    @property
+    def fraction_below_6_percent(self) -> float:
+        return self.summary.fraction_below(0.06)
+
+
+def run(full: bool = False, benchmarks: tuple[str, ...] | None = None) -> Figure5Result:
+    space = default_design_space() if full else reduced_design_space()
+    if benchmarks is None:
+        benchmarks = (
+            tuple(sorted(w.name for w in mibench_suite()))
+            if full
+            else FIGURE5_FAST_BENCHMARKS
+        )
+    workloads = mibench_suite(list(benchmarks))
+    explorer = DesignSpaceExplorer(space.configurations())
+    summary = explorer.validate(workloads)
+    errors = [row.absolute_error for row in summary.rows]
+    return Figure5Result(
+        summary=summary,
+        cdf=cumulative_distribution(errors, points=21),
+        design_points=len(space),
+        benchmarks=tuple(benchmarks),
+    )
+
+
+def format_result(result: Figure5Result) -> str:
+    rows = [(f"{threshold:.1%}", f"{fraction:.0%}") for threshold, fraction in result.cdf]
+    table = format_table(("absolute error <=", "fraction of points"), rows)
+    summary = result.summary
+    return (
+        f"Figure 5 — error CDF over {result.design_points} design points x "
+        f"{len(result.benchmarks)} benchmarks ({summary.count} points)\n{table}\n"
+        f"average |error| = {summary.average_absolute_error:.1%}  "
+        f"max |error| = {summary.maximum_absolute_error:.1%}  "
+        f"fraction below 6% = {result.fraction_below_6_percent:.0%}  "
+        f"(paper: 2.5% average, 9.6% max, 90% below 6%)"
+    )
+
+
+def main(full: bool = False) -> Figure5Result:
+    result = run(full=full)
+    print(format_result(result))
+    return result
+
+
+if __name__ == "__main__":
+    main()

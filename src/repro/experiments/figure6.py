@@ -1,0 +1,68 @@
+"""Figure 6: model validation on memory-intensive SPEC CPU2006-like workloads.
+
+The paper reports an average error of 4.1% and a maximum of 10.7% on its SPEC
+CPU2006 subset, whose CPIs are much higher than MiBench's because of the
+memory-bound behaviour.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.model import predict_workload
+from repro.experiments.common import default_machine, format_table
+from repro.machine import MachineConfig
+from repro.pipeline.inorder import InOrderPipeline
+from repro.validation.compare import ValidationRow, ValidationSummary, summarize
+from repro.workloads import spec_suite
+
+
+@dataclass
+class Figure6Result:
+    machine: MachineConfig
+    rows: list[ValidationRow]
+    summary: ValidationSummary
+
+
+def run(benchmarks: list[str] | None = None,
+        machine: MachineConfig | None = None) -> Figure6Result:
+    machine = machine if machine is not None else default_machine()
+    rows: list[ValidationRow] = []
+    for workload in spec_suite(benchmarks):
+        simulated = InOrderPipeline(machine).run(workload.trace())
+        model = predict_workload(workload, machine)
+        rows.append(
+            ValidationRow(
+                name=workload.name,
+                configuration=machine.name or "default",
+                predicted_cpi=model.cpi,
+                simulated_cpi=simulated.cpi,
+            )
+        )
+    return Figure6Result(machine=machine, rows=rows, summary=summarize(rows))
+
+
+def format_result(result: Figure6Result) -> str:
+    table_rows = [
+        (row.name, row.predicted_cpi, row.simulated_cpi, f"{row.error:+.1%}")
+        for row in result.rows
+    ]
+    table = format_table(("benchmark", "model CPI", "detailed CPI", "error"), table_rows)
+    summary = result.summary
+    return (
+        "Figure 6 — SPEC-like memory-intensive workloads, model vs detailed simulation\n"
+        f"{table}\n"
+        f"average |error| = {summary.average_absolute_error:.1%}  "
+        f"max |error| = {summary.maximum_absolute_error:.1%}  "
+        f"(paper: 4.1% average, 10.7% max)"
+    )
+
+
+def main() -> Figure6Result:
+    result = run()
+    print(format_result(result))
+    return result
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,95 @@
+"""Figure 7: in-order versus out-of-order CPI stacks.
+
+The in-order stacks come from the paper's new model, the out-of-order stacks
+from the interval model for out-of-order processors [Eyerman et al.].  The
+expected observations (Section 6.1):
+
+* dependency and multiply/divide components are large in order, hidden out of order;
+* the per-misprediction cost is larger out of order (branch resolution time);
+* the data L2 miss component shrinks out of order (memory-level parallelism);
+* the instruction-side miss components are identical on both.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.cpi_stack import CPIStack
+from repro.core.model import InOrderMechanisticModel
+from repro.core.ooo import OutOfOrderIntervalModel
+from repro.experiments.common import FIGURE7_BENCHMARKS, default_machine, format_table
+from repro.machine import MachineConfig
+from repro.pipeline.ooo import OutOfOrderPipeline
+from repro.profiler.machine_stats import profile_machine
+from repro.profiler.program import profile_program
+from repro.workloads import get_workload
+
+
+@dataclass
+class InOrderVsOutOfOrder:
+    benchmark: str
+    in_order: CPIStack
+    out_of_order: CPIStack
+    out_of_order_simulated_cpi: float
+
+
+@dataclass
+class Figure7Result:
+    machine: MachineConfig
+    rows: list[InOrderVsOutOfOrder]
+
+
+def run(benchmarks: tuple[str, ...] = FIGURE7_BENCHMARKS,
+        machine: MachineConfig | None = None) -> Figure7Result:
+    machine = machine if machine is not None else default_machine()
+    rows: list[InOrderVsOutOfOrder] = []
+    for name in benchmarks:
+        workload = get_workload(name)
+        trace = workload.trace()
+        program = profile_program(trace)
+        misses = profile_machine(trace, machine)
+        in_order = InOrderMechanisticModel(machine).predict(program, misses)
+        out_of_order = OutOfOrderIntervalModel(machine).predict(program, misses)
+        ooo_simulated = OutOfOrderPipeline(machine).run(trace)
+        rows.append(
+            InOrderVsOutOfOrder(
+                benchmark=name,
+                in_order=in_order.stack,
+                out_of_order=out_of_order.stack,
+                out_of_order_simulated_cpi=ooo_simulated.cpi,
+            )
+        )
+    return Figure7Result(machine=machine, rows=rows)
+
+
+def format_result(result: Figure7Result) -> str:
+    labels: list[str] = []
+    for row in result.rows:
+        for stack in (row.in_order, row.out_of_order):
+            for label in stack.grouped():
+                if label not in labels:
+                    labels.append(label)
+    table_rows = []
+    for row in result.rows:
+        for kind, stack in (("in-order", row.in_order), ("out-of-order", row.out_of_order)):
+            grouped = stack.grouped()
+            table_rows.append(
+                [f"{row.benchmark} ({kind})"]
+                + [grouped.get(label, 0.0) for label in labels]
+                + [stack.cpi]
+            )
+    table = format_table(["configuration"] + labels + ["CPI"], table_rows)
+    return (
+        "Figure 7 — in-order vs out-of-order CPI stacks "
+        f"(both {result.machine.width}-wide)\n" + table
+    )
+
+
+def main() -> Figure7Result:
+    result = run()
+    print(format_result(result))
+    return result
+
+
+if __name__ == "__main__":
+    main()

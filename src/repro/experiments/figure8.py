@@ -1,0 +1,103 @@
+"""Figure 8: effect of compiler optimizations on in-order performance.
+
+Normalized cycle stacks (CPI stack times dynamic instruction count, normalized
+to the ``-O3`` variant) for three code-generation strategies: no instruction
+scheduling, ``-O3``, and ``-O3`` with loop unrolling.  The paper's findings:
+scheduling stretches dependency distances and shrinks the dependency
+component; unrolling additionally reduces the dynamic instruction count and
+the taken-branch penalty.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.cpi_stack import CPIStack
+from repro.core.model import predict_workload
+from repro.experiments.common import FIGURE8_BENCHMARKS, default_machine, format_table
+from repro.machine import MachineConfig
+from repro.workloads import get_workload
+from repro.workloads.compiler import optimization_variants
+
+#: Order in which the paper presents the variants.
+VARIANT_ORDER = ("nosched", "O3", "unroll")
+
+
+@dataclass
+class CompilerVariantResult:
+    benchmark: str
+    variant: str
+    instructions: int
+    cycle_stack: CPIStack          # absolute cycles per component
+    normalized_cycles: float        # total cycles / cycles of the O3 variant
+
+
+@dataclass
+class Figure8Result:
+    machine: MachineConfig
+    rows: list[CompilerVariantResult]
+
+    def for_benchmark(self, name: str) -> list[CompilerVariantResult]:
+        return [row for row in self.rows if row.benchmark == name]
+
+
+def run(benchmarks: tuple[str, ...] = FIGURE8_BENCHMARKS,
+        machine: MachineConfig | None = None) -> Figure8Result:
+    machine = machine if machine is not None else default_machine()
+    rows: list[CompilerVariantResult] = []
+    for name in benchmarks:
+        # The raw (unscheduled) kernel is the -fno-schedule-insns baseline.
+        workload = get_workload(name, use_cache=False, optimize=False)
+        variants = optimization_variants(workload)
+        results = {}
+        for variant in VARIANT_ORDER:
+            results[variant] = predict_workload(variants[variant], machine)
+        o3_cycles = results["O3"].cycles
+        for variant in VARIANT_ORDER:
+            model = results[variant]
+            rows.append(
+                CompilerVariantResult(
+                    benchmark=name,
+                    variant=variant,
+                    instructions=model.instructions,
+                    cycle_stack=model.stack,
+                    normalized_cycles=model.cycles / o3_cycles,
+                )
+            )
+    return Figure8Result(machine=machine, rows=rows)
+
+
+def format_result(result: Figure8Result) -> str:
+    labels: list[str] = []
+    for row in result.rows:
+        for label in row.cycle_stack.grouped():
+            if label not in labels:
+                labels.append(label)
+    table_rows = []
+    for row in result.rows:
+        grouped = row.cycle_stack.grouped()
+        # Report normalized cycle components: CPI * N / cycles(O3).
+        o3_cycles = next(
+            other.cycle_stack.total_cycles
+            for other in result.rows
+            if other.benchmark == row.benchmark and other.variant == "O3"
+        )
+        table_rows.append(
+            [f"{row.benchmark} {row.variant}", row.instructions]
+            + [grouped.get(label, 0.0) * row.instructions / o3_cycles for label in labels]
+            + [row.normalized_cycles]
+        )
+    table = format_table(
+        ["configuration", "N"] + labels + ["normalized cycles"], table_rows
+    )
+    return "Figure 8 — compiler optimizations, normalized cycle stacks\n" + table
+
+
+def main() -> Figure8Result:
+    result = run()
+    print(format_result(result))
+    return result
+
+
+if __name__ == "__main__":
+    main()

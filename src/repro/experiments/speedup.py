@@ -1,0 +1,100 @@
+"""Section 5: model-versus-simulation speedup.
+
+The paper reports that exploring the 192-point design space takes 290 days of
+detailed simulation but only 4.5 hours with the mechanistic model (profiling
+dominates; evaluating the formulas takes seconds) — a speedup of roughly three
+orders of magnitude.  This experiment measures the same ratio on our
+infrastructure: time to evaluate the analytical model across a set of machine
+configurations (excluding the one-off profiling pass, reported separately)
+versus time to run the detailed simulator on the same configurations.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from repro.core.model import InOrderMechanisticModel
+from repro.dse.space import reduced_design_space
+from repro.experiments.common import format_table
+from repro.pipeline.inorder import InOrderPipeline
+from repro.profiler.machine_stats import profile_machine
+from repro.profiler.program import profile_program
+from repro.workloads import get_workload
+
+
+@dataclass
+class SpeedupResult:
+    benchmark: str
+    configurations: int
+    profiling_seconds: float
+    model_seconds: float
+    simulation_seconds: float
+
+    @property
+    def speedup_model_only(self) -> float:
+        """Simulation time over pure model-evaluation time."""
+        return self.simulation_seconds / max(self.model_seconds, 1e-9)
+
+    @property
+    def speedup_including_profiling(self) -> float:
+        """Simulation time over profiling + model time (the paper's 4.5 hours)."""
+        total = self.profiling_seconds + self.model_seconds
+        return self.simulation_seconds / max(total, 1e-9)
+
+
+def run(benchmark: str = "sha", configurations: int | None = None) -> SpeedupResult:
+    workload = get_workload(benchmark)
+    trace = workload.trace()
+    machines = reduced_design_space().configurations()
+    if configurations is not None:
+        machines = machines[:configurations]
+
+    start = time.perf_counter()
+    program = profile_program(trace)
+    miss_profiles = [profile_machine(trace, machine) for machine in machines]
+    profiling_seconds = time.perf_counter() - start
+
+    start = time.perf_counter()
+    for machine, misses in zip(machines, miss_profiles):
+        InOrderMechanisticModel(machine).predict(program, misses)
+    model_seconds = time.perf_counter() - start
+
+    start = time.perf_counter()
+    for machine in machines:
+        InOrderPipeline(machine).run(trace)
+    simulation_seconds = time.perf_counter() - start
+
+    return SpeedupResult(
+        benchmark=benchmark,
+        configurations=len(machines),
+        profiling_seconds=profiling_seconds,
+        model_seconds=model_seconds,
+        simulation_seconds=simulation_seconds,
+    )
+
+
+def format_result(result: SpeedupResult) -> str:
+    rows = [
+        ("profiling (one-off)", f"{result.profiling_seconds:.3f} s"),
+        ("model evaluation", f"{result.model_seconds:.4f} s"),
+        ("detailed simulation", f"{result.simulation_seconds:.3f} s"),
+        ("speedup (model only)", f"{result.speedup_model_only:,.0f}x"),
+        ("speedup (incl. profiling)", f"{result.speedup_including_profiling:.1f}x"),
+    ]
+    table = format_table(("quantity", "value"), rows)
+    return (
+        f"Speedup — {result.benchmark} across {result.configurations} configurations\n"
+        f"{table}\n"
+        "(paper: ~3 orders of magnitude once the one-off profiling is amortised)"
+    )
+
+
+def main() -> SpeedupResult:
+    result = run()
+    print(format_result(result))
+    return result
+
+
+if __name__ == "__main__":
+    main()

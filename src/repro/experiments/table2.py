@@ -1,0 +1,60 @@
+"""Table 2: the architecture design space and the default configuration."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.dse.space import DesignSpace, default_design_space
+from repro.experiments.common import default_machine, format_table
+from repro.machine import MachineConfig
+
+
+@dataclass
+class Table2Result:
+    """The default configuration plus the enumerated design space."""
+
+    default: MachineConfig
+    space: DesignSpace
+
+    @property
+    def design_points(self) -> int:
+        return len(self.space)
+
+
+def run() -> Table2Result:
+    return Table2Result(default=default_machine(), space=default_design_space())
+
+
+def format_result(result: Table2Result) -> str:
+    default = result.default
+    space = result.space
+    rows = [
+        ("I-cache", f"{default.l1i_size // 1024}KB {default.l1i_associativity}-way",
+         "fixed"),
+        ("D-cache", f"{default.l1d_size // 1024}KB {default.l1d_associativity}-way",
+         "fixed"),
+        ("L2 cache", f"{default.l2_size // 1024}KB {default.l2_associativity}-way",
+         " / ".join(f"{size // 1024}KB" for size in space.l2_sizes)
+         + f"; {' vs '.join(str(a) for a in space.l2_associativities)}-way"),
+        ("pipeline depth", f"{default.pipeline_stages} stages",
+         " / ".join(f"{stages} stages @ {freq}MHz" for stages, freq in space.depth_frequency)),
+        ("frequency", f"{default.frequency_mhz} MHz", "tied to depth"),
+        ("width", f"{default.width} slots",
+         " / ".join(str(width) for width in space.widths)),
+        ("branch predictor", default.branch_predictor,
+         " / ".join(space.branch_predictors)),
+    ]
+    table = format_table(("parameter", "default", "range"), rows)
+    return (
+        f"Table 2 — design space ({result.design_points} design points)\n{table}"
+    )
+
+
+def main() -> Table2Result:
+    result = run()
+    print(format_result(result))
+    return result
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,27 @@
+"""A small RISC-style instruction set used by the workload kernels.
+
+The paper profiles ARM binaries produced by a cross compiler and executed by
+the M5 functional simulator.  This reproduction ships its own register-based
+RISC ISA (:mod:`repro.isa.opcodes`), an in-memory program representation
+(:mod:`repro.isa.program`) and a builder API used by the workload kernels in
+:mod:`repro.workloads`.  The functional simulator in :mod:`repro.trace`
+executes these programs to produce the dynamic instruction traces consumed by
+both the profiler and the cycle-accurate pipeline simulators.
+"""
+
+from repro.isa.opcodes import OpClass, Opcode
+from repro.isa.registers import NUM_INT_REGS, Register, ZERO_REG
+from repro.isa.instructions import Instruction
+from repro.isa.program import BasicBlock, Program, ProgramBuilder
+
+__all__ = [
+    "OpClass",
+    "Opcode",
+    "Register",
+    "NUM_INT_REGS",
+    "ZERO_REG",
+    "Instruction",
+    "Program",
+    "BasicBlock",
+    "ProgramBuilder",
+]

@@ -1,0 +1,109 @@
+"""Static instruction representation.
+
+An :class:`Instruction` is one entry of a :class:`repro.isa.program.Program`.
+It records the opcode, destination/source registers, an optional immediate
+and an optional control-flow target label.  Operand extraction helpers
+(``dest_regs`` / ``src_regs``) are used by the functional simulator, the
+dependency profiler and the pipeline simulators, so they are defined exactly
+once here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.isa.opcodes import (
+    CONDITIONAL_BRANCHES,
+    OpClass,
+    Opcode,
+    op_class,
+)
+from repro.isa.registers import ZERO_REG
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """A static instruction of the reproduction ISA.
+
+    Parameters
+    ----------
+    opcode:
+        The concrete operation.
+    dest:
+        Destination register index, or ``None`` for stores, branches and NOPs.
+    src1, src2:
+        Source register indices (``None`` when unused).
+    imm:
+        Immediate operand (shift amounts, address offsets, constants).
+    target:
+        Label name for control-flow instructions.
+    """
+
+    opcode: Opcode
+    dest: int | None = None
+    src1: int | None = None
+    src2: int | None = None
+    imm: int = 0
+    target: str | None = None
+    #: Free-form annotation used by compiler passes (e.g. "induction").
+    tag: str | None = field(default=None, compare=False)
+
+    @property
+    def op_class(self) -> OpClass:
+        """Operation class (ALU / MUL / DIV / LOAD / STORE / BRANCH / ...)."""
+        return op_class(self.opcode)
+
+    @property
+    def is_load(self) -> bool:
+        return self.op_class is OpClass.LOAD
+
+    @property
+    def is_store(self) -> bool:
+        return self.op_class is OpClass.STORE
+
+    @property
+    def is_memory(self) -> bool:
+        return self.op_class.is_memory
+
+    @property
+    def is_branch(self) -> bool:
+        """True for conditional branches only."""
+        return self.opcode in CONDITIONAL_BRANCHES
+
+    @property
+    def is_control(self) -> bool:
+        """True for conditional branches and unconditional jumps."""
+        return self.op_class.is_control
+
+    @property
+    def is_long_latency(self) -> bool:
+        """True for multi-cycle arithmetic (multiply / divide)."""
+        return self.op_class in (OpClass.INT_MUL, OpClass.INT_DIV)
+
+    def dest_regs(self) -> tuple[int, ...]:
+        """Registers written by this instruction (writes to r0 are dropped)."""
+        if self.dest is None or self.dest == ZERO_REG:
+            return ()
+        return (self.dest,)
+
+    def src_regs(self) -> tuple[int, ...]:
+        """Registers read by this instruction (reads of r0 are dropped)."""
+        sources = []
+        for src in (self.src1, self.src2):
+            if src is not None and src != ZERO_REG:
+                sources.append(src)
+        return tuple(sources)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        parts = [self.opcode.name.lower()]
+        if self.dest is not None:
+            parts.append(f"r{self.dest}")
+        if self.src1 is not None:
+            parts.append(f"r{self.src1}")
+        if self.src2 is not None:
+            parts.append(f"r{self.src2}")
+        if self.imm:
+            parts.append(str(self.imm))
+        if self.target is not None:
+            parts.append(self.target)
+        return " ".join(parts)

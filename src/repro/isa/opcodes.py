@@ -1,0 +1,144 @@
+"""Opcodes and operation classes of the reproduction ISA.
+
+The mechanistic model cares about the *class* of an instruction (unit-latency
+ALU operation, long-latency multiply/divide, load, store, branch) rather than
+its precise semantics, so every opcode maps onto an :class:`OpClass`.  The
+functional simulator implements the semantics; the pipeline simulators and the
+model only look at the class plus the register/memory operands.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class OpClass(enum.Enum):
+    """Coarse operation classes used by the performance models."""
+
+    INT_ALU = "int_alu"
+    INT_MUL = "int_mul"
+    INT_DIV = "int_div"
+    LOAD = "load"
+    STORE = "store"
+    BRANCH = "branch"
+    JUMP = "jump"
+    NOP = "nop"
+
+    @property
+    def is_memory(self) -> bool:
+        return self in (OpClass.LOAD, OpClass.STORE)
+
+    @property
+    def is_control(self) -> bool:
+        return self in (OpClass.BRANCH, OpClass.JUMP)
+
+
+class Opcode(enum.Enum):
+    """Concrete opcodes understood by the functional simulator."""
+
+    # Unit-latency integer ALU operations.
+    ADD = enum.auto()
+    SUB = enum.auto()
+    AND = enum.auto()
+    OR = enum.auto()
+    XOR = enum.auto()
+    SLL = enum.auto()
+    SRL = enum.auto()
+    SLT = enum.auto()
+    ADDI = enum.auto()
+    ANDI = enum.auto()
+    ORI = enum.auto()
+    XORI = enum.auto()
+    SLLI = enum.auto()
+    SRLI = enum.auto()
+    SLTI = enum.auto()
+    LI = enum.auto()
+    MOV = enum.auto()
+
+    # Long-latency arithmetic.
+    MUL = enum.auto()
+    MULI = enum.auto()
+    DIV = enum.auto()
+    DIVI = enum.auto()
+    REM = enum.auto()
+
+    # Memory operations (word granularity, byte addressed).
+    LW = enum.auto()
+    SW = enum.auto()
+    LB = enum.auto()
+    SB = enum.auto()
+
+    # Control flow.
+    BEQ = enum.auto()
+    BNE = enum.auto()
+    BLT = enum.auto()
+    BGE = enum.auto()
+    J = enum.auto()
+    JR = enum.auto()
+    HALT = enum.auto()
+    NOP = enum.auto()
+
+
+#: Map every opcode onto its operation class.
+OPCODE_CLASS: dict[Opcode, OpClass] = {
+    Opcode.ADD: OpClass.INT_ALU,
+    Opcode.SUB: OpClass.INT_ALU,
+    Opcode.AND: OpClass.INT_ALU,
+    Opcode.OR: OpClass.INT_ALU,
+    Opcode.XOR: OpClass.INT_ALU,
+    Opcode.SLL: OpClass.INT_ALU,
+    Opcode.SRL: OpClass.INT_ALU,
+    Opcode.SLT: OpClass.INT_ALU,
+    Opcode.ADDI: OpClass.INT_ALU,
+    Opcode.ANDI: OpClass.INT_ALU,
+    Opcode.ORI: OpClass.INT_ALU,
+    Opcode.XORI: OpClass.INT_ALU,
+    Opcode.SLLI: OpClass.INT_ALU,
+    Opcode.SRLI: OpClass.INT_ALU,
+    Opcode.SLTI: OpClass.INT_ALU,
+    Opcode.LI: OpClass.INT_ALU,
+    Opcode.MOV: OpClass.INT_ALU,
+    Opcode.MUL: OpClass.INT_MUL,
+    Opcode.MULI: OpClass.INT_MUL,
+    Opcode.DIV: OpClass.INT_DIV,
+    Opcode.DIVI: OpClass.INT_DIV,
+    Opcode.REM: OpClass.INT_DIV,
+    Opcode.LW: OpClass.LOAD,
+    Opcode.LB: OpClass.LOAD,
+    Opcode.SW: OpClass.STORE,
+    Opcode.SB: OpClass.STORE,
+    Opcode.BEQ: OpClass.BRANCH,
+    Opcode.BNE: OpClass.BRANCH,
+    Opcode.BLT: OpClass.BRANCH,
+    Opcode.BGE: OpClass.BRANCH,
+    Opcode.J: OpClass.JUMP,
+    Opcode.JR: OpClass.JUMP,
+    Opcode.HALT: OpClass.NOP,
+    Opcode.NOP: OpClass.NOP,
+}
+
+#: Conditional branch opcodes (excluding unconditional jumps).
+CONDITIONAL_BRANCHES = frozenset(
+    {Opcode.BEQ, Opcode.BNE, Opcode.BLT, Opcode.BGE}
+)
+
+#: Opcodes whose second operand is an immediate rather than a register.
+IMMEDIATE_OPCODES = frozenset(
+    {
+        Opcode.ADDI,
+        Opcode.ANDI,
+        Opcode.ORI,
+        Opcode.XORI,
+        Opcode.SLLI,
+        Opcode.SRLI,
+        Opcode.SLTI,
+        Opcode.LI,
+        Opcode.MULI,
+        Opcode.DIVI,
+    }
+)
+
+
+def op_class(opcode: Opcode) -> OpClass:
+    """Return the :class:`OpClass` of ``opcode``."""
+    return OPCODE_CLASS[opcode]

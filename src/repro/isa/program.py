@@ -1,0 +1,307 @@
+"""Programs, basic blocks and the program builder.
+
+A :class:`Program` is an ordered list of :class:`~repro.isa.instructions.Instruction`
+objects plus a label table.  Programs are produced by the workload kernels
+through :class:`ProgramBuilder` (a tiny assembler-like API) and are consumed
+by the functional simulator and by the compiler passes in
+:mod:`repro.workloads.compiler`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator
+
+from repro.isa.instructions import Instruction
+from repro.isa.opcodes import IMMEDIATE_OPCODES, Opcode
+
+
+class ProgramError(Exception):
+    """Raised for malformed programs (unknown labels, bad operands)."""
+
+
+@dataclass
+class BasicBlock:
+    """A maximal straight-line sequence of instructions.
+
+    ``start`` and ``end`` are instruction indices into the owning program;
+    ``end`` is exclusive.  ``label`` is the label of the first instruction if
+    one exists.
+    """
+
+    start: int
+    end: int
+    label: str | None = None
+
+    def __len__(self) -> int:
+        return self.end - self.start
+
+
+@dataclass
+class Program:
+    """A static program: instructions, labels and an entry point."""
+
+    instructions: list[Instruction] = field(default_factory=list)
+    labels: dict[str, int] = field(default_factory=dict)
+    name: str = "program"
+
+    def __len__(self) -> int:
+        return len(self.instructions)
+
+    def __iter__(self) -> Iterator[Instruction]:
+        return iter(self.instructions)
+
+    def __getitem__(self, index: int) -> Instruction:
+        return self.instructions[index]
+
+    def label_address(self, label: str) -> int:
+        """Return the instruction index a label refers to."""
+        try:
+            return self.labels[label]
+        except KeyError as exc:
+            raise ProgramError(f"unknown label {label!r}") from exc
+
+    def validate(self) -> None:
+        """Check that every control-flow target resolves to a label."""
+        for position, instruction in enumerate(self.instructions):
+            if instruction.is_control and instruction.opcode is not Opcode.JR:
+                if instruction.target is None:
+                    raise ProgramError(
+                        f"control instruction without target at {position}: "
+                        f"{instruction}"
+                    )
+                self.label_address(instruction.target)
+
+    def basic_blocks(self) -> list[BasicBlock]:
+        """Partition the program into basic blocks.
+
+        Block leaders are the program entry, every label target and every
+        instruction that follows a control-flow instruction.
+        """
+        if not self.instructions:
+            return []
+        leaders = {0}
+        leaders.update(self.labels.values())
+        for position, instruction in enumerate(self.instructions):
+            if instruction.is_control and position + 1 < len(self.instructions):
+                leaders.add(position + 1)
+        ordered = sorted(leaders)
+        index_to_label = {index: label for label, index in self.labels.items()}
+        blocks = []
+        for block_number, start in enumerate(ordered):
+            end = (
+                ordered[block_number + 1]
+                if block_number + 1 < len(ordered)
+                else len(self.instructions)
+            )
+            blocks.append(
+                BasicBlock(start=start, end=end, label=index_to_label.get(start))
+            )
+        return blocks
+
+    def copy(self) -> "Program":
+        """Return a deep-enough copy (instructions are immutable)."""
+        return Program(
+            instructions=list(self.instructions),
+            labels=dict(self.labels),
+            name=self.name,
+        )
+
+
+class ProgramBuilder:
+    """Assembler-like builder used by the workload kernels.
+
+    Example
+    -------
+    >>> from repro.isa import ProgramBuilder
+    >>> b = ProgramBuilder("sum")
+    >>> b.li(1, 0)          # r1 = 0 (accumulator)
+    >>> b.li(2, 10)         # r2 = 10 (trip count)
+    >>> b.label("loop")
+    >>> b.add(1, 1, 2)
+    >>> b.addi(2, 2, -1)
+    >>> b.bne(2, 0, "loop")
+    >>> b.halt()
+    >>> program = b.build()
+    """
+
+    def __init__(self, name: str = "program"):
+        self._name = name
+        self._instructions: list[Instruction] = []
+        self._labels: dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+    # Core emission API.
+    # ------------------------------------------------------------------
+    def emit(self, instruction: Instruction) -> Instruction:
+        """Append an already-constructed instruction."""
+        self._instructions.append(instruction)
+        return instruction
+
+    def label(self, name: str) -> str:
+        """Define ``name`` at the current position."""
+        if name in self._labels:
+            raise ProgramError(f"duplicate label {name!r}")
+        self._labels[name] = len(self._instructions)
+        return name
+
+    def unique_label(self, stem: str) -> str:
+        """Return a label name derived from ``stem`` that is not yet defined."""
+        if stem not in self._labels:
+            return stem
+        suffix = 1
+        while f"{stem}_{suffix}" in self._labels:
+            suffix += 1
+        return f"{stem}_{suffix}"
+
+    def build(self) -> Program:
+        """Finalize and validate the program."""
+        program = Program(
+            instructions=list(self._instructions),
+            labels=dict(self._labels),
+            name=self._name,
+        )
+        program.validate()
+        return program
+
+    @property
+    def position(self) -> int:
+        """Index of the next instruction to be emitted."""
+        return len(self._instructions)
+
+    # ------------------------------------------------------------------
+    # Three-operand ALU helpers.
+    # ------------------------------------------------------------------
+    def _alu(self, opcode: Opcode, dest: int, src1: int, src2: int) -> Instruction:
+        return self.emit(Instruction(opcode, dest=dest, src1=src1, src2=src2))
+
+    def _alu_imm(self, opcode: Opcode, dest: int, src1: int, imm: int) -> Instruction:
+        if opcode not in IMMEDIATE_OPCODES:
+            raise ProgramError(f"{opcode} is not an immediate opcode")
+        return self.emit(Instruction(opcode, dest=dest, src1=src1, imm=imm))
+
+    def add(self, dest: int, src1: int, src2: int) -> Instruction:
+        return self._alu(Opcode.ADD, dest, src1, src2)
+
+    def sub(self, dest: int, src1: int, src2: int) -> Instruction:
+        return self._alu(Opcode.SUB, dest, src1, src2)
+
+    def and_(self, dest: int, src1: int, src2: int) -> Instruction:
+        return self._alu(Opcode.AND, dest, src1, src2)
+
+    def or_(self, dest: int, src1: int, src2: int) -> Instruction:
+        return self._alu(Opcode.OR, dest, src1, src2)
+
+    def xor(self, dest: int, src1: int, src2: int) -> Instruction:
+        return self._alu(Opcode.XOR, dest, src1, src2)
+
+    def sll(self, dest: int, src1: int, src2: int) -> Instruction:
+        return self._alu(Opcode.SLL, dest, src1, src2)
+
+    def srl(self, dest: int, src1: int, src2: int) -> Instruction:
+        return self._alu(Opcode.SRL, dest, src1, src2)
+
+    def slt(self, dest: int, src1: int, src2: int) -> Instruction:
+        return self._alu(Opcode.SLT, dest, src1, src2)
+
+    def mul(self, dest: int, src1: int, src2: int) -> Instruction:
+        return self._alu(Opcode.MUL, dest, src1, src2)
+
+    def div(self, dest: int, src1: int, src2: int) -> Instruction:
+        return self._alu(Opcode.DIV, dest, src1, src2)
+
+    def rem(self, dest: int, src1: int, src2: int) -> Instruction:
+        return self._alu(Opcode.REM, dest, src1, src2)
+
+    # ------------------------------------------------------------------
+    # Immediate helpers.
+    # ------------------------------------------------------------------
+    def addi(self, dest: int, src1: int, imm: int) -> Instruction:
+        return self._alu_imm(Opcode.ADDI, dest, src1, imm)
+
+    def andi(self, dest: int, src1: int, imm: int) -> Instruction:
+        return self._alu_imm(Opcode.ANDI, dest, src1, imm)
+
+    def ori(self, dest: int, src1: int, imm: int) -> Instruction:
+        return self._alu_imm(Opcode.ORI, dest, src1, imm)
+
+    def xori(self, dest: int, src1: int, imm: int) -> Instruction:
+        return self._alu_imm(Opcode.XORI, dest, src1, imm)
+
+    def slli(self, dest: int, src1: int, imm: int) -> Instruction:
+        return self._alu_imm(Opcode.SLLI, dest, src1, imm)
+
+    def srli(self, dest: int, src1: int, imm: int) -> Instruction:
+        return self._alu_imm(Opcode.SRLI, dest, src1, imm)
+
+    def slti(self, dest: int, src1: int, imm: int) -> Instruction:
+        return self._alu_imm(Opcode.SLTI, dest, src1, imm)
+
+    def muli(self, dest: int, src1: int, imm: int) -> Instruction:
+        return self._alu_imm(Opcode.MULI, dest, src1, imm)
+
+    def divi(self, dest: int, src1: int, imm: int) -> Instruction:
+        return self._alu_imm(Opcode.DIVI, dest, src1, imm)
+
+    def li(self, dest: int, imm: int) -> Instruction:
+        return self.emit(Instruction(Opcode.LI, dest=dest, imm=imm))
+
+    def mov(self, dest: int, src: int) -> Instruction:
+        return self.emit(Instruction(Opcode.MOV, dest=dest, src1=src))
+
+    # ------------------------------------------------------------------
+    # Memory helpers (imm is a byte offset added to the base register).
+    # ------------------------------------------------------------------
+    def lw(self, dest: int, base: int, offset: int = 0) -> Instruction:
+        return self.emit(Instruction(Opcode.LW, dest=dest, src1=base, imm=offset))
+
+    def lb(self, dest: int, base: int, offset: int = 0) -> Instruction:
+        return self.emit(Instruction(Opcode.LB, dest=dest, src1=base, imm=offset))
+
+    def sw(self, src: int, base: int, offset: int = 0) -> Instruction:
+        return self.emit(Instruction(Opcode.SW, src1=base, src2=src, imm=offset))
+
+    def sb(self, src: int, base: int, offset: int = 0) -> Instruction:
+        return self.emit(Instruction(Opcode.SB, src1=base, src2=src, imm=offset))
+
+    # ------------------------------------------------------------------
+    # Control flow.
+    # ------------------------------------------------------------------
+    def beq(self, src1: int, src2: int, target: str) -> Instruction:
+        return self.emit(
+            Instruction(Opcode.BEQ, src1=src1, src2=src2, target=target)
+        )
+
+    def bne(self, src1: int, src2: int, target: str) -> Instruction:
+        return self.emit(
+            Instruction(Opcode.BNE, src1=src1, src2=src2, target=target)
+        )
+
+    def blt(self, src1: int, src2: int, target: str) -> Instruction:
+        return self.emit(
+            Instruction(Opcode.BLT, src1=src1, src2=src2, target=target)
+        )
+
+    def bge(self, src1: int, src2: int, target: str) -> Instruction:
+        return self.emit(
+            Instruction(Opcode.BGE, src1=src1, src2=src2, target=target)
+        )
+
+    def j(self, target: str) -> Instruction:
+        return self.emit(Instruction(Opcode.J, target=target))
+
+    def jr(self, src: int) -> Instruction:
+        return self.emit(Instruction(Opcode.JR, src1=src))
+
+    def nop(self) -> Instruction:
+        return self.emit(Instruction(Opcode.NOP))
+
+    def halt(self) -> Instruction:
+        return self.emit(Instruction(Opcode.HALT))
+
+    # ------------------------------------------------------------------
+    # Convenience for kernels.
+    # ------------------------------------------------------------------
+    def emit_all(self, instructions: Iterable[Instruction]) -> None:
+        for instruction in instructions:
+            self.emit(instruction)

@@ -1,0 +1,44 @@
+"""Architectural registers of the reproduction ISA.
+
+The ISA exposes 32 general-purpose integer registers ``r0`` .. ``r31``.
+Register ``r0`` is hard-wired to zero, mirroring MIPS/RISC-V conventions,
+which keeps the kernels compact (a zero source is always available) and keeps
+the dependency profiles honest (writes to ``r0`` never create producers).
+"""
+
+from __future__ import annotations
+
+NUM_INT_REGS = 32
+
+#: Register index that always reads as zero and ignores writes.
+ZERO_REG = 0
+
+
+class Register(int):
+    """An architectural register index with a readable ``repr``.
+
+    ``Register`` is a thin ``int`` subclass: it behaves exactly like the
+    register number everywhere (indexing the register file, hashing into
+    dependency tables) while printing as ``r7`` in debug output.
+    """
+
+    def __new__(cls, index: int) -> "Register":
+        if not 0 <= index < NUM_INT_REGS:
+            raise ValueError(
+                f"register index {index} out of range 0..{NUM_INT_REGS - 1}"
+            )
+        return super().__new__(cls, index)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"r{int(self)}"
+
+    __str__ = __repr__
+
+
+def reg(index: int) -> Register:
+    """Return the :class:`Register` for ``index`` (convenience constructor)."""
+    return Register(index)
+
+
+#: Pre-constructed register objects, ``R[5]`` is ``r5``.
+R = tuple(Register(i) for i in range(NUM_INT_REGS))

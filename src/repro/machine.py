@@ -1,0 +1,132 @@
+"""Machine (microarchitecture) configuration shared by models and simulators.
+
+A :class:`MachineConfig` captures every machine parameter the mechanistic
+model needs (Table 1 of the paper) plus the parameters the detailed
+simulators and the power model need: superscalar width, front-end pipeline
+depth, clock frequency, functional-unit latencies, the cache/TLB hierarchy
+and the branch predictor.
+
+The same object drives the analytical model, the cycle-accurate in-order
+simulator and the power model, which guarantees that a validation experiment
+compares apples to apples.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.isa.opcodes import OpClass
+from repro.memory.cache import CacheConfig
+from repro.memory.hierarchy import MemoryHierarchyConfig
+from repro.memory.tlb import TLBConfig
+
+#: Total pipeline stages = front-end depth + execute + memory + write-back.
+BACKEND_STAGES = 3
+
+
+@dataclass(frozen=True)
+class MachineConfig:
+    """A superscalar in-order processor configuration.
+
+    Parameters mirror Table 2 of the paper: the default is a 4-wide, 9-stage,
+    1 GHz core with 32KB L1 caches, a 512KB 8-way L2 (10 ns) and a 1KB
+    global-history branch predictor.
+    """
+
+    width: int = 4
+    pipeline_stages: int = 9
+    frequency_mhz: int = 1000
+    mul_latency: int = 4
+    div_latency: int = 20
+    l1i_size: int = 32 * 1024
+    l1i_associativity: int = 4
+    l1d_size: int = 32 * 1024
+    l1d_associativity: int = 4
+    l2_size: int = 512 * 1024
+    l2_associativity: int = 8
+    line_size: int = 64
+    l1_hit_cycles: int = 1
+    l2_ns: float = 10.0
+    memory_ns: float = 80.0
+    tlb_entries: int = 32
+    page_size: int = 4096
+    tlb_miss_ns: float = 30.0
+    branch_predictor: str = "global_1kb"
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        if self.width < 1:
+            raise ValueError("width must be at least 1")
+        if self.pipeline_stages < BACKEND_STAGES + 2:
+            raise ValueError(
+                f"pipeline needs at least {BACKEND_STAGES + 2} stages "
+                "(fetch, decode, execute, memory, write-back)"
+            )
+        if self.frequency_mhz <= 0:
+            raise ValueError("frequency must be positive")
+        if self.mul_latency < 1 or self.div_latency < 1:
+            raise ValueError("functional-unit latencies must be at least 1 cycle")
+
+    # ------------------------------------------------------------------
+    # Derived quantities.
+    # ------------------------------------------------------------------
+    @property
+    def frontend_depth(self) -> int:
+        """Number of front-end (fetch/decode) stages — the D of Eq. 4."""
+        return self.pipeline_stages - BACKEND_STAGES
+
+    @property
+    def cycle_ns(self) -> float:
+        return 1000.0 / self.frequency_mhz
+
+    def _cycles(self, nanoseconds: float) -> int:
+        return max(1, round(nanoseconds / self.cycle_ns))
+
+    @property
+    def l2_hit_cycles(self) -> int:
+        return self._cycles(self.l2_ns)
+
+    @property
+    def memory_cycles(self) -> int:
+        return self._cycles(self.memory_ns)
+
+    @property
+    def tlb_miss_cycles(self) -> int:
+        return self._cycles(self.tlb_miss_ns)
+
+    def execute_latency(self, op_class: OpClass) -> int:
+        """Execute-stage occupancy in cycles for an instruction class."""
+        if op_class is OpClass.INT_MUL:
+            return self.mul_latency
+        if op_class is OpClass.INT_DIV:
+            return self.div_latency
+        return 1
+
+    def memory_hierarchy_config(self) -> MemoryHierarchyConfig:
+        """Build the cache/TLB configuration implied by this machine."""
+        return MemoryHierarchyConfig(
+            l1i=CacheConfig(self.l1i_size, self.l1i_associativity, self.line_size, name="l1i"),
+            l1d=CacheConfig(self.l1d_size, self.l1d_associativity, self.line_size, name="l1d"),
+            l2=CacheConfig(self.l2_size, self.l2_associativity, self.line_size, name="l2"),
+            itlb=TLBConfig(self.tlb_entries, self.page_size, name="itlb"),
+            dtlb=TLBConfig(self.tlb_entries, self.page_size, name="dtlb"),
+            l1_hit_cycles=self.l1_hit_cycles,
+            l2_hit_cycles=self.l2_hit_cycles,
+            memory_cycles=self.memory_cycles,
+            tlb_miss_cycles=self.tlb_miss_cycles,
+        )
+
+    def with_(self, **overrides) -> "MachineConfig":
+        """Return a copy with some fields replaced (convenience for sweeps)."""
+        return replace(self, **overrides)
+
+    def describe(self) -> str:
+        return (
+            f"{self.width}-wide, {self.pipeline_stages}-stage, "
+            f"{self.frequency_mhz} MHz, L2 {self.l2_size // 1024}KB "
+            f"{self.l2_associativity}-way, bpred {self.branch_predictor}"
+        )
+
+
+#: The paper's default configuration (Table 2, middle column).
+DEFAULT_MACHINE = MachineConfig(name="default")

@@ -1,0 +1,32 @@
+"""Cache, TLB and memory-hierarchy simulation.
+
+This package provides the program-machine profiling substrate of the paper's
+framework (Figure 2): set-associative LRU caches, translation lookaside
+buffers, a two-level hierarchy used both by the profiler and by the detailed
+pipeline simulators, and a single-pass (stack-distance) cache profiler in the
+spirit of Mattson et al. / Hill & Smith, which the paper cites for collecting
+miss rates for many cache configurations in one profiling run.
+"""
+
+from repro.memory.cache import Cache, CacheConfig, CacheStats
+from repro.memory.tlb import TLB, TLBConfig
+from repro.memory.hierarchy import (
+    AccessOutcome,
+    CacheHierarchy,
+    HierarchyStats,
+    MemoryHierarchyConfig,
+)
+from repro.memory.single_pass import StackDistanceProfiler
+
+__all__ = [
+    "Cache",
+    "CacheConfig",
+    "CacheStats",
+    "TLB",
+    "TLBConfig",
+    "AccessOutcome",
+    "CacheHierarchy",
+    "HierarchyStats",
+    "MemoryHierarchyConfig",
+    "StackDistanceProfiler",
+]

@@ -1,0 +1,213 @@
+"""Cycle-accurate superscalar in-order pipeline simulator.
+
+The simulator is trace driven: it replays the committed dynamic instruction
+stream produced by the functional simulator and computes, for every
+instruction, the cycle in which it is fetched and the cycle in which it
+enters the execute stage, honouring
+
+* W-wide fetch, decode and issue (width constraint per cycle),
+* a front-end of D stages between fetch and execute,
+* finite front-end buffering (fetch stalls when decode backs up),
+* instruction cache / ITLB misses stalling fetch,
+* a one-cycle fetch bubble for every correctly predicted taken branch,
+* branch mispredictions redirecting fetch when the branch executes,
+* stall-on-use with full forwarding (dependent instructions wait in decode),
+* non-unit execute latencies (multiply/divide) blocking the execute stage,
+* data cache / DTLB misses blocking the memory stage (and therefore entry
+  into the execute stage), and
+* in-order commit.
+
+Wrong-path instructions are not replayed (their effect is modelled as lost
+fetch cycles), which is the standard trace-driven simplification and matches
+the first-order assumptions of the analytical model being validated.
+
+The cache hierarchy and the branch predictor are consulted once per dynamic
+instruction in trace order — exactly like the profiler in
+:mod:`repro.profiler` — so the detailed simulator and the analytical model
+observe identical miss-event counts for a given configuration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.branch.predictors import make_predictor
+from repro.isa.opcodes import OpClass
+from repro.isa.registers import NUM_INT_REGS
+from repro.machine import BACKEND_STAGES, MachineConfig
+from repro.memory.hierarchy import CacheHierarchy, HierarchyStats
+from repro.trace.trace import Trace
+
+
+@dataclass
+class InOrderResult:
+    """Outcome of one detailed in-order simulation."""
+
+    machine: MachineConfig
+    instructions: int
+    cycles: int
+    mispredictions: int
+    taken_bubbles: int
+    hierarchy_stats: HierarchyStats = field(repr=False, default_factory=HierarchyStats)
+
+    @property
+    def cpi(self) -> float:
+        return self.cycles / self.instructions if self.instructions else 0.0
+
+    @property
+    def ipc(self) -> float:
+        return self.instructions / self.cycles if self.cycles else 0.0
+
+    @property
+    def execution_time_seconds(self) -> float:
+        return self.cycles * self.machine.cycle_ns * 1e-9
+
+
+class InOrderPipeline:
+    """Trace-driven cycle-accurate model of the paper's in-order processor."""
+
+    def __init__(self, machine: MachineConfig):
+        self.machine = machine
+
+    def run(self, trace: Trace) -> InOrderResult:
+        machine = self.machine
+        width = machine.width
+        depth = machine.frontend_depth
+        capacity = max(1, depth * width)
+
+        hierarchy = CacheHierarchy(machine.memory_hierarchy_config())
+        predictor = make_predictor(machine.branch_predictor)
+
+        # Earliest cycle at which a consumer of each register may enter execute.
+        reg_ready = [0] * NUM_INT_REGS
+        # Issue cycles of the most recent `capacity` instructions (front-end
+        # backpressure) — a ring buffer indexed by sequence number.
+        recent_issues = [0] * capacity
+
+        fetch_cycle = 0          # cycle in which the next instruction is fetched
+        fetch_slots = 0          # instructions already fetched in that cycle
+        exec_free = 0            # earliest cycle execute accepts a new instruction
+        last_issue = -1          # issue cycle of the previous instruction
+        issued_in_cycle = 0      # how many instructions issued in `last_issue`
+        redirect_at = -1         # pending fetch redirect (branch misprediction)
+
+        mispredictions = 0
+        taken_bubbles = 0
+        issue = 0
+
+        for index, dyn in enumerate(trace):
+            instruction = dyn.instruction
+
+            # ----------------------------------------------------------
+            # Fetch.
+            # ----------------------------------------------------------
+            if redirect_at >= 0:
+                # The previous (mispredicted) branch redirects fetch when it
+                # resolves at the end of its execute cycle.
+                if redirect_at > fetch_cycle or fetch_slots:
+                    fetch_cycle = max(fetch_cycle, redirect_at)
+                    fetch_slots = 0
+                redirect_at = -1
+
+            # Front-end buffering: instruction `index` can only be fetched
+            # once instruction `index - capacity` has left the front end.
+            if index >= capacity:
+                oldest_issue = recent_issues[index % capacity]
+                if oldest_issue > fetch_cycle:
+                    fetch_cycle = oldest_issue
+                    fetch_slots = 0
+
+            outcome, itlb_miss = hierarchy.access_instruction(dyn.pc)
+            fetch_latency = hierarchy.latency_of(outcome, itlb_miss)
+            if fetch_latency > 1:
+                # The I-cache (or ITLB) miss stalls fetch; this instruction is
+                # delivered once the line arrives, starting a fresh group.
+                fetch_cycle += fetch_latency - 1 + (1 if fetch_slots else 0)
+                fetch_slots = 0
+
+            fetched_at = fetch_cycle
+            fetch_slots += 1
+            if fetch_slots >= width:
+                fetch_cycle += 1
+                fetch_slots = 0
+
+            available = fetched_at + depth
+
+            # Branch prediction happens alongside fetch/decode.
+            taken_bubble = False
+            mispredicted = False
+            if dyn.is_control:
+                actually_taken = bool(dyn.taken)
+                if instruction.is_branch:
+                    prediction = predictor.predict(dyn.pc)
+                    predictor.update(dyn.pc, actually_taken)
+                    mispredicted = prediction != actually_taken
+                    taken_bubble = (not mispredicted) and actually_taken
+                else:
+                    # Unconditional jumps are always predicted taken.
+                    taken_bubble = True
+                if taken_bubble:
+                    taken_bubbles += 1
+                    # The redirect to the target is known one cycle after the
+                    # branch was fetched: the next fetch cycle is a bubble.
+                    fetch_cycle = max(fetch_cycle, fetched_at + 2)
+                    fetch_slots = 0
+                if mispredicted:
+                    mispredictions += 1
+
+            # ----------------------------------------------------------
+            # Issue (decode -> execute).
+            # ----------------------------------------------------------
+            issue = max(available, exec_free, last_issue)
+            for source in instruction.src_regs():
+                ready = reg_ready[source]
+                if ready > issue:
+                    issue = ready
+            if issue == last_issue and issued_in_cycle >= width:
+                issue += 1
+            if issue == last_issue:
+                issued_in_cycle += 1
+            else:
+                last_issue = issue
+                issued_in_cycle = 1
+            recent_issues[index % capacity] = issue
+
+            # ----------------------------------------------------------
+            # Execute / memory behaviour.
+            # ----------------------------------------------------------
+            op_class = dyn.op_class
+            if op_class in (OpClass.INT_MUL, OpClass.INT_DIV):
+                latency = machine.execute_latency(op_class)
+                exec_free = max(exec_free, issue + latency)
+                for dest in instruction.dest_regs():
+                    reg_ready[dest] = issue + latency
+            elif op_class.is_memory:
+                data_outcome, dtlb_miss = hierarchy.access_data(
+                    dyn.mem_addr or 0, is_store=dyn.is_store
+                )
+                access_latency = hierarchy.latency_of(data_outcome, dtlb_miss)
+                if access_latency > 1:
+                    # The memory stage blocks; nothing may enter execute while
+                    # the miss (or multi-cycle hit) is outstanding.
+                    exec_free = max(exec_free, issue + access_latency)
+                for dest in instruction.dest_regs():
+                    # Loads produce their value at the end of the memory stage.
+                    reg_ready[dest] = issue + 1 + access_latency
+            else:
+                for dest in instruction.dest_regs():
+                    reg_ready[dest] = issue + 1
+
+            if mispredicted:
+                # Fetch restarts at the correct target once the branch has
+                # executed (end of its execute cycle).
+                redirect_at = issue + 1
+
+        total_cycles = max(issue, exec_free) + BACKEND_STAGES
+        return InOrderResult(
+            machine=machine,
+            instructions=len(trace),
+            cycles=total_cycles,
+            mispredictions=mispredictions,
+            taken_bubbles=taken_bubbles,
+            hierarchy_stats=hierarchy.stats,
+        )

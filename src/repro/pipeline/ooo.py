@@ -1,0 +1,192 @@
+"""Trace-driven out-of-order pipeline model.
+
+Used by the in-order versus out-of-order comparison (Figure 7 of the paper).
+The model captures the first-order properties that matter for that
+comparison:
+
+* W-wide dispatch and commit, in order, through a reorder buffer,
+* out-of-order issue as soon as operands are ready (dataflow limited),
+* non-blocking caches: independent load misses overlap (memory-level
+  parallelism), bounded by a number of MSHRs,
+* branch mispredictions redirect fetch when the branch executes, so the
+  penalty includes the branch resolution time plus the front-end refill,
+* long-latency arithmetic does not block independent younger instructions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.branch.predictors import make_predictor
+from repro.isa.opcodes import OpClass
+from repro.isa.registers import NUM_INT_REGS
+from repro.machine import BACKEND_STAGES, MachineConfig
+from repro.memory.hierarchy import CacheHierarchy, HierarchyStats
+from repro.trace.trace import Trace
+
+
+@dataclass(frozen=True)
+class OutOfOrderConfig:
+    """Out-of-order specific parameters layered on a :class:`MachineConfig`."""
+
+    rob_size: int = 64
+    mshrs: int = 8
+
+    def __post_init__(self) -> None:
+        if self.rob_size < 1:
+            raise ValueError("rob_size must be positive")
+        if self.mshrs < 1:
+            raise ValueError("mshrs must be positive")
+
+
+@dataclass
+class OutOfOrderResult:
+    """Outcome of one out-of-order simulation."""
+
+    machine: MachineConfig
+    instructions: int
+    cycles: int
+    mispredictions: int
+    hierarchy_stats: HierarchyStats = field(repr=False, default_factory=HierarchyStats)
+
+    @property
+    def cpi(self) -> float:
+        return self.cycles / self.instructions if self.instructions else 0.0
+
+    @property
+    def ipc(self) -> float:
+        return self.instructions / self.cycles if self.cycles else 0.0
+
+
+class OutOfOrderPipeline:
+    """A ROB/dataflow timing model of a superscalar out-of-order core."""
+
+    def __init__(self, machine: MachineConfig, ooo: OutOfOrderConfig | None = None):
+        self.machine = machine
+        self.ooo = ooo if ooo is not None else OutOfOrderConfig()
+
+    def run(self, trace: Trace) -> OutOfOrderResult:
+        machine = self.machine
+        width = machine.width
+        depth = machine.frontend_depth
+        rob_size = self.ooo.rob_size
+        mshrs = self.ooo.mshrs
+
+        hierarchy = CacheHierarchy(machine.memory_hierarchy_config())
+        predictor = make_predictor(machine.branch_predictor)
+
+        reg_ready = [0] * NUM_INT_REGS
+        commit_history = [0] * rob_size        # commit cycles, ring buffer
+        outstanding_misses: list[int] = []     # completion cycles of in-flight misses
+
+        fetch_cycle = 0
+        fetch_slots = 0
+        last_dispatch = -1
+        dispatched_in_cycle = 0
+        last_commit = -1
+        committed_in_cycle = 0
+        redirect_at = -1
+        mispredictions = 0
+        commit = 0
+
+        for index, dyn in enumerate(trace):
+            instruction = dyn.instruction
+
+            # ---------------- fetch ----------------
+            if redirect_at >= 0:
+                fetch_cycle = max(fetch_cycle, redirect_at)
+                fetch_slots = 0
+                redirect_at = -1
+
+            outcome, itlb_miss = hierarchy.access_instruction(dyn.pc)
+            fetch_latency = hierarchy.latency_of(outcome, itlb_miss)
+            if fetch_latency > 1:
+                fetch_cycle += fetch_latency - 1 + (1 if fetch_slots else 0)
+                fetch_slots = 0
+            fetched_at = fetch_cycle
+            fetch_slots += 1
+            if fetch_slots >= width:
+                fetch_cycle += 1
+                fetch_slots = 0
+
+            mispredicted = False
+            if dyn.is_control:
+                actually_taken = bool(dyn.taken)
+                if instruction.is_branch:
+                    prediction = predictor.predict(dyn.pc)
+                    predictor.update(dyn.pc, actually_taken)
+                    mispredicted = prediction != actually_taken
+                if actually_taken and not mispredicted:
+                    # Taken transfers cost one fetch bubble, as on the in-order core.
+                    fetch_cycle = max(fetch_cycle, fetched_at + 2)
+                    fetch_slots = 0
+
+            # ---------------- dispatch ----------------
+            dispatch = max(fetched_at + depth, last_dispatch)
+            if index >= rob_size:
+                # ROB full: wait until the oldest occupant has committed.
+                dispatch = max(dispatch, commit_history[index % rob_size])
+            if dispatch == last_dispatch and dispatched_in_cycle >= width:
+                dispatch += 1
+            if dispatch == last_dispatch:
+                dispatched_in_cycle += 1
+            else:
+                last_dispatch = dispatch
+                dispatched_in_cycle = 1
+
+            # ---------------- issue / execute (dataflow) ----------------
+            ready = dispatch
+            for source in instruction.src_regs():
+                if reg_ready[source] > ready:
+                    ready = reg_ready[source]
+
+            op_class = dyn.op_class
+            if op_class in (OpClass.INT_MUL, OpClass.INT_DIV):
+                finish = ready + machine.execute_latency(op_class)
+            elif op_class.is_memory:
+                data_outcome, dtlb_miss = hierarchy.access_data(
+                    dyn.mem_addr or 0, is_store=dyn.is_store
+                )
+                access_latency = hierarchy.latency_of(data_outcome, dtlb_miss)
+                start = ready
+                if access_latency > 1:
+                    # Limited MSHRs: a new miss waits until a slot frees up.
+                    outstanding_misses = [
+                        done for done in outstanding_misses if done > start
+                    ]
+                    if len(outstanding_misses) >= mshrs:
+                        start = max(start, min(outstanding_misses))
+                        outstanding_misses = [
+                            done for done in outstanding_misses if done > start
+                        ]
+                    outstanding_misses.append(start + access_latency)
+                finish = start + access_latency
+            else:
+                finish = ready + 1
+
+            for dest in instruction.dest_regs():
+                reg_ready[dest] = finish
+
+            if mispredicted:
+                mispredictions += 1
+                redirect_at = finish + 1
+
+            # ---------------- commit ----------------
+            commit = max(finish + 1, last_commit)
+            if commit == last_commit and committed_in_cycle >= width:
+                commit += 1
+            if commit == last_commit:
+                committed_in_cycle += 1
+            else:
+                last_commit = commit
+                committed_in_cycle = 1
+            commit_history[index % rob_size] = commit
+
+        total_cycles = commit + BACKEND_STAGES
+        return OutOfOrderResult(
+            machine=machine,
+            instructions=len(trace),
+            cycles=total_cycles,
+            mispredictions=mispredictions,
+            hierarchy_stats=hierarchy.stats,
+        )

@@ -1,0 +1,15 @@
+"""Analytical power/energy model (McPAT substitute).
+
+The paper drives its energy-delay-product design-space exploration (Figure 9)
+with McPAT at 32 nm.  McPAT is not available offline, so this package
+provides an analytical per-structure model with the same qualitative scaling
+behaviour: wider and deeper pipelines cost more energy per instruction,
+larger and more associative caches cost more per access and leak more, higher
+frequency requires higher voltage (dynamic energy grows superlinearly), and
+idle structures still leak.  Absolute joules are not meaningful — relative
+ordering across the design space is what the EDP study needs.
+"""
+
+from repro.power.model import EnergyBreakdown, PowerModel, PowerModelParameters
+
+__all__ = ["PowerModel", "PowerModelParameters", "EnergyBreakdown"]

@@ -1,0 +1,166 @@
+"""McPAT-style analytical energy model for small in-order cores."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.machine import MachineConfig
+from repro.profiler.machine_stats import MissProfile
+from repro.profiler.program import ProgramProfile
+
+
+@dataclass(frozen=True)
+class PowerModelParameters:
+    """Technology/activity constants of the energy model.
+
+    The defaults are loosely calibrated to a 32 nm embedded core (the paper's
+    technology node): a scalar five-stage core spends a few tens of picojoules
+    per instruction in the pipeline, cache accesses cost roughly
+    ``E = access_energy_base * sqrt(size_in_kb) * assoc_factor`` picojoules,
+    and leakage is proportional to the total transistor estate.
+    """
+
+    # Dynamic energy, picojoules.
+    pipeline_energy_per_instruction_pj: float = 22.0
+    width_energy_exponent: float = 1.4
+    depth_energy_factor: float = 0.06
+    cache_access_energy_base_pj: float = 4.0
+    cache_associativity_factor: float = 0.08
+    memory_access_energy_pj: float = 2500.0
+    predictor_access_energy_pj: float = 1.2
+    flush_energy_per_stage_pj: float = 6.0
+    # Leakage, milliwatts.
+    core_leakage_base_mw: float = 6.0
+    leakage_per_kb_mw: float = 0.055
+    # Voltage scaling: V = v_base + v_slope * (f / f_nominal).
+    nominal_frequency_mhz: float = 1000.0
+    voltage_base: float = 0.65
+    voltage_slope: float = 0.35
+
+
+@dataclass
+class EnergyBreakdown:
+    """Energy per structure for one run, in joules."""
+
+    pipeline: float = 0.0
+    l1i: float = 0.0
+    l1d: float = 0.0
+    l2: float = 0.0
+    memory: float = 0.0
+    predictor: float = 0.0
+    flushes: float = 0.0
+    leakage: float = 0.0
+
+    @property
+    def dynamic(self) -> float:
+        return (self.pipeline + self.l1i + self.l1d + self.l2 + self.memory
+                + self.predictor + self.flushes)
+
+    @property
+    def total(self) -> float:
+        return self.dynamic + self.leakage
+
+    def as_dict(self) -> dict[str, float]:
+        return {
+            "pipeline": self.pipeline,
+            "l1i": self.l1i,
+            "l1d": self.l1d,
+            "l2": self.l2,
+            "memory": self.memory,
+            "predictor": self.predictor,
+            "flushes": self.flushes,
+            "leakage": self.leakage,
+        }
+
+
+class PowerModel:
+    """Estimate energy, power and EDP for a (workload, machine, cycles) triple."""
+
+    def __init__(self, machine: MachineConfig,
+                 parameters: PowerModelParameters | None = None):
+        self.machine = machine
+        self.parameters = parameters if parameters is not None else PowerModelParameters()
+
+    # ------------------------------------------------------------------
+    # Scaling helpers.
+    # ------------------------------------------------------------------
+    def _voltage(self) -> float:
+        p = self.parameters
+        ratio = self.machine.frequency_mhz / p.nominal_frequency_mhz
+        return p.voltage_base + p.voltage_slope * ratio
+
+    def _voltage_scale(self) -> float:
+        """Dynamic energy scales with V^2 (normalised to the nominal voltage)."""
+        p = self.parameters
+        nominal = p.voltage_base + p.voltage_slope
+        return (self._voltage() / nominal) ** 2
+
+    def _cache_access_energy_pj(self, size_bytes: int, associativity: int) -> float:
+        p = self.parameters
+        size_kb = size_bytes / 1024.0
+        return (p.cache_access_energy_base_pj * math.sqrt(size_kb)
+                * (1.0 + p.cache_associativity_factor * associativity))
+
+    def _leakage_power_mw(self) -> float:
+        p = self.parameters
+        machine = self.machine
+        cache_kb = (machine.l1i_size + machine.l1d_size + machine.l2_size) / 1024.0
+        core_factor = (machine.width ** 1.2) * (
+            1.0 + p.depth_energy_factor * machine.pipeline_stages
+        )
+        return (p.core_leakage_base_mw * core_factor
+                + p.leakage_per_kb_mw * cache_kb) * self._voltage()
+
+    # ------------------------------------------------------------------
+    def energy(self, program: ProgramProfile, misses: MissProfile,
+               cycles: float) -> EnergyBreakdown:
+        """Energy for executing ``program`` in ``cycles`` on this machine."""
+        p = self.parameters
+        machine = self.machine
+        scale = self._voltage_scale()
+        pj = 1e-12
+
+        breakdown = EnergyBreakdown()
+        per_instruction = (
+            p.pipeline_energy_per_instruction_pj
+            * (machine.width ** (p.width_energy_exponent - 1.0))
+            * (1.0 + p.depth_energy_factor * machine.pipeline_stages)
+        )
+        breakdown.pipeline = program.instructions * per_instruction * scale * pj
+
+        l1i_energy = self._cache_access_energy_pj(machine.l1i_size, machine.l1i_associativity)
+        l1d_energy = self._cache_access_energy_pj(machine.l1d_size, machine.l1d_associativity)
+        l2_energy = self._cache_access_energy_pj(machine.l2_size, machine.l2_associativity)
+        breakdown.l1i = program.instructions * l1i_energy * scale * pj
+        data_accesses = program.loads + program.stores
+        breakdown.l1d = data_accesses * l1d_energy * scale * pj
+        l2_accesses = misses.l1i_misses + misses.l1d_misses
+        breakdown.l2 = l2_accesses * l2_energy * scale * pj
+        memory_accesses = misses.il2_misses + misses.dl2_misses
+        breakdown.memory = memory_accesses * p.memory_access_energy_pj * scale * pj
+        breakdown.predictor = (
+            program.mix.control * p.predictor_access_energy_pj * scale * pj
+        )
+        breakdown.flushes = (
+            misses.mispredictions * machine.width * machine.frontend_depth
+            * p.flush_energy_per_stage_pj * scale * pj
+        )
+
+        execution_time = cycles * machine.cycle_ns * 1e-9
+        breakdown.leakage = self._leakage_power_mw() * 1e-3 * execution_time
+        return breakdown
+
+    # ------------------------------------------------------------------
+    def energy_delay_product(self, program: ProgramProfile, misses: MissProfile,
+                             cycles: float) -> float:
+        """EDP in joule-seconds (the paper's Figure 9 metric)."""
+        execution_time = cycles * self.machine.cycle_ns * 1e-9
+        return self.energy(program, misses, cycles).total * execution_time
+
+    def average_power_watts(self, program: ProgramProfile, misses: MissProfile,
+                            cycles: float) -> float:
+        execution_time = cycles * self.machine.cycle_ns * 1e-9
+        if execution_time <= 0:
+            return 0.0
+        return self.energy(program, misses, cycles).total / execution_time

@@ -1,0 +1,29 @@
+"""Program and program-machine profiling (Figure 2 of the paper).
+
+Two kinds of statistics are collected from a dynamic trace:
+
+* **Program statistics** (machine independent, collected once per binary):
+  instruction mix and inter-instruction dependency-distance profiles —
+  :func:`profile_program`.
+* **Program–machine statistics** (depend on the cache/TLB/branch-predictor
+  configuration): miss-event counts — :func:`profile_machine`.
+
+Together with the machine parameters (:class:`repro.machine.MachineConfig`)
+these are the inputs of Table 1 of the paper.
+"""
+
+from repro.profiler.instruction_mix import InstructionMix, collect_instruction_mix
+from repro.profiler.dependences import DependencyProfile, collect_dependencies
+from repro.profiler.program import ProgramProfile, profile_program
+from repro.profiler.machine_stats import MissProfile, profile_machine
+
+__all__ = [
+    "InstructionMix",
+    "collect_instruction_mix",
+    "DependencyProfile",
+    "collect_dependencies",
+    "ProgramProfile",
+    "profile_program",
+    "MissProfile",
+    "profile_machine",
+]

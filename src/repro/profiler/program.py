@@ -1,0 +1,48 @@
+"""Machine-independent program profile (mix + dependencies)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.profiler.dependences import DependencyProfile, collect_dependencies
+from repro.profiler.instruction_mix import InstructionMix, collect_instruction_mix
+from repro.trace.trace import Trace
+
+
+@dataclass
+class ProgramProfile:
+    """Program statistics of Table 1: instruction counts and dependency profiles.
+
+    Collected once per binary; valid for every machine configuration.
+    """
+
+    name: str
+    instructions: int
+    mix: InstructionMix
+    dependencies: DependencyProfile
+
+    @property
+    def multiplies(self) -> int:
+        return self.mix.multiplies
+
+    @property
+    def divides(self) -> int:
+        return self.mix.divides
+
+    @property
+    def loads(self) -> int:
+        return self.mix.loads
+
+    @property
+    def stores(self) -> int:
+        return self.mix.stores
+
+
+def profile_program(trace: Trace) -> ProgramProfile:
+    """Profile instruction mix and dependency distances of ``trace``."""
+    return ProgramProfile(
+        name=trace.name,
+        instructions=len(trace),
+        mix=collect_instruction_mix(trace),
+        dependencies=collect_dependencies(trace),
+    )

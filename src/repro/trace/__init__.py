@@ -1,0 +1,25 @@
+"""Dynamic instruction traces and the functional simulator that produces them.
+
+The profiling flow of the paper (Figure 2) starts from a functional run of the
+program binary.  Here the :class:`~repro.trace.functional.FunctionalSimulator`
+executes a :class:`~repro.isa.program.Program` on concrete input data and
+emits a :class:`~repro.trace.trace.Trace` of
+:class:`~repro.trace.trace.DynamicInstruction` records.  The same trace feeds
+
+* the program profiler (instruction mix, dependency distances),
+* the cache / TLB / branch-predictor simulators, and
+* the cycle-accurate pipeline simulators,
+
+so every consumer sees exactly the same dynamic instruction stream.
+"""
+
+from repro.trace.trace import DynamicInstruction, Trace
+from repro.trace.functional import FunctionalSimulator, MemoryImage, SimulationLimitError
+
+__all__ = [
+    "DynamicInstruction",
+    "Trace",
+    "FunctionalSimulator",
+    "MemoryImage",
+    "SimulationLimitError",
+]

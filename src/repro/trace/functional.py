@@ -1,0 +1,241 @@
+"""Functional (instruction-set level) simulator.
+
+The functional simulator executes programs of the reproduction ISA on
+concrete data and produces the dynamic instruction trace used everywhere
+else.  It plays the role of M5's functional simulator in the paper's
+profiling flow (Figure 2).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+from repro.isa.opcodes import Opcode
+from repro.isa.program import Program
+from repro.isa.registers import NUM_INT_REGS, ZERO_REG
+from repro.trace.trace import INSTR_BYTES, DynamicInstruction, Trace
+
+#: Values are kept as 64-bit signed integers.
+_WORD_MASK = (1 << 64) - 1
+_SIGN_BIT = 1 << 63
+
+
+class SimulationLimitError(Exception):
+    """Raised when a program exceeds the dynamic instruction budget."""
+
+
+def _to_signed(value: int) -> int:
+    value &= _WORD_MASK
+    if value & _SIGN_BIT:
+        value -= 1 << 64
+    return value
+
+
+class MemoryImage:
+    """Sparse word-granular data memory.
+
+    Addresses are byte addresses; storage is per 4-byte word.  ``LB``/``SB``
+    address individual bytes within a word.  The image also provides helpers
+    to lay out arrays, which the workload kernels use to build their inputs.
+    """
+
+    WORD_BYTES = 4
+
+    def __init__(self) -> None:
+        self._words: dict[int, int] = {}
+
+    def load_word(self, address: int) -> int:
+        return self._words.get(address // self.WORD_BYTES, 0)
+
+    def store_word(self, address: int, value: int) -> None:
+        self._words[address // self.WORD_BYTES] = _to_signed(value)
+
+    def load_byte(self, address: int) -> int:
+        word = self.load_word(address)
+        shift = (address % self.WORD_BYTES) * 8
+        return (word >> shift) & 0xFF
+
+    def store_byte(self, address: int, value: int) -> None:
+        word_index = address // self.WORD_BYTES
+        shift = (address % self.WORD_BYTES) * 8
+        word = self._words.get(word_index, 0) & _WORD_MASK
+        word &= ~(0xFF << shift)
+        word |= (value & 0xFF) << shift
+        self._words[word_index] = _to_signed(word)
+
+    # ------------------------------------------------------------------
+    # Layout helpers used by workload kernels.
+    # ------------------------------------------------------------------
+    def write_array(self, base: int, values: Iterable[int]) -> int:
+        """Store ``values`` as consecutive words at byte address ``base``.
+
+        Returns the byte address just past the array.
+        """
+        address = base
+        for value in values:
+            self.store_word(address, value)
+            address += self.WORD_BYTES
+        return address
+
+    def read_array(self, base: int, count: int) -> list[int]:
+        """Read ``count`` consecutive words starting at ``base``."""
+        return [
+            self.load_word(base + index * self.WORD_BYTES) for index in range(count)
+        ]
+
+    def copy(self) -> "MemoryImage":
+        clone = MemoryImage()
+        clone._words = dict(self._words)
+        return clone
+
+    def __len__(self) -> int:
+        return len(self._words)
+
+
+class FunctionalSimulator:
+    """Executes a program and records the dynamic instruction stream."""
+
+    def __init__(self, program: Program, memory: MemoryImage | None = None,
+                 max_instructions: int = 2_000_000):
+        program.validate()
+        self.program = program
+        self.memory = memory if memory is not None else MemoryImage()
+        self.max_instructions = max_instructions
+        self.registers = [0] * NUM_INT_REGS
+
+    # ------------------------------------------------------------------
+    def _read(self, reg: int | None) -> int:
+        if reg is None or reg == ZERO_REG:
+            return 0
+        return self.registers[reg]
+
+    def _write(self, reg: int | None, value: int) -> None:
+        if reg is None or reg == ZERO_REG:
+            return
+        self.registers[reg] = _to_signed(value)
+
+    # ------------------------------------------------------------------
+    def run(self) -> Trace:
+        """Execute the program to completion and return the trace."""
+        return Trace(list(self.step()), name=self.program.name)
+
+    def step(self) -> Iterator[DynamicInstruction]:
+        """Generator form of :meth:`run`, yielding one record per instruction."""
+        program = self.program
+        pc_index = 0
+        executed = 0
+        n_static = len(program)
+
+        while 0 <= pc_index < n_static:
+            if executed >= self.max_instructions:
+                raise SimulationLimitError(
+                    f"{program.name}: exceeded {self.max_instructions} dynamic "
+                    "instructions; likely an infinite loop"
+                )
+            instruction = program[pc_index]
+            opcode = instruction.opcode
+            next_index = pc_index + 1
+            mem_addr: int | None = None
+            taken: bool | None = None
+
+            a = self._read(instruction.src1)
+            b = self._read(instruction.src2)
+            imm = instruction.imm
+
+            if opcode is Opcode.HALT:
+                yield DynamicInstruction(
+                    seq=executed,
+                    pc=pc_index * INSTR_BYTES,
+                    instruction=instruction,
+                    next_pc=pc_index * INSTR_BYTES,
+                )
+                return
+            elif opcode is Opcode.NOP:
+                pass
+            elif opcode is Opcode.ADD:
+                self._write(instruction.dest, a + b)
+            elif opcode is Opcode.SUB:
+                self._write(instruction.dest, a - b)
+            elif opcode is Opcode.AND:
+                self._write(instruction.dest, a & b)
+            elif opcode is Opcode.OR:
+                self._write(instruction.dest, a | b)
+            elif opcode is Opcode.XOR:
+                self._write(instruction.dest, a ^ b)
+            elif opcode is Opcode.SLL:
+                self._write(instruction.dest, a << (b & 63))
+            elif opcode is Opcode.SRL:
+                self._write(instruction.dest, (a & _WORD_MASK) >> (b & 63))
+            elif opcode is Opcode.SLT:
+                self._write(instruction.dest, 1 if a < b else 0)
+            elif opcode is Opcode.ADDI:
+                self._write(instruction.dest, a + imm)
+            elif opcode is Opcode.ANDI:
+                self._write(instruction.dest, a & imm)
+            elif opcode is Opcode.ORI:
+                self._write(instruction.dest, a | imm)
+            elif opcode is Opcode.XORI:
+                self._write(instruction.dest, a ^ imm)
+            elif opcode is Opcode.SLLI:
+                self._write(instruction.dest, a << (imm & 63))
+            elif opcode is Opcode.SRLI:
+                self._write(instruction.dest, (a & _WORD_MASK) >> (imm & 63))
+            elif opcode is Opcode.SLTI:
+                self._write(instruction.dest, 1 if a < imm else 0)
+            elif opcode is Opcode.LI:
+                self._write(instruction.dest, imm)
+            elif opcode is Opcode.MOV:
+                self._write(instruction.dest, a)
+            elif opcode is Opcode.MUL:
+                self._write(instruction.dest, a * b)
+            elif opcode is Opcode.MULI:
+                self._write(instruction.dest, a * imm)
+            elif opcode is Opcode.DIV:
+                self._write(instruction.dest, 0 if b == 0 else int(a / b))
+            elif opcode is Opcode.DIVI:
+                self._write(instruction.dest, 0 if imm == 0 else int(a / imm))
+            elif opcode is Opcode.REM:
+                self._write(instruction.dest, 0 if b == 0 else int(a - int(a / b) * b))
+            elif opcode is Opcode.LW:
+                mem_addr = a + imm
+                self._write(instruction.dest, self.memory.load_word(mem_addr))
+            elif opcode is Opcode.LB:
+                mem_addr = a + imm
+                self._write(instruction.dest, self.memory.load_byte(mem_addr))
+            elif opcode is Opcode.SW:
+                mem_addr = a + imm
+                self.memory.store_word(mem_addr, b)
+            elif opcode is Opcode.SB:
+                mem_addr = a + imm
+                self.memory.store_byte(mem_addr, b)
+            elif opcode is Opcode.BEQ:
+                taken = a == b
+            elif opcode is Opcode.BNE:
+                taken = a != b
+            elif opcode is Opcode.BLT:
+                taken = a < b
+            elif opcode is Opcode.BGE:
+                taken = a >= b
+            elif opcode is Opcode.J:
+                taken = True
+            elif opcode is Opcode.JR:
+                taken = True
+            else:  # pragma: no cover - defensive
+                raise NotImplementedError(f"unhandled opcode {opcode}")
+
+            if taken:
+                if opcode is Opcode.JR:
+                    next_index = self._read(instruction.src1) // INSTR_BYTES
+                else:
+                    next_index = program.label_address(instruction.target)
+
+            yield DynamicInstruction(
+                seq=executed,
+                pc=pc_index * INSTR_BYTES,
+                instruction=instruction,
+                mem_addr=mem_addr,
+                taken=taken,
+                next_pc=next_index * INSTR_BYTES,
+            )
+            executed += 1
+            pc_index = next_index

@@ -1,0 +1,115 @@
+"""Dynamic instruction records and traces."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator
+
+from repro.isa.instructions import Instruction
+from repro.isa.opcodes import OpClass
+
+
+#: Size of one instruction in bytes; fetch addresses are ``index * INSTR_BYTES``.
+INSTR_BYTES = 4
+
+
+@dataclass(frozen=True)
+class DynamicInstruction:
+    """One committed instruction of a dynamic execution.
+
+    Attributes
+    ----------
+    seq:
+        Position in the dynamic instruction stream (0-based).
+    pc:
+        Byte address of the instruction (static index times 4).
+    instruction:
+        The static :class:`~repro.isa.instructions.Instruction`.
+    mem_addr:
+        Effective byte address for loads/stores, otherwise ``None``.
+    taken:
+        Branch outcome for control instructions, otherwise ``None``.
+    next_pc:
+        Byte address of the next dynamic instruction.
+    """
+
+    seq: int
+    pc: int
+    instruction: Instruction
+    mem_addr: int | None = None
+    taken: bool | None = None
+    next_pc: int | None = None
+
+    @property
+    def op_class(self) -> OpClass:
+        return self.instruction.op_class
+
+    @property
+    def is_load(self) -> bool:
+        return self.instruction.is_load
+
+    @property
+    def is_store(self) -> bool:
+        return self.instruction.is_store
+
+    @property
+    def is_branch(self) -> bool:
+        return self.instruction.is_branch
+
+    @property
+    def is_control(self) -> bool:
+        return self.instruction.is_control
+
+    @property
+    def is_long_latency(self) -> bool:
+        return self.instruction.is_long_latency
+
+    def dest_regs(self) -> tuple[int, ...]:
+        return self.instruction.dest_regs()
+
+    def src_regs(self) -> tuple[int, ...]:
+        return self.instruction.src_regs()
+
+
+class Trace:
+    """A materialized dynamic instruction trace.
+
+    The trace also remembers the workload name so that downstream reports
+    (figures, CPI stacks) can label their rows.
+    """
+
+    def __init__(self, instructions: Iterable[DynamicInstruction], name: str = "trace"):
+        self._instructions = list(instructions)
+        self.name = name
+
+    def __len__(self) -> int:
+        return len(self._instructions)
+
+    def __iter__(self) -> Iterator[DynamicInstruction]:
+        return iter(self._instructions)
+
+    def __getitem__(self, index: int) -> DynamicInstruction:
+        return self._instructions[index]
+
+    @property
+    def instructions(self) -> list[DynamicInstruction]:
+        return self._instructions
+
+    def count(self, op_class: OpClass) -> int:
+        """Number of dynamic instructions of the given class."""
+        return sum(1 for dyn in self._instructions if dyn.op_class is op_class)
+
+    def instruction_mix(self) -> dict[OpClass, int]:
+        """Histogram of dynamic instruction classes."""
+        mix: dict[OpClass, int] = {}
+        for dyn in self._instructions:
+            mix[dyn.op_class] = mix.get(dyn.op_class, 0) + 1
+        return mix
+
+    def memory_accesses(self) -> Iterator[DynamicInstruction]:
+        """Iterate over loads and stores only."""
+        return (dyn for dyn in self._instructions if dyn.instruction.is_memory)
+
+    def branches(self) -> Iterator[DynamicInstruction]:
+        """Iterate over control-flow instructions only."""
+        return (dyn for dyn in self._instructions if dyn.is_control)

@@ -1,0 +1,17 @@
+"""Validation utilities: error metrics and distributions."""
+
+from repro.validation.compare import (
+    ValidationRow,
+    ValidationSummary,
+    cumulative_distribution,
+    relative_error,
+    summarize,
+)
+
+__all__ = [
+    "ValidationRow",
+    "ValidationSummary",
+    "relative_error",
+    "cumulative_distribution",
+    "summarize",
+]

@@ -1,0 +1,93 @@
+"""Error metrics used to validate the model against detailed simulation."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+def relative_error(predicted: float, reference: float) -> float:
+    """Signed relative error of ``predicted`` with respect to ``reference``."""
+    if reference == 0:
+        raise ValueError("reference value must be non-zero")
+    return (predicted - reference) / reference
+
+
+@dataclass(frozen=True)
+class ValidationRow:
+    """One validation data point: a (workload, configuration) pair."""
+
+    name: str
+    configuration: str
+    predicted_cpi: float
+    simulated_cpi: float
+
+    @property
+    def error(self) -> float:
+        return relative_error(self.predicted_cpi, self.simulated_cpi)
+
+    @property
+    def absolute_error(self) -> float:
+        return abs(self.error)
+
+
+@dataclass(frozen=True)
+class ValidationSummary:
+    """Aggregate error statistics over a set of validation rows."""
+
+    rows: tuple[ValidationRow, ...]
+
+    @property
+    def count(self) -> int:
+        return len(self.rows)
+
+    @property
+    def average_absolute_error(self) -> float:
+        if not self.rows:
+            return 0.0
+        return sum(row.absolute_error for row in self.rows) / len(self.rows)
+
+    @property
+    def maximum_absolute_error(self) -> float:
+        if not self.rows:
+            return 0.0
+        return max(row.absolute_error for row in self.rows)
+
+    def fraction_below(self, threshold: float) -> float:
+        """Fraction of points whose absolute error is below ``threshold``."""
+        if not self.rows:
+            return 0.0
+        within = sum(1 for row in self.rows if row.absolute_error < threshold)
+        return within / len(self.rows)
+
+    def worst(self, count: int = 5) -> list[ValidationRow]:
+        return sorted(self.rows, key=lambda row: row.absolute_error, reverse=True)[:count]
+
+
+def summarize(rows: list[ValidationRow]) -> ValidationSummary:
+    """Build a :class:`ValidationSummary` from individual rows."""
+    return ValidationSummary(rows=tuple(rows))
+
+
+def cumulative_distribution(values: list[float],
+                            points: int = 101) -> list[tuple[float, float]]:
+    """Cumulative distribution of ``values`` sampled at ``points`` thresholds.
+
+    Returns (threshold, fraction <= threshold) pairs spanning 0..max(values),
+    matching the presentation of the paper's Figure 5.
+    """
+    if not values:
+        return []
+    if points < 2:
+        raise ValueError("need at least two sample points")
+    ordered = sorted(values)
+    top = ordered[-1]
+    if top == 0:
+        return [(0.0, 1.0)]
+    curve = []
+    for index in range(points):
+        # Use the exact maximum for the last point so the curve always ends
+        # at a fraction of 1.0 despite floating-point rounding.
+        threshold = top if index == points - 1 else top * index / (points - 1)
+        covered = sum(1 for value in ordered if value <= threshold)
+        curve.append((threshold, covered / len(ordered)))
+    return curve

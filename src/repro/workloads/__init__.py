@@ -1,0 +1,44 @@
+"""Workloads: MiBench-like and SPEC-like kernels plus compiler passes.
+
+The paper evaluates its model on 19 MiBench benchmarks and a handful of
+memory-intensive SPEC CPU2006 benchmarks.  Neither suite (nor the ARM cross
+compiler and M5 functional simulator used to run them) is available offline,
+so this package provides kernels written against the in-repo ISA whose
+algorithmic skeletons mirror the original benchmarks: hashing for ``sha``,
+shortest-path relaxation for ``dijkstra``, quicksort for ``qsort``,
+error-diffusion dithering for ``tiffdither`` and so on (see DESIGN.md §2 for
+the substitution rationale).
+
+Public entry points:
+
+* :func:`repro.workloads.mibench.mibench_suite` — the 19 MiBench-like workloads.
+* :func:`repro.workloads.spec.spec_suite` — the SPEC-like memory-intensive workloads.
+* :func:`get_workload` — look up any workload by name.
+* :mod:`repro.workloads.compiler` — instruction scheduling and loop unrolling
+  passes used by the compiler-optimization case study (Figure 8).
+"""
+
+from repro.workloads.base import Workload, WorkloadBuildError
+from repro.workloads.registry import (
+    all_workload_names,
+    get_workload,
+    mibench_suite,
+    spec_suite,
+)
+from repro.workloads.synthetic import (
+    SyntheticTraceGenerator,
+    SyntheticWorkloadSpec,
+    generate_synthetic_trace,
+)
+
+__all__ = [
+    "Workload",
+    "WorkloadBuildError",
+    "get_workload",
+    "all_workload_names",
+    "mibench_suite",
+    "spec_suite",
+    "SyntheticWorkloadSpec",
+    "SyntheticTraceGenerator",
+    "generate_synthetic_trace",
+]

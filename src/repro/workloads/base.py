@@ -1,0 +1,69 @@
+"""Workload abstraction shared by all kernels."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.isa.program import Program
+from repro.trace.functional import FunctionalSimulator, MemoryImage
+from repro.trace.trace import Trace
+
+
+class WorkloadBuildError(Exception):
+    """Raised when a workload cannot be constructed or executed."""
+
+
+@dataclass
+class Workload:
+    """A runnable benchmark: a program plus its input data.
+
+    A workload pairs a static :class:`~repro.isa.program.Program` with the
+    :class:`~repro.trace.functional.MemoryImage` holding its input data.  The
+    dynamic trace is produced lazily by :meth:`trace` and cached, because the
+    same trace is consumed by the profiler, the cache and branch simulators
+    and the detailed pipeline simulators.
+    """
+
+    name: str
+    program: Program
+    memory: MemoryImage
+    category: str = "misc"
+    description: str = ""
+    max_instructions: int = 2_000_000
+    _trace: Trace | None = field(default=None, repr=False, compare=False)
+
+    def trace(self, force: bool = False) -> Trace:
+        """Execute the workload functionally and return its dynamic trace."""
+        if self._trace is None or force:
+            simulator = FunctionalSimulator(
+                self.program,
+                # The functional run mutates data memory; keep the pristine
+                # image so the workload can be re-run deterministically.
+                memory=self.memory.copy(),
+                max_instructions=self.max_instructions,
+            )
+            try:
+                self._trace = simulator.run()
+            except Exception as exc:  # pragma: no cover - defensive
+                raise WorkloadBuildError(f"workload {self.name!r} failed: {exc}") from exc
+            self._trace.name = self.name
+        return self._trace
+
+    @property
+    def dynamic_instruction_count(self) -> int:
+        return len(self.trace())
+
+    def with_program(self, program: Program, suffix: str) -> "Workload":
+        """Return a copy of this workload running a transformed program.
+
+        Used by the compiler passes: the data stays the same, only the code
+        changes (e.g. ``sha`` → ``sha.unroll``).
+        """
+        return Workload(
+            name=f"{self.name}.{suffix}",
+            program=program,
+            memory=self.memory.copy(),
+            category=self.category,
+            description=self.description,
+            max_instructions=self.max_instructions,
+        )

@@ -1,0 +1,35 @@
+"""Hand-written kernels mirroring the MiBench / SPEC workloads of the paper.
+
+Each builder function returns a fully initialised
+:class:`~repro.workloads.base.Workload` (program + input data).  The kernels
+are grouped by MiBench application domain:
+
+* :mod:`security`  — ``sha``
+* :mod:`network`   — ``dijkstra``, ``patricia``
+* :mod:`automotive` — ``qsort``, ``susan_c``, ``susan_e``, ``susan_s``
+* :mod:`telecom`   — ``adpcm_c``, ``adpcm_d``, ``gsm_c``
+* :mod:`consumer`  — ``jpeg_c``, ``jpeg_d``, ``lame``, ``tiff2bw``,
+  ``tiff2rgba``, ``tiffdither``, ``tiffmedian``
+* :mod:`office`    — ``stringsearch``, ``rsynth``
+* :mod:`speclike`  — memory-intensive SPEC CPU2006 style kernels
+"""
+
+from repro.workloads.kernels import (  # noqa: F401
+    automotive,
+    consumer,
+    network,
+    office,
+    security,
+    speclike,
+    telecom,
+)
+
+__all__ = [
+    "automotive",
+    "consumer",
+    "network",
+    "office",
+    "security",
+    "speclike",
+    "telecom",
+]

@@ -1,0 +1,223 @@
+"""Automotive/industrial domain kernels: ``qsort`` and the three ``susan`` variants.
+
+``qsort`` sorts an integer array with an iterative quicksort (explicit segment
+stack, Lomuto partition): data-dependent compare-and-swap branches make it a
+branch-misprediction heavy kernel.
+
+The ``susan`` kernels mirror the SUSAN image-processing benchmark:
+``susan_s`` (smoothing) is a windowed weighted sum dominated by multiplies,
+``susan_e`` (edge detection) and ``susan_c`` (corner detection) compare every
+window pixel against the centre with a threshold branch per pixel.
+"""
+
+from __future__ import annotations
+
+from repro.isa.program import ProgramBuilder
+from repro.trace.functional import MemoryImage
+from repro.workloads.base import Workload
+from repro.workloads.kernels.common import WORD, layout, random_image, random_words, rng
+
+
+def build_qsort(size: int = 230) -> Workload:
+    """Iterative quicksort over ``size`` random words."""
+    generator = rng("qsort")
+    memory = MemoryImage()
+
+    array_base = 0x3000
+    next_free = layout(memory, array_base, random_words(generator, size))
+    stack_base = next_free  # segment stack: pairs of (lo, hi)
+
+    b = ProgramBuilder("qsort")
+    # r1: array base, r2: stack base, r3: stack pointer (words)
+    # r4: lo, r5: hi, r6: pivot, r7: i, r8: j
+    b.li(1, array_base)
+    b.li(2, stack_base)
+    b.li(3, 0)
+    # push (0, size-1)
+    b.li(4, 0)
+    b.li(5, size - 1)
+    b.slli(9, 3, 2)
+    b.add(9, 2, 9)
+    b.sw(4, 9, 0)
+    b.sw(5, 9, WORD)
+    b.addi(3, 3, 2)
+
+    b.label("work_loop")
+    b.beq(3, 0, "done")
+    # pop (lo, hi)
+    b.addi(3, 3, -2)
+    b.slli(9, 3, 2)
+    b.add(9, 2, 9)
+    b.lw(4, 9, 0)
+    b.lw(5, 9, WORD)
+    b.bge(4, 5, "work_loop")
+
+    # Lomuto partition with pivot = array[hi].
+    b.slli(9, 5, 2)
+    b.add(9, 1, 9)
+    b.lw(6, 9, 0)                   # pivot
+    b.addi(7, 4, -1)                # i = lo - 1
+    b.mov(8, 4)                     # j = lo
+
+    b.label("part_loop")
+    b.bge(8, 5, "part_done")
+    b.slli(9, 8, 2)
+    b.add(9, 1, 9)
+    b.lw(10, 9, 0)                  # array[j]
+    b.bge(10, 6, "part_next")       # skip if array[j] >= pivot
+    b.addi(7, 7, 1)                 # i += 1
+    b.slli(11, 7, 2)
+    b.add(11, 1, 11)
+    b.lw(12, 11, 0)                 # array[i]
+    b.sw(10, 11, 0)                 # swap
+    b.sw(12, 9, 0)
+    b.label("part_next")
+    b.addi(8, 8, 1)
+    b.j("part_loop")
+
+    b.label("part_done")
+    b.addi(7, 7, 1)                 # pivot position
+    b.slli(11, 7, 2)
+    b.add(11, 1, 11)
+    b.lw(12, 11, 0)
+    b.slli(9, 5, 2)
+    b.add(9, 1, 9)
+    b.lw(10, 9, 0)
+    b.sw(10, 11, 0)
+    b.sw(12, 9, 0)
+
+    # push (lo, p-1) and (p+1, hi)
+    b.addi(13, 7, -1)
+    b.slli(9, 3, 2)
+    b.add(9, 2, 9)
+    b.sw(4, 9, 0)
+    b.sw(13, 9, WORD)
+    b.addi(3, 3, 2)
+    b.addi(13, 7, 1)
+    b.slli(9, 3, 2)
+    b.add(9, 2, 9)
+    b.sw(13, 9, 0)
+    b.sw(5, 9, WORD)
+    b.addi(3, 3, 2)
+    b.j("work_loop")
+
+    b.label("done")
+    b.halt()
+
+    return Workload(
+        name="qsort",
+        program=b.build(),
+        memory=memory,
+        category="automotive",
+        description="Iterative quicksort (data-dependent branches, swaps)",
+    )
+
+
+def _susan_workload(name: str, *, width: int, height: int, mode: str,
+                    threshold: int = 27) -> Workload:
+    """Common SUSAN scaffold: slide a 3x3 window over an image.
+
+    ``mode`` selects the per-window computation:
+
+    * ``"smooth"``  — weighted sum of the window (multiply heavy),
+    * ``"edge"``    — count pixels within ``threshold`` of the centre,
+    * ``"corner"``  — like edge but with a second asymmetric threshold test.
+    """
+    generator = rng(name)
+    memory = MemoryImage()
+    image_base = 0x8000
+    pixels = random_image(generator, width, height)
+    next_free = layout(memory, image_base, pixels)
+    output_base = next_free
+
+    weights = [1, 2, 1, 2, 4, 2, 1, 2, 1]
+    row_bytes = width * WORD
+
+    b = ProgramBuilder(name)
+    # r1: image base, r2: output base, r3: row counter, r4: column counter
+    # r5: centre pixel address, r6: accumulator, r7..: temporaries
+    b.li(1, image_base)
+    b.li(2, output_base)
+    b.li(3, 1)                      # first interior row
+
+    b.label("row_loop")
+    b.li(4, 1)                      # first interior column
+
+    b.label("col_loop")
+    # centre address = base + (row * width + col) * 4
+    b.li(7, width)
+    b.mul(8, 3, 7)
+    b.add(8, 8, 4)
+    b.slli(8, 8, 2)
+    b.add(5, 1, 8)
+    b.lw(9, 5, 0)                   # centre pixel
+    b.li(6, 0)                      # accumulator / count
+    if mode == "corner":
+        b.li(13, 0)                 # asymmetry accumulator
+
+    offsets = [
+        -row_bytes - WORD, -row_bytes, -row_bytes + WORD,
+        -WORD, 0, WORD,
+        row_bytes - WORD, row_bytes, row_bytes + WORD,
+    ]
+    for index, offset in enumerate(offsets):
+        b.lw(10, 5, offset)
+        if mode == "smooth":
+            b.muli(11, 10, weights[index])
+            b.add(6, 6, 11)
+        else:
+            # |pixel - centre| compared against the brightness threshold.
+            b.sub(11, 10, 9)
+            skip = b.unique_label(f"abs_{index}")
+            b.bge(11, 0, skip)
+            b.sub(11, 0, 11)
+            b.label(skip)
+            far = b.unique_label(f"far_{index}")
+            b.slti(12, 11, threshold)
+            b.beq(12, 0, far)
+            b.addi(6, 6, 1)
+            b.label(far)
+            if mode == "corner" and index % 2 == 0:
+                # Corner response also accumulates the raw difference for the
+                # asymmetry test, adding extra ALU work and a longer chain.
+                b.add(13, 13, 11)
+
+    if mode == "smooth":
+        b.srli(6, 6, 4)             # divide by the total weight (16)
+    elif mode == "corner":
+        b.add(6, 6, 13)
+
+    b.add(14, 2, 8)
+    b.sw(6, 14, 0)
+    b.addi(4, 4, 1)
+    b.li(7, width - 1)
+    b.blt(4, 7, "col_loop")
+    b.addi(3, 3, 1)
+    b.li(7, height - 1)
+    b.blt(3, 7, "row_loop")
+    b.halt()
+
+    descriptions = {
+        "smooth": "SUSAN smoothing (3x3 weighted sum, multiply heavy)",
+        "edge": "SUSAN edge detection (threshold branches per window pixel)",
+        "corner": "SUSAN corner detection (threshold branches plus asymmetry test)",
+    }
+    return Workload(
+        name=name,
+        program=b.build(),
+        memory=memory,
+        category="automotive",
+        description=descriptions[mode],
+    )
+
+
+def build_susan_s(width: int = 30, height: int = 22) -> Workload:
+    return _susan_workload("susan_s", width=width, height=height, mode="smooth")
+
+
+def build_susan_e(width: int = 22, height: int = 17) -> Workload:
+    return _susan_workload("susan_e", width=width, height=height, mode="edge")
+
+
+def build_susan_c(width: int = 20, height: int = 16) -> Workload:
+    return _susan_workload("susan_c", width=width, height=height, mode="corner")

@@ -1,0 +1,50 @@
+"""Shared helpers for the workload kernels: data generation and layout."""
+
+from __future__ import annotations
+
+import random
+
+from repro.trace.functional import MemoryImage
+
+#: Word size used when laying out arrays.
+WORD = MemoryImage.WORD_BYTES
+
+
+def rng(name: str, seed: int = 2012) -> random.Random:
+    """Deterministic per-kernel random generator.
+
+    Seeding with the kernel name keeps workloads reproducible across runs and
+    independent of each other (ISPASS'12 is used as the base seed).
+    """
+    return random.Random(f"{name}:{seed}")
+
+
+def random_words(generator: random.Random, count: int, lo: int = 0,
+                 hi: int = 1 << 16) -> list[int]:
+    """Return ``count`` random integers in ``[lo, hi)``."""
+    return [generator.randrange(lo, hi) for _ in range(count)]
+
+
+def random_image(generator: random.Random, width: int, height: int,
+                 max_value: int = 255) -> list[int]:
+    """A pseudo-image with smooth horizontal gradients plus noise.
+
+    Smoothness matters: image-processing kernels (susan, tiffdither) rely on
+    neighbouring pixels being correlated so that threshold branches are
+    partially biased, as they are for natural images.
+    """
+    pixels = []
+    for y in range(height):
+        base = generator.randrange(0, max_value // 2)
+        for x in range(width):
+            value = base + (x * max_value) // (2 * width)
+            value += generator.randrange(-12, 13)
+            pixels.append(max(0, min(max_value, value)))
+    return pixels
+
+
+def layout(memory: MemoryImage, base: int, values: list[int]) -> int:
+    """Store ``values`` at ``base`` and return the next free aligned address."""
+    end = memory.write_array(base, values)
+    # Keep regions 64-byte aligned so arrays start on fresh cache lines.
+    return (end + 63) & ~63

@@ -1,0 +1,507 @@
+"""Consumer domain kernels.
+
+* ``jpeg_c`` / ``jpeg_d`` — forward and inverse 8x8 block transforms with
+  quantisation, mirroring cjpeg/djpeg's DCT pipelines (multiply heavy, good
+  ILP inside a block).
+* ``lame`` — subband windowing / MDCT-style multiply-accumulate with a
+  scalefactor division per subband, streaming through a larger sample buffer.
+* ``tiff2bw`` — RGB to grayscale conversion; three multiplies per pixel make
+  it the most multiply-bound kernel (paper Figure 7).
+* ``tiff2rgba`` — pixel format conversion streaming through the largest
+  buffers of the suite, so it shows the largest L2/memory component.
+* ``tiffdither`` — Floyd-Steinberg error-diffusion dithering; the error
+  feedback creates long serial dependency chains (paper Figure 4).
+* ``tiffmedian`` — 3x3 median filtering with an insertion-sort window,
+  dominated by data-dependent compare branches.
+"""
+
+from __future__ import annotations
+
+from repro.isa.program import ProgramBuilder
+from repro.trace.functional import MemoryImage
+from repro.workloads.base import Workload
+from repro.workloads.kernels.common import WORD, layout, random_image, random_words, rng
+
+
+# ----------------------------------------------------------------------------
+# JPEG-style block transforms.
+# ----------------------------------------------------------------------------
+def _emit_eight_point_transform(b: ProgramBuilder, base_reg: int, stride_reg: int,
+                                coefficients: tuple[int, int, int, int]) -> None:
+    """Emit a butterfly-style 8-point transform at ``base_reg`` with ``stride_reg``.
+
+    Loads eight elements, forms sum/difference pairs, rotates the difference
+    terms by fixed-point constants and stores the result back in place.
+    Uses registers r10..r25 as scratch.
+    """
+    # Load x0..x7 into r10..r17, walking the cursor register r26.
+    b.mov(26, base_reg)
+    for index in range(8):
+        b.lw(10 + index, 26, 0)
+        if index != 7:
+            b.add(26, 26, stride_reg)
+    # Sum and difference terms: s_i -> r18..r21, d_i -> r22..r25.
+    for index in range(4):
+        b.add(18 + index, 10 + index, 17 - index)
+        b.sub(22 + index, 10 + index, 17 - index)
+    # Even outputs: s_i + s_{(i+1) mod 4}; odd outputs: (d_i * C_i) >> 7 + d_{(i+1) mod 4}.
+    for index in range(4):
+        b.add(10 + index, 18 + index, 18 + (index + 1) % 4)
+        b.muli(27, 22 + index, coefficients[index])
+        b.srli(27, 27, 7)
+        b.add(14 + index, 27, 22 + (index + 1) % 4)
+    # Store back in place.
+    b.mov(26, base_reg)
+    for index in range(8):
+        b.sw(10 + index, 26, 0)
+        if index != 7:
+            b.add(26, 26, stride_reg)
+
+
+def _jpeg_workload(name: str, blocks: int, inverse: bool) -> Workload:
+    generator = rng(name)
+    memory = MemoryImage()
+    block_words = 64
+    data_base = 0xA000
+    next_free = layout(
+        memory, data_base, random_words(generator, blocks * block_words, 0, 256)
+    )
+    quant_base = next_free
+    # Quantisation table: reciprocal multipliers (forward) or step sizes (inverse).
+    quant_table = [generator.randrange(16, 128) for _ in range(64)]
+    layout(memory, quant_base, quant_table)
+
+    coefficients = (181, 98, 139, 251)
+    row_stride = 8 * WORD
+
+    b = ProgramBuilder(name)
+    # r1: current block base, r2: blocks remaining, r3: quant base
+    # r4: row/column counter, r5: transform base, r6: stride, r7..r9 temps.
+    b.li(1, data_base)
+    b.li(2, blocks)
+    b.li(3, quant_base)
+
+    b.label("block_loop")
+
+    if inverse:
+        # Dequantise before the inverse transform: coef = coef * quant[i].
+        b.li(4, 64)
+        b.mov(7, 1)
+        b.mov(8, 3)
+        b.label("dequant_loop")
+        b.lw(9, 7, 0)
+        b.lw(28, 8, 0)
+        b.mul(9, 9, 28)
+        b.srli(9, 9, 4)
+        b.sw(9, 7, 0)
+        b.addi(7, 7, WORD)
+        b.addi(8, 8, WORD)
+        b.addi(4, 4, -1)
+        b.bne(4, 0, "dequant_loop")
+
+    # Row pass: 8 rows, elements are contiguous words (stride 4).
+    b.li(4, 8)
+    b.mov(5, 1)
+    b.li(6, WORD)
+    b.label("row_loop")
+    _emit_eight_point_transform(b, 5, 6, coefficients)
+    b.addi(5, 5, row_stride)
+    b.addi(4, 4, -1)
+    b.bne(4, 0, "row_loop")
+
+    # Column pass: 8 columns, elements are a row apart (stride 32).
+    b.li(4, 8)
+    b.mov(5, 1)
+    b.li(6, row_stride)
+    b.label("col_loop")
+    _emit_eight_point_transform(b, 5, 6, coefficients)
+    b.addi(5, 5, WORD)
+    b.addi(4, 4, -1)
+    b.bne(4, 0, "col_loop")
+
+    if not inverse:
+        # Quantise: coef = (coef * reciprocal) >> 12.
+        b.li(4, 64)
+        b.mov(7, 1)
+        b.mov(8, 3)
+        b.label("quant_loop")
+        b.lw(9, 7, 0)
+        b.lw(28, 8, 0)
+        b.mul(9, 9, 28)
+        b.srli(9, 9, 12)
+        b.sw(9, 7, 0)
+        b.addi(7, 7, WORD)
+        b.addi(8, 8, WORD)
+        b.addi(4, 4, -1)
+        b.bne(4, 0, "quant_loop")
+    else:
+        # Level shift and clamp to the displayable 0..255 range (branchy).
+        b.li(4, 64)
+        b.mov(7, 1)
+        b.label("clamp_loop")
+        b.lw(9, 7, 0)
+        b.srli(9, 9, 6)
+        b.addi(9, 9, 128)
+        b.bge(9, 0, "clamp_high")
+        b.li(9, 0)
+        b.label("clamp_high")
+        b.li(28, 255)
+        b.blt(9, 28, "clamp_done")
+        b.mov(9, 28)
+        b.label("clamp_done")
+        b.sw(9, 7, 0)
+        b.addi(7, 7, WORD)
+        b.addi(4, 4, -1)
+        b.bne(4, 0, "clamp_loop")
+
+    b.addi(1, 1, block_words * WORD)
+    b.addi(2, 2, -1)
+    b.bne(2, 0, "block_loop")
+    b.halt()
+
+    return Workload(
+        name=name,
+        program=b.build(),
+        memory=memory,
+        category="consumer",
+        description=(
+            "Inverse 8x8 block transform with dequantisation and clamping"
+            if inverse
+            else "Forward 8x8 block transform with quantisation"
+        ),
+    )
+
+
+def build_jpeg_c(blocks: int = 11) -> Workload:
+    return _jpeg_workload("jpeg_c", blocks=blocks, inverse=False)
+
+
+def build_jpeg_d(blocks: int = 10) -> Workload:
+    return _jpeg_workload("jpeg_d", blocks=blocks, inverse=True)
+
+
+# ----------------------------------------------------------------------------
+# lame: subband windowing with scalefactor division.
+# ----------------------------------------------------------------------------
+def build_lame(granules: int = 7, subbands: int = 16, taps: int = 12) -> Workload:
+    generator = rng("lame")
+    memory = MemoryImage()
+    samples_per_granule = subbands * taps
+    sample_base = 0xC000
+    next_free = layout(
+        memory,
+        sample_base,
+        random_words(generator, granules * samples_per_granule, 0, 1 << 14),
+    )
+    window_base = next_free
+    next_free = layout(memory, window_base, random_words(generator, taps, 1, 256))
+    output_base = next_free
+
+    b = ProgramBuilder("lame")
+    # r1: granule sample base, r2: granule counter, r3: subband counter
+    # r4: tap counter, r5: accumulator, r6/7: addresses, r8/9: operands
+    # r10: window base, r11: output pointer, r12: scalefactor
+    b.li(1, sample_base)
+    b.li(2, granules)
+    b.li(10, window_base)
+    b.li(11, output_base)
+
+    b.label("granule_loop")
+    b.li(3, subbands)
+    b.mov(6, 1)                     # subband sample cursor
+
+    b.label("subband_loop")
+    b.li(5, 0)
+    b.li(4, taps)
+    b.mov(7, 10)                    # window cursor
+    b.label("tap_loop")
+    b.lw(8, 6, 0)
+    b.lw(9, 7, 0)
+    b.mul(8, 8, 9)
+    b.add(5, 5, 8)
+    b.addi(6, 6, WORD)
+    b.addi(7, 7, WORD)
+    b.addi(4, 4, -1)
+    b.bne(4, 0, "tap_loop")
+
+    # Scalefactor quantisation: divide the subband energy by a data-dependent
+    # scale (this is where lame picks up its divide component).
+    b.srli(12, 5, 10)
+    b.addi(12, 12, 3)
+    b.div(13, 5, 12)
+    b.sw(13, 11, 0)
+    b.addi(11, 11, WORD)
+    b.addi(3, 3, -1)
+    b.bne(3, 0, "subband_loop")
+
+    b.addi(1, 1, samples_per_granule * WORD)
+    b.addi(2, 2, -1)
+    b.bne(2, 0, "granule_loop")
+    b.halt()
+
+    return Workload(
+        name="lame",
+        program=b.build(),
+        memory=memory,
+        category="consumer",
+        description="MP3-style subband windowing with scalefactor division",
+    )
+
+
+# ----------------------------------------------------------------------------
+# TIFF tools.
+# ----------------------------------------------------------------------------
+def build_tiff2bw(pixels: int = 1150) -> Workload:
+    """RGB planes to grayscale: gray = (77 r + 150 g + 29 b) >> 8."""
+    generator = rng("tiff2bw")
+    memory = MemoryImage()
+    red_base = 0x10000
+    next_free = layout(memory, red_base, random_words(generator, pixels, 0, 256))
+    green_base = next_free
+    next_free = layout(memory, green_base, random_words(generator, pixels, 0, 256))
+    blue_base = next_free
+    next_free = layout(memory, blue_base, random_words(generator, pixels, 0, 256))
+    gray_base = next_free
+
+    b = ProgramBuilder("tiff2bw")
+    # r1..r3: plane pointers, r4: output pointer, r5: pixels left
+    b.li(1, red_base)
+    b.li(2, green_base)
+    b.li(3, blue_base)
+    b.li(4, gray_base)
+    b.li(5, pixels)
+
+    b.label("pixel_loop")
+    b.lw(6, 1, 0)
+    b.lw(7, 2, 0)
+    b.lw(8, 3, 0)
+    b.muli(9, 6, 77)
+    b.muli(10, 7, 150)
+    b.muli(11, 8, 29)
+    b.add(9, 9, 10)
+    b.add(9, 9, 11)
+    b.srli(9, 9, 8)
+    b.sw(9, 4, 0)
+    b.addi(1, 1, WORD)
+    b.addi(2, 2, WORD)
+    b.addi(3, 3, WORD)
+    b.addi(4, 4, WORD)
+    b.addi(5, 5, -1)
+    b.bne(5, 0, "pixel_loop")
+    b.halt()
+
+    return Workload(
+        name="tiff2bw",
+        program=b.build(),
+        memory=memory,
+        category="consumer",
+        description="RGB to grayscale conversion (three multiplies per pixel)",
+    )
+
+
+def build_tiff2rgba(pixels: int = 1500) -> Workload:
+    """Packed RGB to RGBA conversion streaming through large buffers."""
+    generator = rng("tiff2rgba")
+    memory = MemoryImage()
+    input_base = 0x20000
+    packed = [generator.randrange(0, 1 << 24) for _ in range(pixels)]
+    next_free = layout(memory, input_base, packed)
+    output_base = next_free + 4096  # keep input and output on distinct pages
+
+    b = ProgramBuilder("tiff2rgba")
+    # r1: input ptr, r2: output ptr, r3: pixels left, r4: packed pixel
+    b.li(1, input_base)
+    b.li(2, output_base)
+    b.li(3, pixels)
+    b.li(10, 255)
+
+    b.label("pixel_loop")
+    b.lw(4, 1, 0)
+    b.andi(5, 4, 255)               # red
+    b.srli(6, 4, 8)
+    b.andi(6, 6, 255)               # green
+    b.srli(7, 4, 16)
+    b.andi(7, 7, 255)               # blue
+    b.slli(6, 6, 8)
+    b.slli(7, 7, 16)
+    b.slli(8, 10, 24)               # alpha
+    b.or_(5, 5, 6)
+    b.or_(5, 5, 7)
+    b.or_(5, 5, 8)
+    b.sw(5, 2, 0)
+    b.sw(4, 2, WORD)                # keep the original next to the converted pixel
+    b.addi(1, 1, WORD)
+    b.addi(2, 2, 2 * WORD)
+    b.addi(3, 3, -1)
+    b.bne(3, 0, "pixel_loop")
+    b.halt()
+
+    return Workload(
+        name="tiff2rgba",
+        program=b.build(),
+        memory=memory,
+        category="consumer",
+        description="Pixel format conversion streaming through large buffers (L2/memory bound)",
+    )
+
+
+def build_tiffdither(width: int = 36, height: int = 22) -> Workload:
+    """Floyd-Steinberg error diffusion to a bilevel image."""
+    generator = rng("tiffdither")
+    memory = MemoryImage()
+    image_base = 0x30000
+    next_free = layout(memory, image_base, random_image(generator, width, height))
+    error_base = next_free          # running error for the current and next row
+    next_free = layout(memory, error_base, [0] * (2 * width + 2))
+    output_base = next_free
+
+    b = ProgramBuilder("tiffdither")
+    # r1: pixel ptr, r2: output ptr, r3: row counter, r4: col counter
+    # r5: current-row error ptr, r6: next-row error ptr, r7: value, r8: error
+    # r9: output level, r10: threshold
+    b.li(1, image_base)
+    b.li(2, output_base)
+    b.li(3, height)
+    b.li(10, 128)
+
+    b.label("row_loop")
+    b.li(4, width)
+    b.li(5, error_base)
+    b.li(6, error_base + width * WORD)
+
+    b.label("col_loop")
+    b.lw(7, 1, 0)                   # pixel
+    b.lw(8, 5, 0)                   # incoming error
+    b.add(7, 7, 8)
+    b.li(9, 0)
+    b.blt(7, 10, "below")
+    b.li(9, 255)
+    b.label("below")
+    b.sw(9, 2, 0)
+    b.sub(8, 7, 9)                  # residual error
+    # Diffuse: 7/16 to the right neighbour, 5/16 below, 3/16 below-right.
+    b.muli(11, 8, 7)
+    b.srli(11, 11, 4)
+    b.lw(12, 5, WORD)
+    b.add(12, 12, 11)
+    b.sw(12, 5, WORD)
+    b.muli(11, 8, 5)
+    b.srli(11, 11, 4)
+    b.lw(12, 6, 0)
+    b.add(12, 12, 11)
+    b.sw(12, 6, 0)
+    b.muli(11, 8, 3)
+    b.srli(11, 11, 4)
+    b.lw(12, 6, WORD)
+    b.add(12, 12, 11)
+    b.sw(12, 6, WORD)
+    b.addi(1, 1, WORD)
+    b.addi(2, 2, WORD)
+    b.addi(5, 5, WORD)
+    b.addi(6, 6, WORD)
+    b.addi(4, 4, -1)
+    b.bne(4, 0, "col_loop")
+
+    # Copy the next-row errors into the current-row buffer and clear them.
+    b.li(4, width)
+    b.li(5, error_base)
+    b.li(6, error_base + width * WORD)
+    b.label("swap_loop")
+    b.lw(7, 6, 0)
+    b.sw(7, 5, 0)
+    b.sw(0, 6, 0)
+    b.addi(5, 5, WORD)
+    b.addi(6, 6, WORD)
+    b.addi(4, 4, -1)
+    b.bne(4, 0, "swap_loop")
+
+    b.addi(3, 3, -1)
+    b.bne(3, 0, "row_loop")
+    b.halt()
+
+    return Workload(
+        name="tiffdither",
+        program=b.build(),
+        memory=memory,
+        category="consumer",
+        description="Floyd-Steinberg dithering (serial error-propagation chain)",
+    )
+
+
+def build_tiffmedian(width: int = 14, height: int = 11) -> Workload:
+    """3x3 median filter using an insertion sort of the window."""
+    generator = rng("tiffmedian")
+    memory = MemoryImage()
+    image_base = 0x40000
+    next_free = layout(memory, image_base, random_image(generator, width, height))
+    window_base = next_free
+    next_free = layout(memory, window_base, [0] * 9)
+    output_base = next_free
+    row_bytes = width * WORD
+
+    b = ProgramBuilder("tiffmedian")
+    # r1: image base, r2: output base, r3: row, r4: col, r5: centre address
+    # r6: window base, r7/8: insertion-sort indices, r9..r12 temps
+    b.li(1, image_base)
+    b.li(2, output_base)
+    b.li(6, window_base)
+    b.li(3, 1)
+
+    b.label("row_loop")
+    b.li(4, 1)
+
+    b.label("col_loop")
+    b.li(9, width)
+    b.mul(10, 3, 9)
+    b.add(10, 10, 4)
+    b.slli(10, 10, 2)
+    b.add(5, 1, 10)
+
+    # Gather the 3x3 window into the scratch buffer with insertion sort:
+    # each new pixel is slid left while it is smaller than its predecessor.
+    offsets = [
+        -row_bytes - WORD, -row_bytes, -row_bytes + WORD,
+        -WORD, 0, WORD,
+        row_bytes - WORD, row_bytes, row_bytes + WORD,
+    ]
+    for count, offset in enumerate(offsets):
+        b.lw(11, 5, offset)         # new pixel
+        b.li(7, count)              # insertion position
+        insert_top = b.unique_label(f"ins_{count}")
+        insert_done = b.unique_label(f"ins_done_{count}")
+        b.label(insert_top)
+        b.beq(7, 0, insert_done)
+        b.addi(8, 7, -1)
+        b.slli(12, 8, 2)
+        b.add(12, 6, 12)
+        b.lw(13, 12, 0)             # window[pos - 1]
+        b.bge(11, 13, insert_done)
+        b.slli(14, 7, 2)
+        b.add(14, 6, 14)
+        b.sw(13, 14, 0)             # shift the larger value right
+        b.mov(7, 8)
+        b.j(insert_top)
+        b.label(insert_done)
+        b.slli(14, 7, 2)
+        b.add(14, 6, 14)
+        b.sw(11, 14, 0)
+
+    b.lw(15, 6, 4 * WORD)           # median = window[4]
+    b.add(16, 2, 10)
+    b.sw(15, 16, 0)
+
+    b.addi(4, 4, 1)
+    b.li(9, width - 1)
+    b.blt(4, 9, "col_loop")
+    b.addi(3, 3, 1)
+    b.li(9, height - 1)
+    b.blt(3, 9, "row_loop")
+    b.halt()
+
+    return Workload(
+        name="tiffmedian",
+        program=b.build(),
+        memory=memory,
+        category="consumer",
+        description="3x3 median filter with insertion sort (data-dependent branches)",
+    )

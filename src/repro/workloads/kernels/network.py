@@ -1,0 +1,183 @@
+"""Network domain kernels: ``dijkstra`` and ``patricia``.
+
+``dijkstra`` computes single-source shortest paths over a dense adjacency
+matrix, exactly like the MiBench program.  Its min-search and relaxation loops
+are chains of load → compare → branch, so the kernel is dependency- and
+branch-bound and benefits little from superscalar width (Figure 4 of the
+paper).
+
+``patricia`` models the routing-table trie lookups of MiBench's patricia:
+repeated pointer-chasing descents of a binary trie with a data-dependent
+branch per level, which makes it the most branch-misprediction heavy kernel
+(Figure 7).
+"""
+
+from __future__ import annotations
+
+from repro.isa.program import ProgramBuilder
+from repro.trace.functional import MemoryImage
+from repro.workloads.base import Workload
+from repro.workloads.kernels.common import WORD, layout, rng
+
+_INFINITY = 1 << 30
+
+
+def build_dijkstra(num_nodes: int = 30, edge_density: float = 0.35) -> Workload:
+    """Dense-graph Dijkstra without a priority queue (O(N^2) min search)."""
+    generator = rng("dijkstra")
+    memory = MemoryImage()
+
+    adjacency = []
+    for source in range(num_nodes):
+        for dest in range(num_nodes):
+            if source != dest and generator.random() < edge_density:
+                adjacency.append(generator.randrange(1, 100))
+            else:
+                adjacency.append(0)
+
+    adj_base = 0x2000
+    next_free = layout(memory, adj_base, adjacency)
+    dist_base = next_free
+    next_free = layout(memory, dist_base, [0] + [_INFINITY] * (num_nodes - 1))
+    visited_base = next_free
+    layout(memory, visited_base, [0] * num_nodes)
+
+    b = ProgramBuilder("dijkstra")
+    # r1: adjacency base, r2: dist base, r3: visited base, r4: N
+    # r5: outer counter, r6: inner index, r7: best distance, r8: best node
+    b.li(1, adj_base)
+    b.li(2, dist_base)
+    b.li(3, visited_base)
+    b.li(4, num_nodes)
+    b.li(5, num_nodes)
+
+    b.label("outer")
+    # --- find the unvisited node with the smallest distance -------------
+    b.li(6, 0)
+    b.li(7, _INFINITY + 1)
+    b.li(8, 0)
+    b.label("min_loop")
+    b.slli(9, 6, 2)
+    b.add(20, 3, 9)
+    b.lw(11, 20, 0)                 # visited[i]
+    b.bne(11, 0, "min_skip")
+    b.add(20, 2, 9)
+    b.lw(10, 20, 0)                 # dist[i]
+    b.bge(10, 7, "min_skip")
+    b.mov(7, 10)
+    b.mov(8, 6)
+    b.label("min_skip")
+    b.addi(6, 6, 1)
+    b.blt(6, 4, "min_loop")
+
+    # --- mark it visited and load its distance ---------------------------
+    b.slli(9, 8, 2)
+    b.add(20, 3, 9)
+    b.li(11, 1)
+    b.sw(11, 20, 0)
+    b.add(20, 2, 9)
+    b.lw(12, 20, 0)                 # dist[u]
+
+    # --- relax all outgoing edges ----------------------------------------
+    b.li(22, num_nodes * WORD)
+    b.mul(21, 8, 22)                # row offset = u * N * 4
+    b.add(21, 1, 21)
+    b.li(6, 0)
+    b.label("relax_loop")
+    b.slli(9, 6, 2)
+    b.add(20, 21, 9)
+    b.lw(13, 20, 0)                 # weight(u, v)
+    b.beq(13, 0, "relax_skip")
+    b.add(20, 3, 9)
+    b.lw(11, 20, 0)                 # visited[v]
+    b.bne(11, 0, "relax_skip")
+    b.add(14, 12, 13)               # candidate distance
+    b.add(20, 2, 9)
+    b.lw(15, 20, 0)                 # dist[v]
+    b.bge(14, 15, "relax_skip")
+    b.sw(14, 20, 0)
+    b.label("relax_skip")
+    b.addi(6, 6, 1)
+    b.blt(6, 4, "relax_loop")
+
+    b.addi(5, 5, -1)
+    b.bne(5, 0, "outer")
+    b.halt()
+
+    return Workload(
+        name="dijkstra",
+        program=b.build(),
+        memory=memory,
+        category="network",
+        description="Dense-graph shortest path (dependency and branch bound)",
+    )
+
+
+def build_patricia(lookups: int = 170, depth: int = 10) -> Workload:
+    """Binary radix-trie lookups with one data-dependent branch per level."""
+    generator = rng("patricia")
+    memory = MemoryImage()
+
+    trie_base = 0x4000
+    node_bytes = 2 * WORD
+    # Full binary trie in heap layout: node i at trie_base + i * 8 with its
+    # children's *byte addresses* stored in the two words, so every descent
+    # step is a genuine pointer load.
+    total_nodes = (1 << (depth + 1)) - 1
+    words: list[int] = []
+    for node in range(total_nodes):
+        left_child = 2 * node + 1
+        right_child = 2 * node + 2
+        if left_child < total_nodes:
+            words.append(trie_base + left_child * node_bytes)
+            words.append(trie_base + right_child * node_bytes)
+        else:
+            # Leaf: store a route value twice so either "pointer" load works.
+            value = generator.randrange(1, 1 << 16)
+            words.append(value)
+            words.append(value)
+    next_free = layout(memory, trie_base, words)
+
+    keys = [generator.randrange(0, 1 << depth) for _ in range(lookups)]
+    key_base = next_free
+    layout(memory, key_base, keys)
+
+    b = ProgramBuilder("patricia")
+    # r1: key array pointer, r2: lookups remaining, r3: trie root address
+    # r4: current key, r5: node address, r6: level counter, r7: bit
+    b.li(1, key_base)
+    b.li(2, lookups)
+    b.li(3, trie_base)
+    b.li(15, 0)                     # checksum of found routes
+
+    b.label("lookup_loop")
+    b.lw(4, 1, 0)                   # key
+    b.mov(5, 3)                     # node = root
+    b.li(6, depth - 1)              # bit index, high to low
+
+    b.label("descend")
+    b.srl(7, 4, 6)
+    b.andi(7, 7, 1)
+    b.bne(7, 0, "go_right")
+    b.lw(5, 5, 0)                   # node = node.left
+    b.j("descended")
+    b.label("go_right")
+    b.lw(5, 5, WORD)                # node = node.right
+    b.label("descended")
+    b.addi(6, 6, -1)
+    b.bge(6, 0, "descend")
+
+    b.lw(8, 5, 0)                   # route value at the leaf
+    b.add(15, 15, 8)
+    b.addi(1, 1, WORD)
+    b.addi(2, 2, -1)
+    b.bne(2, 0, "lookup_loop")
+    b.halt()
+
+    return Workload(
+        name="patricia",
+        program=b.build(),
+        memory=memory,
+        category="network",
+        description="Radix-trie route lookups (pointer chasing, hard-to-predict branches)",
+    )

@@ -1,0 +1,145 @@
+"""Office domain kernels: ``stringsearch`` and ``rsynth``.
+
+``stringsearch`` scans a text buffer for a set of patterns with the
+compare-and-early-exit inner loop of the MiBench benchmark (a Pratt/Boyer
+style search simplified to a shifted naive search): mostly loads, compares
+and well-predicted branches.
+
+``rsynth`` models the cascade formant synthesiser of MiBench's rsynth: a
+chain of second-order IIR filter sections applied per sample, which creates
+long multiply-accumulate dependency chains across sections.
+"""
+
+from __future__ import annotations
+
+from repro.isa.program import ProgramBuilder
+from repro.trace.functional import MemoryImage
+from repro.workloads.base import Workload
+from repro.workloads.kernels.common import WORD, layout, rng
+
+
+def build_stringsearch(text_length: int = 1900, pattern_length: int = 6) -> Workload:
+    """Search a text for a pattern with an early-exit compare loop."""
+    generator = rng("stringsearch")
+    memory = MemoryImage()
+
+    # Text over a small alphabet so partial matches (and hence inner-loop
+    # iterations beyond the first character) actually happen.
+    alphabet = [ord(c) for c in "abcdefgh"]
+    text = [generator.choice(alphabet) for _ in range(text_length)]
+    pattern = [generator.choice(alphabet) for _ in range(pattern_length)]
+    # Plant a few true matches so the found-branch is exercised.
+    for position in range(100, text_length - pattern_length, 400):
+        text[position:position + pattern_length] = pattern
+
+    text_base = 0x9000
+    next_free = layout(memory, text_base, text)
+    pattern_base = next_free
+    layout(memory, pattern_base, pattern)
+
+    b = ProgramBuilder("stringsearch")
+    # r1: text cursor, r2: positions remaining, r3: pattern base, r4: match count
+    # r5: inner index, r6/7: characters, r8/9: addresses
+    b.li(1, text_base)
+    b.li(2, text_length - pattern_length)
+    b.li(3, pattern_base)
+    b.li(4, 0)
+    b.li(10, pattern_length)
+
+    b.label("position_loop")
+    b.li(5, 0)
+    b.label("compare_loop")
+    b.slli(8, 5, 2)
+    b.add(9, 1, 8)
+    b.lw(6, 9, 0)                   # text[pos + i]
+    b.add(9, 3, 8)
+    b.lw(7, 9, 0)                   # pattern[i]
+    b.bne(6, 7, "mismatch")
+    b.addi(5, 5, 1)
+    b.blt(5, 10, "compare_loop")
+    b.addi(4, 4, 1)                 # full match found
+    b.label("mismatch")
+    b.addi(1, 1, WORD)
+    b.addi(2, 2, -1)
+    b.bne(2, 0, "position_loop")
+    b.halt()
+
+    return Workload(
+        name="stringsearch",
+        program=b.build(),
+        memory=memory,
+        category="office",
+        description="Pattern search with early-exit compare loop",
+    )
+
+
+def build_rsynth(samples: int = 260, sections: int = 4) -> Workload:
+    """Cascade of second-order IIR filter sections (formant synthesis)."""
+    generator = rng("rsynth")
+    memory = MemoryImage()
+
+    excitation = [generator.randrange(-1 << 12, 1 << 12) for _ in range(samples)]
+    input_base = 0xB000
+    next_free = layout(memory, input_base, excitation)
+    # Per-section coefficients: b0, a1, a2 (fixed point, scaled by 256).
+    coefficient_words = []
+    for _ in range(sections):
+        coefficient_words.extend([
+            generator.randrange(120, 250),
+            generator.randrange(-200, -50),
+            generator.randrange(20, 120),
+        ])
+    coef_base = next_free
+    next_free = layout(memory, coef_base, coefficient_words)
+    # Per-section state: y[n-1], y[n-2].
+    state_base = next_free
+    next_free = layout(memory, state_base, [0] * (2 * sections))
+    output_base = next_free
+
+    b = ProgramBuilder("rsynth")
+    # r1: input ptr, r2: samples left, r3: section counter, r4: signal value
+    # r5: coefficient cursor, r6: state cursor, r7..r12: temporaries
+    b.li(1, input_base)
+    b.li(2, samples)
+    b.li(20, output_base)
+
+    b.label("sample_loop")
+    b.lw(4, 1, 0)                   # excitation sample
+    b.li(3, sections)
+    b.li(5, coef_base)
+    b.li(6, state_base)
+
+    b.label("section_loop")
+    b.lw(7, 5, 0)                   # b0
+    b.lw(8, 5, WORD)                # a1
+    b.lw(9, 5, 2 * WORD)            # a2
+    b.lw(10, 6, 0)                  # y[n-1]
+    b.lw(11, 6, WORD)               # y[n-2]
+    b.mul(12, 4, 7)                 # b0 * x
+    b.mul(13, 10, 8)                # a1 * y1
+    b.mul(14, 11, 9)                # a2 * y2
+    b.sub(12, 12, 13)
+    b.sub(12, 12, 14)
+    b.srli(12, 12, 8)               # back to the fixed-point scale
+    b.sw(10, 6, WORD)               # y[n-2] = y[n-1]
+    b.sw(12, 6, 0)                  # y[n-1] = y
+    b.mov(4, 12)                    # cascade: output feeds the next section
+    b.addi(5, 5, 3 * WORD)
+    b.addi(6, 6, 2 * WORD)
+    b.addi(3, 3, -1)
+    b.bne(3, 0, "section_loop")
+
+    b.sw(4, 20, 0)
+    b.addi(20, 20, WORD)
+    b.addi(1, 1, WORD)
+    b.addi(2, 2, -1)
+    b.bne(2, 0, "sample_loop")
+    b.halt()
+
+    return Workload(
+        name="rsynth",
+        program=b.build(),
+        memory=memory,
+        category="office",
+        description="Cascade IIR formant synthesis (serial multiply-accumulate chains)",
+    )

@@ -1,0 +1,98 @@
+"""Security domain kernel: ``sha``.
+
+The MiBench ``sha`` benchmark computes a SHA-1 digest over a file.  The
+kernel below implements the SHA-1 round structure (rotate, choose function,
+five-way working-variable rotation) over a sequence of message blocks.  The
+round body offers a fair amount of instruction-level parallelism — the rotate
+of ``a``, the boolean choose function and the message-word load are mutually
+independent — which is why ``sha`` scales well with superscalar width in the
+paper (Figure 4).
+"""
+
+from __future__ import annotations
+
+from repro.isa.program import ProgramBuilder
+from repro.trace.functional import MemoryImage
+from repro.workloads.base import Workload
+from repro.workloads.kernels.common import WORD, layout, random_words, rng
+
+
+def build_sha(blocks: int = 12, rounds: int = 64) -> Workload:
+    """SHA-1 style block hashing.
+
+    Parameters
+    ----------
+    blocks:
+        Number of 16-word message blocks to process.
+    rounds:
+        Rounds per block (real SHA-1 uses 80; 64 keeps the trace compact).
+    """
+    generator = rng("sha")
+    memory = MemoryImage()
+
+    message_base = 0x1000
+    schedule_words = blocks * rounds
+    layout(memory, message_base, random_words(generator, schedule_words))
+    state_base = 0x400
+    layout(memory, state_base, [0x67452301, 0xEFCDAB89, 0x98BADCFE, 0x10325476, 0xC3D2E1F0])
+
+    b = ProgramBuilder("sha")
+    # r1: message pointer, r2: block counter, r3: round counter
+    # r10..r14: working variables a..e, r15: round constant, r20: state base
+    b.li(1, message_base)
+    b.li(2, blocks)
+    b.li(15, 0x5A827999)
+    b.li(20, state_base)
+    b.lw(10, 20, 0 * WORD)
+    b.lw(11, 20, 1 * WORD)
+    b.lw(12, 20, 2 * WORD)
+    b.lw(13, 20, 3 * WORD)
+    b.lw(14, 20, 4 * WORD)
+
+    b.label("block_loop")
+    b.li(3, rounds)
+
+    b.label("round_loop")
+    b.lw(4, 1, 0)              # w = message word
+    b.slli(5, 10, 5)           # rotl(a, 5): high part
+    b.srli(6, 10, 27)          # rotl(a, 5): low part
+    b.or_(5, 5, 6)
+    b.xor(7, 12, 13)           # choose(b, c, d) = d ^ (b & (c ^ d))
+    b.and_(7, 7, 11)
+    b.xor(7, 7, 13)
+    b.add(8, 5, 7)             # t = rotl(a,5) + f
+    b.add(8, 8, 14)            # .. + e
+    b.add(8, 8, 4)             # .. + w
+    b.add(8, 8, 15)            # .. + K
+    b.mov(14, 13)              # e = d
+    b.mov(13, 12)              # d = c
+    b.slli(6, 11, 30)          # c = rotl(b, 30)
+    b.srli(9, 11, 2)
+    b.or_(12, 6, 9)
+    b.mov(11, 10)              # b = a
+    b.mov(10, 8)               # a = t
+    b.addi(1, 1, WORD)
+    b.addi(3, 3, -1)
+    b.bne(3, 0, "round_loop")
+
+    # Fold the working variables back into the hash state.
+    b.lw(5, 20, 0 * WORD)
+    b.add(5, 5, 10)
+    b.sw(5, 20, 0 * WORD)
+    b.lw(6, 20, 1 * WORD)
+    b.add(6, 6, 11)
+    b.sw(6, 20, 1 * WORD)
+    b.lw(7, 20, 2 * WORD)
+    b.add(7, 7, 12)
+    b.sw(7, 20, 2 * WORD)
+    b.addi(2, 2, -1)
+    b.bne(2, 0, "block_loop")
+    b.halt()
+
+    return Workload(
+        name="sha",
+        program=b.build(),
+        memory=memory,
+        category="security",
+        description="SHA-1 style block hashing (high ILP, ALU dominated)",
+    )

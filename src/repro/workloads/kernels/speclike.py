@@ -1,0 +1,311 @@
+"""SPEC CPU2006-style memory-intensive kernels (paper Figure 6).
+
+The paper complements MiBench with a number of SPEC CPU2006 benchmarks that
+are considerably more memory intensive.  These kernels reproduce that
+behaviour with large data footprints relative to their instruction counts:
+
+* ``mcf_like``        — pointer chasing over a large linked structure (DL2 misses,
+  serial load chains).
+* ``libquantum_like`` — streaming read-modify-write over a large gate array.
+* ``lbm_like``        — 1D stencil sweep over a large lattice.
+* ``milc_like``       — streaming multiply-accumulate over large vectors.
+* ``soplex_like``     — sparse matrix-vector product with indirect accesses.
+* ``bzip2_like``      — move-to-front transform with data-dependent inner loops.
+"""
+
+from __future__ import annotations
+
+from repro.isa.program import ProgramBuilder
+from repro.trace.functional import MemoryImage
+from repro.workloads.base import Workload
+from repro.workloads.kernels.common import WORD, layout, random_words, rng
+
+
+def build_mcf_like(nodes: int = 4096, hops: int = 2400) -> Workload:
+    """Pointer chasing across a randomly permuted ring of nodes."""
+    generator = rng("mcf_like")
+    memory = MemoryImage()
+    node_bytes = 4 * WORD           # next pointer, cost, flow, padding
+    base = 0x100000
+
+    # A random Hamiltonian cycle guarantees the chase never terminates early
+    # and touches nodes in cache-hostile order.
+    order = list(range(1, nodes))
+    generator.shuffle(order)
+    sequence = [0] + order
+    next_pointer = [0] * nodes
+    for position in range(nodes):
+        current = sequence[position]
+        successor = sequence[(position + 1) % nodes]
+        next_pointer[current] = base + successor * node_bytes
+
+    words: list[int] = []
+    for node in range(nodes):
+        words.extend([
+            next_pointer[node],
+            generator.randrange(1, 1000),   # cost
+            generator.randrange(0, 100),    # flow
+            0,
+        ])
+    layout(memory, base, words)
+
+    b = ProgramBuilder("mcf_like")
+    # r1: current node address, r2: hops left, r3: accumulated cost, r4: flow sum
+    b.li(1, base)
+    b.li(2, hops)
+    b.li(3, 0)
+    b.li(4, 0)
+
+    b.label("chase_loop")
+    b.lw(5, 1, WORD)                # cost
+    b.lw(6, 1, 2 * WORD)            # flow
+    b.add(3, 3, 5)
+    b.add(4, 4, 6)
+    b.lw(1, 1, 0)                   # follow the pointer (serial chain)
+    b.addi(2, 2, -1)
+    b.bne(2, 0, "chase_loop")
+    b.halt()
+
+    return Workload(
+        name="mcf_like",
+        program=b.build(),
+        memory=memory,
+        category="spec",
+        description="Pointer chasing over a large node pool (memory latency bound)",
+    )
+
+
+def build_libquantum_like(gates: int = 1800) -> Workload:
+    """Streaming read-modify-write over a quantum-register style array."""
+    generator = rng("libquantum_like")
+    memory = MemoryImage()
+    base = 0x200000
+    layout(memory, base, random_words(generator, gates * 2, 0, 1 << 20))
+
+    b = ProgramBuilder("libquantum_like")
+    # r1: state cursor, r2: gates left, r3: control mask, r4/5: amplitudes
+    b.li(1, base)
+    b.li(2, gates)
+    b.li(3, 0x5A5A)
+
+    b.label("gate_loop")
+    b.lw(4, 1, 0)
+    b.lw(5, 1, WORD)
+    b.xor(4, 4, 3)                  # apply the gate to the control word
+    b.and_(6, 5, 3)
+    b.or_(4, 4, 6)
+    b.sw(4, 1, 0)
+    b.sw(5, 1, WORD)
+    b.addi(1, 1, 2 * WORD)
+    b.addi(2, 2, -1)
+    b.bne(2, 0, "gate_loop")
+    b.halt()
+
+    return Workload(
+        name="libquantum_like",
+        program=b.build(),
+        memory=memory,
+        category="spec",
+        description="Streaming read-modify-write over a large register file",
+    )
+
+
+def build_lbm_like(cells: int = 1700) -> Workload:
+    """1D lattice stencil: out[i] = (in[i-1] + 2 in[i] + in[i+1]) / 4 + drift."""
+    generator = rng("lbm_like")
+    memory = MemoryImage()
+    in_base = 0x300000
+    next_free = layout(memory, in_base, random_words(generator, cells + 2, 0, 1 << 12))
+    out_base = next_free + 4096
+
+    b = ProgramBuilder("lbm_like")
+    # r1: input cursor, r2: output cursor, r3: cells left
+    b.li(1, in_base + WORD)
+    b.li(2, out_base)
+    b.li(3, cells)
+
+    b.label("cell_loop")
+    b.lw(4, 1, -WORD)
+    b.lw(5, 1, 0)
+    b.lw(6, 1, WORD)
+    b.slli(7, 5, 1)
+    b.add(7, 7, 4)
+    b.add(7, 7, 6)
+    b.srli(7, 7, 2)
+    b.muli(8, 5, 3)                 # collision term
+    b.srli(8, 8, 2)
+    b.add(7, 7, 8)
+    b.sw(7, 2, 0)
+    b.addi(1, 1, WORD)
+    b.addi(2, 2, WORD)
+    b.addi(3, 3, -1)
+    b.bne(3, 0, "cell_loop")
+    b.halt()
+
+    return Workload(
+        name="lbm_like",
+        program=b.build(),
+        memory=memory,
+        category="spec",
+        description="Lattice stencil sweep over a large array",
+    )
+
+
+def build_milc_like(elements: int = 1500) -> Workload:
+    """Streaming complex multiply-accumulate over large vectors."""
+    generator = rng("milc_like")
+    memory = MemoryImage()
+    a_base = 0x400000
+    next_free = layout(memory, a_base, random_words(generator, elements * 2, 0, 1 << 10))
+    b_base = next_free + 4096
+    layout(memory, b_base, random_words(generator, elements * 2, 0, 1 << 10))
+
+    b = ProgramBuilder("milc_like")
+    # r1/r2: vector cursors, r3: elements left, r4/5: accumulators
+    b.li(1, a_base)
+    b.li(2, b_base)
+    b.li(3, elements)
+    b.li(4, 0)
+    b.li(5, 0)
+
+    b.label("element_loop")
+    b.lw(6, 1, 0)                   # a.re
+    b.lw(7, 1, WORD)                # a.im
+    b.lw(8, 2, 0)                   # b.re
+    b.lw(9, 2, WORD)                # b.im
+    b.mul(10, 6, 8)
+    b.mul(11, 7, 9)
+    b.sub(10, 10, 11)               # real part
+    b.mul(12, 6, 9)
+    b.mul(13, 7, 8)
+    b.add(12, 12, 13)               # imaginary part
+    b.add(4, 4, 10)
+    b.add(5, 5, 12)
+    b.addi(1, 1, 2 * WORD)
+    b.addi(2, 2, 2 * WORD)
+    b.addi(3, 3, -1)
+    b.bne(3, 0, "element_loop")
+    b.halt()
+
+    return Workload(
+        name="milc_like",
+        program=b.build(),
+        memory=memory,
+        category="spec",
+        description="Streaming complex multiply-accumulate (multiply and memory bound)",
+    )
+
+
+def build_soplex_like(rows: int = 420, row_length: int = 5) -> Workload:
+    """Sparse matrix-vector product with indirect column accesses."""
+    generator = rng("soplex_like")
+    memory = MemoryImage()
+    columns = 4096
+
+    values: list[int] = []
+    indices: list[int] = []
+    for _ in range(rows * row_length):
+        values.append(generator.randrange(1, 100))
+        indices.append(generator.randrange(0, columns))
+
+    value_base = 0x500000
+    next_free = layout(memory, value_base, values)
+    index_base = next_free + 4096
+    next_free = layout(memory, index_base, indices)
+    vector_base = next_free + 4096
+    next_free = layout(memory, vector_base, random_words(generator, columns, 0, 1 << 10))
+    result_base = next_free + 4096
+
+    b = ProgramBuilder("soplex_like")
+    # r1: value cursor, r2: index cursor, r3: vector base, r4: result cursor
+    # r5: rows left, r6: inner counter, r7: accumulator
+    b.li(1, value_base)
+    b.li(2, index_base)
+    b.li(3, vector_base)
+    b.li(4, result_base)
+    b.li(5, rows)
+
+    b.label("row_loop")
+    b.li(7, 0)
+    b.li(6, row_length)
+    b.label("nnz_loop")
+    b.lw(8, 1, 0)                   # matrix value
+    b.lw(9, 2, 0)                   # column index
+    b.slli(9, 9, 2)
+    b.add(9, 3, 9)
+    b.lw(10, 9, 0)                  # x[column] (irregular access)
+    b.mul(8, 8, 10)
+    b.add(7, 7, 8)
+    b.addi(1, 1, WORD)
+    b.addi(2, 2, WORD)
+    b.addi(6, 6, -1)
+    b.bne(6, 0, "nnz_loop")
+    b.sw(7, 4, 0)
+    b.addi(4, 4, WORD)
+    b.addi(5, 5, -1)
+    b.bne(5, 0, "row_loop")
+    b.halt()
+
+    return Workload(
+        name="soplex_like",
+        program=b.build(),
+        memory=memory,
+        category="spec",
+        description="Sparse matrix-vector product (indirect, irregular accesses)",
+    )
+
+
+def build_bzip2_like(symbols: int = 350, alphabet: int = 48) -> Workload:
+    """Move-to-front transform with a data-dependent search loop."""
+    generator = rng("bzip2_like")
+    memory = MemoryImage()
+    # Skewed symbol distribution so the MTF search length varies.
+    symbol_stream = [
+        min(alphabet - 1, int(abs(generator.gauss(0, alphabet / 5))))
+        for _ in range(symbols)
+    ]
+    stream_base = 0x600000
+    next_free = layout(memory, stream_base, symbol_stream)
+    table_base = next_free
+    next_free = layout(memory, table_base, list(range(alphabet)))
+    output_base = next_free
+
+    b = ProgramBuilder("bzip2_like")
+    # r1: stream cursor, r2: symbols left, r3: table base, r4: output cursor
+    # r5: symbol, r6: search index, r7: table entry, r8: previous entry
+    b.li(1, stream_base)
+    b.li(2, symbols)
+    b.li(3, table_base)
+    b.li(4, output_base)
+
+    b.label("symbol_loop")
+    b.lw(5, 1, 0)
+    b.li(6, 0)
+    # Search the table for the symbol, shifting entries towards the back as
+    # we go (this is the move-to-front update fused with the search).
+    b.mov(8, 5)
+    b.label("search_loop")
+    b.slli(9, 6, 2)
+    b.add(9, 3, 9)
+    b.lw(7, 9, 0)
+    b.sw(8, 9, 0)                   # shift the previous front entry down
+    b.mov(8, 7)
+    b.addi(6, 6, 1)
+    b.bne(7, 5, "search_loop")
+    # Emit the rank (search length) and restore the symbol at the front.
+    b.addi(6, 6, -1)
+    b.sw(6, 4, 0)
+    b.sw(5, 3, 0)
+    b.addi(4, 4, WORD)
+    b.addi(1, 1, WORD)
+    b.addi(2, 2, -1)
+    b.bne(2, 0, "symbol_loop")
+    b.halt()
+
+    return Workload(
+        name="bzip2_like",
+        program=b.build(),
+        memory=memory,
+        category="spec",
+        description="Move-to-front transform (data-dependent search loops)",
+    )

@@ -1,0 +1,320 @@
+"""Telecom domain kernels: ``adpcm_c``, ``adpcm_d`` and ``gsm_c`` (toast).
+
+The ADPCM kernels implement the IMA ADPCM step-size quantiser used by
+MiBench's rawcaudio/rawdaudio: a tight per-sample loop of compares, table
+lookups and predictor updates, with a serial dependence through the predictor
+state (``valpred``/``index``/``step``).
+
+``gsm_c`` models the LPC front end of GSM full-rate encoding (MiBench's
+toast): autocorrelation multiply-accumulate loops followed by a short
+division-based reflection-coefficient stage, giving the kernel a visible
+multiply/divide CPI component.
+"""
+
+from __future__ import annotations
+
+from repro.isa.program import ProgramBuilder
+from repro.trace.functional import MemoryImage
+from repro.workloads.base import Workload
+from repro.workloads.kernels.common import WORD, layout, rng
+
+#: IMA ADPCM index adjustment table.
+_INDEX_TABLE = [-1, -1, -1, -1, 2, 4, 6, 8, -1, -1, -1, -1, 2, 4, 6, 8]
+
+#: IMA ADPCM step-size table (88 entries).
+_STEP_TABLE = [
+    7, 8, 9, 10, 11, 12, 13, 14, 16, 17, 19, 21, 23, 25, 28, 31, 34, 37, 41,
+    45, 50, 55, 60, 66, 73, 80, 88, 97, 107, 118, 130, 143, 157, 173, 190,
+    209, 230, 253, 279, 307, 337, 371, 408, 449, 494, 544, 598, 658, 724,
+    796, 876, 963, 1060, 1166, 1282, 1411, 1552, 1707, 1878, 2066, 2272,
+    2499, 2749, 3024, 3327, 3660, 4026, 4428, 4871, 5358, 5894, 6484, 7132,
+    7845, 8630, 9493, 10442, 11487, 12635, 13899, 15289, 16818, 18500,
+    20350, 22385, 24623, 27086, 29794, 32767,
+]
+
+
+def _audio_samples(name: str, count: int) -> list[int]:
+    """A noisy multi-tone signal, bounded to 16-bit like PCM audio."""
+    generator = rng(name)
+    samples = []
+    value = 0
+    for index in range(count):
+        # A slowly wandering waveform: correlated steps plus occasional jumps.
+        value += generator.randrange(-800, 801)
+        if index % 37 == 0:
+            value += generator.randrange(-4000, 4001)
+        value = max(-32000, min(32000, value))
+        samples.append(value)
+    return samples
+
+
+def build_adpcm_c(samples: int = 330) -> Workload:
+    """IMA ADPCM encoder (speech compression)."""
+    memory = MemoryImage()
+    input_base = 0x6000
+    next_free = layout(memory, input_base, _audio_samples("adpcm_c", samples))
+    index_table_base = next_free
+    next_free = layout(memory, index_table_base, _INDEX_TABLE)
+    step_table_base = next_free
+    next_free = layout(memory, step_table_base, _STEP_TABLE)
+    output_base = next_free
+
+    b = ProgramBuilder("adpcm_c")
+    # r1: input ptr, r2: output ptr, r3: samples left
+    # r4: valpred, r5: index, r6: step, r7: sample, r8: delta, r9: sign
+    # r10: code, r11: vpdiff, r12/13: temporaries
+    b.li(1, input_base)
+    b.li(2, output_base)
+    b.li(3, samples)
+    b.li(4, 0)                      # valpred
+    b.li(5, 0)                      # index
+    b.li(6, 7)                      # step = step table[0]
+    b.li(20, index_table_base)
+    b.li(21, step_table_base)
+
+    b.label("sample_loop")
+    b.lw(7, 1, 0)
+    b.sub(8, 7, 4)                  # delta = sample - valpred
+    b.li(9, 0)
+    b.bge(8, 0, "positive")
+    b.li(9, 8)                      # sign bit
+    b.sub(8, 0, 8)
+    b.label("positive")
+
+    # Quantise delta against step, step/2, step/4.
+    b.li(10, 0)
+    b.blt(8, 6, "q2")
+    b.ori(10, 10, 4)
+    b.sub(8, 8, 6)
+    b.label("q2")
+    b.srli(12, 6, 1)
+    b.blt(8, 12, "q1")
+    b.ori(10, 10, 2)
+    b.sub(8, 8, 12)
+    b.label("q1")
+    b.srli(12, 6, 2)
+    b.blt(8, 12, "qdone")
+    b.ori(10, 10, 1)
+    b.label("qdone")
+
+    # Reconstruct the predictor exactly like the decoder will.
+    b.srli(11, 6, 3)                # vpdiff = step >> 3
+    b.andi(12, 10, 4)
+    b.beq(12, 0, "nv4")
+    b.add(11, 11, 6)
+    b.label("nv4")
+    b.andi(12, 10, 2)
+    b.beq(12, 0, "nv2")
+    b.srli(13, 6, 1)
+    b.add(11, 11, 13)
+    b.label("nv2")
+    b.andi(12, 10, 1)
+    b.beq(12, 0, "nv1")
+    b.srli(13, 6, 2)
+    b.add(11, 11, 13)
+    b.label("nv1")
+    b.beq(9, 0, "vadd")
+    b.sub(4, 4, 11)
+    b.j("vclamp")
+    b.label("vadd")
+    b.add(4, 4, 11)
+    b.label("vclamp")
+    b.li(12, 32767)
+    b.blt(4, 12, "vclamp_low")
+    b.mov(4, 12)
+    b.label("vclamp_low")
+    b.li(12, -32768)
+    b.bge(4, 12, "vdone")
+    b.mov(4, 12)
+    b.label("vdone")
+
+    # Update the step index from the quantised code.
+    b.or_(10, 10, 9)                # code with sign bit for output
+    b.andi(13, 10, 7)
+    b.slli(13, 13, 2)
+    b.add(13, 20, 13)
+    b.lw(13, 13, 0)                 # indexTable[code & 7]
+    b.add(5, 5, 13)
+    b.bge(5, 0, "iclamp_high")
+    b.li(5, 0)
+    b.label("iclamp_high")
+    b.li(12, 88)
+    b.blt(5, 12, "idone")
+    b.li(5, 87)
+    b.label("idone")
+    b.slli(13, 5, 2)
+    b.add(13, 21, 13)
+    b.lw(6, 13, 0)                  # step = stepTable[index]
+
+    b.sw(10, 2, 0)
+    b.addi(1, 1, WORD)
+    b.addi(2, 2, WORD)
+    b.addi(3, 3, -1)
+    b.bne(3, 0, "sample_loop")
+    b.halt()
+
+    return Workload(
+        name="adpcm_c",
+        program=b.build(),
+        memory=memory,
+        category="telecom",
+        description="IMA ADPCM speech encoder (serial predictor update, branchy)",
+    )
+
+
+def build_adpcm_d(samples: int = 420) -> Workload:
+    """IMA ADPCM decoder."""
+    generator = rng("adpcm_d")
+    memory = MemoryImage()
+    input_base = 0x6000
+    codes = [generator.randrange(0, 16) for _ in range(samples)]
+    next_free = layout(memory, input_base, codes)
+    index_table_base = next_free
+    next_free = layout(memory, index_table_base, _INDEX_TABLE)
+    step_table_base = next_free
+    next_free = layout(memory, step_table_base, _STEP_TABLE)
+    output_base = next_free
+
+    b = ProgramBuilder("adpcm_d")
+    # r1: code ptr, r2: output ptr, r3: remaining, r4: valpred, r5: index,
+    # r6: step, r10: code, r11: vpdiff, r12/13: temps
+    b.li(1, input_base)
+    b.li(2, output_base)
+    b.li(3, samples)
+    b.li(4, 0)
+    b.li(5, 0)
+    b.li(6, 7)
+    b.li(20, index_table_base)
+    b.li(21, step_table_base)
+
+    b.label("sample_loop")
+    b.lw(10, 1, 0)                  # 4-bit code
+    # Index update first (as in the reference decoder).
+    b.slli(13, 10, 2)
+    b.add(13, 20, 13)
+    b.lw(13, 13, 0)
+    b.add(5, 5, 13)
+    b.bge(5, 0, "iclamp_high")
+    b.li(5, 0)
+    b.label("iclamp_high")
+    b.li(12, 88)
+    b.blt(5, 12, "idone")
+    b.li(5, 87)
+    b.label("idone")
+
+    # Reconstruct the difference.
+    b.srli(11, 6, 3)
+    b.andi(12, 10, 4)
+    b.beq(12, 0, "nv4")
+    b.add(11, 11, 6)
+    b.label("nv4")
+    b.andi(12, 10, 2)
+    b.beq(12, 0, "nv2")
+    b.srli(13, 6, 1)
+    b.add(11, 11, 13)
+    b.label("nv2")
+    b.andi(12, 10, 1)
+    b.beq(12, 0, "nv1")
+    b.srli(13, 6, 2)
+    b.add(11, 11, 13)
+    b.label("nv1")
+    b.andi(12, 10, 8)
+    b.beq(12, 0, "vadd")
+    b.sub(4, 4, 11)
+    b.j("vclamp")
+    b.label("vadd")
+    b.add(4, 4, 11)
+    b.label("vclamp")
+    b.li(12, 32767)
+    b.blt(4, 12, "vclamp_low")
+    b.mov(4, 12)
+    b.label("vclamp_low")
+    b.li(12, -32768)
+    b.bge(4, 12, "vdone")
+    b.mov(4, 12)
+    b.label("vdone")
+
+    # New step size.
+    b.slli(13, 5, 2)
+    b.add(13, 21, 13)
+    b.lw(6, 13, 0)
+
+    b.sw(4, 2, 0)
+    b.addi(1, 1, WORD)
+    b.addi(2, 2, WORD)
+    b.addi(3, 3, -1)
+    b.bne(3, 0, "sample_loop")
+    b.halt()
+
+    return Workload(
+        name="adpcm_d",
+        program=b.build(),
+        memory=memory,
+        category="telecom",
+        description="IMA ADPCM speech decoder (table lookups, clamping branches)",
+    )
+
+
+def build_gsm_c(samples: int = 170, lags: int = 9) -> Workload:
+    """GSM full-rate encoder front end (autocorrelation + reflection coefficients)."""
+    memory = MemoryImage()
+    input_base = 0x7000
+    next_free = layout(memory, input_base, _audio_samples("gsm_c", samples))
+    acf_base = next_free
+
+    b = ProgramBuilder("gsm_c")
+    # r1: sample base, r2: lag k, r3: inner index i, r4: accumulator
+    # r5: s[i], r6: s[i-k], r7/8: addresses, r9: N, r10: acf base
+    b.li(1, input_base)
+    b.li(9, samples)
+    b.li(10, acf_base)
+    b.li(2, 0)
+
+    b.label("lag_loop")
+    b.li(4, 0)
+    b.mov(3, 2)                     # i starts at k
+
+    b.label("acc_loop")
+    b.slli(7, 3, 2)
+    b.add(7, 1, 7)
+    b.lw(5, 7, 0)                   # s[i]
+    b.sub(8, 3, 2)
+    b.slli(8, 8, 2)
+    b.add(8, 1, 8)
+    b.lw(6, 8, 0)                   # s[i - k]
+    b.mul(5, 5, 6)
+    b.srli(5, 5, 6)                 # scale down to avoid overflow
+    b.add(4, 4, 5)
+    b.addi(3, 3, 1)
+    b.blt(3, 9, "acc_loop")
+
+    b.slli(7, 2, 2)
+    b.add(7, 10, 7)
+    b.sw(4, 7, 0)                   # acf[k]
+    b.addi(2, 2, 1)
+    b.slti(8, 2, lags)
+    b.bne(8, 0, "lag_loop")
+
+    # Reflection coefficients: r[k] = acf[k] / acf[0] (Schur-like stage).
+    b.lw(11, 10, 0)                 # acf[0]
+    b.addi(11, 11, 1)               # avoid division by zero
+    b.li(2, 1)
+    b.label("refl_loop")
+    b.slli(7, 2, 2)
+    b.add(7, 10, 7)
+    b.lw(12, 7, 0)
+    b.slli(12, 12, 8)
+    b.div(13, 12, 11)               # fixed-point reflection coefficient
+    b.sw(13, 7, 0)
+    b.addi(2, 2, 1)
+    b.slti(8, 2, lags)
+    b.bne(8, 0, "refl_loop")
+    b.halt()
+
+    return Workload(
+        name="gsm_c",
+        program=b.build(),
+        memory=memory,
+        category="telecom",
+        description="GSM LPC autocorrelation (multiply-accumulate) and reflection coefficients",
+    )

@@ -1,0 +1,43 @@
+"""Shared fixtures for the test suite.
+
+Workload traces are expensive to produce (functional simulation in Python),
+so the commonly used ones are session-scoped fixtures.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.machine import MachineConfig
+from repro.workloads import get_workload
+
+
+@pytest.fixture(scope="session")
+def default_machine() -> MachineConfig:
+    return MachineConfig(name="default")
+
+
+@pytest.fixture(scope="session")
+def small_machine() -> MachineConfig:
+    """A 2-wide, 5-stage machine used where the default would be overkill."""
+    return MachineConfig(width=2, pipeline_stages=5, frequency_mhz=600, name="small")
+
+
+@pytest.fixture(scope="session")
+def sha_workload():
+    return get_workload("sha")
+
+
+@pytest.fixture(scope="session")
+def dijkstra_workload():
+    return get_workload("dijkstra")
+
+
+@pytest.fixture(scope="session")
+def sha_trace(sha_workload):
+    return sha_workload.trace()
+
+
+@pytest.fixture(scope="session")
+def dijkstra_trace(dijkstra_workload):
+    return dijkstra_workload.trace()

@@ -1,0 +1,173 @@
+"""Unit tests for branch predictors and the branch profiler."""
+
+import pytest
+
+from repro.branch import (
+    AlwaysNotTakenPredictor,
+    AlwaysTakenPredictor,
+    BimodalPredictor,
+    GSharePredictor,
+    HybridPredictor,
+    LocalPredictor,
+    make_predictor,
+    profile_branches,
+)
+from repro.isa import Opcode, ProgramBuilder
+from repro.trace import FunctionalSimulator
+
+
+def accuracy(predictor, stream):
+    """Fraction of correct predictions on a (pc, taken) stream."""
+    correct = 0
+    for pc, taken in stream:
+        if predictor.predict(pc) == taken:
+            correct += 1
+        predictor.update(pc, taken)
+    return correct / len(stream)
+
+
+class TestStaticPredictors:
+    def test_always_taken(self):
+        predictor = AlwaysTakenPredictor()
+        assert predictor.predict(0x40) is True
+        predictor.update(0x40, False)
+        assert predictor.predict(0x40) is True
+        assert predictor.storage_bits == 0
+
+    def test_always_not_taken(self):
+        predictor = AlwaysNotTakenPredictor()
+        assert predictor.predict(0x40) is False
+
+
+class TestBimodal:
+    def test_learns_bias(self):
+        predictor = BimodalPredictor(entries=256)
+        stream = [(0x40, True)] * 50
+        assert accuracy(predictor, stream) > 0.9
+
+    def test_reset(self):
+        predictor = BimodalPredictor(entries=256)
+        for _ in range(10):
+            predictor.update(0x40, False)
+        predictor.reset()
+        assert predictor.predict(0x40) is True   # counters re-initialised weakly taken
+
+    def test_storage_bits(self):
+        assert BimodalPredictor(entries=256).storage_bits == 512
+
+    def test_invalid_entries(self):
+        with pytest.raises(ValueError):
+            BimodalPredictor(entries=100)
+
+
+class TestGShare:
+    def test_learns_alternating_pattern(self):
+        """A pattern the bimodal predictor cannot learn but global history can."""
+        pattern = [True, False] * 200
+        stream = [(0x80, taken) for taken in pattern]
+        gshare = GSharePredictor(history_bits=8)
+        bimodal = BimodalPredictor(entries=256)
+        assert accuracy(gshare, stream) > 0.85
+        assert accuracy(bimodal, stream) < 0.75
+
+    def test_reset_clears_history(self):
+        predictor = GSharePredictor(history_bits=4)
+        for taken in [True, False, True, True]:
+            predictor.update(0x10, taken)
+        predictor.reset()
+        assert predictor._history == 0
+
+    def test_invalid_history(self):
+        with pytest.raises(ValueError):
+            GSharePredictor(history_bits=0)
+
+
+class TestLocal:
+    def test_learns_per_branch_period(self):
+        # Branch A: period-3 loop pattern (T, T, N); branch B always taken.
+        stream = []
+        pattern_a = [True, True, False] * 120
+        for index, taken in enumerate(pattern_a):
+            stream.append((0x100, taken))
+            stream.append((0x200, True))
+        predictor = LocalPredictor(history_bits=8, history_entries=64)
+        assert accuracy(predictor, stream) > 0.85
+
+    def test_invalid_config(self):
+        with pytest.raises(ValueError):
+            LocalPredictor(history_bits=0)
+        with pytest.raises(ValueError):
+            LocalPredictor(history_entries=100)
+
+
+class TestHybrid:
+    def test_beats_or_matches_components_on_mixed_stream(self):
+        pattern_global = [True, False] * 150
+        stream = []
+        for index, taken in enumerate(pattern_global):
+            stream.append((0x300, taken))                  # alternating branch
+            stream.append((0x400, index % 3 != 0))          # period-3 branch
+        hybrid_accuracy = accuracy(make_predictor("hybrid_3.5kb"), stream)
+        assert hybrid_accuracy > 0.8
+
+    def test_storage_budget(self):
+        hybrid = make_predictor("hybrid_3.5kb")
+        # 3.5KB = 28 Kbit; allow some slack around the nominal budget.
+        assert 20_000 < hybrid.storage_bits < 40_000
+        global_1kb = make_predictor("global_1kb")
+        assert 8_000 <= global_1kb.storage_bits < 9_000
+
+
+class TestFactory:
+    def test_known_kinds(self):
+        assert isinstance(make_predictor("global_1kb"), GSharePredictor)
+        assert isinstance(make_predictor("hybrid_3.5kb"), HybridPredictor)
+        assert isinstance(make_predictor("hybrid"), HybridPredictor)
+        assert isinstance(make_predictor("bimodal"), BimodalPredictor)
+        assert isinstance(make_predictor("always_taken"), AlwaysTakenPredictor)
+        assert isinstance(make_predictor("always_not_taken"), AlwaysNotTakenPredictor)
+
+    def test_unknown_kind(self):
+        with pytest.raises(ValueError):
+            make_predictor("neural")
+
+
+class TestBranchProfiler:
+    def _loop_trace(self, iterations=20):
+        b = ProgramBuilder("loop")
+        b.li(1, iterations)
+        b.label("top")
+        b.addi(1, 1, -1)
+        b.bne(1, 0, "top")
+        b.j("end")
+        b.label("end")
+        b.halt()
+        return FunctionalSimulator(b.build()).run()
+
+    def test_counts(self):
+        trace = self._loop_trace(iterations=20)
+        profile = profile_branches(trace, AlwaysTakenPredictor())
+        assert profile.conditional_branches == 20
+        assert profile.unconditional_jumps == 1
+        assert profile.taken_branches == 19 + 1       # 19 taken loop branches + jump
+        # Always-taken mispredicts only the final not-taken branch.
+        assert profile.mispredictions == 1
+        assert profile.predicted_taken_correct == 19
+        assert profile.taken_bubbles == 20            # 19 correct taken + 1 jump
+        assert profile.misprediction_rate == pytest.approx(1 / 20)
+
+    def test_counts_with_not_taken_predictor(self):
+        trace = self._loop_trace(iterations=10)
+        profile = profile_branches(trace, AlwaysNotTakenPredictor())
+        assert profile.mispredictions == 9
+        assert profile.predicted_taken_correct == 0
+        assert profile.taken_bubbles == 1              # only the unconditional jump
+
+    def test_empty_branch_profile(self):
+        b = ProgramBuilder()
+        b.li(1, 1)
+        b.halt()
+        trace = FunctionalSimulator(b.build()).run()
+        profile = profile_branches(trace, AlwaysTakenPredictor())
+        assert profile.control_instructions == 0
+        assert profile.misprediction_rate == 0.0

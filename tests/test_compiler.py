@@ -1,0 +1,226 @@
+"""Tests for the compiler passes (instruction scheduling, loop unrolling)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.isa import Instruction, Opcode, ProgramBuilder
+from repro.profiler import collect_dependencies, profile_program
+from repro.trace import FunctionalSimulator
+from repro.workloads import get_workload
+from repro.workloads.compiler import (
+    InstructionScheduler,
+    LoopUnroller,
+    optimization_variants,
+    _block_dependences,
+)
+
+
+def final_memory(program, memory):
+    simulator = FunctionalSimulator(program, memory=memory.copy(),
+                                    max_instructions=3_000_000)
+    simulator.run()
+    return dict(simulator.memory._words)
+
+
+class TestBlockDependences:
+    def test_raw_dependence(self):
+        instructions = [
+            Instruction(Opcode.LI, dest=1, imm=5),
+            Instruction(Opcode.ADDI, dest=2, src1=1, imm=1),
+        ]
+        deps = _block_dependences(instructions)
+        assert deps[1] == {0}
+
+    def test_war_and_waw(self):
+        instructions = [
+            Instruction(Opcode.ADDI, dest=2, src1=1, imm=1),   # reads r1
+            Instruction(Opcode.LI, dest=1, imm=5),             # WAR with 0
+            Instruction(Opcode.LI, dest=1, imm=6),             # WAW with 1
+        ]
+        deps = _block_dependences(instructions)
+        assert 0 in deps[1]
+        assert 1 in deps[2]
+
+    def test_memory_ordering(self):
+        instructions = [
+            Instruction(Opcode.LW, dest=2, src1=1),
+            Instruction(Opcode.SW, src1=1, src2=2),
+            Instruction(Opcode.LW, dest=3, src1=1),
+        ]
+        deps = _block_dependences(instructions)
+        assert 0 in deps[1]       # store ordered after earlier load
+        assert 1 in deps[2]       # later load ordered after the store
+
+
+class TestScheduler:
+    def test_schedule_preserves_instruction_multiset(self):
+        workload = get_workload("sha", use_cache=False, optimize=False)
+        scheduled = InstructionScheduler().run(workload.program)
+        assert sorted(str(i) for i in scheduled) == sorted(
+            str(i) for i in workload.program
+        )
+        assert set(scheduled.labels) == set(workload.program.labels)
+
+    @pytest.mark.parametrize("name", ["sha", "tiff2bw", "gsm_c", "qsort"])
+    def test_schedule_preserves_semantics(self, name):
+        workload = get_workload(name, use_cache=False, optimize=False)
+        scheduled = InstructionScheduler().run(workload.program)
+        assert final_memory(scheduled, workload.memory) == \
+            final_memory(workload.program, workload.memory)
+
+    def test_schedule_increases_short_distance_dependencies(self):
+        """Scheduling must reduce distance-1 dependencies (the point of -O3)."""
+        workload = get_workload("sha", use_cache=False, optimize=False)
+        original_trace = workload.trace()
+        scheduled = InstructionScheduler().run(workload.program)
+        scheduled_trace = FunctionalSimulator(
+            scheduled, memory=workload.memory.copy()
+        ).run()
+        original_deps = collect_dependencies(original_trace)
+        scheduled_deps = collect_dependencies(scheduled_trace)
+        assert scheduled_deps.count("unit", 1) < original_deps.count("unit", 1)
+
+    def test_small_blocks_untouched(self):
+        b = ProgramBuilder("tiny")
+        b.li(1, 1)
+        b.halt()
+        scheduled = InstructionScheduler().run(b.build())
+        assert [i.opcode for i in scheduled] == [Opcode.LI, Opcode.HALT]
+
+    def test_halt_stays_last(self):
+        b = ProgramBuilder("tail")
+        b.li(1, 1)
+        b.li(2, 2)
+        b.li(3, 3)
+        b.halt()
+        scheduled = InstructionScheduler().run(b.build())
+        assert scheduled.instructions[-1].opcode is Opcode.HALT
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=1, max_value=6),     # dest
+                st.integers(min_value=0, max_value=6),     # src1
+                st.integers(min_value=0, max_value=6),     # src2
+            ),
+            min_size=3,
+            max_size=25,
+        )
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_schedule_block_respects_dependences(self, triples):
+        """Property: scheduling any ALU block keeps producers before consumers."""
+        instructions = [
+            Instruction(Opcode.ADD, dest=dest, src1=src1, src2=src2)
+            for dest, src1, src2 in triples
+        ]
+        scheduled = InstructionScheduler().schedule_block(instructions)
+        assert sorted(map(id, scheduled)) == sorted(map(id, instructions))
+        dependences = _block_dependences(instructions)
+        position = {id(instr): i for i, instr in enumerate(scheduled)}
+        for consumer_index, producers in enumerate(dependences):
+            for producer_index in producers:
+                assert (position[id(instructions[producer_index])]
+                        < position[id(instructions[consumer_index])])
+
+
+class TestUnroller:
+    def test_invalid_factor(self):
+        with pytest.raises(ValueError):
+            LoopUnroller(factor=1)
+
+    def test_unrolls_counted_loop(self):
+        b = ProgramBuilder("counted")
+        b.li(1, 8)          # trip count divisible by 2
+        b.li(2, 0)
+        b.label("top")
+        b.addi(2, 2, 3)
+        b.addi(1, 1, -1)
+        b.bne(1, 0, "top")
+        b.halt()
+        program = b.build()
+        unrolled = LoopUnroller(factor=2).run(program)
+        assert len(unrolled) > len(program)
+        # Same architectural result, half the taken branches.
+        simulator = FunctionalSimulator(unrolled)
+        trace = simulator.run()
+        assert simulator.registers[2] == 24
+        branches = [d for d in trace if d.is_branch]
+        assert len(branches) == 4
+
+    def test_skips_odd_trip_count(self):
+        b = ProgramBuilder("odd")
+        b.li(1, 7)
+        b.label("top")
+        b.addi(2, 2, 1)
+        b.addi(1, 1, -1)
+        b.bne(1, 0, "top")
+        b.halt()
+        program = b.build()
+        unrolled = LoopUnroller(factor=2).run(program)
+        assert len(unrolled) == len(program)
+
+    def test_skips_loops_with_internal_control_flow(self):
+        b = ProgramBuilder("branchy")
+        b.li(1, 8)
+        b.label("top")
+        b.beq(2, 0, "skip")
+        b.addi(3, 3, 1)
+        b.label("skip")
+        b.addi(1, 1, -1)
+        b.bne(1, 0, "top")
+        b.halt()
+        program = b.build()
+        unrolled = LoopUnroller(factor=2).run(program)
+        assert len(unrolled) == len(program)
+
+    def test_skips_unknown_trip_count(self):
+        b = ProgramBuilder("dynamic")
+        b.mov(1, 9)          # counter comes from a register, not a literal
+        b.label("top")
+        b.addi(1, 1, -1)
+        b.bne(1, 0, "top")
+        b.halt()
+        program = b.build()
+        unrolled = LoopUnroller(factor=2).run(program)
+        assert len(unrolled) == len(program)
+
+    @pytest.mark.parametrize("name", ["sha", "tiff2bw", "lame"])
+    def test_unroll_preserves_semantics_on_kernels(self, name):
+        workload = get_workload(name, use_cache=False, optimize=False)
+        unrolled = LoopUnroller(factor=2).run(workload.program)
+        assert final_memory(unrolled, workload.memory) == \
+            final_memory(workload.program, workload.memory)
+
+    def test_unroll_reduces_dynamic_branches(self):
+        workload = get_workload("tiff2bw", use_cache=False, optimize=False)
+        unrolled = LoopUnroller(factor=2).run(workload.program)
+        original_trace = workload.trace()
+        unrolled_trace = FunctionalSimulator(
+            unrolled, memory=workload.memory.copy()
+        ).run()
+        original_branches = sum(1 for d in original_trace if d.is_branch)
+        unrolled_branches = sum(1 for d in unrolled_trace if d.is_branch)
+        assert unrolled_branches < original_branches
+        assert len(unrolled_trace) < len(original_trace)
+
+
+class TestOptimizationVariants:
+    def test_variants_named_and_consistent(self):
+        workload = get_workload("sha", use_cache=False, optimize=False)
+        variants = optimization_variants(workload)
+        assert set(variants) == {"nosched", "O3", "unroll"}
+        assert variants["O3"].name == "sha.O3"
+        reference = final_memory(workload.program, workload.memory)
+        for variant in variants.values():
+            assert final_memory(variant.program, variant.memory) == reference
+
+    def test_scheduling_reduces_dependency_pressure(self, default_machine):
+        from repro.core.model import predict_workload
+
+        workload = get_workload("tiffdither", use_cache=False, optimize=False)
+        variants = optimization_variants(workload)
+        nosched = predict_workload(variants["nosched"], default_machine)
+        o3 = predict_workload(variants["O3"], default_machine)
+        assert o3.cycles < nosched.cycles

@@ -1,0 +1,72 @@
+"""Unit tests for CPI stacks."""
+
+import pytest
+
+from repro.core.cpi_stack import (
+    CPIComponent,
+    CPIStack,
+    PAPER_GROUP_ORDER,
+    PAPER_GROUPS,
+)
+
+
+class TestCPIStack:
+    def _stack(self) -> CPIStack:
+        stack = CPIStack(name="demo", instructions=1000)
+        stack.add(CPIComponent.BASE, 250.0)
+        stack.add(CPIComponent.MUL, 50.0)
+        stack.add(CPIComponent.DIV, 25.0)
+        stack.add(CPIComponent.DEP_UNIT, 100.0)
+        stack.add(CPIComponent.BPRED_MISS, 75.0)
+        return stack
+
+    def test_total_and_cpi(self):
+        stack = self._stack()
+        assert stack.total_cycles == pytest.approx(500.0)
+        assert stack.cpi == pytest.approx(0.5)
+        assert stack.cpi_of(CPIComponent.BASE) == pytest.approx(0.25)
+        assert stack.component(CPIComponent.MUL) == pytest.approx(50.0)
+        assert stack.component(CPIComponent.DL2_MISS) == 0.0
+
+    def test_add_accumulates_and_clamps(self):
+        stack = CPIStack(name="x", instructions=10)
+        stack.add(CPIComponent.BASE, 1.0)
+        stack.add(CPIComponent.BASE, 2.0)
+        stack.add(CPIComponent.BASE, -5.0)     # negative contributions are dropped
+        stack.add(CPIComponent.MUL, 0.0)       # zero contributions are dropped
+        assert stack.component(CPIComponent.BASE) == pytest.approx(3.0)
+        assert CPIComponent.MUL not in stack.cycles
+
+    def test_grouping_merges_mul_and_div(self):
+        grouped = self._stack().grouped()
+        assert grouped["mul/div"] == pytest.approx(0.075)
+        assert grouped["base"] == pytest.approx(0.25)
+        assert grouped["dependencies"] == pytest.approx(0.1)
+        # Grouping preserves the total CPI.
+        assert sum(grouped.values()) == pytest.approx(self._stack().cpi)
+
+    def test_group_order_follows_paper(self):
+        grouped = self._stack().grouped()
+        labels = list(grouped)
+        expected_order = [label for label in PAPER_GROUP_ORDER if label in grouped]
+        assert labels[:len(expected_order)] == expected_order
+
+    def test_every_component_has_a_group(self):
+        assert set(PAPER_GROUPS) == set(CPIComponent)
+
+    def test_scaled(self):
+        stack = self._stack()
+        doubled = stack.scaled(2.0)
+        assert doubled.total_cycles == pytest.approx(2 * stack.total_cycles)
+        assert stack.total_cycles == pytest.approx(500.0)  # original untouched
+
+    def test_as_rows_and_str(self):
+        rows = self._stack().as_rows()
+        assert ("base", pytest.approx(0.25)) in rows
+        assert "CPI=0.500" in str(self._stack())
+
+    def test_empty_stack(self):
+        stack = CPIStack(name="empty", instructions=0)
+        assert stack.cpi == 0.0
+        assert stack.cpi_of(CPIComponent.BASE) == 0.0
+        assert stack.grouped() == {}

@@ -1,0 +1,117 @@
+"""Tests for the design space definition and the exploration driver."""
+
+import pytest
+
+from repro.dse import (
+    DesignSpace,
+    DesignSpaceExplorer,
+    default_design_space,
+    reduced_design_space,
+)
+from repro.machine import MachineConfig
+from repro.workloads import get_workload
+
+
+class TestDesignSpace:
+    def test_full_space_has_192_points(self):
+        space = default_design_space()
+        assert len(space) == 192
+        configurations = space.configurations()
+        assert len(configurations) == 192
+        assert len({machine.name for machine in configurations}) == 192
+
+    def test_reduced_space_is_subset_sized(self):
+        space = reduced_design_space()
+        assert 0 < len(space) < 192
+        assert len(space.configurations()) == len(space)
+
+    def test_configurations_cover_table2_ranges(self):
+        space = default_design_space()
+        configurations = space.configurations()
+        assert {machine.width for machine in configurations} == {1, 2, 3, 4}
+        assert {machine.pipeline_stages for machine in configurations} == {5, 7, 9}
+        assert {machine.frequency_mhz for machine in configurations} == {600, 800, 1000}
+        assert {machine.l2_size for machine in configurations} == {
+            128 * 1024, 256 * 1024, 512 * 1024, 1024 * 1024
+        }
+        assert {machine.l2_associativity for machine in configurations} == {8, 16}
+        assert {machine.branch_predictor for machine in configurations} == {
+            "global_1kb", "hybrid_3.5kb"
+        }
+
+    def test_depth_frequency_coupled(self):
+        for machine in default_design_space():
+            if machine.pipeline_stages == 5:
+                assert machine.frequency_mhz == 600
+            elif machine.pipeline_stages == 9:
+                assert machine.frequency_mhz == 1000
+
+    def test_custom_base_config_propagates(self):
+        space = DesignSpace(base=MachineConfig(l1d_size=16 * 1024))
+        assert all(machine.l1d_size == 16 * 1024 for machine in space.configurations())
+
+    def test_iteration(self):
+        assert len(list(iter(reduced_design_space()))) == len(reduced_design_space())
+
+
+@pytest.fixture(scope="module")
+def tiny_explorer():
+    """An explorer over a 4-point space, small enough to simulate in tests."""
+    configurations = [
+        MachineConfig(width=width, pipeline_stages=stages, frequency_mhz=freq,
+                      name=f"w{width}_d{stages}")
+        for width, stages, freq in [(1, 5, 600), (2, 5, 600), (4, 9, 1000), (2, 9, 1000)]
+    ]
+    return DesignSpaceExplorer(configurations)
+
+
+class TestExplorer:
+    def test_empty_space_rejected(self):
+        with pytest.raises(ValueError):
+            DesignSpaceExplorer([])
+
+    def test_evaluate_model_only(self, tiny_explorer):
+        results = tiny_explorer.evaluate(get_workload("sha"))
+        assert len(results) == 4
+        assert all(point.simulated_cycles is None for point in results)
+        assert all(point.model_cpi > 0 for point in results)
+        # Wider configurations should not have a higher predicted CPI... but a
+        # deeper pipeline can; just check the scalar machine is the slowest.
+        scalar = next(point for point in results if point.machine.width == 1)
+        assert all(scalar.model_cpi >= point.model_cpi for point in results)
+
+    def test_evaluate_with_simulation_and_power(self, tiny_explorer):
+        results = tiny_explorer.evaluate(
+            get_workload("sha"), simulate=True, with_power=True
+        )
+        for point in results:
+            assert point.simulated_cycles is not None
+            assert point.simulated_cpi > 0
+            assert point.model_energy_joules > 0
+            assert point.simulated_energy_joules > 0
+            assert point.model_edp > 0
+            assert point.simulated_edp > 0
+
+    def test_validation_summary(self, tiny_explorer):
+        summary = tiny_explorer.validate([get_workload("sha")])
+        assert summary.count == 4
+        assert 0 <= summary.average_absolute_error < 0.2
+        assert summary.maximum_absolute_error < 0.3
+
+    def test_edp_exploration(self, tiny_explorer):
+        exploration = tiny_explorer.explore_edp(get_workload("gsm_c"))
+        best_model = exploration.best_by_model()
+        best_simulated = exploration.best_by_simulation()
+        assert best_model.machine.name in {p.machine.name for p in exploration.points}
+        assert best_simulated.simulated_edp <= min(
+            point.simulated_edp for point in exploration.points
+        ) * 1.0001
+        assert exploration.model_choice_edp_gap() >= 0.0
+
+    def test_profiles_are_cached(self, tiny_explorer):
+        workload = get_workload("sha")
+        tiny_explorer.evaluate(workload)
+        cached_programs = len(tiny_explorer._program_profiles)
+        tiny_explorer.evaluate(workload)
+        assert len(tiny_explorer._program_profiles) == cached_programs
+        assert ("sha", "w1_d5") in tiny_explorer._miss_profiles

@@ -1,0 +1,155 @@
+"""Integration tests for the experiment drivers and the CLI.
+
+Each experiment is exercised on a reduced benchmark set so the whole suite
+remains fast; the full runs are available through the benchmark harness and
+the command line interface.
+"""
+
+import pytest
+
+from repro.cli import build_parser, main as cli_main
+from repro.experiments import (
+    ALL_EXPERIMENTS,
+    figure3,
+    figure4,
+    figure5,
+    figure6,
+    figure7,
+    figure8,
+    figure9,
+    speedup,
+    table2,
+)
+from repro.machine import MachineConfig
+
+
+@pytest.fixture(scope="module")
+def quick_machine():
+    return MachineConfig(name="default")
+
+
+class TestTable2:
+    def test_run_and_format(self):
+        result = table2.run()
+        assert result.design_points == 192
+        text = table2.format_result(result)
+        assert "192 design points" in text
+        assert "branch predictor" in text
+
+
+class TestFigure3:
+    def test_subset_accuracy(self, quick_machine):
+        result = figure3.run(benchmarks=["sha", "qsort", "tiff2bw"], machine=quick_machine)
+        assert len(result.rows) == 3
+        assert result.summary.average_absolute_error < 0.12
+        text = figure3.format_result(result)
+        assert "sha" in text and "average |error|" in text
+
+
+class TestFigure4:
+    def test_width_scaling_shapes(self, quick_machine):
+        result = figure4.run(benchmarks=("sha", "dijkstra"), widths=(1, 4),
+                             machine=quick_machine)
+        assert len(result.points) == 4
+        sha_points = {p.width: p for p in result.for_benchmark("sha")}
+        dijkstra_points = {p.width: p for p in result.for_benchmark("dijkstra")}
+        # sha gains a lot from width, dijkstra much less (the paper's story).
+        sha_gain = sha_points[1].stack.cpi / sha_points[4].stack.cpi
+        dijkstra_gain = dijkstra_points[1].stack.cpi / dijkstra_points[4].stack.cpi
+        assert sha_gain > dijkstra_gain
+        # The dependency component grows with width for dijkstra.
+        assert (dijkstra_points[4].stack.grouped().get("dependencies", 0.0)
+                > dijkstra_points[1].stack.grouped().get("dependencies", 0.0))
+        assert "Figure 4" in figure4.format_result(result)
+
+
+class TestFigure5:
+    def test_reduced_space_error_distribution(self):
+        result = figure5.run(full=False, benchmarks=("sha", "qsort"))
+        assert result.summary.count == result.design_points * 2
+        assert result.summary.average_absolute_error < 0.10
+        assert 0.0 <= result.fraction_below_6_percent <= 1.0
+        assert result.cdf[-1][1] == pytest.approx(1.0)
+        assert "Figure 5" in figure5.format_result(result)
+
+
+class TestFigure6:
+    def test_spec_like_suite(self, quick_machine):
+        result = figure6.run(benchmarks=["mcf_like", "libquantum_like"],
+                             machine=quick_machine)
+        assert len(result.rows) == 2
+        assert result.summary.average_absolute_error < 0.15
+        # Memory-bound workloads have clearly higher CPI than typical MiBench.
+        assert any(row.simulated_cpi > 2.0 for row in result.rows)
+        assert "Figure 6" in figure6.format_result(result)
+
+
+class TestFigure7:
+    def test_in_order_vs_out_of_order(self, quick_machine):
+        result = figure7.run(benchmarks=("dijkstra", "tiff2bw"), machine=quick_machine)
+        assert len(result.rows) == 2
+        for row in result.rows:
+            assert row.out_of_order.cpi < row.in_order.cpi
+            in_order_groups = row.in_order.grouped()
+            out_of_order_groups = row.out_of_order.grouped()
+            assert in_order_groups.get("dependencies", 0.0) > 0.0
+            assert out_of_order_groups.get("dependencies", 0.0) == 0.0
+            assert row.out_of_order_simulated_cpi > 0
+        assert "Figure 7" in figure7.format_result(result)
+
+
+class TestFigure8:
+    def test_compiler_variants(self, quick_machine):
+        result = figure8.run(benchmarks=("sha", "tiffdither"), machine=quick_machine)
+        assert len(result.rows) == 6
+        for benchmark in ("sha", "tiffdither"):
+            rows = {row.variant: row for row in result.for_benchmark(benchmark)}
+            assert rows["O3"].normalized_cycles == pytest.approx(1.0)
+            assert rows["nosched"].normalized_cycles > 1.0
+            assert rows["unroll"].normalized_cycles <= rows["nosched"].normalized_cycles
+        assert "Figure 8" in figure8.format_result(result)
+
+
+class TestFigure9:
+    def test_edp_exploration(self):
+        result = figure9.run(benchmarks=("gsm_c",), full=False)
+        assert len(result.rows) == 1
+        row = result.rows[0]
+        assert row.edp_gap >= 0.0
+        assert row.edp_gap < 0.10
+        assert "Figure 9" in figure9.format_result(result)
+
+
+class TestSpeedup:
+    def test_model_is_orders_of_magnitude_faster(self):
+        result = speedup.run(benchmark="sha", configurations=4)
+        assert result.configurations == 4
+        assert result.model_seconds < result.simulation_seconds
+        assert result.speedup_model_only > 50
+        assert "Speedup" in speedup.format_result(result)
+
+
+class TestCLI:
+    def test_registry_contains_all_figures(self):
+        assert set(ALL_EXPERIMENTS) == {
+            "table2", "figure3", "figure4", "figure5", "figure6",
+            "figure7", "figure8", "figure9", "speedup",
+        }
+
+    def test_parser(self):
+        parser = build_parser()
+        args = parser.parse_args(["figure3", "--full"])
+        assert args.experiment == "figure3"
+        assert args.full is True
+        args = parser.parse_args([])
+        assert args.experiment == "all"
+
+    def test_cli_runs_single_experiment(self, capsys):
+        exit_code = cli_main(["table2"])
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "design space" in captured.out
+
+    def test_cli_rejects_unknown_experiment(self):
+        with pytest.raises(SystemExit):
+            cli_main(["figure42"])

@@ -1,0 +1,255 @@
+"""Unit tests for the functional simulator and memory image."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.isa import Opcode, ProgramBuilder
+from repro.trace import (
+    FunctionalSimulator,
+    MemoryImage,
+    SimulationLimitError,
+)
+from repro.trace.trace import INSTR_BYTES
+
+
+def run_program(builder: ProgramBuilder, memory: MemoryImage | None = None):
+    simulator = FunctionalSimulator(builder.build(), memory=memory)
+    trace = simulator.run()
+    return simulator, trace
+
+
+class TestMemoryImage:
+    def test_word_roundtrip(self):
+        memory = MemoryImage()
+        memory.store_word(0x100, 1234)
+        assert memory.load_word(0x100) == 1234
+        assert memory.load_word(0x200) == 0
+
+    def test_byte_access_within_word(self):
+        memory = MemoryImage()
+        memory.store_word(0x40, 0x11223344)
+        assert memory.load_byte(0x40) == 0x44
+        assert memory.load_byte(0x41) == 0x33
+        memory.store_byte(0x41, 0xAB)
+        assert memory.load_byte(0x41) == 0xAB
+        assert memory.load_byte(0x40) == 0x44
+
+    def test_write_and_read_array(self):
+        memory = MemoryImage()
+        end = memory.write_array(0x80, [1, 2, 3])
+        assert end == 0x80 + 3 * MemoryImage.WORD_BYTES
+        assert memory.read_array(0x80, 3) == [1, 2, 3]
+
+    def test_copy_is_independent(self):
+        memory = MemoryImage()
+        memory.store_word(0, 5)
+        clone = memory.copy()
+        clone.store_word(0, 9)
+        assert memory.load_word(0) == 5
+
+    @given(
+        address=st.integers(min_value=0, max_value=1 << 20).map(lambda a: a * 4),
+        value=st.integers(min_value=-(1 << 31), max_value=(1 << 31) - 1),
+    )
+    @settings(max_examples=60)
+    def test_word_roundtrip_property(self, address, value):
+        memory = MemoryImage()
+        memory.store_word(address, value)
+        assert memory.load_word(address) == value
+
+    @given(address=st.integers(min_value=0, max_value=1 << 16),
+           value=st.integers(min_value=0, max_value=255))
+    @settings(max_examples=60)
+    def test_byte_roundtrip_property(self, address, value):
+        memory = MemoryImage()
+        memory.store_byte(address, value)
+        assert memory.load_byte(address) == value
+
+
+class TestArithmetic:
+    def test_add_sub_logic(self):
+        b = ProgramBuilder()
+        b.li(1, 10)
+        b.li(2, 3)
+        b.add(3, 1, 2)
+        b.sub(4, 1, 2)
+        b.and_(5, 1, 2)
+        b.or_(6, 1, 2)
+        b.xor(7, 1, 2)
+        b.halt()
+        simulator, _ = run_program(b)
+        assert simulator.registers[3] == 13
+        assert simulator.registers[4] == 7
+        assert simulator.registers[5] == 10 & 3
+        assert simulator.registers[6] == 10 | 3
+        assert simulator.registers[7] == 10 ^ 3
+
+    def test_shifts_and_compare(self):
+        b = ProgramBuilder()
+        b.li(1, 5)
+        b.slli(2, 1, 3)
+        b.srli(3, 2, 1)
+        b.slt(4, 1, 2)
+        b.slti(5, 1, 2)
+        b.halt()
+        simulator, _ = run_program(b)
+        assert simulator.registers[2] == 40
+        assert simulator.registers[3] == 20
+        assert simulator.registers[4] == 1
+        assert simulator.registers[5] == 0
+
+    def test_mul_div_rem(self):
+        b = ProgramBuilder()
+        b.li(1, 7)
+        b.li(2, 3)
+        b.mul(3, 1, 2)
+        b.div(4, 1, 2)
+        b.rem(5, 1, 2)
+        b.muli(6, 1, -2)
+        b.divi(7, 1, 2)
+        b.halt()
+        simulator, _ = run_program(b)
+        assert simulator.registers[3] == 21
+        assert simulator.registers[4] == 2
+        assert simulator.registers[5] == 1
+        assert simulator.registers[6] == -14
+        assert simulator.registers[7] == 3
+
+    def test_division_by_zero_yields_zero(self):
+        b = ProgramBuilder()
+        b.li(1, 7)
+        b.div(2, 1, 0)
+        b.rem(3, 1, 0)
+        b.divi(4, 1, 0)
+        b.halt()
+        simulator, _ = run_program(b)
+        assert simulator.registers[2] == 0
+        assert simulator.registers[3] == 0
+        assert simulator.registers[4] == 0
+
+    def test_writes_to_r0_are_ignored(self):
+        b = ProgramBuilder()
+        b.li(0, 42)
+        b.add(1, 0, 0)
+        b.halt()
+        simulator, _ = run_program(b)
+        assert simulator.registers[0] == 0
+        assert simulator.registers[1] == 0
+
+    def test_mov_and_li(self):
+        b = ProgramBuilder()
+        b.li(1, -9)
+        b.mov(2, 1)
+        b.halt()
+        simulator, _ = run_program(b)
+        assert simulator.registers[2] == -9
+
+
+class TestMemoryInstructions:
+    def test_load_store_word(self):
+        memory = MemoryImage()
+        memory.store_word(0x100, 77)
+        b = ProgramBuilder()
+        b.li(1, 0x100)
+        b.lw(2, 1, 0)
+        b.addi(2, 2, 1)
+        b.sw(2, 1, 4)
+        b.halt()
+        simulator, trace = run_program(b, memory)
+        assert simulator.registers[2] == 78
+        assert simulator.memory.load_word(0x104) == 78
+        loads = [d for d in trace if d.is_load]
+        stores = [d for d in trace if d.is_store]
+        assert loads[0].mem_addr == 0x100
+        assert stores[0].mem_addr == 0x104
+
+    def test_load_store_byte(self):
+        b = ProgramBuilder()
+        b.li(1, 0x200)
+        b.li(2, 0x1FF)
+        b.sb(2, 1, 0)
+        b.lb(3, 1, 0)
+        b.halt()
+        simulator, _ = run_program(b)
+        assert simulator.registers[3] == 0xFF  # only the low byte is stored
+
+
+class TestControlFlow:
+    def test_loop_executes_expected_iterations(self):
+        b = ProgramBuilder()
+        b.li(1, 5)
+        b.li(2, 0)
+        b.label("top")
+        b.addi(2, 2, 1)
+        b.addi(1, 1, -1)
+        b.bne(1, 0, "top")
+        b.halt()
+        simulator, trace = run_program(b)
+        assert simulator.registers[2] == 5
+        branches = [d for d in trace if d.is_branch]
+        assert len(branches) == 5
+        assert sum(1 for d in branches if d.taken) == 4
+
+    def test_branch_variants(self):
+        b = ProgramBuilder()
+        b.li(1, 2)
+        b.li(2, 3)
+        b.blt(1, 2, "lt_taken")
+        b.li(10, 111)           # skipped
+        b.label("lt_taken")
+        b.bge(2, 1, "ge_taken")
+        b.li(11, 222)           # skipped
+        b.label("ge_taken")
+        b.beq(1, 1, "eq_taken")
+        b.li(12, 333)           # skipped
+        b.label("eq_taken")
+        b.halt()
+        simulator, _ = run_program(b)
+        assert simulator.registers[10] == 0
+        assert simulator.registers[11] == 0
+        assert simulator.registers[12] == 0
+
+    def test_jump_and_jr(self):
+        b = ProgramBuilder()
+        b.li(1, 5 * INSTR_BYTES)   # address of the label "end"
+        b.j("skip")
+        b.li(9, 1)                 # never executed
+        b.label("skip")
+        b.jr(1)
+        b.li(9, 2)                 # never executed
+        b.label("end")
+        b.halt()
+        simulator, trace = run_program(b)
+        assert simulator.registers[9] == 0
+        jumps = [d for d in trace if d.is_control]
+        assert all(d.taken for d in jumps)
+
+    def test_next_pc_recorded(self):
+        b = ProgramBuilder()
+        b.li(1, 1)
+        b.beq(1, 1, "target")
+        b.nop()
+        b.label("target")
+        b.halt()
+        _, trace = run_program(b)
+        branch = next(d for d in trace if d.is_branch)
+        assert branch.taken is True
+        assert branch.next_pc == 3 * INSTR_BYTES
+
+    def test_simulation_limit(self):
+        b = ProgramBuilder()
+        b.label("forever")
+        b.j("forever")
+        simulator = FunctionalSimulator(b.build(), max_instructions=100)
+        with pytest.raises(SimulationLimitError):
+            simulator.run()
+
+    def test_halt_ends_trace(self):
+        b = ProgramBuilder()
+        b.li(1, 1)
+        b.halt()
+        b.li(2, 2)   # unreachable
+        simulator, trace = run_program(b)
+        assert simulator.registers[2] == 0
+        assert len(trace) == 2

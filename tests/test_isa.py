@@ -1,0 +1,230 @@
+"""Unit tests for the ISA layer: registers, opcodes, instructions, programs."""
+
+import pytest
+
+from repro.isa import (
+    Instruction,
+    NUM_INT_REGS,
+    OpClass,
+    Opcode,
+    Program,
+    ProgramBuilder,
+    Register,
+)
+from repro.isa.opcodes import IMMEDIATE_OPCODES, OPCODE_CLASS, op_class
+from repro.isa.program import ProgramError
+from repro.isa.registers import R, ZERO_REG, reg
+
+
+class TestRegisters:
+    def test_register_range(self):
+        assert Register(0) == 0
+        assert Register(NUM_INT_REGS - 1) == NUM_INT_REGS - 1
+
+    def test_register_out_of_range(self):
+        with pytest.raises(ValueError):
+            Register(NUM_INT_REGS)
+        with pytest.raises(ValueError):
+            Register(-1)
+
+    def test_register_repr(self):
+        assert repr(Register(7)) == "r7"
+
+    def test_reg_helper_and_table(self):
+        assert reg(5) == R[5] == 5
+        assert len(R) == NUM_INT_REGS
+
+    def test_zero_register_constant(self):
+        assert ZERO_REG == 0
+
+
+class TestOpcodes:
+    def test_every_opcode_has_a_class(self):
+        for opcode in Opcode:
+            assert opcode in OPCODE_CLASS
+
+    def test_op_class_lookup(self):
+        assert op_class(Opcode.ADD) is OpClass.INT_ALU
+        assert op_class(Opcode.MUL) is OpClass.INT_MUL
+        assert op_class(Opcode.DIV) is OpClass.INT_DIV
+        assert op_class(Opcode.LW) is OpClass.LOAD
+        assert op_class(Opcode.SW) is OpClass.STORE
+        assert op_class(Opcode.BEQ) is OpClass.BRANCH
+        assert op_class(Opcode.J) is OpClass.JUMP
+
+    def test_memory_and_control_properties(self):
+        assert OpClass.LOAD.is_memory and OpClass.STORE.is_memory
+        assert not OpClass.INT_ALU.is_memory
+        assert OpClass.BRANCH.is_control and OpClass.JUMP.is_control
+        assert not OpClass.LOAD.is_control
+
+    def test_immediate_opcode_set(self):
+        assert Opcode.ADDI in IMMEDIATE_OPCODES
+        assert Opcode.ADD not in IMMEDIATE_OPCODES
+
+
+class TestInstruction:
+    def test_alu_operands(self):
+        instruction = Instruction(Opcode.ADD, dest=3, src1=1, src2=2)
+        assert instruction.dest_regs() == (3,)
+        assert instruction.src_regs() == (1, 2)
+        assert instruction.op_class is OpClass.INT_ALU
+        assert not instruction.is_long_latency
+
+    def test_zero_register_is_dropped(self):
+        instruction = Instruction(Opcode.ADD, dest=0, src1=0, src2=5)
+        assert instruction.dest_regs() == ()
+        assert instruction.src_regs() == (5,)
+
+    def test_store_has_no_dest(self):
+        store = Instruction(Opcode.SW, src1=4, src2=7, imm=8)
+        assert store.dest_regs() == ()
+        assert set(store.src_regs()) == {4, 7}
+        assert store.is_store and store.is_memory and not store.is_load
+
+    def test_load_properties(self):
+        load = Instruction(Opcode.LW, dest=2, src1=9, imm=4)
+        assert load.is_load and load.is_memory
+        assert load.dest_regs() == (2,)
+
+    def test_branch_vs_jump(self):
+        branch = Instruction(Opcode.BNE, src1=1, src2=2, target="loop")
+        jump = Instruction(Opcode.J, target="exit")
+        assert branch.is_branch and branch.is_control
+        assert not jump.is_branch and jump.is_control
+
+    def test_long_latency(self):
+        assert Instruction(Opcode.MUL, dest=1, src1=2, src2=3).is_long_latency
+        assert Instruction(Opcode.DIV, dest=1, src1=2, src2=3).is_long_latency
+        assert not Instruction(Opcode.ADD, dest=1, src1=2, src2=3).is_long_latency
+
+    def test_str_is_readable(self):
+        text = str(Instruction(Opcode.ADDI, dest=1, src1=2, imm=5))
+        assert "addi" in text and "r1" in text
+
+
+class TestProgramBuilder:
+    def test_build_simple_loop(self):
+        b = ProgramBuilder("loop")
+        b.li(1, 3)
+        b.label("top")
+        b.addi(1, 1, -1)
+        b.bne(1, 0, "top")
+        b.halt()
+        program = b.build()
+        assert len(program) == 4
+        assert program.label_address("top") == 1
+        assert program.name == "loop"
+
+    def test_duplicate_label_rejected(self):
+        b = ProgramBuilder()
+        b.label("x")
+        with pytest.raises(ProgramError):
+            b.label("x")
+
+    def test_unknown_branch_target_rejected(self):
+        b = ProgramBuilder()
+        b.bne(1, 2, "nowhere")
+        with pytest.raises(ProgramError):
+            b.build()
+
+    def test_unique_label(self):
+        b = ProgramBuilder()
+        b.label("x")
+        assert b.unique_label("x") == "x_1"
+        assert b.unique_label("fresh") == "fresh"
+
+    def test_immediate_helper_rejects_non_immediate(self):
+        b = ProgramBuilder()
+        with pytest.raises(ProgramError):
+            b._alu_imm(Opcode.ADD, 1, 2, 3)
+
+    def test_position_tracks_emitted_instructions(self):
+        b = ProgramBuilder()
+        assert b.position == 0
+        b.nop()
+        assert b.position == 1
+
+    def test_all_builder_helpers_emit_expected_opcodes(self):
+        b = ProgramBuilder()
+        b.add(1, 2, 3)
+        b.sub(1, 2, 3)
+        b.and_(1, 2, 3)
+        b.or_(1, 2, 3)
+        b.xor(1, 2, 3)
+        b.sll(1, 2, 3)
+        b.srl(1, 2, 3)
+        b.slt(1, 2, 3)
+        b.mul(1, 2, 3)
+        b.div(1, 2, 3)
+        b.rem(1, 2, 3)
+        b.addi(1, 2, 4)
+        b.andi(1, 2, 4)
+        b.ori(1, 2, 4)
+        b.xori(1, 2, 4)
+        b.slli(1, 2, 4)
+        b.srli(1, 2, 4)
+        b.slti(1, 2, 4)
+        b.muli(1, 2, 4)
+        b.divi(1, 2, 4)
+        b.li(1, 9)
+        b.mov(1, 2)
+        b.lw(1, 2, 0)
+        b.lb(1, 2, 0)
+        b.sw(1, 2, 0)
+        b.sb(1, 2, 0)
+        b.label("t")
+        b.beq(1, 2, "t")
+        b.bne(1, 2, "t")
+        b.blt(1, 2, "t")
+        b.bge(1, 2, "t")
+        b.j("t")
+        b.jr(1)
+        b.nop()
+        b.halt()
+        program = b.build()
+        opcodes = [instruction.opcode for instruction in program]
+        assert Opcode.ADD in opcodes and Opcode.HALT in opcodes
+        assert len(program) == 34
+
+
+class TestProgram:
+    def _program(self) -> Program:
+        b = ProgramBuilder("bb")
+        b.li(1, 2)               # 0
+        b.label("loop")          # -> 1
+        b.addi(1, 1, -1)         # 1
+        b.bne(1, 0, "loop")      # 2
+        b.li(2, 7)               # 3
+        b.halt()                 # 4
+        return b.build()
+
+    def test_basic_blocks(self):
+        blocks = self._program().basic_blocks()
+        # Leaders: 0 (entry), 1 (label), 3 (after branch).
+        assert [(block.start, block.end) for block in blocks] == [(0, 1), (1, 3), (3, 5)]
+        assert blocks[1].label == "loop"
+
+    def test_basic_blocks_empty_program(self):
+        assert Program().basic_blocks() == []
+
+    def test_label_address_unknown(self):
+        with pytest.raises(ProgramError):
+            self._program().label_address("missing")
+
+    def test_copy_is_independent(self):
+        program = self._program()
+        clone = program.copy()
+        clone.instructions.append(Instruction(Opcode.NOP))
+        assert len(clone) == len(program) + 1
+
+    def test_validate_flags_missing_target(self):
+        program = self._program()
+        program.instructions[2] = Instruction(Opcode.BNE, src1=1, src2=0, target=None)
+        with pytest.raises(ProgramError):
+            program.validate()
+
+    def test_iteration_and_indexing(self):
+        program = self._program()
+        assert program[0].opcode is Opcode.LI
+        assert len(list(iter(program))) == len(program)

@@ -1,0 +1,77 @@
+"""Unit tests for the machine configuration."""
+
+import pytest
+
+from repro.isa.opcodes import OpClass
+from repro.machine import BACKEND_STAGES, DEFAULT_MACHINE, MachineConfig
+
+
+class TestMachineConfig:
+    def test_default_matches_paper_table2(self):
+        machine = DEFAULT_MACHINE
+        assert machine.width == 4
+        assert machine.pipeline_stages == 9
+        assert machine.frequency_mhz == 1000
+        assert machine.l1i_size == 32 * 1024
+        assert machine.l2_size == 512 * 1024
+        assert machine.l2_associativity == 8
+        assert machine.branch_predictor == "global_1kb"
+
+    def test_frontend_depth(self):
+        assert MachineConfig(pipeline_stages=5).frontend_depth == 2
+        assert MachineConfig(pipeline_stages=7).frontend_depth == 4
+        assert MachineConfig(pipeline_stages=9).frontend_depth == 6
+
+    def test_latency_conversion_to_cycles(self):
+        machine = MachineConfig(frequency_mhz=1000, l2_ns=10.0, memory_ns=80.0)
+        assert machine.cycle_ns == pytest.approx(1.0)
+        assert machine.l2_hit_cycles == 10
+        assert machine.memory_cycles == 80
+        slower = machine.with_(frequency_mhz=600)
+        # At 600 MHz the same 10 ns L2 is only 6 cycles away.
+        assert slower.l2_hit_cycles == 6
+        assert slower.memory_cycles == 48
+
+    def test_execute_latency(self):
+        machine = MachineConfig(mul_latency=4, div_latency=20)
+        assert machine.execute_latency(OpClass.INT_MUL) == 4
+        assert machine.execute_latency(OpClass.INT_DIV) == 20
+        assert machine.execute_latency(OpClass.INT_ALU) == 1
+        assert machine.execute_latency(OpClass.LOAD) == 1
+
+    def test_memory_hierarchy_config(self):
+        machine = MachineConfig()
+        hierarchy = machine.memory_hierarchy_config()
+        assert hierarchy.l1i.size == machine.l1i_size
+        assert hierarchy.l2.associativity == machine.l2_associativity
+        assert hierarchy.l2_hit_cycles == machine.l2_hit_cycles
+        assert hierarchy.memory_cycles == machine.memory_cycles
+
+    def test_with_override(self):
+        machine = MachineConfig().with_(width=2, name="narrow")
+        assert machine.width == 2
+        assert machine.name == "narrow"
+        # Original is unchanged (frozen dataclass semantics).
+        assert MachineConfig().width == 4
+
+    def test_describe_mentions_key_parameters(self):
+        text = MachineConfig().describe()
+        assert "4-wide" in text and "9-stage" in text and "512KB" in text
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MachineConfig(width=0)
+        with pytest.raises(ValueError):
+            MachineConfig(pipeline_stages=4)
+        with pytest.raises(ValueError):
+            MachineConfig(frequency_mhz=0)
+        with pytest.raises(ValueError):
+            MachineConfig(mul_latency=0)
+
+    def test_backend_stages_constant(self):
+        assert BACKEND_STAGES == 3
+
+    def test_minimum_latency_is_one_cycle(self):
+        # Even a very fast clock cannot make the L2 round-trip free.
+        machine = MachineConfig(frequency_mhz=1000, l2_ns=0.1)
+        assert machine.l2_hit_cycles == 1

@@ -1,0 +1,136 @@
+"""Unit and property tests for the model's penalty formulas (Eqs. 3-16)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import penalties
+
+WIDTHS = st.integers(min_value=1, max_value=8)
+
+
+class TestSlotCorrection:
+    def test_values(self):
+        assert penalties.slot_correction(1) == 0.0
+        assert penalties.slot_correction(2) == pytest.approx(0.25)
+        assert penalties.slot_correction(4) == pytest.approx(0.375)
+
+    def test_invalid_width(self):
+        with pytest.raises(ValueError):
+            penalties.slot_correction(0)
+
+    @given(width=WIDTHS)
+    def test_bounded_below_half(self, width):
+        assert 0.0 <= penalties.slot_correction(width) < 0.5
+
+
+class TestMissAndBranchPenalties:
+    def test_cache_miss_penalty(self):
+        # Eq. 3 with a 10-cycle miss on a 4-wide machine: 10 - 3/8.
+        assert penalties.cache_miss_penalty(10, 4) == pytest.approx(9.625)
+
+    def test_cache_miss_penalty_never_negative(self):
+        assert penalties.cache_miss_penalty(0.1, 4) == 0.0
+
+    def test_branch_misprediction_penalty(self):
+        # Eq. 4 with D=6, W=4: 6 + 3/8.
+        assert penalties.branch_misprediction_penalty(6, 4) == pytest.approx(6.375)
+        with pytest.raises(ValueError):
+            penalties.branch_misprediction_penalty(0, 4)
+
+    def test_taken_branch_penalty(self):
+        assert penalties.taken_branch_penalty() == 1.0
+
+    def test_long_latency_penalty(self):
+        # Eq. 6 with a 4-cycle multiply on a 4-wide machine: 3 - 3/8.
+        assert penalties.long_latency_penalty(4, 4) == pytest.approx(2.625)
+        # Unit latency never incurs a penalty.
+        assert penalties.long_latency_penalty(1, 4) == 0.0
+        with pytest.raises(ValueError):
+            penalties.long_latency_penalty(0.5, 4)
+
+    @given(width=WIDTHS, latency=st.integers(min_value=1, max_value=200))
+    def test_long_latency_monotone_in_latency(self, width, latency):
+        assert (penalties.long_latency_penalty(latency + 1, width)
+                >= penalties.long_latency_penalty(latency, width))
+
+
+class TestDependencyPenalties:
+    def test_probability_same_stage(self):
+        # Eq. 9: (W - d) / W for d < W, zero beyond.
+        assert penalties.probability_same_stage(1, 4) == pytest.approx(0.75)
+        assert penalties.probability_same_stage(3, 4) == pytest.approx(0.25)
+        assert penalties.probability_same_stage(4, 4) == 0.0
+        assert penalties.probability_same_stage(9, 4) == 0.0
+        with pytest.raises(ValueError):
+            penalties.probability_same_stage(0, 4)
+
+    def test_unit_dependency_penalty(self):
+        # Eq. 11 term: ((W - d) / W)^2.
+        assert penalties.unit_dependency_penalty(1, 4) == pytest.approx(0.5625)
+        assert penalties.unit_dependency_penalty(3, 4) == pytest.approx(0.0625)
+        assert penalties.unit_dependency_penalty(4, 4) == 0.0
+
+    def test_long_dependency_penalty(self):
+        # Eq. 12 term: (W - d) / W.
+        assert penalties.long_dependency_penalty(1, 4) == pytest.approx(0.75)
+        assert penalties.long_dependency_penalty(5, 4) == 0.0
+        with pytest.raises(ValueError):
+            penalties.long_dependency_penalty(0, 4)
+
+    def test_load_dependency_penalty_same_stage_case(self):
+        # Eq. 16 first sum, d < W: (W-d)/W * (2W-d)/W + d/W.
+        width = 4
+        for distance in range(1, width):
+            expected = ((width - distance) / width * (2 * width - distance) / width
+                        + distance / width)
+            assert penalties.load_dependency_penalty(distance, width) == pytest.approx(expected)
+
+    def test_load_dependency_penalty_next_stage_case(self):
+        # Eq. 16 second sum, W <= d < 2W: ((2W - d)/W)^2.
+        width = 4
+        for distance in range(width, 2 * width):
+            expected = ((2 * width - distance) / width) ** 2
+            assert penalties.load_dependency_penalty(distance, width) == pytest.approx(expected)
+
+    def test_load_dependency_penalty_beyond_window(self):
+        assert penalties.load_dependency_penalty(8, 4) == 0.0
+        assert penalties.load_dependency_penalty(20, 4) == 0.0
+        with pytest.raises(ValueError):
+            penalties.load_dependency_penalty(0, 4)
+
+    def test_scalar_width_has_no_dependency_penalties(self):
+        # On a 1-wide machine dependencies never share a stage (d >= W always).
+        assert penalties.unit_dependency_total({1: 100, 2: 50}, 1) == 0.0
+        assert penalties.long_dependency_total({1: 100}, 1) == 0.0
+        # Loads still cost the load-use bubble at d = 1 on a scalar machine.
+        assert penalties.load_dependency_total({1: 10}, 1) == pytest.approx(10.0)
+
+    @given(distance=st.integers(min_value=1, max_value=16), width=WIDTHS)
+    def test_penalties_bounded(self, distance, width):
+        assert 0.0 <= penalties.unit_dependency_penalty(distance, width) <= 1.0
+        assert 0.0 <= penalties.long_dependency_penalty(distance, width) <= 1.0
+        assert 0.0 <= penalties.load_dependency_penalty(distance, width) <= 2.0
+
+    @given(width=WIDTHS, distance=st.integers(min_value=1, max_value=15))
+    def test_penalties_non_increasing_in_distance(self, width, distance):
+        for function in (
+            penalties.unit_dependency_penalty,
+            penalties.long_dependency_penalty,
+            penalties.load_dependency_penalty,
+        ):
+            assert function(distance, width) >= function(distance + 1, width) - 1e-12
+
+    def test_totals_weight_by_counts(self):
+        histogram = {1: 10, 2: 5, 3: 1, 7: 100}
+        width = 4
+        expected = (10 * penalties.unit_dependency_penalty(1, width)
+                    + 5 * penalties.unit_dependency_penalty(2, width)
+                    + 1 * penalties.unit_dependency_penalty(3, width))
+        assert penalties.unit_dependency_total(histogram, width) == pytest.approx(expected)
+
+    def test_load_total_includes_second_window(self):
+        width = 4
+        histogram = {5: 3}      # W <= d < 2W
+        expected = 3 * penalties.load_dependency_penalty(5, width)
+        assert penalties.load_dependency_total(histogram, width) == pytest.approx(expected)

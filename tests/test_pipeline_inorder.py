@@ -1,0 +1,231 @@
+"""Unit tests for the cycle-accurate in-order pipeline simulator.
+
+Absolute cycle counts include cold-cache effects, so most tests compare two
+runs that differ in exactly one property (dependencies, latencies, width,
+prediction) and check the difference against the microarchitectural
+expectation.
+"""
+
+import pytest
+
+from repro.isa import ProgramBuilder
+from repro.machine import MachineConfig
+from repro.pipeline import InOrderPipeline
+from repro.profiler import profile_machine
+from repro.trace import FunctionalSimulator, MemoryImage
+
+
+def run_trace(builder: ProgramBuilder, machine: MachineConfig,
+              memory: MemoryImage | None = None):
+    trace = FunctionalSimulator(builder.build(), memory=memory).run()
+    return InOrderPipeline(machine).run(trace), trace
+
+
+def straightline_machine(**overrides) -> MachineConfig:
+    """A test machine with near-free memory so cold compulsory misses do not
+    drown out the effect each test isolates (dependencies, latencies, ...)."""
+    defaults = dict(width=4, pipeline_stages=5, name="test",
+                    l2_ns=1.0, memory_ns=2.0, tlb_miss_ns=1.0)
+    defaults.update(overrides)
+    return MachineConfig(**defaults)
+
+
+def chain_program(length: int) -> ProgramBuilder:
+    """``length`` dependent unit-latency instructions (a serial chain)."""
+    b = ProgramBuilder("chain")
+    b.li(1, 0)
+    for _ in range(length):
+        b.addi(1, 1, 1)
+    b.halt()
+    return b
+
+
+def independent_program(length: int) -> ProgramBuilder:
+    """``length`` mutually independent unit-latency instructions."""
+    b = ProgramBuilder("independent")
+    for index in range(length):
+        b.li(1 + (index % 8), index)
+    b.halt()
+    return b
+
+
+class TestBasicProperties:
+    def test_cycles_at_least_n_over_w(self):
+        machine = straightline_machine()
+        result, trace = run_trace(independent_program(64), machine)
+        assert result.cycles >= len(trace) / machine.width
+        assert result.instructions == len(trace)
+        assert result.cpi == pytest.approx(result.cycles / len(trace))
+        assert result.ipc == pytest.approx(1.0 / result.cpi)
+
+    def test_execution_time_uses_frequency(self):
+        machine = straightline_machine(frequency_mhz=1000)
+        result, _ = run_trace(independent_program(32), machine)
+        assert result.execution_time_seconds == pytest.approx(result.cycles * 1e-9)
+
+    def test_wider_machine_is_not_slower(self):
+        narrow = straightline_machine(width=1)
+        wide = straightline_machine(width=4)
+        program = independent_program(128)
+        narrow_cycles = run_trace(program, narrow)[0].cycles
+        wide_cycles = run_trace(independent_program(128), wide)[0].cycles
+        assert wide_cycles <= narrow_cycles
+
+    def test_miss_counts_match_profiler(self, sha_trace, default_machine):
+        """The detailed simulator and the profiler must observe identical misses."""
+        simulated = InOrderPipeline(default_machine).run(sha_trace)
+        profiled = profile_machine(sha_trace, default_machine)
+        stats = simulated.hierarchy_stats
+        assert stats.l1i_misses == profiled.l1i_misses
+        assert stats.il2_misses == profiled.il2_misses
+        assert stats.l1d_misses == profiled.l1d_misses
+        assert stats.dl2_misses == profiled.dl2_misses
+        assert stats.itlb_misses == profiled.itlb_misses
+        assert stats.dtlb_misses == profiled.dtlb_misses
+        assert simulated.mispredictions == profiled.mispredictions
+        assert simulated.taken_bubbles == profiled.taken_bubbles
+
+
+class TestDependencies:
+    def test_serial_chain_runs_at_one_per_cycle(self):
+        machine = straightline_machine(width=4)
+        length = 200
+        chain_cycles = run_trace(chain_program(length), machine)[0].cycles
+        independent_cycles = run_trace(independent_program(length), machine)[0].cycles
+        # The chain issues one instruction per cycle; the independent stream
+        # runs close to the designed width (modulo cold fetch misses).
+        assert chain_cycles >= length
+        assert independent_cycles <= length * 0.6
+        assert chain_cycles - independent_cycles >= length * 0.5
+
+    def test_scalar_machine_hides_dependencies(self):
+        machine = straightline_machine(width=1)
+        length = 100
+        chain_cycles = run_trace(chain_program(length), machine)[0].cycles
+        independent_cycles = run_trace(independent_program(length), machine)[0].cycles
+        # At width 1 both run at one instruction per cycle.
+        assert abs(chain_cycles - independent_cycles) <= 4
+
+
+class TestLongLatency:
+    def test_dependent_multiply_chain_costs_latency(self):
+        machine = straightline_machine(mul_latency=4)
+        length = 50
+        b_mul = ProgramBuilder("mulchain")
+        b_mul.li(1, 3)
+        for _ in range(length):
+            b_mul.mul(1, 1, 1)
+        b_mul.halt()
+        b_add = chain_program(length)
+        mul_cycles = run_trace(b_mul, machine)[0].cycles
+        add_cycles = run_trace(b_add, machine)[0].cycles
+        extra = mul_cycles - add_cycles
+        assert extra >= length * (machine.mul_latency - 1) * 0.9
+
+    def test_independent_multiplies_still_blocked_in_order(self):
+        """In-order commit: even independent multiplies serialise the execute stage."""
+        machine = straightline_machine(mul_latency=4)
+        length = 50
+        b_mul = ProgramBuilder("mulind")
+        for index in range(length):
+            b_mul.muli(1 + (index % 8), 0, 3)
+        b_mul.halt()
+        mul_cycles = run_trace(b_mul, machine)[0].cycles
+        ind_cycles = run_trace(independent_program(length), machine)[0].cycles
+        assert mul_cycles - ind_cycles >= length * (machine.mul_latency - 1) * 0.9
+
+    def test_divide_costs_more_than_multiply(self):
+        machine = straightline_machine(mul_latency=4, div_latency=20)
+        b_div = ProgramBuilder("divchain")
+        b_div.li(1, 1000)
+        for _ in range(20):
+            b_div.divi(1, 1, 1)
+        b_div.halt()
+        b_mul = ProgramBuilder("mulchain")
+        b_mul.li(1, 1000)
+        for _ in range(20):
+            b_mul.muli(1, 1, 1)
+        b_mul.halt()
+        div_cycles = run_trace(b_div, machine)[0].cycles
+        mul_cycles = run_trace(b_mul, machine)[0].cycles
+        assert div_cycles - mul_cycles >= 20 * (20 - 4) * 0.9
+
+
+class TestLoads:
+    def test_load_use_bubble(self):
+        machine = straightline_machine()
+        memory = MemoryImage()
+        memory.write_array(0x1000, list(range(64)))
+
+        def loads_program(dependent: bool) -> ProgramBuilder:
+            b = ProgramBuilder("loads")
+            b.li(1, 0x1000)
+            for index in range(64):
+                b.lw(2, 1, (index % 16) * 4)
+                if dependent:
+                    b.addi(3, 2, 1)       # consumes the load immediately
+                else:
+                    b.addi(3, 4, 1)       # independent of the load
+            b.halt()
+            return b
+
+        dependent_cycles = run_trace(loads_program(True), machine, memory.copy())[0].cycles
+        independent_cycles = run_trace(loads_program(False), machine, memory.copy())[0].cycles
+        # Each dependent pair pays roughly one load-use bubble.
+        assert dependent_cycles > independent_cycles
+        assert dependent_cycles - independent_cycles >= 64 * 0.5
+
+    def test_data_cache_misses_block_the_pipeline(self):
+        fast_memory = straightline_machine(memory_ns=10.0)
+        slow_memory = straightline_machine(memory_ns=200.0)
+        memory = MemoryImage()
+        memory.write_array(0x1000, list(range(2048)))
+        b = ProgramBuilder("stream")
+        b.li(1, 0x1000)
+        for index in range(128):
+            b.lw(2, 1, index * 64)     # a new cache line every load
+        b.halt()
+        fast_cycles = run_trace(b, fast_memory, memory.copy())[0].cycles
+        slow_cycles = run_trace(b, slow_memory, memory.copy())[0].cycles
+        assert slow_cycles > fast_cycles + 128 * 50
+
+
+class TestBranches:
+    def _loop_program(self, iterations: int) -> ProgramBuilder:
+        b = ProgramBuilder("loop")
+        b.li(1, iterations)
+        b.label("top")
+        b.addi(2, 2, 1)
+        b.addi(1, 1, -1)
+        b.bne(1, 0, "top")
+        b.halt()
+        return b
+
+    def test_misprediction_penalty_scales_with_frontend_depth(self):
+        # always_not_taken mispredicts every taken loop branch.
+        shallow = straightline_machine(pipeline_stages=5,
+                                       branch_predictor="always_not_taken")
+        deep = straightline_machine(pipeline_stages=9,
+                                    branch_predictor="always_not_taken")
+        iterations = 100
+        shallow_cycles = run_trace(self._loop_program(iterations), shallow)[0].cycles
+        deep_cycles = run_trace(self._loop_program(iterations), deep)[0].cycles
+        per_branch = (deep_cycles - shallow_cycles) / iterations
+        depth_delta = deep.frontend_depth - shallow.frontend_depth
+        assert per_branch == pytest.approx(depth_delta, abs=1.5)
+
+    def test_good_prediction_beats_bad_prediction(self):
+        good = straightline_machine(branch_predictor="always_taken")
+        bad = straightline_machine(branch_predictor="always_not_taken")
+        iterations = 200
+        good_result = run_trace(self._loop_program(iterations), good)[0]
+        bad_result = run_trace(self._loop_program(iterations), bad)[0]
+        assert good_result.mispredictions < bad_result.mispredictions
+        assert good_result.cycles < bad_result.cycles
+
+    def test_taken_bubbles_counted(self):
+        machine = straightline_machine(branch_predictor="always_taken")
+        result = run_trace(self._loop_program(50), machine)[0]
+        # 49 correctly predicted taken branches.
+        assert result.taken_bubbles == 49
+        assert result.mispredictions == 1

@@ -1,0 +1,92 @@
+"""Tests for the analytical power/energy model."""
+
+import pytest
+
+from repro.core.model import predict_workload
+from repro.machine import MachineConfig
+from repro.power import PowerModel, PowerModelParameters
+from repro.profiler import profile_machine, profile_program
+from repro.workloads import get_workload
+
+
+@pytest.fixture(scope="module")
+def profiles(default_machine_module=None):
+    workload = get_workload("gsm_c")
+    trace = workload.trace()
+    machine = MachineConfig(name="power-default")
+    return (
+        profile_program(trace),
+        profile_machine(trace, machine),
+        machine,
+        predict_workload(workload, machine).cycles,
+    )
+
+
+class TestEnergyBreakdown:
+    def test_total_is_dynamic_plus_leakage(self, profiles):
+        program, misses, machine, cycles = profiles
+        breakdown = PowerModel(machine).energy(program, misses, cycles)
+        assert breakdown.total == pytest.approx(breakdown.dynamic + breakdown.leakage)
+        assert breakdown.total > 0
+        assert all(value >= 0 for value in breakdown.as_dict().values())
+
+    def test_pipeline_energy_dominates_for_compute_kernel(self, profiles):
+        program, misses, machine, cycles = profiles
+        breakdown = PowerModel(machine).energy(program, misses, cycles)
+        assert breakdown.pipeline > breakdown.memory * 0.01
+
+
+class TestScalingTrends:
+    def test_wider_core_costs_more_energy(self, profiles):
+        program, misses, _, cycles = profiles
+        narrow = PowerModel(MachineConfig(width=1)).energy(program, misses, cycles)
+        wide = PowerModel(MachineConfig(width=4)).energy(program, misses, cycles)
+        assert wide.total > narrow.total
+
+    def test_bigger_l2_leaks_more(self, profiles):
+        program, misses, _, cycles = profiles
+        small = PowerModel(MachineConfig(l2_size=128 * 1024)).energy(program, misses, cycles)
+        big = PowerModel(MachineConfig(l2_size=1024 * 1024)).energy(program, misses, cycles)
+        assert big.leakage > small.leakage
+        assert big.l2 > small.l2
+
+    def test_higher_frequency_raises_dynamic_energy(self, profiles):
+        program, misses, _, cycles = profiles
+        slow = PowerModel(MachineConfig(frequency_mhz=600, pipeline_stages=5))
+        fast = PowerModel(MachineConfig(frequency_mhz=1000, pipeline_stages=5))
+        assert fast.energy(program, misses, cycles).dynamic > \
+            slow.energy(program, misses, cycles).dynamic
+
+    def test_longer_runtime_increases_leakage_only(self, profiles):
+        program, misses, machine, cycles = profiles
+        model = PowerModel(machine)
+        short = model.energy(program, misses, cycles)
+        long = model.energy(program, misses, cycles * 2)
+        assert long.leakage > short.leakage
+        assert long.dynamic == pytest.approx(short.dynamic)
+
+
+class TestEDP:
+    def test_edp_definition(self, profiles):
+        program, misses, machine, cycles = profiles
+        model = PowerModel(machine)
+        energy = model.energy(program, misses, cycles).total
+        time_seconds = cycles * machine.cycle_ns * 1e-9
+        assert model.energy_delay_product(program, misses, cycles) == pytest.approx(
+            energy * time_seconds
+        )
+
+    def test_average_power(self, profiles):
+        program, misses, machine, cycles = profiles
+        power = PowerModel(machine).average_power_watts(program, misses, cycles)
+        # An embedded in-order core should land in the milliwatt-to-watt range.
+        assert 1e-4 < power < 10.0
+        assert PowerModel(machine).average_power_watts(program, misses, 0) == 0.0
+
+    def test_custom_parameters(self, profiles):
+        program, misses, machine, cycles = profiles
+        cheap = PowerModelParameters(pipeline_energy_per_instruction_pj=1.0)
+        expensive = PowerModelParameters(pipeline_energy_per_instruction_pj=100.0)
+        cheap_energy = PowerModel(machine, cheap).energy(program, misses, cycles)
+        expensive_energy = PowerModel(machine, expensive).energy(program, misses, cycles)
+        assert expensive_energy.pipeline > cheap_energy.pipeline

@@ -1,0 +1,164 @@
+"""Unit tests for the program and program-machine profilers."""
+
+import pytest
+
+from repro.isa import ProgramBuilder
+from repro.machine import MachineConfig
+from repro.profiler import (
+    collect_dependencies,
+    collect_instruction_mix,
+    profile_machine,
+    profile_program,
+)
+from repro.profiler.dependences import KIND_LOAD, KIND_LONG, KIND_UNIT
+from repro.isa.opcodes import OpClass
+from repro.trace import FunctionalSimulator, MemoryImage
+
+
+def trace_of(builder: ProgramBuilder, memory: MemoryImage | None = None):
+    return FunctionalSimulator(builder.build(), memory=memory).run()
+
+
+class TestInstructionMix:
+    def test_counts_and_fractions(self):
+        b = ProgramBuilder("mix")
+        b.li(1, 0x100)
+        b.lw(2, 1, 0)
+        b.mul(3, 2, 2)
+        b.div(4, 3, 2)
+        b.sw(4, 1, 4)
+        b.beq(4, 4, "end")
+        b.label("end")
+        b.halt()
+        mix = collect_instruction_mix(trace_of(b))
+        assert mix.total == 7
+        assert mix.loads == 1
+        assert mix.stores == 1
+        assert mix.multiplies == 1
+        assert mix.divides == 1
+        assert mix.branches == 1
+        assert mix.jumps == 0
+        assert mix.control == 1
+        assert mix.fraction(OpClass.LOAD) == pytest.approx(1 / 7)
+
+    def test_empty_fraction(self):
+        b = ProgramBuilder()
+        b.halt()
+        mix = collect_instruction_mix(trace_of(b))
+        assert mix.fraction(OpClass.LOAD) == 0.0
+
+
+class TestDependencyProfile:
+    def test_unit_dependency_distance(self):
+        b = ProgramBuilder()
+        b.li(1, 5)          # producer (unit)
+        b.nop()
+        b.addi(2, 1, 1)     # consumer at distance 2
+        b.halt()
+        deps = collect_dependencies(trace_of(b))
+        assert deps.count(KIND_UNIT, 2) == 1
+        assert deps.total(KIND_UNIT) == 1
+        assert deps.total() == 1
+
+    def test_long_and_load_producers(self):
+        memory = MemoryImage()
+        memory.store_word(0x100, 3)
+        b = ProgramBuilder()
+        b.li(1, 0x100)
+        b.lw(2, 1, 0)       # load producer (consumer of r1 at distance 1 too)
+        b.addi(3, 2, 1)     # depends on the load at distance 1
+        b.mul(4, 3, 3)      # unit-producer dependency
+        b.addi(5, 4, 1)     # depends on the multiply at distance 1
+        b.halt()
+        deps = collect_dependencies(trace_of(b, memory))
+        assert deps.count(KIND_LOAD, 1) == 1
+        assert deps.count(KIND_LONG, 1) == 1
+        assert deps.count(KIND_UNIT, 1) >= 2   # lw on li, mul on addi
+
+    def test_shortest_distance_wins_for_two_producers(self):
+        b = ProgramBuilder()
+        b.li(1, 5)          # distance 3 producer of r1
+        b.nop()
+        b.li(2, 7)          # distance 1 producer of r2
+        b.add(3, 1, 2)      # consumer with two producers
+        b.halt()
+        deps = collect_dependencies(trace_of(b))
+        assert deps.count(KIND_UNIT, 1) == 1
+        assert deps.count(KIND_UNIT, 3) == 0
+
+    def test_dependency_through_overwritten_register_is_renewed(self):
+        b = ProgramBuilder()
+        b.li(1, 5)
+        b.li(1, 6)          # overwrites; the later consumer depends on this one
+        b.addi(2, 1, 1)
+        b.halt()
+        deps = collect_dependencies(trace_of(b))
+        assert deps.count(KIND_UNIT, 1) == 1
+        assert deps.count(KIND_UNIT, 2) == 0
+
+    def test_distance_cap(self):
+        b = ProgramBuilder()
+        b.li(1, 5)
+        for _ in range(70):
+            b.nop()
+        b.addi(2, 1, 1)
+        b.halt()
+        deps = collect_dependencies(trace_of(b), max_distance=64)
+        assert deps.total() == 0
+
+    def test_histogram_accessor_rejects_unknown_kind(self):
+        deps = collect_dependencies(trace_of(_simple_builder()))
+        with pytest.raises(KeyError):
+            deps.histogram("weird")
+
+
+def _simple_builder() -> ProgramBuilder:
+    b = ProgramBuilder()
+    b.li(1, 1)
+    b.halt()
+    return b
+
+
+class TestProgramProfile:
+    def test_profile_program(self, sha_trace):
+        profile = profile_program(sha_trace)
+        assert profile.name == "sha"
+        assert profile.instructions == len(sha_trace)
+        assert profile.mix.total == len(sha_trace)
+        assert profile.dependencies.total() > 0
+        assert profile.loads == profile.mix.loads
+
+
+class TestMissProfile:
+    def test_miss_counts_match_hierarchy_invariants(self, sha_trace, default_machine):
+        misses = profile_machine(sha_trace, default_machine)
+        assert misses.instructions == len(sha_trace)
+        assert misses.l1i_misses >= misses.il2_misses
+        assert misses.l1d_misses >= misses.dl2_misses
+        assert misses.l1i_l2_hits == misses.l1i_misses - misses.il2_misses
+        assert misses.l1d_l2_hits == misses.l1d_misses - misses.dl2_misses
+        assert misses.dl2_miss_runs <= max(1, misses.dl2_misses)
+        assert 0.0 <= misses.misprediction_rate <= 1.0
+
+    def test_branch_counts_consistent_with_trace(self, dijkstra_trace, default_machine):
+        misses = profile_machine(dijkstra_trace, default_machine)
+        conditional = sum(1 for d in dijkstra_trace if d.is_branch)
+        assert misses.conditional_branches == conditional
+        assert misses.mispredictions <= conditional
+        taken = sum(1 for d in dijkstra_trace if d.is_control and d.taken)
+        assert misses.taken_bubbles <= taken
+
+    def test_better_predictor_mispredicts_less(self, dijkstra_trace, default_machine):
+        weak = default_machine.with_(branch_predictor="always_not_taken")
+        strong = default_machine.with_(branch_predictor="hybrid_3.5kb")
+        weak_misses = profile_machine(dijkstra_trace, weak)
+        strong_misses = profile_machine(dijkstra_trace, strong)
+        assert strong_misses.mispredictions < weak_misses.mispredictions
+
+    def test_smaller_l2_misses_more(self, sha_trace, default_machine):
+        small = default_machine.with_(l2_size=128 * 1024)
+        big = default_machine.with_(l2_size=1024 * 1024)
+        small_misses = profile_machine(sha_trace, small)
+        big_misses = profile_machine(sha_trace, big)
+        assert small_misses.dl2_misses + small_misses.il2_misses >= \
+            big_misses.dl2_misses + big_misses.il2_misses

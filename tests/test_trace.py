@@ -1,0 +1,71 @@
+"""Tests for the trace data structures."""
+
+from repro.isa import Instruction, Opcode
+from repro.isa.opcodes import OpClass
+from repro.trace import Trace
+from repro.trace.trace import DynamicInstruction
+
+
+def _dyn(seq, opcode, **kwargs):
+    instruction_kwargs = {}
+    for key in ("dest", "src1", "src2", "imm", "target"):
+        if key in kwargs:
+            instruction_kwargs[key] = kwargs.pop(key)
+    return DynamicInstruction(
+        seq=seq,
+        pc=seq * 4,
+        instruction=Instruction(opcode, **instruction_kwargs),
+        **kwargs,
+    )
+
+
+class TestDynamicInstruction:
+    def test_property_passthrough(self):
+        load = _dyn(0, Opcode.LW, dest=1, src1=2, mem_addr=0x100)
+        assert load.is_load and not load.is_store
+        assert load.op_class is OpClass.LOAD
+        assert load.dest_regs() == (1,)
+        assert load.src_regs() == (2,)
+
+        branch = _dyn(1, Opcode.BNE, src1=1, src2=2, target="x", taken=True)
+        assert branch.is_branch and branch.is_control
+        mul = _dyn(2, Opcode.MUL, dest=3, src1=1, src2=2)
+        assert mul.is_long_latency
+
+
+class TestTrace:
+    def _trace(self):
+        return Trace(
+            [
+                _dyn(0, Opcode.LI, dest=1, imm=5),
+                _dyn(1, Opcode.LW, dest=2, src1=1, mem_addr=0x40),
+                _dyn(2, Opcode.MUL, dest=3, src1=2, src2=2),
+                _dyn(3, Opcode.SW, src1=1, src2=3, mem_addr=0x44),
+                _dyn(4, Opcode.BNE, src1=3, src2=0, target="x", taken=False),
+                _dyn(5, Opcode.J, target="x", taken=True),
+            ],
+            name="synthetic",
+        )
+
+    def test_len_iter_getitem(self):
+        trace = self._trace()
+        assert len(trace) == 6
+        assert trace[0].instruction.opcode is Opcode.LI
+        assert len(list(iter(trace))) == 6
+        assert trace.name == "synthetic"
+        assert len(trace.instructions) == 6
+
+    def test_count_and_mix(self):
+        trace = self._trace()
+        assert trace.count(OpClass.LOAD) == 1
+        assert trace.count(OpClass.STORE) == 1
+        mix = trace.instruction_mix()
+        assert mix[OpClass.INT_MUL] == 1
+        assert mix[OpClass.BRANCH] == 1
+        assert mix[OpClass.JUMP] == 1
+        assert sum(mix.values()) == 6
+
+    def test_memory_and_branch_iterators(self):
+        trace = self._trace()
+        assert len(list(trace.memory_accesses())) == 2
+        assert len(list(trace.branches())) == 2

@@ -1,0 +1,79 @@
+"""Tests for validation utilities (error metrics, CDF)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.validation import (
+    ValidationRow,
+    cumulative_distribution,
+    relative_error,
+    summarize,
+)
+
+
+class TestRelativeError:
+    def test_signed(self):
+        assert relative_error(1.1, 1.0) == pytest.approx(0.1)
+        assert relative_error(0.9, 1.0) == pytest.approx(-0.1)
+
+    def test_zero_reference_rejected(self):
+        with pytest.raises(ValueError):
+            relative_error(1.0, 0.0)
+
+
+class TestValidationRow:
+    def test_error_properties(self):
+        row = ValidationRow("sha", "default", predicted_cpi=1.05, simulated_cpi=1.0)
+        assert row.error == pytest.approx(0.05)
+        assert row.absolute_error == pytest.approx(0.05)
+
+
+class TestSummary:
+    def _rows(self):
+        return [
+            ValidationRow("a", "c1", 1.02, 1.0),
+            ValidationRow("b", "c1", 0.95, 1.0),
+            ValidationRow("c", "c1", 1.10, 1.0),
+        ]
+
+    def test_statistics(self):
+        summary = summarize(self._rows())
+        assert summary.count == 3
+        assert summary.average_absolute_error == pytest.approx((0.02 + 0.05 + 0.10) / 3)
+        assert summary.maximum_absolute_error == pytest.approx(0.10)
+        assert summary.fraction_below(0.06) == pytest.approx(2 / 3)
+        assert summary.worst(1)[0].name == "c"
+
+    def test_empty_summary(self):
+        summary = summarize([])
+        assert summary.count == 0
+        assert summary.average_absolute_error == 0.0
+        assert summary.maximum_absolute_error == 0.0
+        assert summary.fraction_below(0.1) == 0.0
+
+
+class TestCDF:
+    def test_simple_curve(self):
+        curve = cumulative_distribution([0.01, 0.02, 0.03, 0.04], points=5)
+        thresholds = [threshold for threshold, _ in curve]
+        fractions = [fraction for _, fraction in curve]
+        assert thresholds[0] == 0.0
+        assert thresholds[-1] == pytest.approx(0.04)
+        assert fractions[-1] == 1.0
+        assert fractions == sorted(fractions)          # monotone non-decreasing
+
+    def test_empty_and_degenerate(self):
+        assert cumulative_distribution([]) == []
+        assert cumulative_distribution([0.0, 0.0]) == [(0.0, 1.0)]
+        with pytest.raises(ValueError):
+            cumulative_distribution([0.1], points=1)
+
+    @given(st.lists(st.floats(min_value=0.0, max_value=1.0), min_size=1, max_size=50))
+    @settings(max_examples=40)
+    def test_cdf_properties(self, values):
+        curve = cumulative_distribution(values, points=11)
+        fractions = [fraction for _, fraction in curve]
+        assert fractions[-1] == pytest.approx(1.0)
+        assert all(0.0 <= fraction <= 1.0 for fraction in fractions)
+        assert fractions == sorted(fractions)

@@ -1,0 +1,153 @@
+"""Tests for the workload kernels and the registry."""
+
+import pytest
+
+from repro.isa.opcodes import OpClass
+from repro.workloads import (
+    all_workload_names,
+    get_workload,
+    mibench_suite,
+    spec_suite,
+)
+from repro.workloads.base import Workload
+from repro.workloads.registry import MIBENCH_BUILDERS, SPEC_BUILDERS, clear_cache
+
+#: The 19 benchmarks of the paper's Figure 3.
+EXPECTED_MIBENCH = {
+    "adpcm_c", "adpcm_d", "dijkstra", "gsm_c", "jpeg_c", "jpeg_d", "lame",
+    "patricia", "qsort", "rsynth", "sha", "stringsearch", "susan_c",
+    "susan_e", "susan_s", "tiff2bw", "tiff2rgba", "tiffdither", "tiffmedian",
+}
+
+
+class TestRegistry:
+    def test_mibench_has_19_benchmarks(self):
+        assert set(MIBENCH_BUILDERS) == EXPECTED_MIBENCH
+        assert len(MIBENCH_BUILDERS) == 19
+
+    def test_spec_suite_nonempty(self):
+        assert len(SPEC_BUILDERS) >= 5
+
+    def test_all_names(self):
+        names = all_workload_names()
+        assert set(names) == set(MIBENCH_BUILDERS) | set(SPEC_BUILDERS)
+        assert names == sorted(names)
+
+    def test_get_workload_caches(self):
+        first = get_workload("sha")
+        second = get_workload("sha")
+        assert first is second
+        fresh = get_workload("sha", use_cache=False)
+        assert fresh is not first
+
+    def test_unknown_workload(self):
+        with pytest.raises(KeyError):
+            get_workload("doom")
+
+    def test_suite_selection(self):
+        suite = mibench_suite(["sha", "qsort"])
+        assert [w.name for w in suite] == ["sha", "qsort"]
+        with pytest.raises(KeyError):
+            mibench_suite(["mcf_like"])
+        with pytest.raises(KeyError):
+            spec_suite(["sha"])
+
+    def test_clear_cache(self):
+        first = get_workload("dijkstra")
+        clear_cache()
+        assert get_workload("dijkstra") is not first
+
+
+@pytest.mark.parametrize("name", sorted(EXPECTED_MIBENCH))
+def test_mibench_kernel_executes(name):
+    """Every kernel terminates and produces a reasonably sized trace."""
+    workload = get_workload(name)
+    trace = workload.trace()
+    assert 5_000 < len(trace) < 80_000
+    assert trace.name == name
+    assert isinstance(workload, Workload)
+    assert workload.description
+
+
+@pytest.mark.parametrize("name", sorted(SPEC_BUILDERS))
+def test_spec_kernel_executes(name):
+    workload = get_workload(name)
+    trace = workload.trace()
+    assert 5_000 < len(trace) < 80_000
+    assert workload.category == "spec"
+
+
+class TestWorkloadCharacteristics:
+    """The kernels must exhibit the structure the paper's figures rely on."""
+
+    def test_sha_is_alu_dominated_with_few_branches(self):
+        mix = get_workload("sha").trace().instruction_mix()
+        total = sum(mix.values())
+        assert mix.get(OpClass.BRANCH, 0) / total < 0.10
+        assert mix.get(OpClass.INT_ALU, 0) / total > 0.6
+
+    def test_dijkstra_is_branch_and_load_heavy(self):
+        mix = get_workload("dijkstra").trace().instruction_mix()
+        total = sum(mix.values())
+        branches = (mix.get(OpClass.BRANCH, 0) + mix.get(OpClass.JUMP, 0)) / total
+        assert branches > 0.2
+        assert mix.get(OpClass.LOAD, 0) / total > 0.12
+
+    def test_tiff2bw_is_multiply_heavy(self):
+        mix = get_workload("tiff2bw").trace().instruction_mix()
+        total = sum(mix.values())
+        assert mix.get(OpClass.INT_MUL, 0) / total > 0.12
+
+    def test_lame_and_gsm_use_divide_or_multiply(self):
+        for name in ("lame", "gsm_c"):
+            mix = get_workload(name).trace().instruction_mix()
+            assert mix.get(OpClass.INT_MUL, 0) + mix.get(OpClass.INT_DIV, 0) > 0
+
+    def test_tiff2rgba_touches_the_largest_footprint(self):
+        """tiff2rgba streams; its distinct-line footprint per instruction is high."""
+        def lines_per_kiloinstruction(name):
+            trace = get_workload(name).trace()
+            lines = {d.mem_addr // 64 for d in trace if d.mem_addr is not None}
+            return len(lines) / (len(trace) / 1000)
+
+        assert lines_per_kiloinstruction("tiff2rgba") > lines_per_kiloinstruction("dijkstra")
+
+    def test_mcf_like_is_memory_bound(self):
+        trace = get_workload("mcf_like").trace()
+        loads = [d for d in trace if d.is_load]
+        lines = {d.mem_addr // 64 for d in loads}
+        # Pointer chasing touches a fresh cache line for most node visits
+        # (three loads per node, nodes visited in cache-hostile random order).
+        assert len(lines) > len(loads) / 10
+
+    def test_traces_are_deterministic(self):
+        first = get_workload("qsort", use_cache=False).trace()
+        second = get_workload("qsort", use_cache=False).trace()
+        assert len(first) == len(second)
+        assert [d.pc for d in first[:200]] == [d.pc for d in second[:200]]
+
+    def test_qsort_actually_sorts(self):
+        from repro.trace.functional import FunctionalSimulator
+        from repro.workloads.kernels.automotive import build_qsort
+
+        workload = build_qsort(size=50)
+        simulator = FunctionalSimulator(workload.program, memory=workload.memory.copy())
+        simulator.run()
+        values = simulator.memory.read_array(0x3000, 50)
+        assert values == sorted(values)
+
+    def test_sha_state_changes(self):
+        from repro.trace.functional import FunctionalSimulator
+        from repro.workloads.kernels.security import build_sha
+
+        workload = build_sha(blocks=2, rounds=8)
+        simulator = FunctionalSimulator(workload.program, memory=workload.memory.copy())
+        simulator.run()
+        state = simulator.memory.read_array(0x400, 3)
+        assert state != [0x67452301, 0xEFCDAB89, 0x98BADCFE]
+
+    def test_workload_with_program_copies_data(self, sha_workload):
+        clone = sha_workload.with_program(sha_workload.program.copy(), "copy")
+        assert clone.name == "sha.copy"
+        assert clone.memory is not sha_workload.memory
+        assert clone.category == sha_workload.category
