@@ -1,0 +1,12 @@
+PY := PYTHONPATH=src python
+
+.PHONY: test bench experiments
+
+test:
+	$(PY) -m pytest -x -q
+
+bench:
+	$(PY) benchmarks/run_bench.py
+
+experiments:
+	$(PY) -m repro.cli

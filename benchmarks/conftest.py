@@ -1,8 +1,10 @@
 """Shared fixtures for the benchmark harness.
 
-Every benchmark regenerates one of the paper's tables or figures (see
-DESIGN.md §4).  Workload traces are built once per session so the timings
-measure the experiment itself, not the one-off functional simulation.
+Every benchmark regenerates one of the paper's tables or figures (see the
+module docstring of ``test_bench_figures.py`` and the README's
+"Reproducing the paper" section).  Workload traces are built once per
+session so the timings measure the experiment itself, not the one-off
+functional simulation.
 """
 
 from __future__ import annotations

@@ -1,0 +1,21 @@
+#!/usr/bin/env python
+"""Launcher for the core hot-path benchmark (see :mod:`repro.bench`).
+
+Writes ``BENCH_core.json`` (schema: flat ``{bench_name: seconds}``) so
+successive PRs have a perf trajectory.  Run via ``make bench`` or
+``PYTHONPATH=src python benchmarks/run_bench.py``.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+_SRC = Path(__file__).resolve().parent.parent / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+from repro.bench import main  # noqa: E402
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,4 +1,4 @@
-"""Ablation benchmarks for the model's design choices (DESIGN.md §5).
+"""Ablation benchmarks for the model's design choices.
 
 Each ablation disables one ingredient of the model and measures how much the
 prediction error against detailed simulation degrades, quantifying how much

@@ -1,0 +1,98 @@
+"""Core hot-path benchmark: writes ``BENCH_core.json``.
+
+Times the three paths every PR is expected to keep fast:
+
+* ``trace_generation`` — functional simulation of the Figure 5 fast
+  benchmarks (fresh workloads, no cache),
+* ``profile_machine``  — miss-event profiling of those traces on the
+  default machine (trace generation excluded),
+* ``dse_evaluate``     — model-only ``DesignSpaceExplorer.evaluate`` of the
+  Figure 5 fast benchmarks across the Figure 5 (reduced) design space,
+  including the profiling passes the explorer triggers.
+
+The output schema is a flat ``{bench_name: seconds}`` mapping so successive
+PRs can be compared with a one-line diff.  Run via ``make bench``,
+``PYTHONPATH=src python benchmarks/run_bench.py`` or the ``repro-bench``
+console script.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import time
+from pathlib import Path
+
+from repro.dse.explorer import DesignSpaceExplorer
+from repro.dse.space import reduced_design_space
+from repro.experiments.common import FIGURE5_FAST_BENCHMARKS
+from repro.machine import DEFAULT_MACHINE
+from repro.profiler.machine_stats import profile_machine
+from repro.workloads import get_workload
+
+
+def _fresh_workloads():
+    """Figure 5 fast-benchmark workloads, bypassing the registry cache."""
+    return [get_workload(name, use_cache=False) for name in FIGURE5_FAST_BENCHMARKS]
+
+
+def bench_trace_generation() -> float:
+    workloads = _fresh_workloads()
+    start = time.perf_counter()
+    for workload in workloads:
+        workload.trace()
+    return time.perf_counter() - start
+
+
+def bench_profile_machine() -> float:
+    traces = [workload.trace() for workload in _fresh_workloads()]
+    start = time.perf_counter()
+    for trace in traces:
+        profile_machine(trace, DEFAULT_MACHINE)
+    return time.perf_counter() - start
+
+
+def bench_dse_evaluate() -> float:
+    workloads = _fresh_workloads()
+    for workload in workloads:
+        workload.trace()
+    explorer = DesignSpaceExplorer(reduced_design_space().configurations())
+    start = time.perf_counter()
+    for workload in workloads:
+        explorer.evaluate(workload)
+    return time.perf_counter() - start
+
+
+BENCHES = {
+    "trace_generation": bench_trace_generation,
+    "profile_machine": bench_profile_machine,
+    "dse_evaluate": bench_dse_evaluate,
+}
+
+
+def run(output: Path) -> dict[str, float]:
+    results: dict[str, float] = {}
+    for name, bench in BENCHES.items():
+        results[name] = bench()
+        print(f"{name:18s} {results[name]:8.3f} s")
+    output.parent.mkdir(parents=True, exist_ok=True)
+    output.write_text(json.dumps(results, indent=2) + "\n")
+    print(f"wrote {output}")
+    return results
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=Path.cwd() / "BENCH_core.json",
+        help="where to write the results (default: ./BENCH_core.json)",
+    )
+    args = parser.parse_args(argv)
+    run(args.output)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -18,7 +18,11 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.branch.predictors import BranchPredictor
-from repro.trace.trace import Trace
+from repro.isa.opcodes import OpClass
+from repro.trace.trace import OP_CLASS_IDS, Trace
+
+_BRANCH_ID = OP_CLASS_IDS[OpClass.BRANCH]
+_JUMP_ID = OP_CLASS_IDS[OpClass.JUMP]
 
 
 @dataclass
@@ -48,14 +52,18 @@ class BranchProfile:
         return self.predicted_taken_correct + self.unconditional_jumps
 
 
-def profile_branches(trace: Trace, predictor: BranchPredictor) -> BranchProfile:
-    """Replay ``trace`` through ``predictor`` and collect branch statistics."""
+def profile_control_stream(stream, predictor: BranchPredictor) -> BranchProfile:
+    """Replay a stream of ``(pc, taken, is_conditional)`` control transfers.
+
+    This is the single source of truth for the branch accounting; both
+    :func:`profile_branches` and the single-pass engine (which caches a
+    compact control stream per trace) feed it.
+    """
     profile = BranchProfile(predictor_name=predictor.name)
-    for dyn in trace:
-        if not dyn.is_control:
-            continue
-        taken = bool(dyn.taken)
-        if not dyn.is_branch:
+    predict = predictor.predict
+    update = predictor.update
+    for pc, taken, conditional in stream:
+        if not conditional:
             # Unconditional jump: always taken, assumed correctly predicted.
             profile.unconditional_jumps += 1
             profile.taken_branches += 1
@@ -63,10 +71,29 @@ def profile_branches(trace: Trace, predictor: BranchPredictor) -> BranchProfile:
         profile.conditional_branches += 1
         if taken:
             profile.taken_branches += 1
-        prediction = predictor.predict(dyn.pc)
-        predictor.update(dyn.pc, taken)
+        prediction = predict(pc)
+        update(pc, taken)
         if prediction != taken:
             profile.mispredictions += 1
         elif taken:
             profile.predicted_taken_correct += 1
     return profile
+
+
+def profile_branches(trace: Trace, predictor: BranchPredictor) -> BranchProfile:
+    """Replay ``trace`` through ``predictor`` and collect branch statistics.
+
+    Walks the trace's packed columns directly — no per-instruction facade
+    objects are materialized.
+    """
+    pcs = trace.pcs
+    takens = trace.taken
+
+    def stream():
+        for index, class_id in enumerate(trace.op_classes):
+            if class_id == _BRANCH_ID:
+                yield pcs[index], takens[index] == 1, True
+            elif class_id == _JUMP_ID:
+                yield pcs[index], True, False
+
+    return profile_control_stream(stream(), predictor)

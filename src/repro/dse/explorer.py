@@ -1,10 +1,11 @@
 """Design-space exploration driver.
 
 The explorer evaluates workloads across a :class:`~repro.dse.space.DesignSpace`
-with the analytical model (fast path: one profiling pass per workload per
-configuration's cache/branch structures, then closed-form evaluation) and
-optionally with the detailed in-order simulator (slow path, used as the
-reference).  It also attaches the power model to compute energy and EDP per
+with the analytical model (fast path: the single-pass stack-distance engine
+profiles each workload once per cache geometry and once per branch predictor,
+then every configuration is answered from the cached histograms by
+closed-form evaluation) and optionally with the detailed in-order simulator
+(slow path, used as the reference).  It also attaches the power model to compute energy and EDP per
 design point, reproducing the paper's Figures 5 and 9.
 """
 
@@ -66,7 +67,13 @@ class EDPResult:
     points: list[DesignPointResult]
 
     def best_by_model(self) -> DesignPointResult:
-        return min(self.points, key=lambda point: point.model_edp)
+        scored = [point for point in self.points if point.model_edp is not None]
+        if not scored:
+            raise ValueError(
+                "no model EDP available; evaluate the design points with "
+                "with_power=True before asking for the EDP optimum"
+            )
+        return min(scored, key=lambda point: point.model_edp)
 
     def best_by_simulation(self) -> DesignPointResult:
         simulated = [point for point in self.points if point.simulated_edp is not None]
@@ -99,7 +106,7 @@ class DesignSpaceExplorer:
             raise ValueError("the design space is empty")
         self.configurations = configurations
         self._program_profiles: dict[str, ProgramProfile] = {}
-        self._miss_profiles: dict[tuple[str, str], MissProfile] = {}
+        self._miss_profiles: dict[tuple[str, MachineConfig], MissProfile] = {}
 
     # ------------------------------------------------------------------
     def _program_profile(self, workload: Workload) -> ProgramProfile:
@@ -108,7 +115,9 @@ class DesignSpaceExplorer:
         return self._program_profiles[workload.name]
 
     def _miss_profile(self, workload: Workload, machine: MachineConfig) -> MissProfile:
-        key = (workload.name, machine.name or machine.describe())
+        # Keyed on the frozen MachineConfig itself: two distinct configs with
+        # the same (or empty) name must not share a profile.
+        key = (workload.name, machine)
         if key not in self._miss_profiles:
             self._miss_profiles[key] = profile_machine(workload.trace(), machine)
         return self._miss_profiles[key]

@@ -6,7 +6,10 @@ Two kinds of statistics are collected from a dynamic trace:
   instruction mix and inter-instruction dependency-distance profiles —
   :func:`profile_program`.
 * **Program–machine statistics** (depend on the cache/TLB/branch-predictor
-  configuration): miss-event counts — :func:`profile_machine`.
+  configuration): miss-event counts — :func:`profile_machine`, answered by
+  the amortized single-pass :class:`SinglePassEngine` (one trace walk per
+  cache geometry, one branch replay per predictor) with an ``exact=True``
+  full-replay escape hatch.
 
 Together with the machine parameters (:class:`repro.machine.MachineConfig`)
 these are the inputs of Table 1 of the paper.
@@ -16,8 +19,10 @@ from repro.profiler.instruction_mix import InstructionMix, collect_instruction_m
 from repro.profiler.dependences import DependencyProfile, collect_dependencies
 from repro.profiler.program import ProgramProfile, profile_program
 from repro.profiler.machine_stats import MissProfile, profile_machine
+from repro.profiler.single_pass_engine import SinglePassEngine
 
 __all__ = [
+    "SinglePassEngine",
     "InstructionMix",
     "collect_instruction_mix",
     "DependencyProfile",

@@ -73,26 +73,41 @@ def _producer_kind(op_class: OpClass) -> str:
 
 
 def collect_dependencies(trace: Trace, max_distance: int = MAX_DISTANCE) -> DependencyProfile:
-    """Collect the dependency-distance profile of ``trace``."""
+    """Collect the dependency-distance profile of ``trace``.
+
+    Operand tuples and producer kinds are resolved once per *static*
+    instruction, then the walk reads only the trace's packed ``static_index``
+    column — no per-instruction facade objects are materialized.
+    """
     profile = DependencyProfile()
+    # Per-static operand info: (sources, destinations, producer kind).
+    operands = [
+        (
+            instruction.src_regs(),
+            instruction.dest_regs(),
+            _producer_kind(instruction.op_class),
+        )
+        for instruction in trace.statics
+    ]
     # Most recent producer of each architectural register: (sequence, kind).
     last_writer: list[tuple[int, str] | None] = [None] * NUM_INT_REGS
 
-    for dyn in trace:
-        instruction = dyn.instruction
-        sources = instruction.src_regs()
+    seqs = trace.seqs
+    for index, static_slot in enumerate(trace.static_index):
+        sources, destinations, kind = operands[static_slot]
+        seq = seqs[index]
         if sources:
             best: tuple[int, str] | None = None
             for source in sources:
                 producer = last_writer[source]
                 if producer is None:
                     continue
-                distance = dyn.seq - producer[0]
+                distance = seq - producer[0]
                 if best is None or distance < best[0]:
                     best = (distance, producer[1])
             if best is not None and best[0] <= max_distance:
                 profile.consumers += 1
                 profile._record(best[1], best[0])
-        for dest in instruction.dest_regs():
-            last_writer[dest] = (dyn.seq, _producer_kind(dyn.op_class))
+        for dest in destinations:
+            last_writer[dest] = (seq, kind)
     return profile

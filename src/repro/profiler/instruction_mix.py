@@ -51,9 +51,9 @@ class InstructionMix:
 
 
 def collect_instruction_mix(trace: Trace) -> InstructionMix:
-    """Histogram the dynamic instruction classes of ``trace``."""
-    counts: dict[OpClass, int] = {}
-    for dyn in trace:
-        op_class = dyn.op_class
-        counts[op_class] = counts.get(op_class, 0) + 1
-    return InstructionMix(total=len(trace), counts=counts)
+    """Histogram the dynamic instruction classes of ``trace``.
+
+    Delegates to the trace's columnar histogram, which counts the packed
+    ``op_classes`` column instead of iterating facade objects.
+    """
+    return InstructionMix(total=len(trace), counts=trace.instruction_mix())

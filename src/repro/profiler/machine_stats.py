@@ -1,10 +1,14 @@
 """Program-machine statistics: miss-event counts for one configuration.
 
-The profiler replays the trace through the cache hierarchy and the branch
-predictor of a :class:`~repro.machine.MachineConfig`, consulting them once per
-dynamic instruction in trace order.  The detailed in-order simulator uses the
-same access discipline, so both observe identical miss counts — the model's
-prediction error therefore measures modeling error, not measurement noise.
+By default the counts are assembled from the single-pass stack-distance
+engine (:mod:`repro.profiler.single_pass_engine`), which walks the trace
+once per cache geometry and once per branch predictor and answers every
+machine configuration from cached histograms.  ``exact=True`` falls back to
+the legacy replay path, which drives the trace through the same
+:class:`~repro.memory.hierarchy.CacheHierarchy` and branch predictor the
+detailed in-order simulator uses.  Both paths observe identical miss counts
+(the engine is bit-identical by the LRU stack inclusion property), so the
+model's prediction error measures modeling error, not measurement noise.
 """
 
 from __future__ import annotations
@@ -14,7 +18,7 @@ from dataclasses import dataclass
 from repro.branch.predictors import make_predictor
 from repro.branch.profiler import BranchProfile, profile_branches
 from repro.machine import MachineConfig
-from repro.memory.hierarchy import CacheHierarchy
+from repro.memory.hierarchy import AccessOutcome, CacheHierarchy
 from repro.trace.trace import Trace
 
 
@@ -57,13 +61,29 @@ class MissProfile:
 
 
 def profile_machine(trace: Trace, machine: MachineConfig,
-                    mlp_window: int = 64) -> MissProfile:
+                    mlp_window: int = 64, *, exact: bool = False) -> MissProfile:
     """Collect the miss-event counts of ``trace`` on ``machine``.
 
     ``mlp_window`` is the instruction window used to group data L2 misses
     into overlapping runs (an out-of-order core with a reorder buffer of that
     size could overlap them); the in-order model ignores it.
+
+    The default path answers from the single-pass engine cached on the trace
+    (one trace walk per cache geometry, amortized across configurations);
+    ``exact=True`` forces the legacy full replay through
+    :class:`CacheHierarchy` — useful as a cross-check or for replacement
+    policies the stack-distance argument does not cover.
     """
+    if exact:
+        return _profile_machine_replay(trace, machine, mlp_window)
+    from repro.profiler.single_pass_engine import SinglePassEngine
+
+    return SinglePassEngine.for_trace(trace).miss_profile(machine, mlp_window)
+
+
+def _profile_machine_replay(trace: Trace, machine: MachineConfig,
+                            mlp_window: int = 64) -> MissProfile:
+    """Legacy replay: drive the full trace through a fresh hierarchy."""
     hierarchy = CacheHierarchy(machine.memory_hierarchy_config())
     predictor = make_predictor(machine.branch_predictor)
 
@@ -81,7 +101,7 @@ def profile_machine(trace: Trace, machine: MachineConfig,
             data_outcome, dtlb_miss = hierarchy.access_data(
                 dyn.mem_addr or 0, is_store=dyn.is_store
             )
-            if data_outcome.name == "MEMORY":
+            if data_outcome is AccessOutcome.MEMORY:
                 if (last_dl2_miss_seq is None
                         or dyn.seq - last_dl2_miss_seq > mlp_window):
                     profile.dl2_miss_runs += 1

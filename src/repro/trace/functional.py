@@ -4,20 +4,40 @@ The functional simulator executes programs of the reproduction ISA on
 concrete data and produces the dynamic instruction trace used everywhere
 else.  It plays the role of M5's functional simulator in the paper's
 profiling flow (Figure 2).
+
+The interpreter is a dispatch table: every static instruction is compiled
+once into a closure with its operands, branch target and register/memory
+cells pre-bound, and the run loop just calls ``handlers[pc_index]`` and
+appends to the packed trace columns.  No per-instruction objects are
+allocated while executing; the :class:`~repro.trace.trace.Trace` facade
+materializes :class:`~repro.trace.trace.DynamicInstruction` records lazily.
+
+Register values are 64-bit signed; effective addresses must also fit in a
+signed 64-bit word (the packed ``mem_addrs`` column enforces this), which
+covers the entire address range the workload kernels and the memory models
+use.
 """
 
 from __future__ import annotations
 
-from typing import Iterable, Iterator
+from array import array
+from typing import Callable, Iterable, Iterator
 
 from repro.isa.opcodes import Opcode
 from repro.isa.program import Program
 from repro.isa.registers import NUM_INT_REGS, ZERO_REG
-from repro.trace.trace import INSTR_BYTES, DynamicInstruction, Trace
+from repro.trace.trace import (
+    INSTR_BYTES,
+    NO_VALUE,
+    OP_CLASS_IDS,
+    DynamicInstruction,
+    Trace,
+)
 
 #: Values are kept as 64-bit signed integers.
 _WORD_MASK = (1 << 64) - 1
 _SIGN_BIT = 1 << 63
+_WRAP = 1 << 64
 
 
 class SimulationLimitError(Exception):
@@ -92,6 +112,11 @@ class MemoryImage:
         return len(self._words)
 
 
+#: A compiled instruction: () -> (next static index, mem_addr, taken), with
+#: ``NO_VALUE`` standing in for "not a memory access" / "not control flow".
+_Handler = Callable[[], tuple[int, int, int]]
+
+
 class FunctionalSimulator:
     """Executes a program and records the dynamic instruction stream."""
 
@@ -104,138 +129,257 @@ class FunctionalSimulator:
         self.registers = [0] * NUM_INT_REGS
 
     # ------------------------------------------------------------------
-    def _read(self, reg: int | None) -> int:
-        if reg is None or reg == ZERO_REG:
-            return 0
-        return self.registers[reg]
+    # Instruction compilation (one closure per static instruction).
+    # ------------------------------------------------------------------
+    def _compile(self, index: int, instruction) -> _Handler:
+        opcode = instruction.opcode
+        regs = self.registers
+        nxt = index + 1
+        d = instruction.dest
+        s1 = instruction.src1 if instruction.src1 is not None else ZERO_REG
+        s2 = instruction.src2 if instruction.src2 is not None else ZERO_REG
+        imm = instruction.imm
+        writes = d is not None and d != ZERO_REG
+        N = NO_VALUE
+        M, S, W = _WORD_MASK, _SIGN_BIT, _WRAP
 
-    def _write(self, reg: int | None, value: int) -> None:
-        if reg is None or reg == ZERO_REG:
-            return
-        self.registers[reg] = _to_signed(value)
+        # --- control flow -------------------------------------------------
+        if opcode is Opcode.HALT or opcode is Opcode.NOP:
+            return lambda: (nxt, N, N)
+        if opcode is Opcode.J:
+            tgt = self.program.label_address(instruction.target)
+            return lambda: (tgt, N, 1)
+        if opcode is Opcode.JR:
+            return lambda: (regs[s1] // INSTR_BYTES, N, 1)
+        if opcode in (Opcode.BEQ, Opcode.BNE, Opcode.BLT, Opcode.BGE):
+            tgt = self.program.label_address(instruction.target)
+            if opcode is Opcode.BEQ:
+                return lambda: (tgt, N, 1) if regs[s1] == regs[s2] else (nxt, N, 0)
+            if opcode is Opcode.BNE:
+                return lambda: (tgt, N, 1) if regs[s1] != regs[s2] else (nxt, N, 0)
+            if opcode is Opcode.BLT:
+                return lambda: (tgt, N, 1) if regs[s1] < regs[s2] else (nxt, N, 0)
+            return lambda: (tgt, N, 1) if regs[s1] >= regs[s2] else (nxt, N, 0)
+
+        # --- memory -------------------------------------------------------
+        # The word store is inlined for speed: the sparse dict and the word
+        # size are MemoryImage's layout (load_word/store_word), and stored
+        # register values are already 64-bit-signed so store_word's wrap is
+        # a no-op here.
+        words = self.memory._words
+        word_bytes = self.memory.WORD_BYTES
+        if opcode is Opcode.LW:
+            if writes:
+                def lw() -> tuple[int, int, int]:
+                    addr = regs[s1] + imm
+                    regs[d] = words.get(addr // word_bytes, 0)
+                    return (nxt, addr, N)
+                return lw
+            return lambda: (nxt, regs[s1] + imm, N)
+        if opcode is Opcode.SW:
+            def sw() -> tuple[int, int, int]:
+                addr = regs[s1] + imm
+                words[addr // word_bytes] = regs[s2]
+                return (nxt, addr, N)
+            return sw
+        if opcode is Opcode.LB:
+            load_byte = self.memory.load_byte
+            if writes:
+                def lb() -> tuple[int, int, int]:
+                    addr = regs[s1] + imm
+                    regs[d] = load_byte(addr)
+                    return (nxt, addr, N)
+                return lb
+            return lambda: (nxt, regs[s1] + imm, N)
+        if opcode is Opcode.SB:
+            store_byte = self.memory.store_byte
+            def sb() -> tuple[int, int, int]:
+                addr = regs[s1] + imm
+                store_byte(addr, regs[s2])
+                return (nxt, addr, N)
+            return sb
+
+        # --- arithmetic / logic -------------------------------------------
+        # Results are wrapped to 64-bit signed exactly like ``_to_signed``.
+        if not writes:
+            # The destination is r0 (or absent): the result is discarded and
+            # there are no side effects, so the instruction degenerates.
+            return lambda: (nxt, N, N)
+        if opcode is Opcode.ADD:
+            def h():
+                v = (regs[s1] + regs[s2]) & M
+                regs[d] = v - W if v & S else v
+                return (nxt, N, N)
+        elif opcode is Opcode.SUB:
+            def h():
+                v = (regs[s1] - regs[s2]) & M
+                regs[d] = v - W if v & S else v
+                return (nxt, N, N)
+        elif opcode is Opcode.AND:
+            def h():
+                regs[d] = regs[s1] & regs[s2]
+                return (nxt, N, N)
+        elif opcode is Opcode.OR:
+            def h():
+                regs[d] = regs[s1] | regs[s2]
+                return (nxt, N, N)
+        elif opcode is Opcode.XOR:
+            def h():
+                regs[d] = regs[s1] ^ regs[s2]
+                return (nxt, N, N)
+        elif opcode is Opcode.SLL:
+            def h():
+                v = (regs[s1] << (regs[s2] & 63)) & M
+                regs[d] = v - W if v & S else v
+                return (nxt, N, N)
+        elif opcode is Opcode.SRL:
+            def h():
+                v = (regs[s1] & M) >> (regs[s2] & 63)
+                regs[d] = v - W if v & S else v
+                return (nxt, N, N)
+        elif opcode is Opcode.SLT:
+            def h():
+                regs[d] = 1 if regs[s1] < regs[s2] else 0
+                return (nxt, N, N)
+        elif opcode is Opcode.ADDI:
+            def h():
+                v = (regs[s1] + imm) & M
+                regs[d] = v - W if v & S else v
+                return (nxt, N, N)
+        elif opcode is Opcode.ANDI:
+            def h():
+                v = (regs[s1] & imm) & M
+                regs[d] = v - W if v & S else v
+                return (nxt, N, N)
+        elif opcode is Opcode.ORI:
+            def h():
+                v = (regs[s1] | imm) & M
+                regs[d] = v - W if v & S else v
+                return (nxt, N, N)
+        elif opcode is Opcode.XORI:
+            def h():
+                v = (regs[s1] ^ imm) & M
+                regs[d] = v - W if v & S else v
+                return (nxt, N, N)
+        elif opcode is Opcode.SLLI:
+            shift = imm & 63
+            def h():
+                v = (regs[s1] << shift) & M
+                regs[d] = v - W if v & S else v
+                return (nxt, N, N)
+        elif opcode is Opcode.SRLI:
+            shift = imm & 63
+            def h():
+                v = (regs[s1] & M) >> shift
+                regs[d] = v - W if v & S else v
+                return (nxt, N, N)
+        elif opcode is Opcode.SLTI:
+            def h():
+                regs[d] = 1 if regs[s1] < imm else 0
+                return (nxt, N, N)
+        elif opcode is Opcode.LI:
+            value = _to_signed(imm)
+            def h():
+                regs[d] = value
+                return (nxt, N, N)
+        elif opcode is Opcode.MOV:
+            def h():
+                regs[d] = regs[s1]
+                return (nxt, N, N)
+        elif opcode is Opcode.MUL:
+            def h():
+                v = (regs[s1] * regs[s2]) & M
+                regs[d] = v - W if v & S else v
+                return (nxt, N, N)
+        elif opcode is Opcode.MULI:
+            def h():
+                v = (regs[s1] * imm) & M
+                regs[d] = v - W if v & S else v
+                return (nxt, N, N)
+        elif opcode is Opcode.DIV:
+            def h():
+                b = regs[s2]
+                regs[d] = 0 if b == 0 else _to_signed(int(regs[s1] / b))
+                return (nxt, N, N)
+        elif opcode is Opcode.DIVI:
+            if imm == 0:
+                def h():
+                    regs[d] = 0
+                    return (nxt, N, N)
+            else:
+                def h():
+                    regs[d] = _to_signed(int(regs[s1] / imm))
+                    return (nxt, N, N)
+        elif opcode is Opcode.REM:
+            def h():
+                a, b = regs[s1], regs[s2]
+                regs[d] = 0 if b == 0 else _to_signed(a - int(a / b) * b)
+                return (nxt, N, N)
+        else:  # pragma: no cover - defensive
+            raise NotImplementedError(f"unhandled opcode {opcode}")
+        return h
 
     # ------------------------------------------------------------------
     def run(self) -> Trace:
-        """Execute the program to completion and return the trace."""
-        return Trace(list(self.step()), name=self.program.name)
-
-    def step(self) -> Iterator[DynamicInstruction]:
-        """Generator form of :meth:`run`, yielding one record per instruction."""
+        """Execute the program to completion and return the columnar trace."""
         program = self.program
+        statics = program.instructions
+        n_static = len(statics)
+        handlers = [self._compile(i, ins) for i, ins in enumerate(statics)]
+        halts = [ins.opcode is Opcode.HALT for ins in statics]
+        class_ids = bytes(OP_CLASS_IDS[ins.op_class] for ins in statics)
+
+        pcs = array("q")
+        next_pcs = array("q")
+        mem_addrs = array("q")
+        op_classes = array("b")
+        taken = array("b")
+        static_index = array("q")
+        append_pc = pcs.append
+        append_next = next_pcs.append
+        append_mem = mem_addrs.append
+        append_op = op_classes.append
+        append_taken = taken.append
+        append_static = static_index.append
+
         pc_index = 0
         executed = 0
-        n_static = len(program)
-
+        limit = self.max_instructions
         while 0 <= pc_index < n_static:
-            if executed >= self.max_instructions:
+            if executed >= limit:
                 raise SimulationLimitError(
                     f"{program.name}: exceeded {self.max_instructions} dynamic "
                     "instructions; likely an infinite loop"
                 )
-            instruction = program[pc_index]
-            opcode = instruction.opcode
-            next_index = pc_index + 1
-            mem_addr: int | None = None
-            taken: bool | None = None
-
-            a = self._read(instruction.src1)
-            b = self._read(instruction.src2)
-            imm = instruction.imm
-
-            if opcode is Opcode.HALT:
-                yield DynamicInstruction(
-                    seq=executed,
-                    pc=pc_index * INSTR_BYTES,
-                    instruction=instruction,
-                    next_pc=pc_index * INSTR_BYTES,
-                )
-                return
-            elif opcode is Opcode.NOP:
-                pass
-            elif opcode is Opcode.ADD:
-                self._write(instruction.dest, a + b)
-            elif opcode is Opcode.SUB:
-                self._write(instruction.dest, a - b)
-            elif opcode is Opcode.AND:
-                self._write(instruction.dest, a & b)
-            elif opcode is Opcode.OR:
-                self._write(instruction.dest, a | b)
-            elif opcode is Opcode.XOR:
-                self._write(instruction.dest, a ^ b)
-            elif opcode is Opcode.SLL:
-                self._write(instruction.dest, a << (b & 63))
-            elif opcode is Opcode.SRL:
-                self._write(instruction.dest, (a & _WORD_MASK) >> (b & 63))
-            elif opcode is Opcode.SLT:
-                self._write(instruction.dest, 1 if a < b else 0)
-            elif opcode is Opcode.ADDI:
-                self._write(instruction.dest, a + imm)
-            elif opcode is Opcode.ANDI:
-                self._write(instruction.dest, a & imm)
-            elif opcode is Opcode.ORI:
-                self._write(instruction.dest, a | imm)
-            elif opcode is Opcode.XORI:
-                self._write(instruction.dest, a ^ imm)
-            elif opcode is Opcode.SLLI:
-                self._write(instruction.dest, a << (imm & 63))
-            elif opcode is Opcode.SRLI:
-                self._write(instruction.dest, (a & _WORD_MASK) >> (imm & 63))
-            elif opcode is Opcode.SLTI:
-                self._write(instruction.dest, 1 if a < imm else 0)
-            elif opcode is Opcode.LI:
-                self._write(instruction.dest, imm)
-            elif opcode is Opcode.MOV:
-                self._write(instruction.dest, a)
-            elif opcode is Opcode.MUL:
-                self._write(instruction.dest, a * b)
-            elif opcode is Opcode.MULI:
-                self._write(instruction.dest, a * imm)
-            elif opcode is Opcode.DIV:
-                self._write(instruction.dest, 0 if b == 0 else int(a / b))
-            elif opcode is Opcode.DIVI:
-                self._write(instruction.dest, 0 if imm == 0 else int(a / imm))
-            elif opcode is Opcode.REM:
-                self._write(instruction.dest, 0 if b == 0 else int(a - int(a / b) * b))
-            elif opcode is Opcode.LW:
-                mem_addr = a + imm
-                self._write(instruction.dest, self.memory.load_word(mem_addr))
-            elif opcode is Opcode.LB:
-                mem_addr = a + imm
-                self._write(instruction.dest, self.memory.load_byte(mem_addr))
-            elif opcode is Opcode.SW:
-                mem_addr = a + imm
-                self.memory.store_word(mem_addr, b)
-            elif opcode is Opcode.SB:
-                mem_addr = a + imm
-                self.memory.store_byte(mem_addr, b)
-            elif opcode is Opcode.BEQ:
-                taken = a == b
-            elif opcode is Opcode.BNE:
-                taken = a != b
-            elif opcode is Opcode.BLT:
-                taken = a < b
-            elif opcode is Opcode.BGE:
-                taken = a >= b
-            elif opcode is Opcode.J:
-                taken = True
-            elif opcode is Opcode.JR:
-                taken = True
-            else:  # pragma: no cover - defensive
-                raise NotImplementedError(f"unhandled opcode {opcode}")
-
-            if taken:
-                if opcode is Opcode.JR:
-                    next_index = self._read(instruction.src1) // INSTR_BYTES
-                else:
-                    next_index = program.label_address(instruction.target)
-
-            yield DynamicInstruction(
-                seq=executed,
-                pc=pc_index * INSTR_BYTES,
-                instruction=instruction,
-                mem_addr=mem_addr,
-                taken=taken,
-                next_pc=next_index * INSTR_BYTES,
-            )
+            nxt, mem, tk = handlers[pc_index]()
+            append_pc(pc_index * INSTR_BYTES)
+            append_static(pc_index)
+            append_op(class_ids[pc_index])
+            append_mem(mem)
+            append_taken(tk)
+            if halts[pc_index]:
+                append_next(pc_index * INSTR_BYTES)
+                break
+            append_next(nxt * INSTR_BYTES)
             executed += 1
-            pc_index = next_index
+            pc_index = nxt
+
+        return Trace.from_columns(
+            statics=statics,
+            pcs=pcs,
+            next_pcs=next_pcs,
+            mem_addrs=mem_addrs,
+            op_classes=op_classes,
+            taken=taken,
+            static_index=static_index,
+            name=program.name,
+        )
+
+    def step(self) -> Iterator[DynamicInstruction]:
+        """Generator form of :meth:`run`, yielding one record per instruction.
+
+        Compatibility shim: the program is executed eagerly by :meth:`run`
+        (register and memory state are mutated exactly once), then the
+        materialized records are yielded in order.
+        """
+        yield from self.run()

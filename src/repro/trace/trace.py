@@ -1,16 +1,40 @@
-"""Dynamic instruction records and traces."""
+"""Dynamic instruction records and traces.
+
+Storage is columnar (struct of arrays): a :class:`Trace` keeps one packed
+``array`` per field of the dynamic stream (``pcs``, ``next_pcs``,
+``mem_addrs``, ``op_classes``, ``taken``, ``static_index``) plus the tuple of
+distinct static :class:`~repro.isa.instructions.Instruction` objects the
+``static_index`` column points into.  The profilers and the design-space
+engine walk these arrays directly; the per-instruction
+:class:`DynamicInstruction` dataclass survives as a lazily materialized
+compatibility facade for the pipeline simulators and the tests.
+"""
 
 from __future__ import annotations
 
+from array import array
+from collections import Counter
 from dataclasses import dataclass
-from typing import Iterable, Iterator
+from typing import Iterable, Iterator, Sequence
 
 from repro.isa.instructions import Instruction
 from repro.isa.opcodes import OpClass
 
-
 #: Size of one instruction in bytes; fetch addresses are ``index * INSTR_BYTES``.
 INSTR_BYTES = 4
+
+#: Stable ordinal assigned to each :class:`OpClass` in the packed
+#: ``op_classes`` column (and its inverse mapping).
+OP_CLASS_BY_ID: tuple[OpClass, ...] = tuple(OpClass)
+OP_CLASS_IDS: dict[OpClass, int] = {op: i for i, op in enumerate(OP_CLASS_BY_ID)}
+
+_LOAD_ID = OP_CLASS_IDS[OpClass.LOAD]
+_STORE_ID = OP_CLASS_IDS[OpClass.STORE]
+_BRANCH_ID = OP_CLASS_IDS[OpClass.BRANCH]
+_JUMP_ID = OP_CLASS_IDS[OpClass.JUMP]
+
+#: Column sentinel for "no value" (``mem_addr``/``next_pc``/``taken`` None).
+NO_VALUE = -1
 
 
 @dataclass(frozen=True)
@@ -72,44 +96,164 @@ class DynamicInstruction:
 
 
 class Trace:
-    """A materialized dynamic instruction trace.
+    """A materialized dynamic instruction trace (columnar storage).
 
     The trace also remembers the workload name so that downstream reports
     (figures, CPI stacks) can label their rows.
+
+    Columns
+    -------
+    ``pcs``, ``next_pcs``:
+        Byte addresses (``next_pcs`` holds :data:`NO_VALUE` for ``None``).
+    ``mem_addrs``:
+        Effective address for loads/stores, :data:`NO_VALUE` otherwise.
+    ``op_classes``:
+        :data:`OP_CLASS_IDS` ordinal of every instruction's class.
+    ``taken``:
+        ``1``/``0`` for resolved control flow, :data:`NO_VALUE` otherwise.
+    ``static_index``:
+        Index into :attr:`statics` of the executing static instruction.
+    ``seqs``:
+        Dynamic sequence numbers (a ``range`` for simulator-built traces).
     """
 
-    def __init__(self, instructions: Iterable[DynamicInstruction], name: str = "trace"):
-        self._instructions = list(instructions)
+    def __init__(self, instructions: Iterable[DynamicInstruction] = (),
+                 name: str = "trace"):
         self.name = name
+        items = list(instructions)
+        self._materialized: list[DynamicInstruction] | None = items
+        statics: list[Instruction] = []
+        static_ids: dict[int, int] = {}
+        pcs = array("q")
+        next_pcs = array("q")
+        mem_addrs = array("q")
+        op_classes = array("b")
+        taken = array("b")
+        static_index = array("q")
+        seqs = array("q")
+        for dyn in items:
+            instruction = dyn.instruction
+            slot = static_ids.get(id(instruction))
+            if slot is None:
+                slot = len(statics)
+                static_ids[id(instruction)] = slot
+                statics.append(instruction)
+            pcs.append(dyn.pc)
+            next_pcs.append(NO_VALUE if dyn.next_pc is None else dyn.next_pc)
+            if dyn.mem_addr is not None:
+                mem_addrs.append(dyn.mem_addr)
+            elif instruction.is_memory:
+                # A memory record without an address: store the address the
+                # memory system would see (the replay path uses ``addr or 0``),
+                # so profilers reading the column agree with the replay.
+                mem_addrs.append(0)
+            else:
+                mem_addrs.append(NO_VALUE)
+            op_classes.append(OP_CLASS_IDS[instruction.op_class])
+            taken.append(NO_VALUE if dyn.taken is None else int(dyn.taken))
+            static_index.append(slot)
+            seqs.append(dyn.seq)
+        self.statics: tuple[Instruction, ...] = tuple(statics)
+        self.pcs = pcs
+        self.next_pcs = next_pcs
+        self.mem_addrs = mem_addrs
+        self.op_classes = op_classes
+        self.taken = taken
+        self.static_index = static_index
+        self.seqs: Sequence[int] = seqs
 
+    @classmethod
+    def from_columns(cls, *, statics: Sequence[Instruction], pcs: array,
+                     next_pcs: array, mem_addrs: array, op_classes: array,
+                     taken: array, static_index: array,
+                     name: str = "trace") -> "Trace":
+        """Build a trace directly from packed columns (no facade objects)."""
+        trace = cls.__new__(cls)
+        trace.name = name
+        trace._materialized = None
+        trace.statics = tuple(statics)
+        trace.pcs = pcs
+        trace.next_pcs = next_pcs
+        trace.mem_addrs = mem_addrs
+        trace.op_classes = op_classes
+        trace.taken = taken
+        trace.static_index = static_index
+        trace.seqs = range(len(pcs))
+        return trace
+
+    # ------------------------------------------------------------------
+    # Facade materialization.
+    # ------------------------------------------------------------------
+    def _make(self, index: int) -> DynamicInstruction:
+        instruction = self.statics[self.static_index[index]]
+        taken = self.taken[index]
+        next_pc = self.next_pcs[index]
+        return DynamicInstruction(
+            seq=self.seqs[index],
+            pc=self.pcs[index],
+            instruction=instruction,
+            # Memory instructions always carry an effective address (so even
+            # a raw -1 is an address, not the sentinel); nothing else does.
+            mem_addr=self.mem_addrs[index] if instruction.is_memory else None,
+            taken=None if taken == NO_VALUE else bool(taken),
+            next_pc=None if next_pc == NO_VALUE else next_pc,
+        )
+
+    def _materialize(self) -> list[DynamicInstruction]:
+        if self._materialized is None:
+            self._materialized = [self._make(i) for i in range(len(self.pcs))]
+        return self._materialized
+
+    # ------------------------------------------------------------------
+    # Sequence protocol.
+    # ------------------------------------------------------------------
     def __len__(self) -> int:
-        return len(self._instructions)
+        return len(self.pcs)
 
     def __iter__(self) -> Iterator[DynamicInstruction]:
-        return iter(self._instructions)
+        return iter(self._materialize())
 
-    def __getitem__(self, index: int) -> DynamicInstruction:
-        return self._instructions[index]
+    def __getitem__(self, index):
+        if self._materialized is not None:
+            return self._materialized[index]
+        if isinstance(index, slice):
+            # Materialize only the requested rows, not the whole trace.
+            return [self._make(i) for i in range(*index.indices(len(self.pcs)))]
+        length = len(self.pcs)
+        if index < 0:
+            index += length
+        if not 0 <= index < length:
+            raise IndexError("trace index out of range")
+        return self._make(index)
 
     @property
     def instructions(self) -> list[DynamicInstruction]:
-        return self._instructions
+        return self._materialize()
 
+    # ------------------------------------------------------------------
+    # Columnar queries (no facade objects involved).
+    # ------------------------------------------------------------------
     def count(self, op_class: OpClass) -> int:
         """Number of dynamic instructions of the given class."""
-        return sum(1 for dyn in self._instructions if dyn.op_class is op_class)
+        return self.op_classes.count(OP_CLASS_IDS[op_class])
 
     def instruction_mix(self) -> dict[OpClass, int]:
-        """Histogram of dynamic instruction classes."""
-        mix: dict[OpClass, int] = {}
-        for dyn in self._instructions:
-            mix[dyn.op_class] = mix.get(dyn.op_class, 0) + 1
-        return mix
+        """Histogram of dynamic instruction classes (first-seen order)."""
+        return {
+            OP_CLASS_BY_ID[class_id]: count
+            for class_id, count in Counter(self.op_classes).items()
+        }
 
     def memory_accesses(self) -> Iterator[DynamicInstruction]:
         """Iterate over loads and stores only."""
-        return (dyn for dyn in self._instructions if dyn.instruction.is_memory)
+        materialized = self._materialized
+        for index, class_id in enumerate(self.op_classes):
+            if class_id == _LOAD_ID or class_id == _STORE_ID:
+                yield materialized[index] if materialized is not None else self._make(index)
 
     def branches(self) -> Iterator[DynamicInstruction]:
         """Iterate over control-flow instructions only."""
-        return (dyn for dyn in self._instructions if dyn.is_control)
+        materialized = self._materialized
+        for index, class_id in enumerate(self.op_classes):
+            if class_id == _BRANCH_ID or class_id == _JUMP_ID:
+                yield materialized[index] if materialized is not None else self._make(index)

@@ -6,8 +6,9 @@ compiler and M5 functional simulator used to run them) is available offline,
 so this package provides kernels written against the in-repo ISA whose
 algorithmic skeletons mirror the original benchmarks: hashing for ``sha``,
 shortest-path relaxation for ``dijkstra``, quicksort for ``qsort``,
-error-diffusion dithering for ``tiffdither`` and so on (see DESIGN.md §2 for
-the substitution rationale).
+error-diffusion dithering for ``tiffdither`` and so on — stand-ins that
+preserve each original's instruction mix and memory behaviour rather than
+its full functionality.
 
 Public entry points:
 

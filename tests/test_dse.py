@@ -8,6 +8,7 @@ from repro.dse import (
     default_design_space,
     reduced_design_space,
 )
+from repro.dse.explorer import EDPResult
 from repro.machine import MachineConfig
 from repro.workloads import get_workload
 
@@ -98,6 +99,12 @@ class TestExplorer:
         assert 0 <= summary.average_absolute_error < 0.2
         assert summary.maximum_absolute_error < 0.3
 
+    def test_best_by_model_without_power_is_a_clear_error(self, tiny_explorer):
+        points = tiny_explorer.evaluate(get_workload("sha"))
+        exploration = EDPResult(workload="sha", points=points)
+        with pytest.raises(ValueError, match="with_power"):
+            exploration.best_by_model()
+
     def test_edp_exploration(self, tiny_explorer):
         exploration = tiny_explorer.explore_edp(get_workload("gsm_c"))
         best_model = exploration.best_by_model()
@@ -112,6 +119,23 @@ class TestExplorer:
         workload = get_workload("sha")
         tiny_explorer.evaluate(workload)
         cached_programs = len(tiny_explorer._program_profiles)
+        cached_misses = len(tiny_explorer._miss_profiles)
         tiny_explorer.evaluate(workload)
         assert len(tiny_explorer._program_profiles) == cached_programs
-        assert ("sha", "w1_d5") in tiny_explorer._miss_profiles
+        assert len(tiny_explorer._miss_profiles) == cached_misses
+        for machine in tiny_explorer.configurations:
+            assert ("sha", machine) in tiny_explorer._miss_profiles
+
+    def test_same_name_configs_do_not_collide(self):
+        # Two distinct configurations sharing a name (here: empty) must get
+        # distinct miss profiles — the cache is keyed on the config itself.
+        small = MachineConfig(l2_size=128 * 1024)
+        big = MachineConfig(l2_size=1024 * 1024)
+        assert small.name == big.name == ""
+        explorer = DesignSpaceExplorer([small, big])
+        workload = get_workload("sha")
+        explorer.evaluate(workload)
+        assert len(explorer._miss_profiles) == 2
+        small_profile = explorer._miss_profiles[("sha", small)]
+        big_profile = explorer._miss_profiles[("sha", big)]
+        assert small_profile.machine.l2_size != big_profile.machine.l2_size

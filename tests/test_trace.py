@@ -1,9 +1,14 @@
 """Tests for the trace data structures."""
 
+from collections import Counter
+
+import pytest
+
 from repro.isa import Instruction, Opcode
 from repro.isa.opcodes import OpClass
 from repro.trace import Trace
-from repro.trace.trace import DynamicInstruction
+from repro.trace.trace import OP_CLASS_BY_ID, DynamicInstruction
+from repro.workloads import get_workload
 
 
 def _dyn(seq, opcode, **kwargs):
@@ -69,3 +74,86 @@ class TestTrace:
         trace = self._trace()
         assert len(list(trace.memory_accesses())) == 2
         assert len(list(trace.branches())) == 2
+
+
+@pytest.fixture(scope="module", params=["sha", "dijkstra", "qsort"])
+def columnar_trace(request):
+    """A simulator-built (columnar, not yet materialized) trace."""
+    return get_workload(request.param, use_cache=False).trace()
+
+
+class TestColumnarFacade:
+    """Property-style checks: the packed columns and the DynamicInstruction
+    facade must describe the same dynamic stream."""
+
+    def test_columns_share_the_trace_length(self, columnar_trace):
+        trace = columnar_trace
+        n = len(trace)
+        assert n > 0
+        for column in (trace.pcs, trace.next_pcs, trace.mem_addrs,
+                       trace.op_classes, trace.taken, trace.static_index,
+                       trace.seqs):
+            assert len(column) == n
+
+    def test_single_indexing_matches_columns_before_materialization(self):
+        trace = get_workload("sha", use_cache=False).trace()
+        for index in (0, 1, len(trace) // 2, len(trace) - 1, -1):
+            dyn = trace[index]
+            row = index if index >= 0 else index + len(trace)
+            assert dyn.seq == row
+            assert dyn.pc == trace.pcs[row]
+            assert dyn.pc == trace.static_index[row] * 4
+            assert dyn.next_pc == trace.next_pcs[row]
+            assert dyn.instruction is trace.statics[trace.static_index[row]]
+        with pytest.raises(IndexError):
+            trace[len(trace)]
+
+    def test_iteration_matches_indexing(self, columnar_trace):
+        trace = columnar_trace
+        materialized = list(trace)
+        assert len(materialized) == len(trace)
+        for index in (0, len(trace) // 3, len(trace) - 1):
+            assert trace[index] == materialized[index]
+        assert trace[2:5] == materialized[2:5]
+
+    def test_facade_fields_roundtrip_the_columns(self, columnar_trace):
+        trace = columnar_trace
+        for row, dyn in enumerate(trace):
+            assert dyn.op_class is OP_CLASS_BY_ID[trace.op_classes[row]]
+            if dyn.instruction.is_memory:
+                assert dyn.mem_addr == trace.mem_addrs[row]
+            else:
+                assert dyn.mem_addr is None
+            if dyn.is_control:
+                assert dyn.taken is (trace.taken[row] == 1)
+            else:
+                assert dyn.taken is None
+
+    def test_instruction_mix_matches_materialized_stream(self, columnar_trace):
+        trace = columnar_trace
+        expected = Counter(dyn.op_class for dyn in trace)
+        assert trace.instruction_mix() == dict(expected)
+        for op_class in OpClass:
+            assert trace.count(op_class) == expected.get(op_class, 0)
+
+    def test_filtered_iterators_match_materialized_stream(self, columnar_trace):
+        trace = columnar_trace
+        assert list(trace.memory_accesses()) == [
+            dyn for dyn in trace if dyn.instruction.is_memory
+        ]
+        assert list(trace.branches()) == [dyn for dyn in trace if dyn.is_control]
+
+    def test_legacy_roundtrip_preserves_the_stream(self, columnar_trace):
+        # Rebuilding a trace from its facade records (the legacy list-based
+        # constructor) must preserve every column and every record.
+        trace = columnar_trace
+        rebuilt = Trace(list(trace), name=trace.name)
+        assert len(rebuilt) == len(trace)
+        assert rebuilt.pcs == trace.pcs
+        assert rebuilt.next_pcs == trace.next_pcs
+        assert rebuilt.mem_addrs == trace.mem_addrs
+        assert rebuilt.op_classes == trace.op_classes
+        assert rebuilt.taken == trace.taken
+        assert list(rebuilt.seqs) == list(trace.seqs)
+        assert list(rebuilt) == list(trace)
+        assert rebuilt.instruction_mix() == trace.instruction_mix()
