@@ -1,12 +1,15 @@
 PY := PYTHONPATH=src python
 
-.PHONY: test bench experiments
+.PHONY: test lint bench experiments
 
 test:
 	$(PY) -m pytest -x -q
+
+lint:
+	ruff check .
 
 bench:
 	$(PY) benchmarks/run_bench.py
 
 experiments:
-	$(PY) -m repro.cli
+	$(PY) -m repro.cli run all

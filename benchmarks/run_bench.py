@@ -1,9 +1,9 @@
 #!/usr/bin/env python
 """Launcher for the core hot-path benchmark (see :mod:`repro.bench`).
 
-Writes ``BENCH_core.json`` (schema: flat ``{bench_name: seconds}``) so
-successive PRs have a perf trajectory.  Run via ``make bench`` or
-``PYTHONPATH=src python benchmarks/run_bench.py``.
+Writes ``BENCH_core.json`` (schema v2: medians over ``--repeat`` runs plus
+Python version and job count) so successive PRs have a perf trajectory.
+Run via ``make bench`` or ``PYTHONPATH=src python benchmarks/run_bench.py``.
 """
 
 from __future__ import annotations

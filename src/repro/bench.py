@@ -1,25 +1,38 @@
 """Core hot-path benchmark: writes ``BENCH_core.json``.
 
-Times the three paths every PR is expected to keep fast:
+Times the paths every PR is expected to keep fast:
 
-* ``trace_generation`` — functional simulation of the Figure 5 fast
+* ``trace_generation``     — functional simulation of the Figure 5 fast
   benchmarks (fresh workloads, no cache),
-* ``profile_machine``  — miss-event profiling of those traces on the
+* ``profile_machine``      — miss-event profiling of those traces on the
   default machine (trace generation excluded),
-* ``dse_evaluate``     — model-only ``DesignSpaceExplorer.evaluate`` of the
-  Figure 5 fast benchmarks across the Figure 5 (reduced) design space,
-  including the profiling passes the explorer triggers.
+* ``dse_evaluate``         — model-only ``DesignSpaceExplorer.evaluate`` of
+  the Figure 5 fast benchmarks across the Figure 5 (reduced) design space,
+  including the profiling passes the explorer triggers,
+* ``session_cached_rerun`` — a warm :class:`~repro.runtime.session.Session`
+  answering the same workload/profile requests purely from the on-disk
+  artifact cache (the hit path: zero compilations, zero trace generations).
 
-The output schema is a flat ``{bench_name: seconds}`` mapping so successive
-PRs can be compared with a one-line diff.  Run via ``make bench``,
-``PYTHONPATH=src python benchmarks/run_bench.py`` or the ``repro-bench``
-console script.
+Each benchmark runs ``--repeat`` times and the *median* is reported.  The
+output schema (``schema_version`` 2) records the Python version and job
+count next to the results:
+
+.. code-block:: json
+
+    {"schema_version": 2, "python_version": "3.11.7", "jobs": 1,
+     "repeats": 3, "results": {"trace_generation": {"median": ..., "runs": [...]}}}
+
+Run via ``make bench``, ``PYTHONPATH=src python benchmarks/run_bench.py``,
+``repro-bench`` or ``repro-experiments bench``.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import platform
+import statistics
+import tempfile
 import time
 from pathlib import Path
 
@@ -28,7 +41,11 @@ from repro.dse.space import reduced_design_space
 from repro.experiments.common import FIGURE5_FAST_BENCHMARKS
 from repro.machine import DEFAULT_MACHINE
 from repro.profiler.machine_stats import profile_machine
+from repro.runtime.session import Session
 from repro.workloads import get_workload
+
+#: Version of the BENCH_core.json layout.
+BENCH_SCHEMA_VERSION = 2
 
 
 def _fresh_workloads():
@@ -63,22 +80,67 @@ def bench_dse_evaluate() -> float:
     return time.perf_counter() - start
 
 
+def _warm_profile(session: Session, name: str) -> str:
+    """Cache-warming work unit (module-level so process pools can pickle it)."""
+    session.miss_profile(name, DEFAULT_MACHINE)
+    return name
+
+
+def bench_session_cached_rerun(jobs: int = 1) -> float:
+    """Artifact-cache hit path: a second session against a warmed cache dir.
+
+    The (untimed) warm-up shards across ``jobs`` worker processes; the timed
+    rerun is the serial hit path every later session enjoys.
+    """
+    with tempfile.TemporaryDirectory() as cache_dir:
+        warmup = Session(cache_dir=cache_dir, jobs=jobs)
+        warmup.map(_warm_profile, list(FIGURE5_FAST_BENCHMARKS))
+
+        session = Session(cache_dir=cache_dir)
+        start = time.perf_counter()
+        for name in FIGURE5_FAST_BENCHMARKS:
+            session.miss_profile(name, DEFAULT_MACHINE)
+        elapsed = time.perf_counter() - start
+        if session.stats.traces_generated or session.stats.workloads_compiled:
+            raise RuntimeError(
+                "session_cached_rerun regenerated state; the artifact-cache "
+                f"hit path is broken: {session.stats.as_dict()}"
+            )
+    return elapsed
+
+
 BENCHES = {
     "trace_generation": bench_trace_generation,
     "profile_machine": bench_profile_machine,
     "dse_evaluate": bench_dse_evaluate,
+    "session_cached_rerun": bench_session_cached_rerun,
 }
 
+#: Benchmarks whose callable accepts (and honours) the job count.
+_JOB_AWARE = {"session_cached_rerun"}
 
-def run(output: Path) -> dict[str, float]:
-    results: dict[str, float] = {}
+
+def run(output: Path, repeat: int = 3, jobs: int = 1) -> dict:
+    if repeat < 1:
+        raise ValueError("repeat must be at least 1")
+    results: dict[str, dict] = {}
     for name, bench in BENCHES.items():
-        results[name] = bench()
-        print(f"{name:18s} {results[name]:8.3f} s")
+        kwargs = {"jobs": jobs} if name in _JOB_AWARE else {}
+        runs = [bench(**kwargs) for _ in range(repeat)]
+        median = statistics.median(runs)
+        results[name] = {"median": median, "runs": runs}
+        print(f"{name:22s} {median:8.3f} s  (median of {repeat})")
+    payload = {
+        "schema_version": BENCH_SCHEMA_VERSION,
+        "python_version": platform.python_version(),
+        "jobs": jobs,
+        "repeats": repeat,
+        "results": results,
+    }
     output.parent.mkdir(parents=True, exist_ok=True)
-    output.write_text(json.dumps(results, indent=2) + "\n")
+    output.write_text(json.dumps(payload, indent=2) + "\n")
     print(f"wrote {output}")
-    return results
+    return payload
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -89,8 +151,17 @@ def main(argv: list[str] | None = None) -> int:
         default=Path.cwd() / "BENCH_core.json",
         help="where to write the results (default: ./BENCH_core.json)",
     )
+    parser.add_argument(
+        "--repeat", type=int, default=3,
+        help="timed repetitions per benchmark; the median is reported",
+    )
+    parser.add_argument(
+        "--jobs", type=int, default=1,
+        help="worker processes for the job-aware benchmarks "
+             "(session_cached_rerun warm-up); recorded in the output",
+    )
     args = parser.parse_args(argv)
-    run(args.output)
+    run(args.output, repeat=args.repeat, jobs=args.jobs)
     return 0
 
 

@@ -1,6 +1,18 @@
 """Command line entry point: ``repro-experiments`` (or ``python -m repro.cli``).
 
-Runs one or all of the paper's experiments and prints their tables.
+Subcommands:
+
+* ``run [EXPERIMENT ...|all]`` — run experiments through a shared
+  :class:`~repro.runtime.session.Session`; ``--jobs N`` shards the work
+  across a process pool, ``--cache-dir`` persists traces and profiling
+  state between invocations, ``--format`` selects the reporter and
+  ``--full``/``--smoke`` apply uniformly to every experiment that declares
+  the corresponding options in its registry metadata.
+* ``list`` — the experiment registry: names, artefacts, declared options.
+* ``bench`` — the core hot-path benchmark (see :mod:`repro.bench`).
+
+Tables go to stdout; the end-of-run session report goes to stderr, so
+redirected output stays byte-identical between serial and parallel runs.
 """
 
 from __future__ import annotations
@@ -8,7 +20,15 @@ from __future__ import annotations
 import argparse
 import sys
 
-from repro.experiments import ALL_EXPERIMENTS
+from repro.runtime import (
+    Session,
+    experiment_names,
+    get_experiment,
+    render,
+    render_many,
+    run_experiment,
+)
+from repro.runtime.reporters import REPORTERS, format_table
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -19,37 +39,168 @@ def build_parser() -> argparse.ArgumentParser:
             "Model for Superscalar In-Order Processors' (ISPASS 2012)."
         ),
     )
-    parser.add_argument(
-        "experiment",
-        nargs="?",
-        default="all",
-        choices=sorted(ALL_EXPERIMENTS) + ["all"],
-        help="which experiment to run (default: all)",
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    run_parser = subparsers.add_parser(
+        "run", help="run one or more experiments (default: all)"
     )
-    parser.add_argument(
-        "--full",
-        action="store_true",
-        help=(
-            "use the full 192-point design space for figure5/figure9 "
-            "(slow: every point needs a detailed simulation)"
-        ),
+    run_parser.add_argument(
+        "experiments",
+        nargs="*",
+        default=["all"],
+        help="experiment names from 'list', or 'all' (the default)",
     )
+    run_parser.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="shard work across N worker processes (default: 1, serial)",
+    )
+    run_parser.add_argument(
+        "--format", choices=sorted(REPORTERS), default="text",
+        help="output format (default: text)",
+    )
+    run_parser.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="artifact cache directory; traces and profiling state are "
+             "reused across runs (default: no on-disk cache)",
+    )
+    run_parser.add_argument(
+        "--full", action="store_true",
+        help="use the full 192-point design space in every experiment "
+             "that declares the 'full' option (slow)",
+    )
+    run_parser.add_argument(
+        "--smoke", action="store_true",
+        help="apply each experiment's registered fast-subset preset",
+    )
+
+    list_parser = subparsers.add_parser(
+        "list", help="list registered experiments and their metadata"
+    )
+    list_parser.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="output format (default: text)",
+    )
+
+    bench_parser = subparsers.add_parser(
+        "bench", help="run the core hot-path benchmark (writes BENCH_core.json)"
+    )
+    bench_parser.add_argument("--output", default=None, metavar="PATH",
+                              help="where to write the results JSON")
+    bench_parser.add_argument("--repeat", type=int, default=3, metavar="N",
+                              help="timed repetitions per benchmark "
+                                   "(the median is reported; default: 3)")
+    bench_parser.add_argument("--jobs", type=int, default=1, metavar="N",
+                              help="worker processes for the job-aware "
+                                   "benchmarks; recorded in the output")
     return parser
+
+
+def _select_experiments(names: list[str]) -> list[str]:
+    known = experiment_names()
+    if not names or "all" in names:
+        return known
+    unknown = sorted(set(names) - set(known))
+    if unknown:
+        raise SystemExit(
+            f"unknown experiments: {', '.join(unknown)} "
+            f"(known: {', '.join(known)})"
+        )
+    # Run in registry (paper) order regardless of the order given.
+    requested = set(names)
+    return [name for name in known if name in requested]
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    import contextlib
+    import tempfile
+
+    selected = _select_experiments(args.experiments)
+    with contextlib.ExitStack() as stack:
+        cache_dir = args.cache_dir
+        if cache_dir is None and args.jobs > 1:
+            # Worker processes exchange traces and profiling passes through
+            # the artifact cache; without one, every pool would redo the
+            # work.  Use a run-scoped scratch directory when none is given.
+            cache_dir = stack.enter_context(
+                tempfile.TemporaryDirectory(prefix="repro-cache-")
+            )
+        session = Session(cache_dir=cache_dir, jobs=args.jobs)
+        if args.format == "json":
+            results = [
+                run_experiment(session, name, full=args.full, smoke=args.smoke)
+                for name in selected
+            ]
+            sys.stdout.write(render_many(results, "json") + "\n")
+        else:
+            # Stream text/csv: each experiment's table appears as soon as it
+            # finishes (byte-identical to render_many over the whole batch).
+            sections = args.format == "text" or len(selected) > 1
+            for index, name in enumerate(selected):
+                result = run_experiment(session, name, full=args.full,
+                                        smoke=args.smoke)
+                if sections:
+                    prefix = "\n" if index else ""
+                    sys.stdout.write(f"{prefix}=== {name} ===\n")
+                sys.stdout.write(render(result, args.format) + "\n")
+                sys.stdout.flush()
+    summary = session.summary()
+    cache = summary.pop("artifact_cache")
+    print(
+        "session: "
+        + "  ".join(f"{key}={value}" for key, value in summary.items())
+        + "  cache(" + " ".join(f"{k}={v}" for k, v in cache.items()) + ")",
+        file=sys.stderr,
+    )
+    return 0
+
+
+def _cmd_list(args: argparse.Namespace) -> int:
+    specs = [get_experiment(name) for name in experiment_names()]
+    if args.format == "json":
+        import json
+
+        payload = [
+            {
+                "name": spec.name,
+                "title": spec.title,
+                "options": list(spec.options),
+                "smoke": dict(spec.smoke),
+                "deterministic": spec.deterministic,
+            }
+            for spec in specs
+        ]
+        print(json.dumps(payload, indent=2))
+        return 0
+    rows = [
+        (
+            spec.name,
+            spec.title,
+            ", ".join(spec.options) if spec.options else "-",
+            "no" if not spec.deterministic else "yes",
+        )
+        for spec in specs
+    ]
+    print(format_table(("experiment", "artefact", "options", "deterministic"), rows))
+    return 0
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.bench import run as bench_run
+
+    output = Path(args.output) if args.output else Path.cwd() / "BENCH_core.json"
+    bench_run(output, repeat=args.repeat, jobs=args.jobs)
+    return 0
 
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
-    selected = (
-        sorted(ALL_EXPERIMENTS) if args.experiment == "all" else [args.experiment]
-    )
-    for name in selected:
-        module = ALL_EXPERIMENTS[name]
-        print(f"\n=== {name} ===")
-        if name in ("figure5", "figure9"):
-            module.main(full=args.full)
-        else:
-            module.main()
-    return 0
+    if args.command == "run":
+        return _cmd_run(args)
+    if args.command == "list":
+        return _cmd_list(args)
+    return _cmd_bench(args)
 
 
 if __name__ == "__main__":

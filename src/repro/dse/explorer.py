@@ -17,8 +17,7 @@ from repro.core.model import InOrderMechanisticModel, ModelResult
 from repro.machine import MachineConfig
 from repro.pipeline.inorder import InOrderPipeline
 from repro.power.model import PowerModel
-from repro.profiler.machine_stats import MissProfile, profile_machine
-from repro.profiler.program import ProgramProfile, profile_program
+from repro.runtime.session import Session
 from repro.validation.compare import ValidationRow, ValidationSummary, summarize
 from repro.workloads.base import Workload
 
@@ -99,37 +98,30 @@ class EDPResult:
 
 
 class DesignSpaceExplorer:
-    """Evaluate workloads across a set of machine configurations."""
+    """Evaluate workloads across a set of machine configurations.
 
-    def __init__(self, configurations: list[MachineConfig]):
+    Profiles come from the shared :class:`~repro.runtime.session.Session`
+    (memoized per trace and machine — keyed on the frozen config itself, so
+    same-name configurations never collide — and, when the session has a
+    cache directory, persisted across processes and runs).  Omitting
+    ``session`` creates an ephemeral in-memory one.
+    """
+
+    def __init__(self, configurations: list[MachineConfig],
+                 session: Session | None = None):
         if not configurations:
             raise ValueError("the design space is empty")
         self.configurations = configurations
-        self._program_profiles: dict[str, ProgramProfile] = {}
-        self._miss_profiles: dict[tuple[str, MachineConfig], MissProfile] = {}
-
-    # ------------------------------------------------------------------
-    def _program_profile(self, workload: Workload) -> ProgramProfile:
-        if workload.name not in self._program_profiles:
-            self._program_profiles[workload.name] = profile_program(workload.trace())
-        return self._program_profiles[workload.name]
-
-    def _miss_profile(self, workload: Workload, machine: MachineConfig) -> MissProfile:
-        # Keyed on the frozen MachineConfig itself: two distinct configs with
-        # the same (or empty) name must not share a profile.
-        key = (workload.name, machine)
-        if key not in self._miss_profiles:
-            self._miss_profiles[key] = profile_machine(workload.trace(), machine)
-        return self._miss_profiles[key]
+        self.session = session if session is not None else Session()
 
     # ------------------------------------------------------------------
     def evaluate(self, workload: Workload, *, simulate: bool = False,
                  with_power: bool = False) -> list[DesignPointResult]:
         """Run the model (and optionally the simulator) across all configurations."""
-        program = self._program_profile(workload)
+        program = self.session.program_profile(workload)
         results = []
         for machine in self.configurations:
-            misses = self._miss_profile(workload, machine)
+            misses = self.session.miss_profile(workload, machine)
             model = InOrderMechanisticModel(machine).predict(program, misses)
             point = DesignPointResult(workload=workload.name, machine=machine, model=model)
             if simulate:

@@ -1,24 +1,33 @@
 """Experiment drivers reproducing every table and figure of the paper.
 
-Each module exposes a ``run(...)`` function returning structured results and a
-``main()`` entry point that prints the same rows/series the paper reports:
+Each module exposes a library-level ``run(...)`` returning a typed domain
+result, a ``to_experiment_result`` adapter producing the uniform
+:class:`~repro.runtime.result.ExperimentResult`, and a declarative runner
+registered with the :func:`repro.runtime.registry.experiment` decorator.
+The registry metadata (second and third columns) is what the CLI consumes —
+options apply uniformly, there are no per-experiment special cases:
 
-=================  ==========================================================
-Module             Paper artefact
-=================  ==========================================================
-``table2``         Table 2 — architecture design space
-``figure3``        Figure 3 — model vs detailed simulation, MiBench, default
-``figure4``        Figure 4 — CPI stacks vs superscalar width
-``figure5``        Figure 5 — error CDF across the design space
-``figure6``        Figure 6 — model vs detailed simulation, SPEC-like suite
-``figure7``        Figure 7 — in-order vs out-of-order CPI stacks
-``figure8``        Figure 8 — compiler optimizations, normalized cycle stacks
-``figure9``        Figure 9 — EDP design-space exploration
-``speedup``        Section 5 — model vs detailed-simulation speedup
-=================  ==========================================================
+=============  ====================  ==========================================
+Experiment     Declared options      Paper artefact
+=============  ====================  ==========================================
+``table2``     —                     Table 2 — architecture design space
+``figure3``    benchmarks            Figure 3 — model vs simulation, MiBench
+``figure4``    benchmarks, widths    Figure 4 — CPI stacks vs superscalar width
+``figure5``    full, benchmarks      Figure 5 — error CDF across the space
+``figure6``    benchmarks            Figure 6 — model vs simulation, SPEC-like
+``figure7``    benchmarks            Figure 7 — in-order vs out-of-order stacks
+``figure8``    benchmarks            Figure 8 — compiler optimizations
+``figure9``    full, benchmarks      Figure 9 — EDP design-space exploration
+``speedup``    benchmark,            Section 5 — model vs simulation speedup
+               configurations        (wall-clock; non-deterministic)
+=============  ====================  ==========================================
+
+Importing this package populates :data:`repro.runtime.registry.EXPERIMENTS`
+(registration happens at module import, in paper order).
 """
 
-from repro.experiments import (  # noqa: F401
+from repro.experiments import (  # noqa: F401  (import order = registry order)
+    table2,
     figure3,
     figure4,
     figure5,
@@ -27,9 +36,9 @@ from repro.experiments import (  # noqa: F401
     figure8,
     figure9,
     speedup,
-    table2,
 )
 
+#: Name → module index (the declarative specs live in the runtime registry).
 ALL_EXPERIMENTS = {
     "table2": table2,
     "figure3": figure3,

@@ -2,9 +2,9 @@
 
 from __future__ import annotations
 
-from typing import Iterable, Sequence
-
 from repro.machine import DEFAULT_MACHINE, MachineConfig
+from repro.runtime.reporters import format_table  # noqa: F401  (re-export)
+from repro.runtime.session import Session
 
 #: Benchmarks highlighted in Figure 4 (width scaling behaviour).
 FIGURE4_BENCHMARKS = ("sha", "tiffdither", "dijkstra")
@@ -35,24 +35,34 @@ def default_machine() -> MachineConfig:
     return DEFAULT_MACHINE
 
 
-def format_table(headers: Sequence[str], rows: Iterable[Sequence[object]],
-                 float_format: str = "{:.3f}") -> str:
-    """Render a plain-text table (the experiments print, they do not plot)."""
-    materialized = [
-        [
-            float_format.format(cell) if isinstance(cell, float) else str(cell)
-            for cell in row
-        ]
-        for row in rows
-    ]
-    widths = [len(header) for header in headers]
-    for row in materialized:
-        for column, cell in enumerate(row):
-            widths[column] = max(widths[column], len(cell))
-    lines = []
-    header_line = "  ".join(header.ljust(widths[i]) for i, header in enumerate(headers))
-    lines.append(header_line)
-    lines.append("  ".join("-" * width for width in widths))
-    for row in materialized:
-        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
-    return "\n".join(lines)
+def ensure_session(session: Session | None) -> Session:
+    """The given session, or a fresh ephemeral (uncached, serial) one.
+
+    Every experiment's ``run`` accepts ``session=None`` so the modules stay
+    usable as plain libraries; the CLI always passes its configured session.
+    """
+    return session if session is not None else Session()
+
+
+def mibench_names(names=None) -> list[str]:
+    """Validated MiBench benchmark selection (default: all 19, sorted)."""
+    from repro.workloads.registry import MIBENCH_BUILDERS
+
+    if names is None:
+        return sorted(MIBENCH_BUILDERS)
+    unknown = [name for name in names if name not in MIBENCH_BUILDERS]
+    if unknown:
+        raise KeyError(f"not MiBench workloads: {unknown}")
+    return list(names)
+
+
+def spec_names(names=None) -> list[str]:
+    """Validated SPEC-like benchmark selection (default: all, sorted)."""
+    from repro.workloads.registry import SPEC_BUILDERS
+
+    if names is None:
+        return sorted(SPEC_BUILDERS)
+    unknown = [name for name in names if name not in SPEC_BUILDERS]
+    if unknown:
+        raise KeyError(f"not SPEC workloads: {unknown}")
+    return list(names)

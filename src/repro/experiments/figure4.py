@@ -11,12 +11,11 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.core.cpi_stack import CPIStack
-from repro.core.model import predict_workload
-from repro.experiments.common import FIGURE4_BENCHMARKS, default_machine, format_table
+from repro.core.model import InOrderMechanisticModel
+from repro.experiments.common import FIGURE4_BENCHMARKS, default_machine, ensure_session
 from repro.machine import MachineConfig
 from repro.pipeline.inorder import InOrderPipeline
-from repro.profiler.program import profile_program
-from repro.workloads import get_workload
+from repro.runtime import ExperimentResult, Session, experiment
 
 
 @dataclass
@@ -37,30 +36,42 @@ class Figure4Result:
         return [point for point in self.points if point.benchmark == name]
 
 
+def _width_sweep(session: Session, item) -> list[WidthPoint]:
+    """All width points of one benchmark (a parallel work unit)."""
+    name, widths, base_machine = item
+    workload = session.workload(name)
+    program = session.program_profile(workload)
+    points = []
+    for width in widths:
+        configured = base_machine.with_(width=width, name=f"W={width}")
+        misses = session.miss_profile(workload, configured)
+        model = InOrderMechanisticModel(configured).predict(program, misses)
+        simulated = InOrderPipeline(configured).run(workload.trace())
+        points.append(
+            WidthPoint(
+                benchmark=name,
+                width=width,
+                stack=model.stack,
+                simulated_cpi=simulated.cpi,
+            )
+        )
+    return points
+
+
 def run(benchmarks: tuple[str, ...] = FIGURE4_BENCHMARKS,
         widths: tuple[int, ...] = (1, 2, 3, 4),
-        machine: MachineConfig | None = None) -> Figure4Result:
+        machine: MachineConfig | None = None,
+        session: Session | None = None) -> Figure4Result:
+    session = ensure_session(session)
     base_machine = machine if machine is not None else default_machine()
-    points: list[WidthPoint] = []
-    for name in benchmarks:
-        workload = get_workload(name)
-        program = profile_program(workload.trace())
-        for width in widths:
-            configured = base_machine.with_(width=width, name=f"W={width}")
-            model = predict_workload(workload, configured, program=program)
-            simulated = InOrderPipeline(configured).run(workload.trace())
-            points.append(
-                WidthPoint(
-                    benchmark=name,
-                    width=width,
-                    stack=model.stack,
-                    simulated_cpi=simulated.cpi,
-                )
-            )
-    return Figure4Result(machine=base_machine, widths=widths, points=points)
+    sweeps = session.map(
+        _width_sweep, [(name, tuple(widths), base_machine) for name in benchmarks]
+    )
+    points = [point for sweep in sweeps for point in sweep]
+    return Figure4Result(machine=base_machine, widths=tuple(widths), points=points)
 
 
-def format_result(result: Figure4Result) -> str:
+def to_experiment_result(result: Figure4Result) -> ExperimentResult:
     # Collect every stack component that shows up so the table has stable columns.
     labels: list[str] = []
     for point in result.points:
@@ -71,21 +82,36 @@ def format_result(result: Figure4Result) -> str:
     for point in result.points:
         grouped = point.stack.grouped()
         rows.append(
-            [f"{point.benchmark} W={point.width}"]
-            + [grouped.get(label, 0.0) for label in labels]
-            + [point.stack.cpi, point.simulated_cpi]
+            tuple([f"{point.benchmark} W={point.width}"]
+                  + [grouped.get(label, 0.0) for label in labels]
+                  + [point.stack.cpi, point.simulated_cpi])
         )
-    table = format_table(
-        ["configuration"] + labels + ["model CPI", "detailed CPI"], rows
+    return ExperimentResult(
+        experiment="figure4",
+        title="Figure 4 — CPI stacks vs superscalar width",
+        headers=tuple(["configuration"] + labels + ["model CPI", "detailed CPI"]),
+        rows=tuple(rows),
+        metadata={
+            "benchmarks": sorted({point.benchmark for point in result.points}),
+            "widths": list(result.widths),
+        },
     )
-    return "Figure 4 — CPI stacks vs superscalar width\n" + table
 
 
-def main() -> Figure4Result:
-    result = run()
-    print(format_result(result))
-    return result
+def format_result(result: Figure4Result) -> str:
+    from repro.runtime.reporters import render_text
+
+    return render_text(to_experiment_result(result))
 
 
-if __name__ == "__main__":
-    main()
+@experiment(
+    "figure4",
+    title="Figure 4 — CPI stacks vs superscalar width",
+    options=("benchmarks", "widths"),
+    smoke={"benchmarks": ("sha", "dijkstra"), "widths": (1, 4)},
+)
+def figure4_experiment(session: Session,
+                       benchmarks: tuple[str, ...] = FIGURE4_BENCHMARKS,
+                       widths: tuple[int, ...] = (1, 2, 3, 4)) -> ExperimentResult:
+    return to_experiment_result(run(benchmarks=benchmarks, widths=widths,
+                                    session=session))

@@ -14,9 +14,18 @@ from dataclasses import dataclass
 
 from repro.dse.explorer import DesignSpaceExplorer
 from repro.dse.space import default_design_space, reduced_design_space
-from repro.experiments.common import FIGURE5_FAST_BENCHMARKS, format_table
-from repro.validation.compare import ValidationSummary, cumulative_distribution
-from repro.workloads import mibench_suite
+from repro.experiments.common import (
+    FIGURE5_FAST_BENCHMARKS,
+    ensure_session,
+    mibench_names,
+)
+from repro.runtime import ExperimentResult, Session, experiment
+from repro.validation.compare import (
+    ValidationRow,
+    ValidationSummary,
+    cumulative_distribution,
+    summarize,
+)
 
 
 @dataclass
@@ -31,17 +40,27 @@ class Figure5Result:
         return self.summary.fraction_below(0.06)
 
 
-def run(full: bool = False, benchmarks: tuple[str, ...] | None = None) -> Figure5Result:
+def _space_validation(session: Session, item) -> tuple[ValidationRow, ...]:
+    """All design-space points of one benchmark (a parallel work unit)."""
+    name, full = item
+    space = default_design_space() if full else reduced_design_space()
+    explorer = DesignSpaceExplorer(space.configurations(), session=session)
+    return explorer.validate([session.workload(name)]).rows
+
+
+def run(full: bool = False, benchmarks: tuple[str, ...] | None = None,
+        session: Session | None = None) -> Figure5Result:
+    session = ensure_session(session)
     space = default_design_space() if full else reduced_design_space()
     if benchmarks is None:
         benchmarks = (
-            tuple(sorted(w.name for w in mibench_suite()))
-            if full
-            else FIGURE5_FAST_BENCHMARKS
+            tuple(mibench_names()) if full else FIGURE5_FAST_BENCHMARKS
         )
-    workloads = mibench_suite(list(benchmarks))
-    explorer = DesignSpaceExplorer(space.configurations())
-    summary = explorer.validate(workloads)
+    per_benchmark = session.map(
+        _space_validation, [(name, full) for name in benchmarks]
+    )
+    rows = [row for benchmark_rows in per_benchmark for row in benchmark_rows]
+    summary = summarize(rows)
     errors = [row.absolute_error for row in summary.rows]
     return Figure5Result(
         summary=summary,
@@ -51,25 +70,48 @@ def run(full: bool = False, benchmarks: tuple[str, ...] | None = None) -> Figure
     )
 
 
-def format_result(result: Figure5Result) -> str:
-    rows = [(f"{threshold:.1%}", f"{fraction:.0%}") for threshold, fraction in result.cdf]
-    table = format_table(("absolute error <=", "fraction of points"), rows)
+def to_experiment_result(result: Figure5Result) -> ExperimentResult:
     summary = result.summary
-    return (
-        f"Figure 5 — error CDF over {result.design_points} design points x "
-        f"{len(result.benchmarks)} benchmarks ({summary.count} points)\n{table}\n"
-        f"average |error| = {summary.average_absolute_error:.1%}  "
-        f"max |error| = {summary.maximum_absolute_error:.1%}  "
-        f"fraction below 6% = {result.fraction_below_6_percent:.0%}  "
-        f"(paper: 2.5% average, 9.6% max, 90% below 6%)"
+    return ExperimentResult(
+        experiment="figure5",
+        title=(
+            f"Figure 5 — error CDF over {result.design_points} design points x "
+            f"{len(result.benchmarks)} benchmarks ({summary.count} points)"
+        ),
+        headers=("absolute error <=", "fraction of points"),
+        rows=tuple(
+            (f"{threshold:.1%}", f"{fraction:.0%}")
+            for threshold, fraction in result.cdf
+        ),
+        footnotes=(
+            f"average |error| = {summary.average_absolute_error:.1%}  "
+            f"max |error| = {summary.maximum_absolute_error:.1%}  "
+            f"fraction below 6% = {result.fraction_below_6_percent:.0%}  "
+            "(paper: 2.5% average, 9.6% max, 90% below 6%)",
+        ),
+        metadata={
+            "design_points": result.design_points,
+            "benchmarks": list(result.benchmarks),
+            "average_absolute_error": summary.average_absolute_error,
+            "maximum_absolute_error": summary.maximum_absolute_error,
+            "fraction_below_6_percent": result.fraction_below_6_percent,
+        },
     )
 
 
-def main(full: bool = False) -> Figure5Result:
-    result = run(full=full)
-    print(format_result(result))
-    return result
+def format_result(result: Figure5Result) -> str:
+    from repro.runtime.reporters import render_text
+
+    return render_text(to_experiment_result(result))
 
 
-if __name__ == "__main__":
-    main()
+@experiment(
+    "figure5",
+    title="Figure 5 — error CDF across the design space",
+    options=("full", "benchmarks"),
+    smoke={"benchmarks": ("sha", "qsort")},
+)
+def figure5_experiment(session: Session, full: bool = False,
+                       benchmarks: tuple[str, ...] | None = None) -> ExperimentResult:
+    return to_experiment_result(run(full=full, benchmarks=benchmarks,
+                                    session=session))

@@ -9,12 +9,11 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.core.model import predict_workload
-from repro.experiments.common import default_machine, format_table
+from repro.experiments.common import default_machine, ensure_session, spec_names
+from repro.experiments.figure3 import _validation_row
 from repro.machine import MachineConfig
-from repro.pipeline.inorder import InOrderPipeline
+from repro.runtime import ExperimentResult, Session, experiment
 from repro.validation.compare import ValidationRow, ValidationSummary, summarize
-from repro.workloads import spec_suite
 
 
 @dataclass
@@ -25,44 +24,54 @@ class Figure6Result:
 
 
 def run(benchmarks: list[str] | None = None,
-        machine: MachineConfig | None = None) -> Figure6Result:
+        machine: MachineConfig | None = None,
+        session: Session | None = None) -> Figure6Result:
+    session = ensure_session(session)
     machine = machine if machine is not None else default_machine()
-    rows: list[ValidationRow] = []
-    for workload in spec_suite(benchmarks):
-        simulated = InOrderPipeline(machine).run(workload.trace())
-        model = predict_workload(workload, machine)
-        rows.append(
-            ValidationRow(
-                name=workload.name,
-                configuration=machine.name or "default",
-                predicted_cpi=model.cpi,
-                simulated_cpi=simulated.cpi,
-            )
-        )
+    names = spec_names(benchmarks)
+    rows = session.map(_validation_row, [(name, machine) for name in names])
     return Figure6Result(machine=machine, rows=rows, summary=summarize(rows))
 
 
-def format_result(result: Figure6Result) -> str:
-    table_rows = [
-        (row.name, row.predicted_cpi, row.simulated_cpi, f"{row.error:+.1%}")
-        for row in result.rows
-    ]
-    table = format_table(("benchmark", "model CPI", "detailed CPI", "error"), table_rows)
+def to_experiment_result(result: Figure6Result) -> ExperimentResult:
     summary = result.summary
-    return (
-        "Figure 6 — SPEC-like memory-intensive workloads, model vs detailed simulation\n"
-        f"{table}\n"
-        f"average |error| = {summary.average_absolute_error:.1%}  "
-        f"max |error| = {summary.maximum_absolute_error:.1%}  "
-        f"(paper: 4.1% average, 10.7% max)"
+    return ExperimentResult(
+        experiment="figure6",
+        title=(
+            "Figure 6 — SPEC-like memory-intensive workloads, "
+            "model vs detailed simulation"
+        ),
+        headers=("benchmark", "model CPI", "detailed CPI", "error"),
+        rows=tuple(
+            (row.name, row.predicted_cpi, row.simulated_cpi, f"{row.error:+.1%}")
+            for row in result.rows
+        ),
+        footnotes=(
+            f"average |error| = {summary.average_absolute_error:.1%}  "
+            f"max |error| = {summary.maximum_absolute_error:.1%}  "
+            "(paper: 4.1% average, 10.7% max)",
+        ),
+        metadata={
+            "machine": result.machine.describe(),
+            "benchmarks": [row.name for row in result.rows],
+            "average_absolute_error": summary.average_absolute_error,
+            "maximum_absolute_error": summary.maximum_absolute_error,
+        },
     )
 
 
-def main() -> Figure6Result:
-    result = run()
-    print(format_result(result))
-    return result
+def format_result(result: Figure6Result) -> str:
+    from repro.runtime.reporters import render_text
+
+    return render_text(to_experiment_result(result))
 
 
-if __name__ == "__main__":
-    main()
+@experiment(
+    "figure6",
+    title="Figure 6 — model vs detailed simulation, SPEC-like suite",
+    options=("benchmarks",),
+    smoke={"benchmarks": ("mcf_like", "libquantum_like")},
+)
+def figure6_experiment(session: Session,
+                       benchmarks: tuple[str, ...] | None = None) -> ExperimentResult:
+    return to_experiment_result(run(benchmarks=benchmarks, session=session))

@@ -17,12 +17,10 @@ from dataclasses import dataclass
 from repro.core.cpi_stack import CPIStack
 from repro.core.model import InOrderMechanisticModel
 from repro.core.ooo import OutOfOrderIntervalModel
-from repro.experiments.common import FIGURE7_BENCHMARKS, default_machine, format_table
+from repro.experiments.common import FIGURE7_BENCHMARKS, default_machine, ensure_session
 from repro.machine import MachineConfig
 from repro.pipeline.ooo import OutOfOrderPipeline
-from repro.profiler.machine_stats import profile_machine
-from repro.profiler.program import profile_program
-from repro.workloads import get_workload
+from repro.runtime import ExperimentResult, Session, experiment
 
 
 @dataclass
@@ -39,30 +37,34 @@ class Figure7Result:
     rows: list[InOrderVsOutOfOrder]
 
 
+def _stack_pair(session: Session, item) -> InOrderVsOutOfOrder:
+    """Both models plus the OoO simulation for one benchmark (work unit)."""
+    name, machine = item
+    workload = session.workload(name)
+    trace = workload.trace()
+    program = session.program_profile(workload)
+    misses = session.miss_profile(workload, machine)
+    in_order = InOrderMechanisticModel(machine).predict(program, misses)
+    out_of_order = OutOfOrderIntervalModel(machine).predict(program, misses)
+    ooo_simulated = OutOfOrderPipeline(machine).run(trace)
+    return InOrderVsOutOfOrder(
+        benchmark=name,
+        in_order=in_order.stack,
+        out_of_order=out_of_order.stack,
+        out_of_order_simulated_cpi=ooo_simulated.cpi,
+    )
+
+
 def run(benchmarks: tuple[str, ...] = FIGURE7_BENCHMARKS,
-        machine: MachineConfig | None = None) -> Figure7Result:
+        machine: MachineConfig | None = None,
+        session: Session | None = None) -> Figure7Result:
+    session = ensure_session(session)
     machine = machine if machine is not None else default_machine()
-    rows: list[InOrderVsOutOfOrder] = []
-    for name in benchmarks:
-        workload = get_workload(name)
-        trace = workload.trace()
-        program = profile_program(trace)
-        misses = profile_machine(trace, machine)
-        in_order = InOrderMechanisticModel(machine).predict(program, misses)
-        out_of_order = OutOfOrderIntervalModel(machine).predict(program, misses)
-        ooo_simulated = OutOfOrderPipeline(machine).run(trace)
-        rows.append(
-            InOrderVsOutOfOrder(
-                benchmark=name,
-                in_order=in_order.stack,
-                out_of_order=out_of_order.stack,
-                out_of_order_simulated_cpi=ooo_simulated.cpi,
-            )
-        )
+    rows = session.map(_stack_pair, [(name, machine) for name in benchmarks])
     return Figure7Result(machine=machine, rows=rows)
 
 
-def format_result(result: Figure7Result) -> str:
+def to_experiment_result(result: Figure7Result) -> ExperimentResult:
     labels: list[str] = []
     for row in result.rows:
         for stack in (row.in_order, row.out_of_order):
@@ -71,25 +73,39 @@ def format_result(result: Figure7Result) -> str:
                     labels.append(label)
     table_rows = []
     for row in result.rows:
-        for kind, stack in (("in-order", row.in_order), ("out-of-order", row.out_of_order)):
+        for kind, stack in (("in-order", row.in_order),
+                            ("out-of-order", row.out_of_order)):
             grouped = stack.grouped()
             table_rows.append(
-                [f"{row.benchmark} ({kind})"]
-                + [grouped.get(label, 0.0) for label in labels]
-                + [stack.cpi]
+                tuple([f"{row.benchmark} ({kind})"]
+                      + [grouped.get(label, 0.0) for label in labels]
+                      + [stack.cpi])
             )
-    table = format_table(["configuration"] + labels + ["CPI"], table_rows)
-    return (
-        "Figure 7 — in-order vs out-of-order CPI stacks "
-        f"(both {result.machine.width}-wide)\n" + table
+    return ExperimentResult(
+        experiment="figure7",
+        title=(
+            "Figure 7 — in-order vs out-of-order CPI stacks "
+            f"(both {result.machine.width}-wide)"
+        ),
+        headers=tuple(["configuration"] + labels + ["CPI"]),
+        rows=tuple(table_rows),
+        metadata={"benchmarks": [row.benchmark for row in result.rows],
+                  "machine": result.machine.describe()},
     )
 
 
-def main() -> Figure7Result:
-    result = run()
-    print(format_result(result))
-    return result
+def format_result(result: Figure7Result) -> str:
+    from repro.runtime.reporters import render_text
+
+    return render_text(to_experiment_result(result))
 
 
-if __name__ == "__main__":
-    main()
+@experiment(
+    "figure7",
+    title="Figure 7 — in-order vs out-of-order CPI stacks",
+    options=("benchmarks",),
+    smoke={"benchmarks": ("dijkstra", "tiff2bw")},
+)
+def figure7_experiment(session: Session,
+                       benchmarks: tuple[str, ...] = FIGURE7_BENCHMARKS) -> ExperimentResult:
+    return to_experiment_result(run(benchmarks=benchmarks, session=session))

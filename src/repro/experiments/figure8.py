@@ -6,6 +6,10 @@ scheduling, ``-O3``, and ``-O3`` with loop unrolling.  The paper's findings:
 scheduling stretches dependency distances and shrinks the dependency
 component; unrolling additionally reduces the dynamic instruction count and
 the taken-branch penalty.
+
+The three variants are first-class compiler flags of the session runtime
+(``nosched`` / ``O3`` / ``unroll``), so their traces land in the artifact
+cache like any other workload's.
 """
 
 from __future__ import annotations
@@ -13,11 +17,10 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.core.cpi_stack import CPIStack
-from repro.core.model import predict_workload
-from repro.experiments.common import FIGURE8_BENCHMARKS, default_machine, format_table
+from repro.core.model import InOrderMechanisticModel
+from repro.experiments.common import FIGURE8_BENCHMARKS, default_machine, ensure_session
 from repro.machine import MachineConfig
-from repro.workloads import get_workload
-from repro.workloads.compiler import optimization_variants
+from repro.runtime import ExperimentResult, Session, experiment
 
 #: Order in which the paper presents the variants.
 VARIANT_ORDER = ("nosched", "O3", "unroll")
@@ -41,33 +44,39 @@ class Figure8Result:
         return [row for row in self.rows if row.benchmark == name]
 
 
+def _variant_sweep(session: Session, item) -> list[CompilerVariantResult]:
+    """All compiler variants of one benchmark (a parallel work unit)."""
+    name, machine = item
+    models = {}
+    for variant in VARIANT_ORDER:
+        workload = session.workload(name, flags=variant)
+        program = session.program_profile(workload)
+        misses = session.miss_profile(workload, machine)
+        models[variant] = InOrderMechanisticModel(machine).predict(program, misses)
+    o3_cycles = models["O3"].cycles
+    return [
+        CompilerVariantResult(
+            benchmark=name,
+            variant=variant,
+            instructions=models[variant].instructions,
+            cycle_stack=models[variant].stack,
+            normalized_cycles=models[variant].cycles / o3_cycles,
+        )
+        for variant in VARIANT_ORDER
+    ]
+
+
 def run(benchmarks: tuple[str, ...] = FIGURE8_BENCHMARKS,
-        machine: MachineConfig | None = None) -> Figure8Result:
+        machine: MachineConfig | None = None,
+        session: Session | None = None) -> Figure8Result:
+    session = ensure_session(session)
     machine = machine if machine is not None else default_machine()
-    rows: list[CompilerVariantResult] = []
-    for name in benchmarks:
-        # The raw (unscheduled) kernel is the -fno-schedule-insns baseline.
-        workload = get_workload(name, use_cache=False, optimize=False)
-        variants = optimization_variants(workload)
-        results = {}
-        for variant in VARIANT_ORDER:
-            results[variant] = predict_workload(variants[variant], machine)
-        o3_cycles = results["O3"].cycles
-        for variant in VARIANT_ORDER:
-            model = results[variant]
-            rows.append(
-                CompilerVariantResult(
-                    benchmark=name,
-                    variant=variant,
-                    instructions=model.instructions,
-                    cycle_stack=model.stack,
-                    normalized_cycles=model.cycles / o3_cycles,
-                )
-            )
+    sweeps = session.map(_variant_sweep, [(name, machine) for name in benchmarks])
+    rows = [row for sweep in sweeps for row in sweep]
     return Figure8Result(machine=machine, rows=rows)
 
 
-def format_result(result: Figure8Result) -> str:
+def to_experiment_result(result: Figure8Result) -> ExperimentResult:
     labels: list[str] = []
     for row in result.rows:
         for label in row.cycle_stack.grouped():
@@ -83,21 +92,35 @@ def format_result(result: Figure8Result) -> str:
             if other.benchmark == row.benchmark and other.variant == "O3"
         )
         table_rows.append(
-            [f"{row.benchmark} {row.variant}", row.instructions]
-            + [grouped.get(label, 0.0) * row.instructions / o3_cycles for label in labels]
-            + [row.normalized_cycles]
+            tuple([f"{row.benchmark} {row.variant}", row.instructions]
+                  + [grouped.get(label, 0.0) * row.instructions / o3_cycles
+                     for label in labels]
+                  + [row.normalized_cycles])
         )
-    table = format_table(
-        ["configuration", "N"] + labels + ["normalized cycles"], table_rows
+    return ExperimentResult(
+        experiment="figure8",
+        title="Figure 8 — compiler optimizations, normalized cycle stacks",
+        headers=tuple(["configuration", "N"] + labels + ["normalized cycles"]),
+        rows=tuple(table_rows),
+        metadata={
+            "benchmarks": sorted({row.benchmark for row in result.rows}),
+            "variants": list(VARIANT_ORDER),
+        },
     )
-    return "Figure 8 — compiler optimizations, normalized cycle stacks\n" + table
 
 
-def main() -> Figure8Result:
-    result = run()
-    print(format_result(result))
-    return result
+def format_result(result: Figure8Result) -> str:
+    from repro.runtime.reporters import render_text
+
+    return render_text(to_experiment_result(result))
 
 
-if __name__ == "__main__":
-    main()
+@experiment(
+    "figure8",
+    title="Figure 8 — compiler optimizations, normalized cycle stacks",
+    options=("benchmarks",),
+    smoke={"benchmarks": ("sha", "tiffdither")},
+)
+def figure8_experiment(session: Session,
+                       benchmarks: tuple[str, ...] = FIGURE8_BENCHMARKS) -> ExperimentResult:
+    return to_experiment_result(run(benchmarks=benchmarks, session=session))

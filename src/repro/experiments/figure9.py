@@ -16,8 +16,8 @@ from dataclasses import dataclass
 
 from repro.dse.explorer import DesignSpaceExplorer, EDPResult
 from repro.dse.space import default_design_space, reduced_design_space
-from repro.experiments.common import FIGURE9_BENCHMARKS, format_table
-from repro.workloads import get_workload
+from repro.experiments.common import FIGURE9_BENCHMARKS, ensure_session
+from repro.runtime import ExperimentResult, Session, experiment
 
 
 @dataclass
@@ -40,58 +40,76 @@ class Figure9Result:
         return sum(1 for row in self.rows if row.same_choice)
 
 
-def run(benchmarks: tuple[str, ...] = FIGURE9_BENCHMARKS,
-        full: bool = False) -> Figure9Result:
+def _edp_exploration(session: Session, item) -> Figure9Row:
+    """One benchmark's EDP sweep over the space (a parallel work unit)."""
+    name, full = item
     space = default_design_space() if full else reduced_design_space()
-    explorer = DesignSpaceExplorer(space.configurations())
-    rows: list[Figure9Row] = []
-    for name in benchmarks:
-        workload = get_workload(name)
-        exploration = explorer.explore_edp(workload, simulate=True)
-        model_best = exploration.best_by_model()
-        simulated_best = exploration.best_by_simulation()
-        rows.append(
-            Figure9Row(
-                benchmark=name,
-                model_best=model_best.machine.name,
-                simulated_best=simulated_best.machine.name,
-                same_choice=model_best.machine.name == simulated_best.machine.name,
-                edp_gap=exploration.model_choice_edp_gap(),
-                exploration=exploration,
-            )
-        )
+    explorer = DesignSpaceExplorer(space.configurations(), session=session)
+    exploration = explorer.explore_edp(session.workload(name), simulate=True)
+    model_best = exploration.best_by_model()
+    simulated_best = exploration.best_by_simulation()
+    return Figure9Row(
+        benchmark=name,
+        model_best=model_best.machine.name,
+        simulated_best=simulated_best.machine.name,
+        same_choice=model_best.machine.name == simulated_best.machine.name,
+        edp_gap=exploration.model_choice_edp_gap(),
+        exploration=exploration,
+    )
+
+
+def run(benchmarks: tuple[str, ...] = FIGURE9_BENCHMARKS,
+        full: bool = False,
+        session: Session | None = None) -> Figure9Result:
+    session = ensure_session(session)
+    space = default_design_space() if full else reduced_design_space()
+    rows = session.map(_edp_exploration, [(name, full) for name in benchmarks])
     return Figure9Result(rows=rows, design_points=len(space))
 
 
+def to_experiment_result(result: Figure9Result) -> ExperimentResult:
+    return ExperimentResult(
+        experiment="figure9",
+        title=(
+            f"Figure 9 — EDP exploration over {result.design_points} design points"
+        ),
+        headers=("benchmark", "model optimum", "detailed optimum", "same?", "EDP gap"),
+        rows=tuple(
+            (
+                row.benchmark,
+                row.model_best,
+                row.simulated_best,
+                row.same_choice,
+                f"{row.edp_gap:.2%}",
+            )
+            for row in result.rows
+        ),
+        footnotes=(
+            f"model picks the detailed optimum for {result.matching_choices}/"
+            f"{len(result.rows)} benchmarks "
+            "(paper: 12/19 exact, 6 more within 0.5% EDP, worst case <5%)",
+        ),
+        metadata={
+            "design_points": result.design_points,
+            "benchmarks": [row.benchmark for row in result.rows],
+            "matching_choices": result.matching_choices,
+        },
+    )
+
+
 def format_result(result: Figure9Result) -> str:
-    table_rows = [
-        (
-            row.benchmark,
-            row.model_best,
-            row.simulated_best,
-            "yes" if row.same_choice else "no",
-            f"{row.edp_gap:.2%}",
-        )
-        for row in result.rows
-    ]
-    table = format_table(
-        ("benchmark", "model optimum", "detailed optimum", "same?", "EDP gap"),
-        table_rows,
-    )
-    return (
-        f"Figure 9 — EDP exploration over {result.design_points} design points\n"
-        f"{table}\n"
-        f"model picks the detailed optimum for {result.matching_choices}/"
-        f"{len(result.rows)} benchmarks "
-        "(paper: 12/19 exact, 6 more within 0.5% EDP, worst case <5%)"
-    )
+    from repro.runtime.reporters import render_text
+
+    return render_text(to_experiment_result(result))
 
 
-def main(full: bool = False) -> Figure9Result:
-    result = run(full=full)
-    print(format_result(result))
-    return result
-
-
-if __name__ == "__main__":
-    main()
+@experiment(
+    "figure9",
+    title="Figure 9 — EDP design-space exploration",
+    options=("full", "benchmarks"),
+    smoke={"benchmarks": ("gsm_c",)},
+)
+def figure9_experiment(session: Session, full: bool = False,
+                       benchmarks: tuple[str, ...] = FIGURE9_BENCHMARKS) -> ExperimentResult:
+    return to_experiment_result(run(benchmarks=benchmarks, full=full,
+                                    session=session))

@@ -5,8 +5,9 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.dse.space import DesignSpace, default_design_space
-from repro.experiments.common import default_machine, format_table
+from repro.experiments.common import default_machine
 from repro.machine import MachineConfig
+from repro.runtime import ExperimentResult, Session, experiment
 
 
 @dataclass
@@ -21,14 +22,14 @@ class Table2Result:
         return len(self.space)
 
 
-def run() -> Table2Result:
+def run(session: Session | None = None) -> Table2Result:
     return Table2Result(default=default_machine(), space=default_design_space())
 
 
-def format_result(result: Table2Result) -> str:
+def to_experiment_result(result: Table2Result) -> ExperimentResult:
     default = result.default
     space = result.space
-    rows = [
+    rows = (
         ("I-cache", f"{default.l1i_size // 1024}KB {default.l1i_associativity}-way",
          "fixed"),
         ("D-cache", f"{default.l1d_size // 1024}KB {default.l1d_associativity}-way",
@@ -37,24 +38,33 @@ def format_result(result: Table2Result) -> str:
          " / ".join(f"{size // 1024}KB" for size in space.l2_sizes)
          + f"; {' vs '.join(str(a) for a in space.l2_associativities)}-way"),
         ("pipeline depth", f"{default.pipeline_stages} stages",
-         " / ".join(f"{stages} stages @ {freq}MHz" for stages, freq in space.depth_frequency)),
+         " / ".join(f"{stages} stages @ {freq}MHz"
+                    for stages, freq in space.depth_frequency)),
         ("frequency", f"{default.frequency_mhz} MHz", "tied to depth"),
         ("width", f"{default.width} slots",
          " / ".join(str(width) for width in space.widths)),
         ("branch predictor", default.branch_predictor,
          " / ".join(space.branch_predictors)),
-    ]
-    table = format_table(("parameter", "default", "range"), rows)
-    return (
-        f"Table 2 — design space ({result.design_points} design points)\n{table}"
+    )
+    return ExperimentResult(
+        experiment="table2",
+        title=f"Table 2 — design space ({result.design_points} design points)",
+        headers=("parameter", "default", "range"),
+        rows=rows,
+        metadata={"design_points": result.design_points,
+                  "default_machine": default.describe()},
     )
 
 
-def main() -> Table2Result:
-    result = run()
-    print(format_result(result))
-    return result
+def format_result(result: Table2Result) -> str:
+    from repro.runtime.reporters import render_text
+
+    return render_text(to_experiment_result(result))
 
 
-if __name__ == "__main__":
-    main()
+@experiment(
+    "table2",
+    title="Table 2 — architecture design space",
+)
+def table2_experiment(session: Session) -> ExperimentResult:
+    return to_experiment_result(run(session=session))

@@ -45,6 +45,11 @@ _JUMP_ID = OP_CLASS_IDS[OpClass.JUMP]
 _INSTRUCTION_SIDE = 0
 _DATA_SIDE = 1
 
+#: Version of the engine's cached-pass layout.  The on-disk artifact cache
+#: (:mod:`repro.runtime.artifacts`) keys persisted engine state on this
+#: number; bump it whenever the pass dataclasses or their keying change.
+ENGINE_SCHEMA_VERSION = 1
+
 
 @dataclass(frozen=True)
 class _BasePass:
@@ -126,15 +131,64 @@ class SinglePassEngine:
         return engine
 
     # ------------------------------------------------------------------
+    # Persistence.
+    # ------------------------------------------------------------------
+    @property
+    def pass_count(self) -> int:
+        """Number of cached passes (base + L2 + branch); grows monotonically.
+
+        The session layer compares this before and after a profile request to
+        decide whether the persisted engine state is stale.
+        """
+        return (
+            len(self._base_passes)
+            + len(self._l2_passes)
+            + len(self._branch_profiles)
+            + (1 if self._control_stream is not None else 0)
+        )
+
+    def export_state(self) -> dict:
+        """All cached passes as one picklable blob (keys are geometry tuples)."""
+        return {
+            "base_passes": dict(self._base_passes),
+            "l2_passes": dict(self._l2_passes),
+            "branch_profiles": dict(self._branch_profiles),
+            "control_stream": self._control_stream,
+        }
+
+    def install_state(self, state: dict) -> None:
+        """Adopt passes previously captured with :meth:`export_state`.
+
+        Passes computed since the export win on key collisions (they are
+        bit-identical anyway — the engine is deterministic per trace).
+        """
+        merged_base = dict(state["base_passes"])
+        merged_base.update(self._base_passes)
+        self._base_passes = merged_base
+        merged_l2 = dict(state["l2_passes"])
+        merged_l2.update(self._l2_passes)
+        self._l2_passes = merged_l2
+        merged_branches = dict(state["branch_profiles"])
+        merged_branches.update(self._branch_profiles)
+        self._branch_profiles = merged_branches
+        if self._control_stream is None:
+            self._control_stream = state["control_stream"]
+
+    # ------------------------------------------------------------------
     # Passes.
     # ------------------------------------------------------------------
-    def _base_pass(self, machine: MachineConfig) -> _BasePass:
-        line = machine.line_size
-        key = (
+    @staticmethod
+    def _base_key(machine: MachineConfig) -> tuple:
+        """Front-end geometry key (stable across processes, unlike ``id``)."""
+        return (
             machine.l1i_size, machine.l1i_associativity,
             machine.l1d_size, machine.l1d_associativity,
-            line, machine.page_size,
+            machine.line_size, machine.page_size,
         )
+
+    def _base_pass(self, machine: MachineConfig) -> _BasePass:
+        line = machine.line_size
+        key = self._base_key(machine)
         cached = self._base_passes.get(key)
         if cached is not None:
             return cached
@@ -201,7 +255,9 @@ class SinglePassEngine:
         line = machine.line_size
         sets = machine.l2_size // (machine.l2_associativity * line)
         base = self._base_pass(machine)
-        key = (id(base), sets, line)
+        # Keyed on the front-end geometry (not ``id(base)``) so persisted
+        # passes stay addressable after a pickle round trip.
+        key = (self._base_key(machine), sets, line)
         cached = self._l2_passes.get(key)
         if cached is not None:
             return cached

@@ -1,0 +1,134 @@
+"""Content-addressed on-disk artifact cache.
+
+Traces and single-pass profiling state are expensive to produce and fully
+deterministic, so the session runtime stores them on disk keyed by a SHA-256
+digest of their *identity*: artifact kind, workload name, compiler flags and
+the relevant schema versions (:data:`~repro.trace.trace.TRACE_SCHEMA_VERSION`,
+:data:`~repro.profiler.single_pass_engine.ENGINE_SCHEMA_VERSION`).  Any code
+change that alters what a builder produces must bump the corresponding
+version, which changes every digest and naturally invalidates stale entries.
+
+Artifacts are pickled to ``<root>/<kind>/<digest>.pkl`` together with their
+key fields; writes go through a temporary file plus :func:`os.replace` so
+concurrent sessions (the process-pool scheduler shares one cache directory
+across workers) never observe a half-written artifact.  Unreadable or
+mismatched entries are treated as misses and rebuilt.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import pickle
+import tempfile
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable
+
+#: Sentinel distinguishing "no cached value" from a cached ``None``.
+MISSING = object()
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss/store counters for one :class:`ArtifactCache`."""
+
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+
+    def as_dict(self) -> dict[str, int]:
+        return {"hits": self.hits, "misses": self.misses, "stores": self.stores}
+
+
+@dataclass
+class ArtifactCache:
+    """Pickle store addressed by the content of the artifact's key fields.
+
+    ``root=None`` disables persistence entirely: every lookup misses and
+    every store is a no-op, which gives ephemeral sessions (unit tests,
+    one-off scripts) the same code path without touching the filesystem.
+    """
+
+    root: Path | None = None
+    stats: CacheStats = field(default_factory=CacheStats)
+
+    def __post_init__(self) -> None:
+        if self.root is not None:
+            self.root = Path(self.root)
+
+    @property
+    def enabled(self) -> bool:
+        return self.root is not None
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def digest(kind: str, **fields: Any) -> str:
+        """Stable SHA-256 digest of the artifact identity."""
+        payload = json.dumps(
+            {"kind": kind, **fields}, sort_keys=True, separators=(",", ":"),
+            default=str,
+        )
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+    def path_for(self, kind: str, **fields: Any) -> Path | None:
+        if self.root is None:
+            return None
+        return self.root / kind / f"{self.digest(kind, **fields)}.pkl"
+
+    # ------------------------------------------------------------------
+    def load(self, kind: str, **fields: Any) -> Any:
+        """The cached value, or :data:`MISSING` when absent or unreadable."""
+        path = self.path_for(kind, **fields)
+        if path is None or not path.exists():
+            self.stats.misses += 1
+            return MISSING
+        try:
+            with path.open("rb") as handle:
+                entry = pickle.load(handle)
+            if entry.get("fields") != {"kind": kind, **fields}:
+                # A digest collision or a foreign file: do not trust it.
+                raise ValueError("artifact key mismatch")
+        except Exception:
+            # Corrupt, truncated or stale-format entries are rebuilt.
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            self.stats.misses += 1
+            return MISSING
+        self.stats.hits += 1
+        return entry["value"]
+
+    def store(self, value: Any, kind: str, **fields: Any) -> None:
+        """Persist ``value`` atomically (no-op when the cache is disabled)."""
+        path = self.path_for(kind, **fields)
+        if path is None:
+            return
+        path.parent.mkdir(parents=True, exist_ok=True)
+        entry = {"fields": {"kind": kind, **fields}, "value": value}
+        descriptor, tmp_name = tempfile.mkstemp(
+            dir=path.parent, prefix=path.stem, suffix=".tmp"
+        )
+        try:
+            with os.fdopen(descriptor, "wb") as handle:
+                pickle.dump(entry, handle, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+        self.stats.stores += 1
+
+    def load_or_build(self, builder: Callable[[], Any], kind: str,
+                      **fields: Any) -> tuple[Any, bool]:
+        """Return ``(value, was_cached)``, building and storing on a miss."""
+        value = self.load(kind, **fields)
+        if value is not MISSING:
+            return value, True
+        value = builder()
+        self.store(value, kind, **fields)
+        return value, False

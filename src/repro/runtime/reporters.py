@@ -1,0 +1,100 @@
+"""Rendering of :class:`~repro.runtime.result.ExperimentResult` values.
+
+The experiments compute; the reporters present.  Three formats share one
+result object:
+
+* ``text`` — the paper-style aligned table (title, table, footnotes),
+* ``json`` — the loss-free serialization of the result,
+* ``csv``  — headers plus raw rows for spreadsheet import.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from typing import Callable, Iterable
+
+from repro.runtime.result import ExperimentResult
+
+
+def _format_cell(cell, float_format: str = "{:.3f}") -> str:
+    if isinstance(cell, bool):
+        return "yes" if cell else "no"
+    if isinstance(cell, float):
+        return float_format.format(cell)
+    if cell is None:
+        return ""
+    return str(cell)
+
+
+def format_table(headers: Iterable[str], rows: Iterable[Iterable[object]],
+                 float_format: str = "{:.3f}") -> str:
+    """Render a plain-text aligned table (floats to three decimals)."""
+    headers = list(headers)
+    materialized = [
+        [_format_cell(cell, float_format) for cell in row] for row in rows
+    ]
+    widths = [len(header) for header in headers]
+    for row in materialized:
+        for column, cell in enumerate(row):
+            widths[column] = max(widths[column], len(cell))
+    lines = []
+    lines.append("  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)))
+    lines.append("  ".join("-" * width for width in widths))
+    for row in materialized:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def render_text(result: ExperimentResult) -> str:
+    parts = [result.title, format_table(result.headers, result.rows)]
+    parts.extend(result.footnotes)
+    return "\n".join(parts)
+
+
+def render_json(result: ExperimentResult) -> str:
+    return result.to_json()
+
+
+def render_csv(result: ExperimentResult) -> str:
+    buffer = io.StringIO()
+    writer = csv.writer(buffer, lineterminator="\n")
+    writer.writerow(result.headers)
+    for row in result.rows:
+        writer.writerow(["" if cell is None else cell for cell in row])
+    return buffer.getvalue().rstrip("\n")
+
+
+REPORTERS: dict[str, Callable[[ExperimentResult], str]] = {
+    "text": render_text,
+    "json": render_json,
+    "csv": render_csv,
+}
+
+
+def render(result: ExperimentResult, fmt: str = "text") -> str:
+    try:
+        reporter = REPORTERS[fmt]
+    except KeyError as exc:
+        raise ValueError(
+            f"unknown format {fmt!r}; expected one of {sorted(REPORTERS)}"
+        ) from exc
+    return reporter(result)
+
+
+def render_many(results: Iterable[ExperimentResult], fmt: str = "text") -> str:
+    """Render a batch: json as one document, a lone csv result as pure CSV,
+    everything else as ``=== name ===`` labelled sections."""
+    results = list(results)
+    if fmt == "json":
+        return json.dumps([result.to_dict() for result in results], indent=2)
+    if fmt == "csv" and len(results) == 1:
+        # Keep single-experiment CSV machine-readable (no section header).
+        return render(results[0], fmt) + "\n"
+    sections = []
+    for result in results:
+        sections.append(f"=== {result.experiment} ===")
+        sections.append(render(result, fmt))
+        sections.append("")
+    return "\n".join(sections).rstrip("\n") + "\n"

@@ -1,0 +1,80 @@
+"""The uniform result type every experiment returns.
+
+An :class:`ExperimentResult` is the declarative replacement for the old
+print-scripts: a title, a rectangular table of scalar cells, footnote lines
+and a metadata mapping with the experiment's headline numbers.  Rendering
+lives in :mod:`repro.runtime.reporters`; this module only defines the data
+and its loss-free JSON round trip (used by ``--format json`` and asserted by
+the CLI tests).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+#: Version recorded in every serialized result.
+RESULT_SCHEMA_VERSION = 1
+
+#: Cell types that survive a JSON round trip unchanged.
+Scalar = str | int | float | bool | None
+
+
+@dataclass
+class ExperimentResult:
+    """Declarative outcome of one experiment run.
+
+    ``rows`` hold raw scalars — floats are formatted by the reporters, never
+    here — so the same result renders as a text table, machine-readable JSON
+    or CSV without re-running anything.
+    """
+
+    experiment: str
+    title: str
+    headers: tuple[str, ...]
+    rows: tuple[tuple[Scalar, ...], ...]
+    footnotes: tuple[str, ...] = ()
+    metadata: dict = field(default_factory=dict)
+    #: False for wall-clock measurements (the speedup experiment); the CLI
+    #: byte-identity guarantees apply only to deterministic results.
+    deterministic: bool = True
+    schema_version: int = RESULT_SCHEMA_VERSION
+
+    def __post_init__(self) -> None:
+        # Canonicalize containers so from_dict(to_dict(r)) == r holds.
+        self.headers = tuple(str(header) for header in self.headers)
+        self.rows = tuple(tuple(row) for row in self.rows)
+        self.footnotes = tuple(str(note) for note in self.footnotes)
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        return {
+            "schema_version": self.schema_version,
+            "experiment": self.experiment,
+            "title": self.title,
+            "headers": list(self.headers),
+            "rows": [list(row) for row in self.rows],
+            "footnotes": list(self.footnotes),
+            "metadata": self.metadata,
+            "deterministic": self.deterministic,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "ExperimentResult":
+        return cls(
+            experiment=payload["experiment"],
+            title=payload["title"],
+            headers=tuple(payload["headers"]),
+            rows=tuple(tuple(row) for row in payload["rows"]),
+            footnotes=tuple(payload.get("footnotes", ())),
+            metadata=dict(payload.get("metadata", {})),
+            deterministic=payload.get("deterministic", True),
+            schema_version=payload.get("schema_version", RESULT_SCHEMA_VERSION),
+        )
+
+    def to_json(self, indent: int | None = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent)
+
+    @classmethod
+    def from_json(cls, text: str) -> "ExperimentResult":
+        return cls.from_dict(json.loads(text))

@@ -1,0 +1,48 @@
+"""Process-pool sharding for session work.
+
+The unit of parallelism is ``fn(session, item)`` where ``fn`` is a
+module-level function (it is pickled by reference) and ``item`` a picklable
+work description — typically a ``(benchmark, machine)`` pair or a benchmark
+name.  Each worker process owns its own :class:`~repro.runtime.session.Session`
+bound to the same cache directory as the parent, so traces and profiling
+passes flow between processes through the on-disk artifact cache rather than
+through pickled arguments.
+
+``session_map`` preserves item order and degrades to an inline loop for
+``jobs=1`` (and for trivially small batches), which is what makes parallel
+experiment output byte-identical to serial output.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+from typing import Callable, Iterable
+
+#: The per-process session of pool workers (created by the initializer).
+_WORKER_SESSION = None
+
+
+def _worker_init(spec) -> None:
+    global _WORKER_SESSION
+    # Workers run their shard inline: nested pools would oversubscribe.
+    _WORKER_SESSION = spec.create(jobs=1)
+
+
+def _worker_call(payload):
+    fn, item = payload
+    return fn(_WORKER_SESSION, item)
+
+
+def session_map(session, fn: Callable, items: Iterable) -> list:
+    """Apply ``fn(session, item)`` over ``items``, sharding across processes.
+
+    See :meth:`repro.runtime.session.Session.map` for the contract.
+    """
+    items = list(items)
+    if session.jobs <= 1 or len(items) <= 1:
+        return [fn(session, item) for item in items]
+    workers = min(session.jobs, len(items))
+    with ProcessPoolExecutor(
+        max_workers=workers, initializer=_worker_init, initargs=(session.spec,)
+    ) as pool:
+        return list(pool.map(_worker_call, [(fn, item) for item in items]))

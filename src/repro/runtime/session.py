@@ -1,0 +1,263 @@
+"""The experiment session: shared workloads, traces and profiling state.
+
+A :class:`Session` is the single owner of everything the experiments used to
+rebuild privately: workload compilation, functional-simulation traces,
+machine-independent program profiles and the per-trace
+:class:`~repro.profiler.single_pass_engine.SinglePassEngine` whose
+cache-geometry histograms answer miss profiles for whole design spaces.  All
+of it is memoized in process and — when the session is given a cache
+directory — persisted through the content-addressed
+:class:`~repro.runtime.artifacts.ArtifactCache`, so a trace is generated once
+per machine, ever, and a second session against the same directory performs
+zero workload compilations and zero trace generations.
+
+Workload identity is ``(name, flags)`` where ``flags`` names the compiler
+treatment (:data:`COMPILER_FLAGS`): ``"O3"`` is the instruction-scheduled
+default the paper evaluates, ``"nosched"`` the kernel as written and
+``"unroll"`` scheduling plus loop unrolling (the Figure 8 variants).
+
+``session.map(fn, items)`` is the parallelism hook: with ``jobs > 1`` it
+shards the items across a process pool whose workers run their own sessions
+against the same cache directory (see :mod:`repro.runtime.scheduler`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable, Sequence
+
+from repro.machine import MachineConfig
+from repro.profiler.machine_stats import MissProfile
+from repro.profiler.program import ProgramProfile, profile_program
+from repro.profiler.single_pass_engine import ENGINE_SCHEMA_VERSION, SinglePassEngine
+from repro.runtime.artifacts import MISSING, ArtifactCache
+from repro.trace.trace import TRACE_SCHEMA_VERSION, Trace
+from repro.workloads.base import Workload
+
+#: Compiler treatments a session can build (the Figure 8 variants).
+COMPILER_FLAGS = ("O3", "nosched", "unroll")
+
+#: Version of the pickled :class:`ProgramProfile` payload.
+PROGRAM_PROFILE_SCHEMA_VERSION = 1
+
+
+@dataclass(frozen=True)
+class SessionSpec:
+    """Everything needed to rebuild an equivalent session in another process."""
+
+    cache_dir: str | None = None
+    jobs: int = 1
+
+    def create(self, jobs: int | None = None) -> "Session":
+        return Session(cache_dir=self.cache_dir,
+                       jobs=self.jobs if jobs is None else jobs)
+
+
+@dataclass
+class SessionStats:
+    """Work counters; the warm-cache tests assert the zeros directly."""
+
+    workloads_compiled: int = 0
+    traces_generated: int = 0
+    trace_cache_hits: int = 0
+    engine_state_loads: int = 0
+    engine_state_saves: int = 0
+    miss_profiles_built: int = 0
+
+    def as_dict(self) -> dict[str, int]:
+        return {
+            "workloads_compiled": self.workloads_compiled,
+            "traces_generated": self.traces_generated,
+            "trace_cache_hits": self.trace_cache_hits,
+            "engine_state_loads": self.engine_state_loads,
+            "engine_state_saves": self.engine_state_saves,
+            "miss_profiles_built": self.miss_profiles_built,
+        }
+
+
+class Session:
+    """Owns workload/trace/profile reuse for a batch of experiments."""
+
+    def __init__(self, cache_dir=None, jobs: int = 1):
+        if jobs < 1:
+            raise ValueError("jobs must be at least 1")
+        self.jobs = jobs
+        self.cache = ArtifactCache(cache_dir)
+        self.stats = SessionStats()
+        self._workloads: dict[tuple[str, str], Workload] = {}
+        #: id(trace) -> (name, flags) for traces this session manages.
+        self._trace_tokens: dict[int, tuple[str, str]] = {}
+        #: (name, flags) -> engine pass_count at the last load/store, used to
+        #: skip rewriting the persisted state when nothing new was computed.
+        self._engine_synced: dict[tuple[str, str], int] = {}
+        #: token -> (trace, profile); the trace reference pins id() stability.
+        self._program_profiles: dict[object, tuple[Trace, ProgramProfile]] = {}
+        self._miss_profiles: dict[tuple, tuple[Trace, MissProfile]] = {}
+
+    @property
+    def spec(self) -> SessionSpec:
+        cache_dir = str(self.cache.root) if self.cache.enabled else None
+        return SessionSpec(cache_dir=cache_dir, jobs=self.jobs)
+
+    # ------------------------------------------------------------------
+    # Workloads and traces.
+    # ------------------------------------------------------------------
+    def _trace_key_fields(self, name: str, flags: str) -> dict:
+        return {
+            "workload": name,
+            "flags": flags,
+            "trace_version": TRACE_SCHEMA_VERSION,
+        }
+
+    def _compile(self, name: str, flags: str) -> Workload:
+        """Build the workload from source (the expensive, cache-miss path)."""
+        from repro.workloads import get_workload
+        from repro.workloads.compiler import optimization_variants
+
+        self.stats.workloads_compiled += 1
+        if flags == "O3":
+            return get_workload(name, use_cache=False, optimize=True)
+        raw = get_workload(name, use_cache=False, optimize=False)
+        if flags == "nosched":
+            return raw
+        return optimization_variants(raw)[flags]
+
+    def workload(self, name: str, flags: str = "O3") -> Workload:
+        """The workload for ``(name, flags)``, with its trace ready.
+
+        On an artifact-cache hit the returned workload is a trace-only shim
+        (no program or memory image): everything downstream of compilation —
+        the profilers, the models, the detailed simulators — consumes only
+        the dynamic trace.
+        """
+        if flags not in COMPILER_FLAGS:
+            raise ValueError(
+                f"unknown compiler flags {flags!r}; expected one of {COMPILER_FLAGS}"
+            )
+        key = (name, flags)
+        cached = self._workloads.get(key)
+        if cached is not None:
+            return cached
+
+        fields = self._trace_key_fields(name, flags)
+        columns = self.cache.load("trace", **fields)
+        if columns is not MISSING:
+            self.stats.trace_cache_hits += 1
+            workload = Workload.from_trace(Trace.from_columns(**columns))
+            trace = workload.trace()
+        else:
+            workload = self._compile(name, flags)
+            trace = workload.trace()
+            self.stats.traces_generated += 1
+            self.cache.store(trace.columns(), "trace", **fields)
+
+        self._workloads[key] = workload
+        self._trace_tokens[id(trace)] = key
+        return workload
+
+    def workloads(self, names: Sequence[str], flags: str = "O3") -> list[Workload]:
+        return [self.workload(name, flags) for name in names]
+
+    def trace(self, name: str, flags: str = "O3") -> Trace:
+        return self.workload(name, flags).trace()
+
+    # ------------------------------------------------------------------
+    # Profiles.
+    # ------------------------------------------------------------------
+    def _token(self, trace: Trace) -> object:
+        """Session-managed traces resolve to (name, flags); others to id()."""
+        return self._trace_tokens.get(id(trace), id(trace))
+
+    def program_profile(self, workload: Workload) -> ProgramProfile:
+        """The machine-independent profile of ``workload`` (Table 1 stats)."""
+        trace = workload.trace()
+        token = self._token(trace)
+        memo = self._program_profiles.get(token)
+        if memo is not None:
+            return memo[1]
+        if isinstance(token, tuple):
+            name, flags = token
+            profile, _ = self.cache.load_or_build(
+                lambda: profile_program(trace), "program_profile",
+                profile_version=PROGRAM_PROFILE_SCHEMA_VERSION,
+                **self._trace_key_fields(name, flags),
+            )
+        else:
+            profile = profile_program(trace)
+        self._program_profiles[token] = (trace, profile)
+        return profile
+
+    def engine(self, name: str, flags: str = "O3") -> SinglePassEngine:
+        """The persistent single-pass engine of a session-managed trace."""
+        trace = self.trace(name, flags)
+        engine = SinglePassEngine.for_trace(trace)
+        key = (name, flags)
+        if key not in self._engine_synced:
+            state = self.cache.load("engine", engine_version=ENGINE_SCHEMA_VERSION,
+                                    **self._trace_key_fields(name, flags))
+            if state is not MISSING:
+                engine.install_state(state)
+                self.stats.engine_state_loads += 1
+            self._engine_synced[key] = engine.pass_count
+        return engine
+
+    def _persist_engine(self, name: str, flags: str,
+                        engine: SinglePassEngine) -> None:
+        if not self.cache.enabled:
+            return
+        key = (name, flags)
+        if engine.pass_count == self._engine_synced.get(key):
+            return
+        self.cache.store(engine.export_state(), "engine",
+                         engine_version=ENGINE_SCHEMA_VERSION,
+                         **self._trace_key_fields(name, flags))
+        self._engine_synced[key] = engine.pass_count
+        self.stats.engine_state_saves += 1
+
+    def miss_profile(self, workload: Workload | str, machine: MachineConfig,
+                     *, flags: str = "O3", mlp_window: int = 64) -> MissProfile:
+        """Miss-event counts of ``workload`` on ``machine`` (memoized).
+
+        Accepts a workload name (resolved through the session) or any
+        :class:`Workload`; profiles of session-managed traces go through the
+        persistent engine, so their cache-geometry histograms land on disk
+        and are never recomputed by later sessions.
+        """
+        if isinstance(workload, str):
+            workload = self.workload(workload, flags)
+        trace = workload.trace()
+        token = self._token(trace)
+        memo_key = (token, machine, mlp_window)
+        memo = self._miss_profiles.get(memo_key)
+        if memo is not None:
+            return memo[1]
+
+        self.stats.miss_profiles_built += 1
+        if isinstance(token, tuple):
+            engine = self.engine(*token)
+            profile = engine.miss_profile(machine, mlp_window)
+            self._persist_engine(*token, engine)
+        else:
+            profile = SinglePassEngine.for_trace(trace).miss_profile(
+                machine, mlp_window
+            )
+        self._miss_profiles[memo_key] = (trace, profile)
+        return profile
+
+    # ------------------------------------------------------------------
+    # Parallelism.
+    # ------------------------------------------------------------------
+    def map(self, fn: Callable, items: Iterable) -> list:
+        """Apply a module-level ``fn(session, item)`` across ``items``.
+
+        Runs inline for ``jobs=1``; otherwise shards across a process pool
+        (each worker owns a session on the same cache directory).  Results
+        keep item order, so parallel runs are byte-identical to serial ones.
+        """
+        from repro.runtime.scheduler import session_map
+
+        return session_map(self, fn, items)
+
+    def summary(self) -> dict:
+        """Counters for the CLI's end-of-run session report."""
+        return {**self.stats.as_dict(), "artifact_cache": self.cache.stats.as_dict()}

@@ -23,6 +23,12 @@ from repro.isa.opcodes import OpClass
 #: Size of one instruction in bytes; fetch addresses are ``index * INSTR_BYTES``.
 INSTR_BYTES = 4
 
+#: Version of the columnar trace layout.  The on-disk artifact cache
+#: (:mod:`repro.runtime.artifacts`) keys serialized traces on this number, so
+#: bump it whenever the column set, the sentinel conventions or the functional
+#: simulator's observable output change.
+TRACE_SCHEMA_VERSION = 1
+
 #: Stable ordinal assigned to each :class:`OpClass` in the packed
 #: ``op_classes`` column (and its inverse mapping).
 OP_CLASS_BY_ID: tuple[OpClass, ...] = tuple(OpClass)
@@ -180,6 +186,24 @@ class Trace:
         trace.static_index = static_index
         trace.seqs = range(len(pcs))
         return trace
+
+    def columns(self) -> dict:
+        """The packed columns plus statics, as accepted by :meth:`from_columns`.
+
+        This is the trace's serialization surface: everything derived (facade
+        objects, attached profiling engines) is excluded, so pickling the
+        returned mapping captures exactly the dynamic execution.
+        """
+        return {
+            "statics": self.statics,
+            "pcs": self.pcs,
+            "next_pcs": self.next_pcs,
+            "mem_addrs": self.mem_addrs,
+            "op_classes": self.op_classes,
+            "taken": self.taken,
+            "static_index": self.static_index,
+            "name": self.name,
+        }
 
     # ------------------------------------------------------------------
     # Facade materialization.

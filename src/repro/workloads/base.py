@@ -32,8 +32,31 @@ class Workload:
     max_instructions: int = 2_000_000
     _trace: Trace | None = field(default=None, repr=False, compare=False)
 
+    @classmethod
+    def from_trace(cls, trace: Trace) -> "Workload":
+        """A trace-only workload (no program or memory image).
+
+        Used by the session runtime when a trace comes out of the artifact
+        cache: everything downstream of compilation — profilers, models,
+        detailed simulators — consumes only the dynamic trace.  Operations
+        that need the static program (``with_program``, ``trace(force=True)``)
+        raise :class:`WorkloadBuildError` instead of failing obscurely.
+        """
+        workload = cls(name=trace.name, program=None, memory=None)
+        workload._trace = trace
+        return workload
+
+    @property
+    def is_trace_only(self) -> bool:
+        return self.program is None
+
     def trace(self, force: bool = False) -> Trace:
         """Execute the workload functionally and return its dynamic trace."""
+        if (self._trace is None or force) and self.is_trace_only:
+            raise WorkloadBuildError(
+                f"workload {self.name!r} is trace-only (loaded from the "
+                "artifact cache) and cannot re-run its program"
+            )
         if self._trace is None or force:
             simulator = FunctionalSimulator(
                 self.program,
@@ -59,6 +82,11 @@ class Workload:
         Used by the compiler passes: the data stays the same, only the code
         changes (e.g. ``sha`` → ``sha.unroll``).
         """
+        if self.is_trace_only:
+            raise WorkloadBuildError(
+                f"workload {self.name!r} is trace-only (loaded from the "
+                "artifact cache); rebuild it from source to transform it"
+            )
         return Workload(
             name=f"{self.name}.{suffix}",
             program=program,

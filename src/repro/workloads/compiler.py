@@ -27,7 +27,7 @@ from dataclasses import dataclass
 
 from repro.isa.instructions import Instruction
 from repro.isa.opcodes import Opcode
-from repro.isa.program import BasicBlock, Program
+from repro.isa.program import Program
 from repro.workloads.base import Workload
 
 

@@ -12,7 +12,7 @@ from repro.branch import (
     make_predictor,
     profile_branches,
 )
-from repro.isa import Opcode, ProgramBuilder
+from repro.isa import ProgramBuilder
 from repro.trace import FunctionalSimulator
 
 

@@ -1,0 +1,170 @@
+"""CLI smoke suite: subcommands, formats, parallel runs and the warm cache.
+
+The heavyweight checks mirror the acceptance criteria of the runtime
+refactor: ``run all`` on the fast subset through a process pool produces
+byte-identical tables to the serial run, and a second run against the same
+``--cache-dir`` performs zero workload compilations and zero trace
+generations.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+
+import pytest
+
+from repro.cli import build_parser, main as cli_main
+from repro.runtime import ExperimentResult, Session, experiment_names, run_experiment
+
+
+def _sections(output: str) -> dict[str, str]:
+    """Split ``=== name ===`` labelled CLI output into name → body."""
+    parts = re.split(r"^=== (\S+) ===$", output, flags=re.MULTILINE)
+    it = iter(parts[1:])  # parts[0] is anything before the first header
+    return {name: body.strip("\n") for name, body in zip(it, it)}
+
+
+@pytest.fixture(scope="module")
+def cache_dir(tmp_path_factory):
+    return tmp_path_factory.mktemp("artifact-cache")
+
+
+@pytest.fixture(scope="module")
+def smoke_outputs(cache_dir):
+    """Cold parallel run, then warm serial run, of the full fast subset."""
+    import contextlib
+    import io
+
+    outputs = {}
+    for label, argv in (
+        ("parallel_cold",
+         ["run", "all", "--smoke", "--jobs", "2", "--cache-dir", str(cache_dir)]),
+        ("serial_warm",
+         ["run", "all", "--smoke", "--jobs", "1", "--cache-dir", str(cache_dir)]),
+    ):
+        stdout, stderr = io.StringIO(), io.StringIO()
+        with contextlib.redirect_stdout(stdout), contextlib.redirect_stderr(stderr):
+            exit_code = cli_main(argv)
+        assert exit_code == 0
+        outputs[label] = stdout.getvalue()
+    return outputs
+
+
+class TestParser:
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run"])
+        assert args.experiments == ["all"]
+        assert args.jobs == 1 and args.format == "text"
+        assert args.cache_dir is None
+        assert not args.full and not args.smoke
+
+    def test_run_options(self):
+        args = build_parser().parse_args(
+            ["run", "figure5", "figure9", "--full", "--jobs", "4",
+             "--format", "json", "--cache-dir", "/tmp/x"]
+        )
+        assert args.experiments == ["figure5", "figure9"]
+        assert args.full and args.jobs == 4 and args.format == "json"
+
+    def test_subcommand_required(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestList:
+    def test_list_text_shows_every_experiment(self, capsys):
+        assert cli_main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in experiment_names():
+            assert name in out
+
+    def test_list_json_exposes_metadata(self, capsys):
+        assert cli_main(["list", "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        by_name = {entry["name"]: entry for entry in payload}
+        assert set(by_name) == set(experiment_names())
+        assert "full" in by_name["figure5"]["options"]
+        assert by_name["speedup"]["deterministic"] is False
+
+
+class TestRun:
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit, match="unknown experiments"):
+            cli_main(["run", "figure42"])
+
+    def test_single_experiment_text(self, capsys):
+        assert cli_main(["run", "table2"]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("=== table2 ===\n")
+        assert "192 design points" in out
+
+    def test_json_round_trips_through_experiment_result(self, cache_dir, capsys):
+        argv = ["run", "figure3", "--smoke", "--format", "json",
+                "--cache-dir", str(cache_dir)]
+        assert cli_main(argv) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert isinstance(payload, list) and len(payload) == 1
+        decoded = ExperimentResult.from_dict(payload[0])
+        assert decoded.experiment == "figure3"
+        # The serialization is loss-free...
+        assert ExperimentResult.from_json(decoded.to_json()) == decoded
+        # ...and matches an in-process run exactly (determinism).
+        session = Session(cache_dir=cache_dir)
+        rerun = run_experiment(session, "figure3", smoke=True)
+        assert rerun == decoded
+
+    def test_unsupported_override_is_an_error(self):
+        with pytest.raises(ValueError, match="does not support"):
+            run_experiment(Session(), "table2", overrides={"full": True})
+
+    def test_single_experiment_csv_is_pure_csv(self, cache_dir, capsys):
+        argv = ["run", "figure3", "--smoke", "--format", "csv",
+                "--cache-dir", str(cache_dir)]
+        assert cli_main(argv) == 0
+        lines = capsys.readouterr().out.splitlines()
+        # No section banner: the stream is directly machine-readable.
+        assert lines[0] == "benchmark,model CPI,detailed CPI,error"
+        assert len(lines) == 4  # header + three smoke benchmarks
+
+    def test_multi_experiment_csv_uses_sections(self, cache_dir, capsys):
+        argv = ["run", "table2", "figure3", "--smoke", "--format", "csv",
+                "--cache-dir", str(cache_dir)]
+        assert cli_main(argv) == 0
+        sections = _sections(capsys.readouterr().out)
+        assert set(sections) == {"table2", "figure3"}
+        assert sections["figure3"].splitlines()[0].startswith("benchmark,")
+
+
+class TestFastSubsetPipeline:
+    """The acceptance-criteria checks (shared cold/warm CLI runs)."""
+
+    def test_runs_cover_every_experiment(self, smoke_outputs):
+        for output in smoke_outputs.values():
+            assert set(_sections(output)) == set(experiment_names())
+
+    def test_parallel_output_is_byte_identical_to_serial(self, smoke_outputs):
+        cold = _sections(smoke_outputs["parallel_cold"])
+        warm = _sections(smoke_outputs["serial_warm"])
+        for name in experiment_names():
+            if name == "speedup":  # wall-clock numbers, non-deterministic
+                continue
+            assert cold[name] == warm[name], f"{name} diverged"
+
+    def test_warm_cache_run_regenerates_nothing(self, cache_dir, smoke_outputs):
+        session = Session(cache_dir=cache_dir)
+        results = [
+            run_experiment(session, name, smoke=True)
+            for name in experiment_names()
+        ]
+        assert len(results) == len(experiment_names())
+        assert session.stats.workloads_compiled == 0
+        assert session.stats.traces_generated == 0
+        assert session.stats.trace_cache_hits > 0
+
+    def test_warm_cache_results_match_cli_tables(self, cache_dir, smoke_outputs):
+        from repro.runtime.reporters import render_text
+
+        session = Session(cache_dir=cache_dir)
+        rendered = render_text(run_experiment(session, "figure5", smoke=True))
+        assert rendered == _sections(smoke_outputs["serial_warm"])["figure5"]

@@ -5,7 +5,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.isa import Instruction, Opcode, ProgramBuilder
-from repro.profiler import collect_dependencies, profile_program
+from repro.profiler import collect_dependencies
 from repro.trace import FunctionalSimulator
 from repro.workloads import get_workload
 from repro.workloads.compiler import (

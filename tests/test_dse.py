@@ -115,27 +115,26 @@ class TestExplorer:
         ) * 1.0001
         assert exploration.model_choice_edp_gap() >= 0.0
 
-    def test_profiles_are_cached(self, tiny_explorer):
+    def test_profiles_are_cached_in_the_session(self, tiny_explorer):
         workload = get_workload("sha")
         tiny_explorer.evaluate(workload)
-        cached_programs = len(tiny_explorer._program_profiles)
-        cached_misses = len(tiny_explorer._miss_profiles)
+        built = tiny_explorer.session.stats.miss_profiles_built
+        assert built >= len(tiny_explorer.configurations)
         tiny_explorer.evaluate(workload)
-        assert len(tiny_explorer._program_profiles) == cached_programs
-        assert len(tiny_explorer._miss_profiles) == cached_misses
-        for machine in tiny_explorer.configurations:
-            assert ("sha", machine) in tiny_explorer._miss_profiles
+        # The second sweep is answered entirely from the session memo.
+        assert tiny_explorer.session.stats.miss_profiles_built == built
 
     def test_same_name_configs_do_not_collide(self):
         # Two distinct configurations sharing a name (here: empty) must get
-        # distinct miss profiles — the cache is keyed on the config itself.
+        # distinct miss profiles — the session memo is keyed on the frozen
+        # config itself.
         small = MachineConfig(l2_size=128 * 1024)
         big = MachineConfig(l2_size=1024 * 1024)
         assert small.name == big.name == ""
         explorer = DesignSpaceExplorer([small, big])
         workload = get_workload("sha")
         explorer.evaluate(workload)
-        assert len(explorer._miss_profiles) == 2
-        small_profile = explorer._miss_profiles[("sha", small)]
-        big_profile = explorer._miss_profiles[("sha", big)]
+        small_profile = explorer.session.miss_profile(workload, small)
+        big_profile = explorer.session.miss_profile(workload, big)
+        assert explorer.session.stats.miss_profiles_built == 2
         assert small_profile.machine.l2_size != big_profile.machine.l2_size

@@ -1,13 +1,12 @@
-"""Integration tests for the experiment drivers and the CLI.
+"""Integration tests for the experiment drivers.
 
 Each experiment is exercised on a reduced benchmark set so the whole suite
 remains fast; the full runs are available through the benchmark harness and
-the command line interface.
+the command line interface (whose smoke suite lives in ``test_cli.py``).
 """
 
 import pytest
 
-from repro.cli import build_parser, main as cli_main
 from repro.experiments import (
     ALL_EXPERIMENTS,
     figure3,
@@ -21,6 +20,7 @@ from repro.experiments import (
     table2,
 )
 from repro.machine import MachineConfig
+from repro.runtime import EXPERIMENTS, get_experiment
 
 
 @pytest.fixture(scope="module")
@@ -129,27 +129,29 @@ class TestSpeedup:
         assert "Speedup" in speedup.format_result(result)
 
 
-class TestCLI:
+class TestRegistry:
     def test_registry_contains_all_figures(self):
-        assert set(ALL_EXPERIMENTS) == {
+        expected = {
             "table2", "figure3", "figure4", "figure5", "figure6",
             "figure7", "figure8", "figure9", "speedup",
         }
+        assert set(ALL_EXPERIMENTS) == expected
+        assert set(EXPERIMENTS) == expected
 
-    def test_parser(self):
-        parser = build_parser()
-        args = parser.parse_args(["figure3", "--full"])
-        assert args.experiment == "figure3"
-        assert args.full is True
-        args = parser.parse_args([])
-        assert args.experiment == "all"
+    def test_design_space_experiments_declare_full_in_metadata(self):
+        # The old CLI hardcoded `name in ("figure5", "figure9")`; the
+        # registry metadata is now the single source of truth.
+        assert get_experiment("figure5").supports("full")
+        assert get_experiment("figure9").supports("full")
+        for name in ("table2", "figure3", "figure4", "figure6", "figure7",
+                     "figure8", "speedup"):
+            assert not get_experiment(name).supports("full")
 
-    def test_cli_runs_single_experiment(self, capsys):
-        exit_code = cli_main(["table2"])
-        captured = capsys.readouterr()
-        assert exit_code == 0
-        assert "design space" in captured.out
+    def test_smoke_presets_use_declared_options_only(self):
+        for name in EXPERIMENTS:
+            spec = get_experiment(name)
+            assert set(spec.smoke) <= set(spec.options)
 
-    def test_cli_rejects_unknown_experiment(self):
-        with pytest.raises(SystemExit):
-            cli_main(["figure42"])
+    def test_speedup_is_flagged_non_deterministic(self):
+        assert not get_experiment("speedup").deterministic
+        assert get_experiment("figure3").deterministic

@@ -4,7 +4,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.isa import Opcode, ProgramBuilder
+from repro.isa import ProgramBuilder
 from repro.trace import (
     FunctionalSimulator,
     MemoryImage,

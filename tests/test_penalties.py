@@ -1,7 +1,7 @@
 """Unit and property tests for the model's penalty formulas (Eqs. 3-16)."""
 
 import pytest
-from hypothesis import given, settings
+from hypothesis import given
 from hypothesis import strategies as st
 
 from repro.core import penalties

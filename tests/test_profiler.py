@@ -3,7 +3,6 @@
 import pytest
 
 from repro.isa import ProgramBuilder
-from repro.machine import MachineConfig
 from repro.profiler import (
     collect_dependencies,
     collect_instruction_mix,
