@@ -1,6 +1,6 @@
 PY := PYTHONPATH=src python
 
-.PHONY: test lint bench experiments
+.PHONY: test lint bench bench-smoke experiments
 
 test:
 	$(PY) -m pytest -x -q
@@ -10,6 +10,11 @@ lint:
 
 bench:
 	$(PY) benchmarks/run_bench.py
+
+# Single-repetition bench pass writing to a scratch file: a CI smoke check
+# that every benchmark still runs, without touching BENCH_core.json.
+bench-smoke:
+	$(PY) benchmarks/run_bench.py --repeat 1 --output /tmp/BENCH_smoke.json
 
 experiments:
 	$(PY) -m repro.cli run all

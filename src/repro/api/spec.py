@@ -1,0 +1,277 @@
+"""Typed, JSON-round-trippable request and result objects.
+
+The schema is the public contract of :mod:`repro.api`:
+
+* :class:`WorkloadSpec` — a workload by registry name plus compiler-flag
+  treatment (``"O3"``, ``"nosched"``, ``"unroll"``);
+* :class:`MachineSpec` — a machine as a named preset plus keyword
+  overrides, e.g. ``{"preset": "paper_default", "l2_size": "1MB",
+  "branch_predictor": "hybrid_3.5kb"}``;
+* :class:`EvalRequest` — "evaluate workload W on machine M with backend B";
+* :class:`EvalResult` — the answer, carrying the predicted/simulated cycle
+  count, the CPI stack (when the backend produces one) and optional energy.
+
+Every object round-trips losslessly through ``to_dict``/``from_dict`` (and
+JSON), which is what makes evaluations addressable from request files, the
+CLI and remote callers.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Mapping
+
+from repro.machine import MachineConfig, machine_from_spec
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
+    from repro.runtime.session import Session
+    from repro.workloads.base import Workload
+
+#: Version stamped into every serialized request/result.
+API_SCHEMA_VERSION = 1
+
+
+def _reject_unknown_keys(payload: Mapping, allowed: set[str], what: str) -> None:
+    unknown = sorted(set(payload) - allowed)
+    if unknown:
+        raise ValueError(f"unknown {what} keys {unknown}; allowed: {sorted(allowed)}")
+
+
+# ----------------------------------------------------------------------
+# Workload specification.
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """A workload by name plus its compiler-flag treatment."""
+
+    name: str
+    flags: str = "O3"
+
+    @classmethod
+    def parse(cls, value: "WorkloadSpec | str | Mapping") -> "WorkloadSpec":
+        """Coerce a name string or mapping into a :class:`WorkloadSpec`."""
+        if isinstance(value, cls):
+            return value
+        if isinstance(value, str):
+            return cls(name=value)
+        if isinstance(value, Mapping):
+            _reject_unknown_keys(value, {"name", "flags"}, "workload spec")
+            return cls(name=value["name"], flags=value.get("flags", "O3"))
+        raise TypeError(f"cannot parse workload spec from {value!r}")
+
+    def resolve(self, session: "Session") -> "Workload":
+        """The (trace-ready) workload this spec names, via the session."""
+        return session.workload(self.name, self.flags)
+
+    def to_dict(self) -> dict:
+        return {"name": self.name, "flags": self.flags}
+
+
+# ----------------------------------------------------------------------
+# Machine specification.
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class MachineSpec:
+    """A machine as a named preset plus keyword overrides.
+
+    Overrides are stored as a sorted tuple of ``(field, value)`` pairs so
+    specs are hashable and equality is order-insensitive; byte-count fields
+    accept size strings (``"1MB"``), which are preserved verbatim through
+    serialization and parsed only at :meth:`resolve` time.
+    """
+
+    preset: str = "paper_default"
+    items: tuple[tuple[str, object], ...] = ()
+
+    @classmethod
+    def make(cls, preset: str = "paper_default", **overrides) -> "MachineSpec":
+        return cls(preset=preset, items=tuple(sorted(overrides.items())))
+
+    @classmethod
+    def parse(cls, value: "MachineSpec | MachineConfig | str | Mapping") -> "MachineSpec":
+        """Coerce a preset name, override mapping or config into a spec."""
+        if isinstance(value, cls):
+            return value
+        if isinstance(value, MachineConfig):
+            return cls.from_machine(value)
+        if isinstance(value, str):
+            return cls(preset=value)
+        if isinstance(value, Mapping):
+            payload = dict(value)
+            preset = payload.pop("preset", "paper_default")
+            return cls(preset=preset, items=tuple(sorted(payload.items())))
+        raise TypeError(f"cannot parse machine spec from {value!r}")
+
+    @classmethod
+    def from_machine(cls, machine: MachineConfig,
+                     preset: str = "paper_default") -> "MachineSpec":
+        """Express an explicit config as ``preset`` + minimal overrides.
+
+        The overrides are exactly the fields on which ``machine`` differs
+        from the preset (the display ``name`` included), so
+        ``spec.resolve()`` reproduces ``machine`` bit-for-bit.
+        """
+        from dataclasses import fields as dataclass_fields
+
+        base = machine_from_spec(preset)
+        overrides = {
+            f.name: getattr(machine, f.name)
+            for f in dataclass_fields(MachineConfig)
+            if getattr(machine, f.name) != getattr(base, f.name)
+        }
+        return cls.make(preset, **overrides)
+
+    @property
+    def overrides(self) -> dict:
+        return dict(self.items)
+
+    def with_overrides(self, **overrides) -> "MachineSpec":
+        """A copy with additional overrides layered on top (sweep expansion)."""
+        merged = {**self.overrides, **overrides}
+        return MachineSpec.make(self.preset, **merged)
+
+    def resolve(self) -> MachineConfig:
+        """Materialise the :class:`MachineConfig` this spec describes."""
+        return machine_from_spec({"preset": self.preset, **self.overrides})
+
+    def to_dict(self) -> dict:
+        return {"preset": self.preset, **self.overrides}
+
+
+# ----------------------------------------------------------------------
+# Evaluation request.
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class EvalRequest:
+    """One evaluation: workload W on machine M answered by backend B."""
+
+    workload: WorkloadSpec
+    machine: MachineSpec = field(default_factory=MachineSpec)
+    backend: str = "analytical"
+    with_power: bool = False
+    mlp_window: int = 64
+    #: Opaque caller correlation tag, carried through to the result.
+    tag: str = ""
+
+    @classmethod
+    def parse(cls, value: "EvalRequest | Mapping") -> "EvalRequest":
+        if isinstance(value, cls):
+            return value
+        if isinstance(value, Mapping):
+            return cls.from_dict(value)
+        raise TypeError(f"cannot parse evaluation request from {value!r}")
+
+    def to_dict(self) -> dict:
+        return {
+            "schema_version": API_SCHEMA_VERSION,
+            "workload": self.workload.to_dict(),
+            "machine": self.machine.to_dict(),
+            "backend": self.backend,
+            "with_power": self.with_power,
+            "mlp_window": self.mlp_window,
+            "tag": self.tag,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping) -> "EvalRequest":
+        _reject_unknown_keys(
+            payload,
+            {"schema_version", "workload", "machine", "backend",
+             "with_power", "mlp_window", "tag"},
+            "evaluation request",
+        )
+        if "workload" not in payload:
+            raise ValueError("evaluation request needs a 'workload' entry")
+        return cls(
+            workload=WorkloadSpec.parse(payload["workload"]),
+            machine=MachineSpec.parse(payload.get("machine", {})),
+            backend=payload.get("backend", "analytical"),
+            with_power=bool(payload.get("with_power", False)),
+            mlp_window=int(payload.get("mlp_window", 64)),
+            tag=payload.get("tag", ""),
+        )
+
+    def to_json(self, indent: int | None = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent)
+
+    @classmethod
+    def from_json(cls, text: str) -> "EvalRequest":
+        return cls.from_dict(json.loads(text))
+
+
+# ----------------------------------------------------------------------
+# Evaluation result.
+# ----------------------------------------------------------------------
+@dataclass
+class EvalResult:
+    """The backend's answer to one :class:`EvalRequest`.
+
+    ``cycles`` is the predicted (analytical backends) or measured
+    (simulator) cycle count; ``cpi_stack`` maps CPI-component names to
+    cycle counts for backends that decompose their prediction, and is
+    ``None`` for the cycle-accurate simulator.  ``energy_joules`` is
+    ``None`` unless the request asked for power.
+    """
+
+    request: EvalRequest
+    backend: str
+    workload: str
+    machine: str
+    instructions: int
+    cycles: float
+    seconds: float
+    cpi_stack: dict[str, float] | None = None
+    energy_joules: float | None = None
+    schema_version: int = API_SCHEMA_VERSION
+
+    @property
+    def cpi(self) -> float:
+        return self.cycles / self.instructions if self.instructions else 0.0
+
+    @property
+    def ipc(self) -> float:
+        return self.instructions / self.cycles if self.cycles else 0.0
+
+    @property
+    def edp(self) -> float | None:
+        """Energy-delay product in joule-seconds (``None`` without power)."""
+        if self.energy_joules is None:
+            return None
+        return self.energy_joules * self.seconds
+
+    def to_dict(self) -> dict:
+        return {
+            "schema_version": self.schema_version,
+            "request": self.request.to_dict(),
+            "backend": self.backend,
+            "workload": self.workload,
+            "machine": self.machine,
+            "instructions": self.instructions,
+            "cycles": self.cycles,
+            "seconds": self.seconds,
+            "cpi_stack": self.cpi_stack,
+            "energy_joules": self.energy_joules,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping) -> "EvalResult":
+        return cls(
+            request=EvalRequest.from_dict(payload["request"]),
+            backend=payload["backend"],
+            workload=payload["workload"],
+            machine=payload["machine"],
+            instructions=payload["instructions"],
+            cycles=payload["cycles"],
+            seconds=payload["seconds"],
+            cpi_stack=payload.get("cpi_stack"),
+            energy_joules=payload.get("energy_joules"),
+            schema_version=payload.get("schema_version", API_SCHEMA_VERSION),
+        )
+
+    def to_json(self, indent: int | None = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent)
+
+    @classmethod
+    def from_json(cls, text: str) -> "EvalResult":
+        return cls.from_dict(json.loads(text))

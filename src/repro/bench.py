@@ -9,6 +9,9 @@ Times the paths every PR is expected to keep fast:
 * ``dse_evaluate``         — model-only ``DesignSpaceExplorer.evaluate`` of
   the Figure 5 fast benchmarks across the Figure 5 (reduced) design space,
   including the profiling passes the explorer triggers,
+* ``api_batch_evaluate``   — the public ``repro.api`` facade answering all
+  19 MiBench workloads x 4 machine presets through ``evaluate_many`` on a
+  cold session (trace generation included),
 * ``session_cached_rerun`` — a warm :class:`~repro.runtime.session.Session`
   answering the same workload/profile requests purely from the on-disk
   artifact cache (the hit path: zero compilations, zero trace generations).
@@ -80,6 +83,31 @@ def bench_dse_evaluate() -> float:
     return time.perf_counter() - start
 
 
+def bench_api_batch_evaluate(jobs: int = 1) -> float:
+    """The public facade's batch path: 19 workloads x 4 machine presets.
+
+    Every MiBench workload crossed with every built-in machine preset is
+    answered by the ``analytical`` backend through ``evaluate_many`` on a
+    fresh session — the cost a cold API consumer pays for a full suite
+    sweep, trace generation included.
+    """
+    from repro.api import EvalRequest, MachineSpec, WorkloadSpec, evaluate_many
+    from repro.machine import MACHINE_PRESETS
+    from repro.workloads.registry import suite_names
+
+    machines = [MachineSpec(preset) for preset in MACHINE_PRESETS.names()]
+    requests = [
+        EvalRequest(workload=WorkloadSpec(name), machine=machine)
+        for name in suite_names("mibench")
+        for machine in machines
+    ]
+    with tempfile.TemporaryDirectory() as cache_dir:
+        session = Session(cache_dir=cache_dir if jobs > 1 else None, jobs=jobs)
+        start = time.perf_counter()
+        evaluate_many(requests, session=session)
+        return time.perf_counter() - start
+
+
 def _warm_profile(session: Session, name: str) -> str:
     """Cache-warming work unit (module-level so process pools can pickle it)."""
     session.miss_profile(name, DEFAULT_MACHINE)
@@ -113,11 +141,12 @@ BENCHES = {
     "trace_generation": bench_trace_generation,
     "profile_machine": bench_profile_machine,
     "dse_evaluate": bench_dse_evaluate,
+    "api_batch_evaluate": bench_api_batch_evaluate,
     "session_cached_rerun": bench_session_cached_rerun,
 }
 
 #: Benchmarks whose callable accepts (and honours) the job count.
-_JOB_AWARE = {"session_cached_rerun"}
+_JOB_AWARE = {"session_cached_rerun", "api_batch_evaluate"}
 
 
 def run(output: Path, repeat: int = 3, jobs: int = 1) -> dict:

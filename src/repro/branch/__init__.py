@@ -16,7 +16,10 @@ from repro.branch.predictors import (
     GSharePredictor,
     HybridPredictor,
     LocalPredictor,
+    PREDICTORS,
     make_predictor,
+    predictor_names,
+    register_predictor,
 )
 from repro.branch.profiler import BranchProfile, profile_branches
 
@@ -29,6 +32,9 @@ __all__ = [
     "LocalPredictor",
     "HybridPredictor",
     "make_predictor",
+    "predictor_names",
+    "register_predictor",
+    "PREDICTORS",
     "BranchProfile",
     "profile_branches",
 ]

@@ -10,6 +10,8 @@ from __future__ import annotations
 
 import abc
 
+from repro.registry import Registry
+
 
 def _power_of_two(value: int, what: str) -> None:
     if value <= 0 or value & (value - 1):
@@ -221,27 +223,70 @@ class HybridPredictor(BranchPredictor):
         )
 
 
-def make_predictor(kind: str) -> BranchPredictor:
-    """Factory for the predictor configurations used in the paper.
+# ----------------------------------------------------------------------
+# Predictor registry.
+# ----------------------------------------------------------------------
+#: Registry of zero-argument factories returning fresh predictor instances.
+#: Third-party predictors plug in with ``@register_predictor("my_scheme")``
+#: and are then addressable anywhere a ``MachineConfig.branch_predictor``
+#: string is consumed (models, simulators, the single-pass engine).
+PREDICTORS = Registry("branch predictor")
 
-    * ``"global_1kb"`` — 1KB global-history predictor (gshare with 4096
-      2-bit counters = 8 Kbit = 1 KByte).
-    * ``"hybrid_3.5kb"`` — hybrid predictor with 10-bit local and 12-bit
-      global history (~3.5KB total state).
-    * ``"bimodal"``, ``"always_taken"``, ``"always_not_taken"`` — baselines.
+
+def register_predictor(name: str, *, aliases: tuple[str, ...] = (),
+                       description: str = ""):
+    """Register a zero-argument factory building a :class:`BranchPredictor`."""
+    return PREDICTORS.register(name, aliases=aliases, description=description)
+
+
+@register_predictor(
+    "global_1kb",
+    description="1KB global-history gshare (4096 2-bit counters)",
+)
+def _make_global_1kb() -> BranchPredictor:
+    return GSharePredictor(history_bits=12)
+
+
+@register_predictor(
+    "hybrid_3.5kb", aliases=("hybrid",),
+    description="tournament predictor, 10-bit local + 12-bit global (~3.5KB)",
+)
+def _make_hybrid() -> BranchPredictor:
+    return HybridPredictor(
+        local=LocalPredictor(history_bits=10, history_entries=1024),
+        global_pred=GSharePredictor(history_bits=12),
+    )
+
+
+@register_predictor("bimodal", description="per-PC 2-bit counters, no history")
+def _make_bimodal() -> BranchPredictor:
+    return BimodalPredictor()
+
+
+@register_predictor("always_taken", description="static predict-taken")
+def _make_always_taken() -> BranchPredictor:
+    return AlwaysTakenPredictor()
+
+
+@register_predictor("always_not_taken", description="static predict-not-taken")
+def _make_always_not_taken() -> BranchPredictor:
+    return AlwaysNotTakenPredictor()
+
+
+def predictor_names() -> list[str]:
+    """Canonical names of every registered predictor configuration."""
+    return PREDICTORS.names()
+
+
+def make_predictor(kind: str) -> BranchPredictor:
+    """Build a fresh predictor for a registered configuration name.
+
+    The paper's configurations (``"global_1kb"``, ``"hybrid_3.5kb"``) and the
+    baselines (``"bimodal"``, ``"always_taken"``, ``"always_not_taken"``) are
+    pre-registered; :func:`register_predictor` adds more.
     """
-    kind = kind.lower()
-    if kind == "global_1kb":
-        return GSharePredictor(history_bits=12)
-    if kind in ("hybrid_3.5kb", "hybrid"):
-        return HybridPredictor(
-            local=LocalPredictor(history_bits=10, history_entries=1024),
-            global_pred=GSharePredictor(history_bits=12),
-        )
-    if kind == "bimodal":
-        return BimodalPredictor()
-    if kind == "always_taken":
-        return AlwaysTakenPredictor()
-    if kind == "always_not_taken":
-        return AlwaysNotTakenPredictor()
-    raise ValueError(f"unknown branch predictor kind {kind!r}")
+    try:
+        factory = PREDICTORS.get(kind.lower())
+    except KeyError as exc:
+        raise ValueError(str(exc)) from None
+    return factory()

@@ -8,6 +8,9 @@ Subcommands:
   state between invocations, ``--format`` selects the reporter and
   ``--full``/``--smoke`` apply uniformly to every experiment that declares
   the corresponding options in its registry metadata.
+* ``eval [FILE ...]`` — answer declarative :mod:`repro.api` evaluation
+  requests from JSON request files (single requests, request lists or
+  parameter sweeps); ``--backends`` prints the backend capability matrix.
 * ``list`` — the experiment registry: names, artefacts, declared options.
 * ``bench`` — the core hot-path benchmark (see :mod:`repro.bench`).
 
@@ -24,6 +27,7 @@ from repro.runtime import (
     Session,
     experiment_names,
     get_experiment,
+    pooled_session,
     render,
     render_many,
     run_experiment,
@@ -73,6 +77,33 @@ def build_parser() -> argparse.ArgumentParser:
         help="apply each experiment's registered fast-subset preset",
     )
 
+    eval_parser = subparsers.add_parser(
+        "eval",
+        help="answer repro.api evaluation requests from JSON request files",
+    )
+    eval_parser.add_argument(
+        "requests", nargs="*", metavar="FILE",
+        help="JSON request files ('-' reads stdin); each may hold a single "
+             "request, a request list, a sweep, or a "
+             "{'requests': [...], 'sweeps': [...]} envelope",
+    )
+    eval_parser.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="shard the batch across N worker processes (default: 1, serial)",
+    )
+    eval_parser.add_argument(
+        "--format", choices=sorted(REPORTERS), default="text",
+        help="output format (default: text)",
+    )
+    eval_parser.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="artifact cache directory shared with 'run' (default: none)",
+    )
+    eval_parser.add_argument(
+        "--backends", action="store_true",
+        help="print the backend capability matrix and exit",
+    )
+
     list_parser = subparsers.add_parser(
         "list", help="list registered experiments and their metadata"
     )
@@ -111,20 +142,8 @@ def _select_experiments(names: list[str]) -> list[str]:
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
-    import contextlib
-    import tempfile
-
     selected = _select_experiments(args.experiments)
-    with contextlib.ExitStack() as stack:
-        cache_dir = args.cache_dir
-        if cache_dir is None and args.jobs > 1:
-            # Worker processes exchange traces and profiling passes through
-            # the artifact cache; without one, every pool would redo the
-            # work.  Use a run-scoped scratch directory when none is given.
-            cache_dir = stack.enter_context(
-                tempfile.TemporaryDirectory(prefix="repro-cache-")
-            )
-        session = Session(cache_dir=cache_dir, jobs=args.jobs)
+    with pooled_session(args.cache_dir, args.jobs) as session:
         if args.format == "json":
             results = [
                 run_experiment(session, name, full=args.full, smoke=args.smoke)
@@ -143,6 +162,11 @@ def _cmd_run(args: argparse.Namespace) -> int:
                     sys.stdout.write(f"{prefix}=== {name} ===\n")
                 sys.stdout.write(render(result, args.format) + "\n")
                 sys.stdout.flush()
+    _session_report(session)
+    return 0
+
+
+def _session_report(session: Session) -> None:
     summary = session.summary()
     cache = summary.pop("artifact_cache")
     print(
@@ -151,6 +175,48 @@ def _cmd_run(args: argparse.Namespace) -> int:
         + "  cache(" + " ".join(f"{k}={v}" for k, v in cache.items()) + ")",
         file=sys.stderr,
     )
+
+
+def _cmd_eval(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.api import capability_matrix, evaluate_many, load_requests
+    from repro.api.batch import results_table
+
+    if args.backends:
+        rows = [
+            (name, *("yes" if flag else "no" for flag in (
+                capabilities.cpi_stack, capabilities.cycle_accurate,
+                capabilities.exact_miss_events, capabilities.power)))
+            for name, capabilities in capability_matrix()
+        ]
+        print(format_table(
+            ("backend", "cpi stack", "cycle accurate", "exact misses", "power"),
+            rows,
+        ))
+        return 0
+    if not args.requests:
+        raise SystemExit("eval needs at least one request file (or --backends)")
+
+    requests = []
+    for source in args.requests:
+        try:
+            text = sys.stdin.read() if source == "-" else Path(source).read_text()
+            requests.extend(load_requests(text))
+        except (OSError, ValueError, KeyError) as exc:
+            raise SystemExit(f"{source}: {exc}") from exc
+
+    with pooled_session(args.cache_dir, args.jobs) as session:
+        try:
+            results = evaluate_many(requests, session=session)
+        except (ValueError, KeyError, TypeError) as exc:
+            # Unresolvable names and malformed values (backend, preset,
+            # workload, override field, size string) are caught by the batch
+            # layer's upfront validation — surface them as a clean message,
+            # not a traceback.
+            raise SystemExit(str(exc)) from exc
+        sys.stdout.write(render(results_table(results), args.format) + "\n")
+    _session_report(session)
     return 0
 
 
@@ -198,6 +264,8 @@ def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "run":
         return _cmd_run(args)
+    if args.command == "eval":
+        return _cmd_eval(args)
     if args.command == "list":
         return _cmd_list(args)
     return _cmd_bench(args)

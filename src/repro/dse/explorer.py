@@ -1,22 +1,21 @@
 """Design-space exploration driver.
 
-The explorer evaluates workloads across a :class:`~repro.dse.space.DesignSpace`
-with the analytical model (fast path: the single-pass stack-distance engine
-profiles each workload once per cache geometry and once per branch predictor,
-then every configuration is answered from the cached histograms by
-closed-form evaluation) and optionally with the detailed in-order simulator
-(slow path, used as the reference).  It also attaches the power model to compute energy and EDP per
-design point, reproducing the paper's Figures 5 and 9.
+The explorer is a thin adapter over the :mod:`repro.api` evaluation
+backends: each (workload, configuration) point is answered by the
+registered ``analytical`` backend (fast path: the single-pass
+stack-distance engine profiles each workload once per cache geometry and
+once per branch predictor, then every configuration is answered from the
+cached histograms) and optionally by the ``simulator`` backend (the
+cycle-accurate reference).  Power comes from the same backends' energy
+attachment, reproducing the paper's Figures 5 and 9.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.core.model import InOrderMechanisticModel, ModelResult
+from repro.api.backends import PointEvaluation, get_backend
 from repro.machine import MachineConfig
-from repro.pipeline.inorder import InOrderPipeline
-from repro.power.model import PowerModel
 from repro.runtime.session import Session
 from repro.validation.compare import ValidationRow, ValidationSummary, summarize
 from repro.workloads.base import Workload
@@ -28,7 +27,7 @@ class DesignPointResult:
 
     workload: str
     machine: MachineConfig
-    model: ModelResult
+    model: PointEvaluation
     simulated_cycles: int | None = None
     model_energy_joules: float | None = None
     simulated_energy_joules: float | None = None
@@ -100,40 +99,49 @@ class EDPResult:
 class DesignSpaceExplorer:
     """Evaluate workloads across a set of machine configurations.
 
-    Profiles come from the shared :class:`~repro.runtime.session.Session`
-    (memoized per trace and machine — keyed on the frozen config itself, so
-    same-name configurations never collide — and, when the session has a
-    cache directory, persisted across processes and runs).  Omitting
-    ``session`` creates an ephemeral in-memory one.
+    Each point is answered by a registered :mod:`repro.api` backend
+    (``backend`` for the estimate, the ``simulator`` backend for the
+    reference), drawing every profile through the shared
+    :class:`~repro.runtime.session.Session` (memoized per trace and machine
+    — configurations hash by geometry, never by display name — and, when
+    the session has a cache directory, persisted across processes and
+    runs).  Omitting ``session`` creates an ephemeral in-memory one.
     """
 
     def __init__(self, configurations: list[MachineConfig],
-                 session: Session | None = None):
+                 session: Session | None = None, backend: str = "analytical"):
         if not configurations:
             raise ValueError("the design space is empty")
         self.configurations = configurations
         self.session = session if session is not None else Session()
+        self.backend = get_backend(backend)
+        self.simulator = get_backend("simulator")
+
+    @classmethod
+    def from_space(cls, space, session: Session | None = None,
+                   backend: str = "analytical") -> "DesignSpaceExplorer":
+        """Explorer over every configuration of a :class:`~repro.dse.space.DesignSpace`."""
+        return cls(space.configurations(), session=session, backend=backend)
 
     # ------------------------------------------------------------------
     def evaluate(self, workload: Workload, *, simulate: bool = False,
                  with_power: bool = False) -> list[DesignPointResult]:
         """Run the model (and optionally the simulator) across all configurations."""
-        program = self.session.program_profile(workload)
         results = []
         for machine in self.configurations:
-            misses = self.session.miss_profile(workload, machine)
-            model = InOrderMechanisticModel(machine).predict(program, misses)
-            point = DesignPointResult(workload=workload.name, machine=machine, model=model)
+            model = self.backend.evaluate(
+                self.session, workload, machine, with_power=with_power
+            )
+            point = DesignPointResult(
+                workload=workload.name, machine=machine, model=model,
+                model_energy_joules=model.energy_joules,
+            )
             if simulate:
-                simulated = InOrderPipeline(machine).run(workload.trace())
-                point.simulated_cycles = simulated.cycles
-            if with_power:
-                power = PowerModel(machine)
-                point.model_energy_joules = power.energy(program, misses, model.cycles).total
-                if point.simulated_cycles is not None:
-                    point.simulated_energy_joules = power.energy(
-                        program, misses, point.simulated_cycles
-                    ).total
+                detailed = self.simulator.evaluate(
+                    self.session, workload, machine, with_power=with_power
+                )
+                point.simulated_cycles = int(detailed.cycles)
+                point.simulated_energy_joules = detailed.energy_joules
             results.append(point)
         return results
 

@@ -78,6 +78,28 @@ class DesignSpace:
     def __iter__(self):
         return iter(self.configurations())
 
+    def to_sweep(self, workloads, *, backends=("analytical",),
+                 with_power: bool = False, flags: str = "O3"):
+        """Express this space in the :mod:`repro.api` sweep grammar.
+
+        The sweep carries the space's configurations as an explicit machine
+        grid (preset + minimal overrides), preserving the generated point
+        names, so ``space.to_sweep(names).expand()`` asks exactly the
+        questions ``DesignSpaceExplorer`` over this space would — but as
+        declarative, JSON-serializable requests that batch through
+        :func:`repro.api.evaluate_many`.
+        """
+        from repro.api.spec import MachineSpec, WorkloadSpec
+        from repro.api.sweep import SweepRequest
+
+        return SweepRequest(
+            workloads=tuple(WorkloadSpec(name, flags) for name in workloads),
+            machines=tuple(MachineSpec.from_machine(machine)
+                           for machine in self.configurations()),
+            backends=tuple(backends),
+            with_power=with_power,
+        )
+
 
 def default_design_space() -> DesignSpace:
     """The paper's full 192-point design space."""

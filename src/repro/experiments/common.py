@@ -44,25 +44,23 @@ def ensure_session(session: Session | None) -> Session:
     return session if session is not None else Session()
 
 
+def _validated_names(suite: str, label: str, names) -> list[str]:
+    from repro.workloads.registry import suite_names
+
+    known = suite_names(suite)
+    if names is None:
+        return known
+    unknown = [name for name in names if name not in known]
+    if unknown:
+        raise KeyError(f"not {label} workloads: {unknown}")
+    return list(names)
+
+
 def mibench_names(names=None) -> list[str]:
     """Validated MiBench benchmark selection (default: all 19, sorted)."""
-    from repro.workloads.registry import MIBENCH_BUILDERS
-
-    if names is None:
-        return sorted(MIBENCH_BUILDERS)
-    unknown = [name for name in names if name not in MIBENCH_BUILDERS]
-    if unknown:
-        raise KeyError(f"not MiBench workloads: {unknown}")
-    return list(names)
+    return _validated_names("mibench", "MiBench", names)
 
 
 def spec_names(names=None) -> list[str]:
     """Validated SPEC-like benchmark selection (default: all, sorted)."""
-    from repro.workloads.registry import SPEC_BUILDERS
-
-    if names is None:
-        return sorted(SPEC_BUILDERS)
-    unknown = [name for name in names if name not in SPEC_BUILDERS]
-    if unknown:
-        raise KeyError(f"not SPEC workloads: {unknown}")
-    return list(names)
+    return _validated_names("spec", "SPEC", names)

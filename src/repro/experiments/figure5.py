@@ -12,7 +12,6 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.dse.explorer import DesignSpaceExplorer
 from repro.dse.space import default_design_space, reduced_design_space
 from repro.experiments.common import (
     FIGURE5_FAST_BENCHMARKS,
@@ -41,11 +40,30 @@ class Figure5Result:
 
 
 def _space_validation(session: Session, item) -> tuple[ValidationRow, ...]:
-    """All design-space points of one benchmark (a parallel work unit)."""
+    """All design-space points of one benchmark (a parallel work unit).
+
+    The space is re-expressed through the :mod:`repro.api` sweep grammar:
+    every (configuration, backend) question becomes a declarative
+    :class:`~repro.api.spec.EvalRequest` answered by the batch facade, and
+    the model/simulator answers are paired back into validation rows.
+    """
+    from repro.api import evaluate_many
+
     name, full = item
     space = default_design_space() if full else reduced_design_space()
-    explorer = DesignSpaceExplorer(space.configurations(), session=session)
-    return explorer.validate([session.workload(name)]).rows
+    sweep = space.to_sweep((name,), backends=("analytical", "simulator"))
+    results = evaluate_many(sweep.expand(), session=session)
+    rows = []
+    for predicted, simulated in zip(results[0::2], results[1::2]):
+        rows.append(
+            ValidationRow(
+                name=predicted.workload,
+                configuration=predicted.machine,
+                predicted_cpi=predicted.cpi,
+                simulated_cpi=simulated.cpi,
+            )
+        )
+    return tuple(rows)
 
 
 def run(full: bool = False, benchmarks: tuple[str, ...] | None = None,

@@ -44,7 +44,7 @@ def _edp_exploration(session: Session, item) -> Figure9Row:
     """One benchmark's EDP sweep over the space (a parallel work unit)."""
     name, full = item
     space = default_design_space() if full else reduced_design_space()
-    explorer = DesignSpaceExplorer(space.configurations(), session=session)
+    explorer = DesignSpaceExplorer.from_space(space, session=session)
     exploration = explorer.explore_edp(session.workload(name), simulate=True)
     model_best = exploration.best_by_model()
     simulated_best = exploration.best_by_simulation()

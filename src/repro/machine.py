@@ -13,12 +13,15 @@ compares apples to apples.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+import re
+from dataclasses import dataclass, field, fields, replace
+from typing import Mapping
 
 from repro.isa.opcodes import OpClass
 from repro.memory.cache import CacheConfig
 from repro.memory.hierarchy import MemoryHierarchyConfig
 from repro.memory.tlb import TLBConfig
+from repro.registry import Registry
 
 #: Total pipeline stages = front-end depth + execute + memory + write-back.
 BACKEND_STAGES = 3
@@ -52,7 +55,10 @@ class MachineConfig:
     page_size: int = 4096
     tlb_miss_ns: float = 30.0
     branch_predictor: str = "global_1kb"
-    name: str = ""
+    #: Display label only: excluded from equality and hashing, so two
+    #: identical geometries with different labels share every profile
+    #: memo, engine pass and artifact-cache key.
+    name: str = field(default="", compare=False)
 
     def __post_init__(self) -> None:
         if self.width < 1:
@@ -130,3 +136,133 @@ class MachineConfig:
 
 #: The paper's default configuration (Table 2, middle column).
 DEFAULT_MACHINE = MachineConfig(name="default")
+
+
+# ----------------------------------------------------------------------
+# Size-string parsing ("1MB" -> 1048576).
+# ----------------------------------------------------------------------
+_SIZE_UNITS = {
+    "": 1, "b": 1,
+    "k": 1024, "kb": 1024, "kib": 1024,
+    "m": 1024 ** 2, "mb": 1024 ** 2, "mib": 1024 ** 2,
+    "g": 1024 ** 3, "gb": 1024 ** 3, "gib": 1024 ** 3,
+}
+
+_SIZE_PATTERN = re.compile(r"^\s*(\d+(?:\.\d+)?)\s*([a-zA-Z]*)\s*$")
+
+#: MachineConfig fields whose values are byte counts and therefore accept
+#: size strings wherever a machine spec is parsed.
+SIZE_FIELDS = frozenset({"l1i_size", "l1d_size", "l2_size", "line_size", "page_size"})
+
+
+def parse_size(value: int | str) -> int:
+    """Parse a byte count: an int passes through, a string may carry a unit.
+
+    Accepted units (case-insensitive, binary multiples): ``B``, ``KB``/``KiB``/
+    ``K``, ``MB``/``MiB``/``M``, ``GB``/``GiB``/``G``.  ``"512KB"`` -> 524288,
+    ``"1MB"`` -> 1048576, ``"0.5MB"`` -> 524288.
+    """
+    if isinstance(value, bool):
+        raise TypeError(f"size must be an int or a string, got {value!r}")
+    if isinstance(value, int):
+        return value
+    if not isinstance(value, str):
+        raise TypeError(f"size must be an int or a string, got {value!r}")
+    match = _SIZE_PATTERN.match(value)
+    if not match:
+        raise ValueError(f"malformed size string {value!r} (expected e.g. '512KB', '1MB')")
+    number, unit = match.groups()
+    try:
+        multiplier = _SIZE_UNITS[unit.lower()]
+    except KeyError:
+        known = ", ".join(sorted(unit for unit in _SIZE_UNITS if unit))
+        raise ValueError(f"unknown size unit {unit!r} in {value!r}; known units: {known}") from None
+    total = float(number) * multiplier
+    if total != int(total):
+        raise ValueError(f"size {value!r} is not a whole number of bytes")
+    return int(total)
+
+
+# ----------------------------------------------------------------------
+# Named machine presets and spec parsing.
+# ----------------------------------------------------------------------
+MACHINE_PRESETS = Registry("machine preset")
+
+
+def register_machine_preset(name: str, *, aliases: tuple[str, ...] = (),
+                            description: str = ""):
+    """Register a zero-argument factory returning a :class:`MachineConfig`."""
+    return MACHINE_PRESETS.register(name, aliases=aliases, description=description)
+
+
+@register_machine_preset(
+    "paper_default", aliases=("default",),
+    description="Table 2 default: 4-wide, 9-stage, 1 GHz, 512KB 8-way L2",
+)
+def _preset_paper_default() -> MachineConfig:
+    return DEFAULT_MACHINE
+
+
+@register_machine_preset(
+    "little_5stage_600mhz",
+    description="design-space low end: scalar, 5-stage, 600 MHz",
+)
+def _preset_little() -> MachineConfig:
+    return MachineConfig(width=1, pipeline_stages=5, frequency_mhz=600,
+                         name="little_5stage_600mhz")
+
+
+@register_machine_preset(
+    "mid_7stage_800mhz",
+    description="design-space midpoint: 2-wide, 7-stage, 800 MHz",
+)
+def _preset_mid() -> MachineConfig:
+    return MachineConfig(width=2, pipeline_stages=7, frequency_mhz=800,
+                         name="mid_7stage_800mhz")
+
+
+@register_machine_preset(
+    "big_l2_1mb",
+    description="default core with a 1MB 16-way L2 and the hybrid predictor",
+)
+def _preset_big_l2() -> MachineConfig:
+    return MachineConfig(l2_size=1024 * 1024, l2_associativity=16,
+                         branch_predictor="hybrid_3.5kb", name="big_l2_1mb")
+
+
+_FIELD_NAMES = frozenset(f.name for f in fields(MachineConfig))
+
+
+def machine_from_spec(spec: "MachineConfig | str | Mapping") -> MachineConfig:
+    """Resolve a machine specification to a :class:`MachineConfig`.
+
+    Accepted forms:
+
+    * a :class:`MachineConfig` — returned unchanged;
+    * a preset name (``"paper_default"``);
+    * a mapping of keyword overrides with an optional ``"preset"`` entry,
+      e.g. ``{"preset": "paper_default", "l2_size": "1MB",
+      "branch_predictor": "hybrid_3.5kb"}``.  Byte-count fields
+      (:data:`SIZE_FIELDS`) accept size strings.
+    """
+    if isinstance(spec, MachineConfig):
+        return spec
+    if isinstance(spec, str):
+        return MACHINE_PRESETS.get(spec)()
+    if not isinstance(spec, Mapping):
+        raise TypeError(
+            f"machine spec must be a MachineConfig, a preset name or a "
+            f"mapping, got {type(spec).__name__}"
+        )
+    overrides = dict(spec)
+    preset = overrides.pop("preset", "paper_default")
+    unknown = sorted(set(overrides) - _FIELD_NAMES)
+    if unknown:
+        raise ValueError(
+            f"unknown machine parameters {unknown}; "
+            f"valid parameters: {sorted(_FIELD_NAMES)}"
+        )
+    for size_field in SIZE_FIELDS & set(overrides):
+        overrides[size_field] = parse_size(overrides[size_field])
+    machine = MACHINE_PRESETS.get(preset)()
+    return machine.with_(**overrides) if overrides else machine

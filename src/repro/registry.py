@@ -1,0 +1,127 @@
+"""Generic string-addressable component registry.
+
+Every pluggable family in the library — evaluation backends, branch
+predictors, workload builders, machine presets, output reporters — shares
+this one registration pattern: a module-level :class:`Registry` plus a
+``register()`` decorator.  Third-party code extends a family without
+editing the defining module::
+
+    from repro.branch.predictors import register_predictor
+
+    @register_predictor("perceptron_4kb")
+    def build_perceptron():
+        return PerceptronPredictor(budget_bits=4 * 1024 * 8)
+
+Entries are addressed by a canonical name plus optional aliases; lookups
+fail with an error that lists every known name, so a typo is a one-read
+diagnosis rather than a stack trace into the consuming subsystem.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterator, Mapping
+
+
+class RegistryError(KeyError):
+    """Lookup or registration failure; ``str(exc)`` is the full message."""
+
+    def __str__(self) -> str:  # KeyError quotes its payload; keep it readable
+        return self.args[0]
+
+
+class Registry:
+    """A named family of components addressed by string.
+
+    ``kind`` names the family in error messages ("evaluation backend",
+    "machine preset", ...).  Values are arbitrary objects — classes,
+    instances, factory callables — the consuming module decides.
+    """
+
+    def __init__(self, kind: str):
+        self.kind = kind
+        self._entries: dict[str, Any] = {}
+        self._aliases: dict[str, str] = {}
+        self._metadata: dict[str, dict] = {}
+
+    # ------------------------------------------------------------------
+    # Registration.
+    # ------------------------------------------------------------------
+    def register(self, name: str, *, aliases: tuple[str, ...] = (),
+                 overwrite: bool = False, **metadata) -> Callable:
+        """Decorator registering the decorated value under ``name``.
+
+        ``aliases`` are alternative lookup names resolving to the same entry;
+        ``metadata`` keyword pairs are stored verbatim and retrievable via
+        :meth:`metadata` (used e.g. to tag workloads with their suite).
+        """
+
+        def adder(value):
+            taken = [
+                candidate for candidate in (name, *aliases)
+                if not overwrite and (candidate in self._entries
+                                      or candidate in self._aliases)
+            ]
+            if taken:
+                raise RegistryError(
+                    f"{self.kind} {taken[0]!r} is already registered"
+                )
+            self._entries[name] = value
+            self._metadata[name] = dict(metadata)
+            for alias in aliases:
+                self._aliases[alias] = name
+            return value
+
+        return adder
+
+    def unregister(self, name: str) -> None:
+        """Remove an entry and its aliases (plugin teardown, tests)."""
+        canonical = self.canonical(name)
+        del self._entries[canonical]
+        del self._metadata[canonical]
+        self._aliases = {
+            alias: target for alias, target in self._aliases.items()
+            if target != canonical
+        }
+
+    # ------------------------------------------------------------------
+    # Lookup.
+    # ------------------------------------------------------------------
+    def canonical(self, name: str) -> str:
+        """Resolve ``name`` (or an alias) to the canonical entry name."""
+        if name in self._entries:
+            return name
+        if name in self._aliases:
+            return self._aliases[name]
+        known = ", ".join(sorted(self._entries)) or "<none>"
+        raise RegistryError(
+            f"unknown {self.kind} {name!r}; known: {known}"
+        )
+
+    def get(self, name: str) -> Any:
+        return self._entries[self.canonical(name)]
+
+    def metadata(self, name: str) -> Mapping[str, Any]:
+        return self._metadata[self.canonical(name)]
+
+    def names(self, **criteria) -> list[str]:
+        """Sorted canonical names, optionally filtered by metadata equality."""
+        return sorted(
+            name for name in self._entries
+            if all(self._metadata[name].get(key) == value
+                   for key, value in criteria.items())
+        )
+
+    def items(self) -> list[tuple[str, Any]]:
+        return [(name, self._entries[name]) for name in self.names()]
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._entries or name in self._aliases
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._entries)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Registry({self.kind!r}, {sorted(self._entries)})"

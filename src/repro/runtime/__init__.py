@@ -27,7 +27,7 @@ from repro.runtime.registry import (
 from repro.runtime.reporters import render, render_many
 from repro.runtime.result import ExperimentResult
 from repro.runtime.scheduler import session_map
-from repro.runtime.session import Session, SessionSpec, SessionStats
+from repro.runtime.session import Session, SessionSpec, SessionStats, pooled_session
 
 __all__ = [
     "ArtifactCache",
@@ -43,5 +43,6 @@ __all__ = [
     "run_experiment",
     "render",
     "render_many",
+    "pooled_session",
     "session_map",
 ]

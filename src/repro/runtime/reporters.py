@@ -15,6 +15,7 @@ import io
 import json
 from typing import Callable, Iterable
 
+from repro.registry import Registry
 from repro.runtime.result import ExperimentResult
 
 
@@ -47,16 +48,30 @@ def format_table(headers: Iterable[str], rows: Iterable[Iterable[object]],
     return "\n".join(lines)
 
 
+#: Registry of ``fn(ExperimentResult) -> str`` renderers, addressed by the
+#: CLI's ``--format`` value.  Plugins add formats with
+#: ``@register_reporter("markdown")`` — the CLI picks them up automatically.
+REPORTERS: Registry = Registry("output format")
+
+
+def register_reporter(name: str, *, aliases: tuple[str, ...] = ()):
+    """Register a renderer ``fn(result) -> str`` under a ``--format`` name."""
+    return REPORTERS.register(name, aliases=aliases)
+
+
+@register_reporter("text")
 def render_text(result: ExperimentResult) -> str:
     parts = [result.title, format_table(result.headers, result.rows)]
     parts.extend(result.footnotes)
     return "\n".join(parts)
 
 
+@register_reporter("json")
 def render_json(result: ExperimentResult) -> str:
     return result.to_json()
 
 
+@register_reporter("csv")
 def render_csv(result: ExperimentResult) -> str:
     buffer = io.StringIO()
     writer = csv.writer(buffer, lineterminator="\n")
@@ -66,16 +81,9 @@ def render_csv(result: ExperimentResult) -> str:
     return buffer.getvalue().rstrip("\n")
 
 
-REPORTERS: dict[str, Callable[[ExperimentResult], str]] = {
-    "text": render_text,
-    "json": render_json,
-    "csv": render_csv,
-}
-
-
 def render(result: ExperimentResult, fmt: str = "text") -> str:
     try:
-        reporter = REPORTERS[fmt]
+        reporter: Callable[[ExperimentResult], str] = REPORTERS.get(fmt)
     except KeyError as exc:
         raise ValueError(
             f"unknown format {fmt!r}; expected one of {sorted(REPORTERS)}"

@@ -23,8 +23,10 @@ against the same cache directory (see :mod:`repro.runtime.scheduler`).
 
 from __future__ import annotations
 
+import contextlib
+import tempfile
 from dataclasses import dataclass
-from typing import Callable, Iterable, Sequence
+from typing import Callable, Iterable, Iterator, Sequence
 
 from repro.machine import MachineConfig
 from repro.profiler.machine_stats import MissProfile
@@ -215,25 +217,33 @@ class Session:
         self.stats.engine_state_saves += 1
 
     def miss_profile(self, workload: Workload | str, machine: MachineConfig,
-                     *, flags: str = "O3", mlp_window: int = 64) -> MissProfile:
+                     *, flags: str = "O3", mlp_window: int = 64,
+                     exact: bool = False) -> MissProfile:
         """Miss-event counts of ``workload`` on ``machine`` (memoized).
 
         Accepts a workload name (resolved through the session) or any
         :class:`Workload`; profiles of session-managed traces go through the
         persistent engine, so their cache-geometry histograms land on disk
-        and are never recomputed by later sessions.
+        and are never recomputed by later sessions.  ``exact=True`` answers
+        from a full trace replay instead of the stack-distance engine (the
+        ``analytical_exact`` backend's fallback); replay results are memoized
+        in process but not persisted.
         """
         if isinstance(workload, str):
             workload = self.workload(workload, flags)
         trace = workload.trace()
         token = self._token(trace)
-        memo_key = (token, machine, mlp_window)
+        memo_key = (token, machine, mlp_window, exact)
         memo = self._miss_profiles.get(memo_key)
         if memo is not None:
             return memo[1]
 
         self.stats.miss_profiles_built += 1
-        if isinstance(token, tuple):
+        if exact:
+            from repro.profiler.machine_stats import profile_machine
+
+            profile = profile_machine(trace, machine, mlp_window, exact=True)
+        elif isinstance(token, tuple):
             engine = self.engine(*token)
             profile = engine.miss_profile(machine, mlp_window)
             self._persist_engine(*token, engine)
@@ -261,3 +271,20 @@ class Session:
     def summary(self) -> dict:
         """Counters for the CLI's end-of-run session report."""
         return {**self.stats.as_dict(), "artifact_cache": self.cache.stats.as_dict()}
+
+
+@contextlib.contextmanager
+def pooled_session(cache_dir=None, jobs: int = 1) -> Iterator[Session]:
+    """A session ready for sharded work, with a cache its workers can share.
+
+    Worker processes exchange traces and profiling passes through the
+    artifact cache; without one, every pool worker would redo the work.  So
+    when sharding (``jobs > 1``) without an explicit ``cache_dir``, a
+    run-scoped temporary directory is created and cleaned up on exit.
+    """
+    with contextlib.ExitStack() as stack:
+        if cache_dir is None and jobs > 1:
+            cache_dir = stack.enter_context(
+                tempfile.TemporaryDirectory(prefix="repro-cache-")
+            )
+        yield Session(cache_dir=cache_dir, jobs=jobs)

@@ -32,9 +32,22 @@ class ValidationRow:
 
 @dataclass(frozen=True)
 class ValidationSummary:
-    """Aggregate error statistics over a set of validation rows."""
+    """Aggregate error statistics over a set of validation rows.
+
+    A summary over zero rows is well-defined (count 0, every aggregate
+    0.0, never NaN or a division by zero) so empty summaries can be
+    merged, rendered and serialized safely; use :meth:`empty` to build
+    one explicitly.  :func:`summarize` — the path every experiment takes
+    — rejects an empty row list instead, because an experiment producing
+    zero validation points is a bug worth a loud error.
+    """
 
     rows: tuple[ValidationRow, ...]
+
+    @classmethod
+    def empty(cls) -> "ValidationSummary":
+        """The well-defined zero-row summary."""
+        return cls(rows=())
 
     @property
     def count(self) -> int:
@@ -64,7 +77,20 @@ class ValidationSummary:
 
 
 def summarize(rows: list[ValidationRow]) -> ValidationSummary:
-    """Build a :class:`ValidationSummary` from individual rows."""
+    """Build a :class:`ValidationSummary` from individual rows.
+
+    Raises :class:`ValueError` on an empty list: every caller is
+    aggregating experiment output, and zero rows there means the
+    benchmark selection or the sweep came back empty.  Build
+    :meth:`ValidationSummary.empty` directly if a zero-row summary is
+    genuinely intended.
+    """
+    if not rows:
+        raise ValueError(
+            "cannot summarize zero validation rows (empty benchmark "
+            "selection or sweep?); use ValidationSummary.empty() if an "
+            "empty summary is intended"
+        )
     return ValidationSummary(rows=tuple(rows))
 
 

@@ -1,9 +1,26 @@
-"""Workload registry: name → builder lookup and suite definitions."""
+"""Workload registry: name → builder lookup and suite definitions.
+
+Workload builders live in the shared :class:`~repro.registry.Registry`
+pattern: every builder is registered under its benchmark name with a
+``suite`` metadata tag (``"mibench"``, ``"spec"``, or anything a plugin
+chooses), and third-party workloads plug in without editing this module::
+
+    from repro.workloads.registry import register_workload
+
+    @register_workload("my_kernel", suite="custom")
+    def build_my_kernel() -> Workload:
+        ...
+
+A registered workload is immediately addressable everywhere a workload
+name is consumed: :func:`get_workload`, the experiment drivers, the
+``repro.api`` evaluation facade and the CLI.
+"""
 
 from __future__ import annotations
 
 from typing import Callable
 
+from repro.registry import Registry
 from repro.workloads.base import Workload
 from repro.workloads.kernels import (
     automotive,
@@ -14,6 +31,16 @@ from repro.workloads.kernels import (
     speclike,
     telecom,
 )
+
+#: Registry of zero-argument builders returning a fresh :class:`Workload`.
+WORKLOADS = Registry("workload")
+
+
+def register_workload(name: str, *, suite: str = "misc",
+                      aliases: tuple[str, ...] = ()):
+    """Register a zero-argument workload builder under ``name``."""
+    return WORKLOADS.register(name, aliases=aliases, suite=suite)
+
 
 #: The 19 MiBench-like workloads evaluated in the paper (Figure 3).
 MIBENCH_BUILDERS: dict[str, Callable[[], Workload]] = {
@@ -48,7 +75,10 @@ SPEC_BUILDERS: dict[str, Callable[[], Workload]] = {
     "bzip2_like": speclike.build_bzip2_like,
 }
 
-_ALL_BUILDERS = {**MIBENCH_BUILDERS, **SPEC_BUILDERS}
+for _name, _builder in MIBENCH_BUILDERS.items():
+    register_workload(_name, suite="mibench")(_builder)
+for _name, _builder in SPEC_BUILDERS.items():
+    register_workload(_name, suite="spec")(_builder)
 
 #: Built workloads are cached because their traces are expensive to produce
 #: and every experiment reuses the same dynamic instruction stream.
@@ -56,7 +86,7 @@ _CACHE: dict[tuple[str, bool], Workload] = {}
 
 
 def _build(name: str, optimize: bool) -> Workload:
-    workload = _ALL_BUILDERS[name]()
+    workload = WORKLOADS.get(name)()
     if optimize:
         # The paper evaluates binaries compiled with -O3, i.e. *scheduled*
         # code.  The kernels are written naturally (dependent instructions
@@ -90,9 +120,10 @@ def get_workload(name: str, use_cache: bool = True, optimize: bool = True) -> Wo
     (name, optimize); pass ``use_cache=False`` to force a fresh instance, e.g.
     when the caller is going to mutate the program.
     """
-    if name not in _ALL_BUILDERS:
-        known = ", ".join(sorted(_ALL_BUILDERS))
+    if name not in WORKLOADS:
+        known = ", ".join(WORKLOADS.names())
         raise KeyError(f"unknown workload {name!r}; known workloads: {known}")
+    name = WORKLOADS.canonical(name)
     if not use_cache:
         return _build(name, optimize)
     key = (name, optimize)
@@ -102,28 +133,48 @@ def get_workload(name: str, use_cache: bool = True, optimize: bool = True) -> Wo
 
 
 def all_workload_names() -> list[str]:
-    """All registered workload names (MiBench-like plus SPEC-like)."""
-    return sorted(_ALL_BUILDERS)
+    """All registered workload names (MiBench-like, SPEC-like and plugins)."""
+    return WORKLOADS.names()
+
+
+def suite_names(suite: str) -> list[str]:
+    """Registered workload names belonging to ``suite`` (sorted)."""
+    return WORKLOADS.names(suite=suite)
+
+
+def _suite(suite: str, names: list[str] | None) -> list[Workload]:
+    known = suite_names(suite)
+    selected = names if names is not None else known
+    unknown = [name for name in selected if name not in known]
+    if unknown:
+        raise KeyError(f"not {suite} workloads: {unknown}")
+    return [get_workload(name) for name in selected]
 
 
 def mibench_suite(names: list[str] | None = None) -> list[Workload]:
     """Return the MiBench-like suite (optionally restricted to ``names``)."""
-    selected = names if names is not None else sorted(MIBENCH_BUILDERS)
-    unknown = [name for name in selected if name not in MIBENCH_BUILDERS]
-    if unknown:
-        raise KeyError(f"not MiBench workloads: {unknown}")
-    return [get_workload(name) for name in selected]
+    return _suite("mibench", names)
 
 
 def spec_suite(names: list[str] | None = None) -> list[Workload]:
     """Return the SPEC-like suite (optionally restricted to ``names``)."""
-    selected = names if names is not None else sorted(SPEC_BUILDERS)
-    unknown = [name for name in selected if name not in SPEC_BUILDERS]
-    if unknown:
-        raise KeyError(f"not SPEC workloads: {unknown}")
-    return [get_workload(name) for name in selected]
+    return _suite("spec", names)
 
 
 def clear_cache() -> None:
     """Drop all cached workloads (mostly useful in tests)."""
     _CACHE.clear()
+
+
+def __getattr__(name: str):
+    # Deprecation shim: _ALL_BUILDERS was the pre-registry lookup table.
+    if name == "_ALL_BUILDERS":
+        import warnings
+
+        warnings.warn(
+            "_ALL_BUILDERS is deprecated; use the WORKLOADS registry "
+            "(register_workload/get_workload/all_workload_names) instead",
+            DeprecationWarning, stacklevel=2,
+        )
+        return {name: WORKLOADS.get(name) for name in WORKLOADS.names()}
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -3,7 +3,14 @@
 import pytest
 
 from repro.isa.opcodes import OpClass
-from repro.machine import BACKEND_STAGES, DEFAULT_MACHINE, MachineConfig
+from repro.machine import (
+    BACKEND_STAGES,
+    DEFAULT_MACHINE,
+    MACHINE_PRESETS,
+    MachineConfig,
+    machine_from_spec,
+    parse_size,
+)
 
 
 class TestMachineConfig:
@@ -75,3 +82,80 @@ class TestMachineConfig:
         # Even a very fast clock cannot make the L2 round-trip free.
         machine = MachineConfig(frequency_mhz=1000, l2_ns=0.1)
         assert machine.l2_hit_cycles == 1
+
+    def test_name_is_a_label_not_an_identity(self):
+        # Regression: the name used to participate in equality/hashing, so
+        # two identical geometries with different labels were profiled
+        # twice (distinct session memo and artifact-cache keys).
+        a = MachineConfig(name="baseline")
+        b = MachineConfig(name="same-geometry-different-label")
+        assert a == b
+        assert hash(a) == hash(b)
+        assert len({a: 1, b: 2}) == 1
+        # A genuine geometry change still separates them.
+        assert a != a.with_(l2_size=1024 * 1024)
+
+
+class TestParseSize:
+    @pytest.mark.parametrize("text,expected", [
+        (65536, 65536),
+        ("64", 64),
+        ("64B", 64),
+        ("32k", 32 * 1024),
+        ("32KB", 32 * 1024),
+        ("32KiB", 32 * 1024),
+        ("1MB", 1024 * 1024),
+        ("0.5MB", 512 * 1024),
+        ("1mb", 1024 * 1024),
+        ("2GB", 2 * 1024 ** 3),
+        (" 128 KB ", 128 * 1024),
+    ])
+    def test_accepted_forms(self, text, expected):
+        assert parse_size(text) == expected
+
+    def test_rejects_garbage(self):
+        with pytest.raises(ValueError, match="malformed size"):
+            parse_size("lots")
+        with pytest.raises(ValueError, match="unknown size unit"):
+            parse_size("3 furlongs")
+        with pytest.raises(ValueError, match="whole number"):
+            parse_size("0.3KB")
+        with pytest.raises(TypeError):
+            parse_size(1.5)
+        with pytest.raises(TypeError):
+            parse_size(True)
+
+
+class TestMachineSpecs:
+    def test_preset_registry_contains_paper_default(self):
+        assert "paper_default" in MACHINE_PRESETS
+        assert machine_from_spec("paper_default") == DEFAULT_MACHINE
+        # The alias resolves to the same configuration.
+        assert machine_from_spec("default") == DEFAULT_MACHINE
+
+    def test_every_preset_resolves(self):
+        for name in MACHINE_PRESETS.names():
+            machine = machine_from_spec(name)
+            assert isinstance(machine, MachineConfig)
+
+    def test_overrides_with_size_strings(self):
+        machine = machine_from_spec({
+            "preset": "paper_default",
+            "l2_size": "1MB",
+            "branch_predictor": "hybrid_3.5kb",
+        })
+        assert machine.l2_size == 1024 * 1024
+        assert machine.branch_predictor == "hybrid_3.5kb"
+        assert machine.width == DEFAULT_MACHINE.width
+
+    def test_machineconfig_passes_through(self):
+        machine = MachineConfig(width=2)
+        assert machine_from_spec(machine) is machine
+
+    def test_unknown_preset_lists_known(self):
+        with pytest.raises(KeyError, match="paper_default"):
+            machine_from_spec("warp_drive")
+
+    def test_unknown_parameter_is_a_clear_error(self):
+        with pytest.raises(ValueError, match="unknown machine parameters"):
+            machine_from_spec({"l2_sise": "1MB"})

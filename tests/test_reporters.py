@@ -1,0 +1,91 @@
+"""Reporter edge cases: CSV quoting, JSON round trips, format registry."""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+
+import pytest
+
+from repro.runtime.reporters import REPORTERS, render, render_csv, render_text
+from repro.runtime.result import ExperimentResult
+
+
+def _result(rows, footnotes=()):
+    return ExperimentResult(
+        experiment="edge",
+        title="Edge cases",
+        headers=("workload", "machine", "cpi"),
+        rows=tuple(rows),
+        footnotes=tuple(footnotes),
+    )
+
+
+class TestCSVQuoting:
+    def test_commas_in_cells_are_quoted(self):
+        # Sweep-generated machine names embed commas ("width=1,l2_size=1MB").
+        result = _result([("sha", "width=1,l2_size=1MB", 1.25)])
+        output = render_csv(result)
+        assert '"width=1,l2_size=1MB"' in output
+        parsed = list(csv.reader(io.StringIO(output)))
+        assert parsed[1] == ["sha", "width=1,l2_size=1MB", "1.25"]
+
+    def test_quotes_in_workload_names_are_escaped(self):
+        result = _result([('say "cheese"', "m", 1.0)])
+        parsed = list(csv.reader(io.StringIO(render_csv(result))))
+        assert parsed[1][0] == 'say "cheese"'
+
+    def test_newlines_and_none_cells(self):
+        result = _result([("two\nlines", "m", None)])
+        parsed = list(csv.reader(io.StringIO(render_csv(result))))
+        assert parsed[1] == ["two\nlines", "m", ""]
+
+    def test_headers_with_commas_are_quoted(self):
+        result = ExperimentResult(
+            experiment="edge", title="t",
+            headers=("name", "cycles, total"), rows=(("a", 1),),
+        )
+        first_line = render_csv(result).splitlines()[0]
+        assert first_line == 'name,"cycles, total"'
+
+
+class TestJSONRoundTrip:
+    def test_commas_quotes_and_none_survive(self):
+        result = _result(
+            [("adpcm_c", 'cfg "fast", wide', None),
+             ("sha", "plain", 0.5)],
+            footnotes=('note with "quotes", commas — and unicode (≤ 6%)',),
+        )
+        clone = ExperimentResult.from_json(render(result, "json"))
+        assert clone == result
+        assert clone.rows[0][2] is None
+        assert clone.footnotes == result.footnotes
+
+    def test_footnotes_render_in_text_only(self):
+        result = _result([("sha", "m", 1.0)], footnotes=("a, footnote",))
+        assert "a, footnote" in render_text(result)
+        assert "a, footnote" not in render_csv(result)
+        payload = json.loads(render(result, "json"))
+        assert payload["footnotes"] == ["a, footnote"]
+
+
+class TestReporterRegistry:
+    def test_builtin_formats_registered(self):
+        assert {"text", "json", "csv"} <= set(REPORTERS)
+
+    def test_unknown_format_is_a_value_error(self):
+        with pytest.raises(ValueError, match="unknown format"):
+            render(_result([("a", "b", 1.0)]), "yaml")
+
+    def test_custom_reporter_plugs_in(self):
+        from repro.runtime.reporters import register_reporter
+
+        @register_reporter("rowcount")
+        def render_rowcount(result):
+            return f"{result.experiment}: {len(result.rows)} rows"
+
+        try:
+            assert render(_result([("a", "b", 1.0)]), "rowcount") == "edge: 1 rows"
+        finally:
+            REPORTERS.unregister("rowcount")

@@ -6,6 +6,7 @@ from hypothesis import strategies as st
 
 from repro.validation import (
     ValidationRow,
+    ValidationSummary,
     cumulative_distribution,
     relative_error,
     summarize,
@@ -45,12 +46,21 @@ class TestSummary:
         assert summary.fraction_below(0.06) == pytest.approx(2 / 3)
         assert summary.worst(1)[0].name == "c"
 
-    def test_empty_summary(self):
-        summary = summarize([])
+    def test_summarize_empty_is_a_clear_error(self):
+        with pytest.raises(ValueError, match="zero validation rows"):
+            summarize([])
+
+    def test_empty_summary_is_well_defined(self):
+        import math
+
+        summary = ValidationSummary.empty()
         assert summary.count == 0
-        assert summary.average_absolute_error == 0.0
-        assert summary.maximum_absolute_error == 0.0
-        assert summary.fraction_below(0.1) == 0.0
+        for value in (summary.average_absolute_error,
+                      summary.maximum_absolute_error,
+                      summary.fraction_below(0.1)):
+            assert value == 0.0
+            assert not math.isnan(value)
+        assert summary.worst() == []
 
 
 class TestCDF:
