@@ -1,6 +1,6 @@
 PY := PYTHONPATH=src python
 
-.PHONY: test lint bench bench-smoke experiments
+.PHONY: test lint bench bench-smoke serve-smoke experiments
 
 test:
 	$(PY) -m pytest -x -q
@@ -15,6 +15,11 @@ bench:
 # that every benchmark still runs, without touching BENCH_core.json.
 bench-smoke:
 	$(PY) benchmarks/run_bench.py --repeat 1 --output /tmp/BENCH_smoke.json
+
+# Start an evaluation server, answer one request through ServiceClient,
+# verify the warm repeat hits the result cache, assert a clean shutdown.
+serve-smoke:
+	$(PY) -m repro.service.smoke
 
 experiments:
 	$(PY) -m repro.cli run all

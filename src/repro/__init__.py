@@ -26,7 +26,7 @@ from repro.core.ooo import OutOfOrderIntervalModel
 from repro.pipeline.inorder import InOrderPipeline, InOrderResult
 from repro.pipeline.ooo import OutOfOrderPipeline
 
-__version__ = "1.0.0"
+__version__ = "0.4.0"
 
 __all__ = [
     "MachineConfig",

@@ -26,13 +26,21 @@ def _machine_label(request: EvalRequest, machine) -> str:
     A spec that overrides geometry fields without renaming the machine
     would otherwise report the base preset's display name, making e.g. a
     ``{"l2_size": "1MB"}`` variant indistinguishable from the plain preset
-    in a results table.
+    in a results table.  Byte-count overrides are normalized through
+    :func:`~repro.machine.format_size`, so ``1048576``, ``"1024KB"`` and
+    ``"1MB"`` all label as ``l2_size=1MB``.
     """
+    from repro.machine import SIZE_FIELDS, format_size, parse_size
+
     overrides = request.machine.overrides
     if "name" in overrides or not overrides:
         return machine.name
+    rendered = {
+        key: format_size(parse_size(value)) if key in SIZE_FIELDS else value
+        for key, value in overrides.items()
+    }
     return (request.machine.preset + "+"
-            + ",".join(f"{key}={value}" for key, value in sorted(overrides.items())))
+            + ",".join(f"{key}={value}" for key, value in sorted(rendered.items())))
 
 
 def _evaluate_one(session: Session, request: EvalRequest) -> EvalResult:
@@ -75,19 +83,29 @@ def validate_requests(requests: Sequence[EvalRequest]) -> None:
     from repro.runtime.session import COMPILER_FLAGS
     from repro.workloads.registry import WORKLOADS
 
-    for request in requests:
-        get_backend(request.backend)
-        request.machine.resolve()
-        if request.workload.name not in WORKLOADS:
-            known = ", ".join(WORKLOADS.names())
-            raise ValueError(
-                f"unknown workload {request.workload.name!r}; known: {known}"
-            )
-        if request.workload.flags not in COMPILER_FLAGS:
-            raise ValueError(
-                f"unknown compiler flags {request.workload.flags!r}; "
-                f"expected one of {COMPILER_FLAGS}"
-            )
+    for index, request in enumerate(requests):
+        try:
+            get_backend(request.backend)
+            request.machine.resolve()
+            if request.workload.name not in WORKLOADS:
+                known = ", ".join(WORKLOADS.names())
+                raise ValueError(
+                    f"unknown workload {request.workload.name!r}; known: {known}"
+                )
+            if request.workload.flags not in COMPILER_FLAGS:
+                known = ", ".join(COMPILER_FLAGS)
+                raise ValueError(
+                    f"unknown compiler flags {request.workload.flags!r}; "
+                    f"known: {known}"
+                )
+        except (ValueError, KeyError) as exc:
+            # Every message names the bad value AND lists the valid choices
+            # (the registries do this for presets/backends); add which
+            # request of the batch failed so a bad sweep is a one-read fix.
+            message = str(exc)
+            if len(requests) > 1:
+                message = f"request[{index}]: {message}"
+            raise type(exc)(message) from exc
 
 
 def evaluate_many(requests: Iterable["EvalRequest | Mapping"], *,

@@ -14,7 +14,11 @@ Times the paths every PR is expected to keep fast:
   cold session (trace generation included),
 * ``session_cached_rerun`` — a warm :class:`~repro.runtime.session.Session`
   answering the same workload/profile requests purely from the on-disk
-  artifact cache (the hit path: zero compilations, zero trace generations).
+  artifact cache (the hit path: zero compilations, zero trace generations),
+* ``service_warm_eval``    — 50 warm ``POST /v1/eval`` round trips through
+  a running :mod:`repro.service` server (result-cache hits, HTTP included)
+  — the served-request latency a repeat API consumer pays, to compare
+  against ``api_batch_evaluate``'s cold per-request cost.
 
 Each benchmark runs ``--repeat`` times and the *median* is reported.  The
 output schema (``schema_version`` 2) records the Python version and job
@@ -137,12 +141,37 @@ def bench_session_cached_rerun(jobs: int = 1) -> float:
     return elapsed
 
 
+def bench_service_warm_eval() -> float:
+    """Warm served-request latency: 50 cache-hit ``POST /v1/eval`` calls.
+
+    An ephemeral :mod:`repro.service` server answers one cold request
+    (untimed: compilation, trace generation, profiling), then the same
+    request 50 more times — every repeat is a result-cache hit, so the
+    timed loop measures the full HTTP round trip plus the cache lookup,
+    i.e. the steady-state latency the service exists to provide.
+    """
+    from repro.service.client import ServiceClient
+    from repro.service.server import ServerThread, ServiceConfig
+
+    request = {"workload": "sha", "machine": {"preset": "paper_default"}}
+    with tempfile.TemporaryDirectory() as cache_dir:
+        with ServerThread(ServiceConfig(port=0, jobs=1,
+                                        cache_dir=cache_dir)) as running:
+            client = ServiceClient(port=running.port)
+            client.evaluate(request)  # cold: pays the whole pipeline
+            start = time.perf_counter()
+            for _ in range(50):
+                client.evaluate(request)
+            return time.perf_counter() - start
+
+
 BENCHES = {
     "trace_generation": bench_trace_generation,
     "profile_machine": bench_profile_machine,
     "dse_evaluate": bench_dse_evaluate,
     "api_batch_evaluate": bench_api_batch_evaluate,
     "session_cached_rerun": bench_session_cached_rerun,
+    "service_warm_eval": bench_service_warm_eval,
 }
 
 #: Benchmarks whose callable accepts (and honours) the job count.

@@ -10,7 +10,13 @@ Subcommands:
   the corresponding options in its registry metadata.
 * ``eval [FILE ...]`` — answer declarative :mod:`repro.api` evaluation
   requests from JSON request files (single requests, request lists or
-  parameter sweeps); ``--backends`` prints the backend capability matrix.
+  parameter sweeps); ``--backends`` prints the backend capability matrix
+  and the machine-preset table.
+* ``serve`` — the long-lived evaluation service (:mod:`repro.service`):
+  ``POST /v1/eval``/``/v1/sweep`` over a warm shared session, with
+  ``--port/--jobs/--cache-dir/--max-queue`` and a graceful drain on
+  Ctrl-C.
+* ``cache`` — inspect (or ``--clear``) an artifact-cache directory.
 * ``list`` — the experiment registry: names, artefacts, declared options.
 * ``bench`` — the core hot-path benchmark (see :mod:`repro.bench`).
 
@@ -35,6 +41,18 @@ from repro.runtime import (
 from repro.runtime.reporters import REPORTERS, format_table
 
 
+def _package_version() -> str:
+    """The installed distribution version, or the source tree's fallback."""
+    import importlib.metadata
+
+    try:
+        return importlib.metadata.version("repro-ispass2012-inorder-model")
+    except importlib.metadata.PackageNotFoundError:
+        from repro import __version__
+
+        return __version__
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-experiments",
@@ -42,6 +60,10 @@ def build_parser() -> argparse.ArgumentParser:
             "Reproduce the tables and figures of 'A Mechanistic Performance "
             "Model for Superscalar In-Order Processors' (ISPASS 2012)."
         ),
+    )
+    parser.add_argument(
+        "--version", action="version",
+        version=f"%(prog)s {_package_version()}",
     )
     subparsers = parser.add_subparsers(dest="command", required=True)
 
@@ -101,7 +123,62 @@ def build_parser() -> argparse.ArgumentParser:
     )
     eval_parser.add_argument(
         "--backends", action="store_true",
-        help="print the backend capability matrix and exit",
+        help="print the backend capability matrix and machine presets, "
+             "then exit",
+    )
+
+    serve_parser = subparsers.add_parser(
+        "serve",
+        help="run the evaluation service (POST /v1/eval, /v1/sweep; "
+             "GET /v1/health, /v1/metrics)",
+    )
+    serve_parser.add_argument(
+        "--host", default="127.0.0.1", metavar="ADDR",
+        help="address to bind (default: 127.0.0.1)",
+    )
+    serve_parser.add_argument(
+        "--port", type=int, default=8765, metavar="PORT",
+        help="port to bind; 0 picks an ephemeral port (default: 8765)",
+    )
+    serve_parser.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="evaluation workers; batches also shard across N processes "
+             "(default: 1)",
+    )
+    serve_parser.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="artifact cache directory shared with 'run'/'eval'; keeps "
+             "traces and profiling state warm across restarts "
+             "(default: in-memory only)",
+    )
+    serve_parser.add_argument(
+        "--max-queue", type=int, default=64, metavar="N",
+        help="bounded job-queue length; a full queue answers 503 "
+             "(default: 64)",
+    )
+    serve_parser.add_argument(
+        "--cache-capacity", type=int, default=1024, metavar="N",
+        help="result-cache entries kept in memory (default: 1024)",
+    )
+    serve_parser.add_argument(
+        "--cache-ttl", type=float, default=600.0, metavar="SECONDS",
+        help="result-cache entry lifetime (default: 600)",
+    )
+    serve_parser.add_argument(
+        "--cache-max-bytes", default="64MB", metavar="SIZE",
+        help="result-cache byte budget, e.g. '64MB' (default: 64MB)",
+    )
+
+    cache_parser = subparsers.add_parser(
+        "cache", help="inspect or clear an artifact-cache directory"
+    )
+    cache_parser.add_argument(
+        "--cache-dir", required=True, metavar="DIR",
+        help="the artifact cache directory to inspect",
+    )
+    cache_parser.add_argument(
+        "--clear", action="store_true",
+        help="delete every cache entry after printing the stats",
     )
 
     list_parser = subparsers.add_parser(
@@ -184,6 +261,8 @@ def _cmd_eval(args: argparse.Namespace) -> int:
     from repro.api.batch import results_table
 
     if args.backends:
+        from repro.machine import MACHINE_PRESETS, format_size
+
         rows = [
             (name, *("yes" if flag else "no" for flag in (
                 capabilities.cpi_stack, capabilities.cycle_accurate,
@@ -193,6 +272,23 @@ def _cmd_eval(args: argparse.Namespace) -> int:
         print(format_table(
             ("backend", "cpi stack", "cycle accurate", "exact misses", "power"),
             rows,
+        ))
+        preset_rows = []
+        for name in MACHINE_PRESETS.names():
+            machine = MACHINE_PRESETS.get(name)()
+            preset_rows.append((
+                name, machine.width, machine.pipeline_stages,
+                f"{machine.frequency_mhz} MHz",
+                format_size(machine.l1i_size), format_size(machine.l1d_size),
+                f"{format_size(machine.l2_size)} "
+                f"{machine.l2_associativity}-way",
+                machine.branch_predictor,
+            ))
+        print()
+        print(format_table(
+            ("preset", "width", "stages", "clock", "L1I", "L1D", "L2",
+             "branch predictor"),
+            preset_rows,
         ))
         return 0
     if not args.requests:
@@ -217,6 +313,74 @@ def _cmd_eval(args: argparse.Namespace) -> int:
             raise SystemExit(str(exc)) from exc
         sys.stdout.write(render(results_table(results), args.format) + "\n")
     _session_report(session)
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.machine import parse_size
+    from repro.service.server import ServiceConfig, serve
+
+    try:
+        cache_max_bytes = parse_size(args.cache_max_bytes)
+    except (ValueError, TypeError) as exc:
+        raise SystemExit(f"--cache-max-bytes: {exc}") from exc
+    config = ServiceConfig(
+        host=args.host, port=args.port, jobs=args.jobs,
+        max_queue=args.max_queue, cache_dir=args.cache_dir,
+        cache_capacity=args.cache_capacity, cache_ttl=args.cache_ttl,
+        cache_max_bytes=cache_max_bytes,
+    )
+
+    def announce(server) -> None:
+        print(
+            f"repro.service listening on http://{config.host}:{server.port} "
+            f"(jobs={config.jobs}, max_queue={config.max_queue}, "
+            f"cache_dir={config.cache_dir or '<memory>'}) — Ctrl-C drains "
+            "and stops",
+            file=sys.stderr,
+        )
+
+    try:
+        asyncio.run(serve(config, ready=announce))
+    except KeyboardInterrupt:
+        print("repro.service: drained and stopped", file=sys.stderr)
+    except (OSError, ValueError) as exc:
+        # Bind failures (address in use) and invalid option values
+        # (--cache-ttl 0, --jobs 0, ...) exit cleanly, no traceback.
+        raise SystemExit(f"serve: {exc}") from exc
+    return 0
+
+
+def _cmd_cache(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.machine import format_size
+    from repro.runtime.artifacts import ArtifactCache
+
+    root = Path(args.cache_dir)
+    if not root.is_dir():
+        raise SystemExit(f"{root}: not a directory")
+    cache = ArtifactCache(root)
+    stats = cache.disk_stats()
+    rows = [
+        (kind, item["entries"], format_size(item["bytes"]))
+        for kind, item in sorted(stats["kinds"].items())
+    ]
+    rows.append(("total", stats["entries"], format_size(stats["bytes"])))
+    print(format_table(("kind", "entries", "bytes"), rows))
+    if stats["schema_versions"]:
+        versions = "  ".join(
+            f"{key}={','.join(str(v) for v in values)}"
+            for key, values in stats["schema_versions"].items()
+        )
+        print(f"schema versions: {versions}")
+    if stats["corrupt"]:
+        print(f"corrupt entries: {stats['corrupt']}")
+    if args.clear:
+        removed = cache.clear()
+        print(f"cleared {removed} entries from {root}")
     return 0
 
 
@@ -266,6 +430,10 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_run(args)
     if args.command == "eval":
         return _cmd_eval(args)
+    if args.command == "serve":
+        return _cmd_serve(args)
+    if args.command == "cache":
+        return _cmd_cache(args)
     if args.command == "list":
         return _cmd_list(args)
     return _cmd_bench(args)

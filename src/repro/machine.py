@@ -129,7 +129,7 @@ class MachineConfig:
     def describe(self) -> str:
         return (
             f"{self.width}-wide, {self.pipeline_stages}-stage, "
-            f"{self.frequency_mhz} MHz, L2 {self.l2_size // 1024}KB "
+            f"{self.frequency_mhz} MHz, L2 {format_size(self.l2_size)} "
             f"{self.l2_associativity}-way, bpred {self.branch_predictor}"
         )
 
@@ -181,6 +181,25 @@ def parse_size(value: int | str) -> int:
     if total != int(total):
         raise ValueError(f"size {value!r} is not a whole number of bytes")
     return int(total)
+
+
+def format_size(value: int) -> str:
+    """Render a byte count with the largest unit that divides it evenly.
+
+    The inverse of :func:`parse_size`: ``524288`` -> ``"512KB"``,
+    ``1048576`` -> ``"1MB"``, ``1536`` -> ``"1536B"`` (no fractional
+    renderings, so ``parse_size(format_size(n)) == n`` for every
+    non-negative ``n``).  This is the one spelling presets, override
+    labels and cache reports all use.
+    """
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise TypeError(f"size must be an int, got {value!r}")
+    if value < 0:
+        raise ValueError(f"size must be non-negative, got {value}")
+    for unit, multiplier in (("GB", 1024 ** 3), ("MB", 1024 ** 2), ("KB", 1024)):
+        if value and value % multiplier == 0:
+            return f"{value // multiplier}{unit}"
+    return f"{value}B"
 
 
 # ----------------------------------------------------------------------

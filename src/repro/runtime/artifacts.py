@@ -8,11 +8,14 @@ the relevant schema versions (:data:`~repro.trace.trace.TRACE_SCHEMA_VERSION`,
 change that alters what a builder produces must bump the corresponding
 version, which changes every digest and naturally invalidates stale entries.
 
-Artifacts are pickled to ``<root>/<kind>/<digest>.pkl`` together with their
-key fields; writes go through a temporary file plus :func:`os.replace` so
-concurrent sessions (the process-pool scheduler shares one cache directory
-across workers) never observe a half-written artifact.  Unreadable or
-mismatched entries are treated as misses and rebuilt.
+Artifacts are pickled to ``<root>/<kind>/<digest>.pkl`` as two consecutive
+pickle objects — the small key-fields header first, the payload second — so
+maintenance scans (:meth:`ArtifactCache.disk_stats`) can read every entry's
+identity without deserializing multi-megabyte values.  Writes go through a
+temporary file plus :func:`os.replace` so concurrent sessions (the
+process-pool scheduler shares one cache directory across workers) never
+observe a half-written artifact.  Unreadable, mismatched or legacy-format
+entries are treated as misses and rebuilt.
 """
 
 from __future__ import annotations
@@ -86,10 +89,11 @@ class ArtifactCache:
             return MISSING
         try:
             with path.open("rb") as handle:
-                entry = pickle.load(handle)
-            if entry.get("fields") != {"kind": kind, **fields}:
-                # A digest collision or a foreign file: do not trust it.
-                raise ValueError("artifact key mismatch")
+                entry_fields = pickle.load(handle)
+                if entry_fields != {"kind": kind, **fields}:
+                    # A digest collision or a foreign file: do not trust it.
+                    raise ValueError("artifact key mismatch")
+                value = pickle.load(handle)
         except Exception:
             # Corrupt, truncated or stale-format entries are rebuilt.
             try:
@@ -99,7 +103,7 @@ class ArtifactCache:
             self.stats.misses += 1
             return MISSING
         self.stats.hits += 1
-        return entry["value"]
+        return value
 
     def store(self, value: Any, kind: str, **fields: Any) -> None:
         """Persist ``value`` atomically (no-op when the cache is disabled)."""
@@ -107,13 +111,14 @@ class ArtifactCache:
         if path is None:
             return
         path.parent.mkdir(parents=True, exist_ok=True)
-        entry = {"fields": {"kind": kind, **fields}, "value": value}
         descriptor, tmp_name = tempfile.mkstemp(
             dir=path.parent, prefix=path.stem, suffix=".tmp"
         )
         try:
             with os.fdopen(descriptor, "wb") as handle:
-                pickle.dump(entry, handle, protocol=pickle.HIGHEST_PROTOCOL)
+                pickle.dump({"kind": kind, **fields}, handle,
+                            protocol=pickle.HIGHEST_PROTOCOL)
+                pickle.dump(value, handle, protocol=pickle.HIGHEST_PROTOCOL)
             os.replace(tmp_name, path)
         except BaseException:
             try:
@@ -132,3 +137,70 @@ class ArtifactCache:
         value = builder()
         self.store(value, kind, **fields)
         return value, False
+
+    # ------------------------------------------------------------------
+    # Maintenance (the ``repro-experiments cache`` subcommand).
+    # ------------------------------------------------------------------
+    def disk_stats(self) -> dict:
+        """Scan the cache directory: entries, bytes and schema versions.
+
+        Reads only each entry's key-fields header (the first of the two
+        pickle objects), never the payload, so the scan stays cheap on
+        caches holding multi-megabyte traces while still reporting which
+        ``*_version`` generations are present on disk.  Unreadable or
+        legacy-format entries are counted as ``corrupt`` rather than
+        raised.
+        """
+        per_kind: dict[str, dict] = {}
+        schema_versions: dict[str, set] = {}
+        corrupt = 0
+        if self.root is not None and self.root.is_dir():
+            for kind_dir in sorted(path for path in self.root.iterdir()
+                                   if path.is_dir()):
+                entries = 0
+                size = 0
+                for path in sorted(kind_dir.glob("*.pkl")):
+                    try:
+                        entry_size = path.stat().st_size
+                    except OSError:
+                        continue  # deleted by a live session since the glob
+                    entries += 1
+                    size += entry_size
+                    try:
+                        with path.open("rb") as handle:
+                            fields = pickle.load(handle)
+                        if not (isinstance(fields, dict) and "kind" in fields):
+                            raise ValueError("not a key-fields header")
+                    except Exception:
+                        corrupt += 1
+                        continue
+                    for key, value in fields.items():
+                        if key.endswith("_version"):
+                            schema_versions.setdefault(key, set()).add(value)
+                if entries:
+                    per_kind[kind_dir.name] = {"entries": entries, "bytes": size}
+        return {
+            "root": str(self.root) if self.root is not None else None,
+            "entries": sum(item["entries"] for item in per_kind.values()),
+            "bytes": sum(item["bytes"] for item in per_kind.values()),
+            "kinds": per_kind,
+            "schema_versions": {key: sorted(values) for key, values
+                                in sorted(schema_versions.items())},
+            "corrupt": corrupt,
+        }
+
+    def clear(self) -> int:
+        """Delete every cache entry; returns how many were removed."""
+        removed = 0
+        if self.root is None or not self.root.is_dir():
+            return removed
+        for kind_dir in self.root.iterdir():
+            if not kind_dir.is_dir():
+                continue
+            for path in kind_dir.glob("*.pkl"):
+                try:
+                    path.unlink()
+                    removed += 1
+                except OSError:
+                    pass
+        return removed

@@ -1,0 +1,52 @@
+"""``repro.service`` — the long-lived evaluation server and its client.
+
+Everything :mod:`repro.api` answers in-process, served over HTTP with the
+expensive state kept warm between requests::
+
+    # serve (CLI):    repro-experiments serve --port 8765 --cache-dir .cache
+    # or in-process:
+    from repro.service import ServerThread, ServiceClient, ServiceConfig
+
+    with ServerThread(ServiceConfig(port=0, cache_dir=".cache")) as running:
+        client = ServiceClient(port=running.port)
+        result = client.evaluate({"workload": "sha",
+                                  "machine": {"l2_size": "1MB"}})
+
+The server is plain ``asyncio`` plus a hand-rolled HTTP/1.1 layer — no
+runtime dependencies beyond the standard library.  Requests flow through
+a bounded job queue into a worker pool sharing one
+:class:`~repro.runtime.session.Session`, so traces, program profiles and
+single-pass engine state are compiled once and reused across requests;
+successful responses are additionally cached in a TTL+LRU
+:class:`~repro.service.cache.ResultCache`, making a repeated query a
+dictionary lookup.  Served answers are byte-identical to direct
+``repro.api`` calls.
+"""
+
+from repro.service.cache import ResultCache, ResultCacheStats, canonical_key
+from repro.service.client import ServiceClient, ServiceError
+from repro.service.http import HttpError, HttpRequest, read_request, render_response
+from repro.service.jobs import EvalExecutor, Job, ServiceOverloaded
+from repro.service.metrics import ServiceMetrics, percentile
+from repro.service.server import EvalServer, ServerThread, ServiceConfig, serve
+
+__all__ = [
+    "EvalExecutor",
+    "EvalServer",
+    "HttpError",
+    "HttpRequest",
+    "Job",
+    "ResultCache",
+    "ResultCacheStats",
+    "ServerThread",
+    "ServiceClient",
+    "ServiceConfig",
+    "ServiceError",
+    "ServiceMetrics",
+    "ServiceOverloaded",
+    "canonical_key",
+    "percentile",
+    "read_request",
+    "render_response",
+    "serve",
+]

@@ -1,0 +1,135 @@
+"""In-memory TTL + LRU cache of serialized responses.
+
+This is the layer that turns a repeated design-space question into a
+millisecond answer: the server caches the exact *response body bytes* of
+successful evaluations keyed by the canonical JSON of the request, so a
+cache hit skips parsing, queueing, evaluation and re-serialization
+entirely and is guaranteed byte-identical to the original answer.
+
+It sits *above* the on-disk :class:`~repro.runtime.artifacts.ArtifactCache`
+(which persists traces and profiling state between server runs): an entry
+expiring here only costs a re-evaluation against the still-warm session,
+not a recompilation.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Callable
+
+
+def canonical_key(payload) -> str:
+    """Canonical JSON of a request payload: the cache's addressing scheme.
+
+    Key order never matters (``sort_keys``) and whitespace is normalized,
+    so two clients phrasing the same request differently share one entry.
+    """
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+@dataclass
+class ResultCacheStats:
+    """Counters reported through ``GET /v1/metrics``."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    expirations: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def as_dict(self) -> dict:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "hit_rate": round(self.hit_rate, 4),
+            "evictions": self.evictions,
+            "expirations": self.expirations,
+        }
+
+
+class ResultCache:
+    """Bounded mapping of ``canonical request JSON -> response bytes``.
+
+    Entries live for ``ttl_seconds`` after insertion and the least recently
+    *used* entry is evicted once ``capacity`` entries *or* ``max_bytes``
+    cached body bytes are exceeded (sweep responses can be multi-megabyte,
+    so an entry count alone does not bound memory; a single body larger
+    than the whole budget is not cached at all).  The clock is injectable
+    so expiry is testable without sleeping.  All operations are guarded by
+    a lock: the server touches the cache from the event loop while tests
+    and metrics may read it from other threads.
+    """
+
+    def __init__(self, capacity: int = 1024, ttl_seconds: float = 600.0,
+                 max_bytes: int = 64 * 1024 * 1024,
+                 clock: Callable[[], float] = time.monotonic):
+        if capacity < 1:
+            raise ValueError("capacity must be at least 1")
+        if ttl_seconds <= 0:
+            raise ValueError("ttl_seconds must be positive")
+        if max_bytes < 1:
+            raise ValueError("max_bytes must be at least 1")
+        self.capacity = capacity
+        self.ttl_seconds = ttl_seconds
+        self.max_bytes = max_bytes
+        self._clock = clock
+        self._lock = threading.Lock()
+        #: key -> (expires_at, value); insertion/touch order is LRU order.
+        self._entries: "OrderedDict[str, tuple[float, bytes]]" = OrderedDict()
+        self._bytes = 0
+        self.stats = ResultCacheStats()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    @property
+    def total_bytes(self) -> int:
+        """Bytes currently held across all cached response bodies."""
+        with self._lock:
+            return self._bytes
+
+    def get(self, key: str) -> bytes | None:
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self.stats.misses += 1
+                return None
+            expires_at, value = entry
+            if self._clock() >= expires_at:
+                del self._entries[key]
+                self._bytes -= len(value)
+                self.stats.expirations += 1
+                self.stats.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.stats.hits += 1
+            return value
+
+    def put(self, key: str, value: bytes) -> None:
+        if len(value) > self.max_bytes:
+            return  # a body that would evict everything else is not worth caching
+        with self._lock:
+            stale = self._entries.pop(key, None)
+            if stale is not None:
+                self._bytes -= len(stale[1])
+            self._entries[key] = (self._clock() + self.ttl_seconds, value)
+            self._bytes += len(value)
+            while (len(self._entries) > self.capacity
+                   or self._bytes > self.max_bytes):
+                _, (_, evicted) = self._entries.popitem(last=False)
+                self._bytes -= len(evicted)
+                self.stats.evictions += 1
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+            self._bytes = 0

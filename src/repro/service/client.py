@@ -1,0 +1,117 @@
+"""Blocking client SDK for the evaluation service.
+
+:class:`ServiceClient` wraps the four endpoints in typed calls mirroring
+the in-process :mod:`repro.api` facade::
+
+    from repro.service import ServiceClient
+
+    client = ServiceClient(port=8765)
+    result = client.evaluate({"workload": "sha", "machine": {"l2_size": "1MB"}})
+    print(result.cpi)
+
+    results = client.sweep({"workloads": ["sha", "qsort"],
+                            "axes": {"l2_size": ["256KB", "1MB"]}})
+
+Built on :mod:`http.client` (stdlib), one connection per call — the
+server answers ``Connection: close``.  Non-2xx responses raise
+:class:`ServiceError` carrying the status and the server's ``error``
+message.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import time
+from typing import Mapping
+
+from repro.api.spec import EvalRequest, EvalResult
+from repro.api.sweep import SweepRequest
+
+
+class ServiceError(Exception):
+    """A non-2xx service response; ``status`` holds the HTTP status code."""
+
+    def __init__(self, status: int, message: str):
+        super().__init__(f"HTTP {status}: {message}")
+        self.status = status
+        self.message = message
+
+
+class ServiceClient:
+    """Blocking HTTP client for one evaluation server."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 8765,
+                 timeout: float = 120.0):
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+
+    # ------------------------------------------------------------------
+    # Transport.
+    # ------------------------------------------------------------------
+    def _request(self, method: str, path: str,
+                 body: bytes | None = None) -> tuple[int, bytes]:
+        connection = http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout
+        )
+        try:
+            headers = {"Content-Type": "application/json"} if body else {}
+            connection.request(method, path, body=body, headers=headers)
+            response = connection.getresponse()
+            return response.status, response.read()
+        finally:
+            connection.close()
+
+    def _checked(self, method: str, path: str,
+                 body: bytes | None = None) -> bytes:
+        status, payload = self._request(method, path, body)
+        if status != 200:
+            try:
+                message = json.loads(payload.decode("utf-8"))["error"]
+            except (ValueError, KeyError, UnicodeDecodeError):
+                message = payload.decode("utf-8", errors="replace")
+            raise ServiceError(status, message)
+        return payload
+
+    # ------------------------------------------------------------------
+    # Endpoints.
+    # ------------------------------------------------------------------
+    def evaluate_raw(self, request: "EvalRequest | Mapping") -> bytes:
+        """``POST /v1/eval`` returning the exact response body bytes.
+
+        The body is byte-identical to ``repro.api.evaluate(request)
+        .to_json()`` — this is the method the equivalence tests use.
+        """
+        parsed = EvalRequest.parse(request)
+        return self._checked("POST", "/v1/eval", parsed.to_json().encode("utf-8"))
+
+    def evaluate(self, request: "EvalRequest | Mapping") -> EvalResult:
+        """``POST /v1/eval`` decoded into an :class:`EvalResult`."""
+        return EvalResult.from_json(self.evaluate_raw(request).decode("utf-8"))
+
+    def sweep(self, sweep: "SweepRequest | Mapping") -> list[EvalResult]:
+        """``POST /v1/sweep`` decoded into the expanded result list."""
+        parsed = sweep if isinstance(sweep, SweepRequest) else SweepRequest.from_dict(sweep)
+        body = self._checked("POST", "/v1/sweep", parsed.to_json().encode("utf-8"))
+        payload = json.loads(body.decode("utf-8"))
+        return [EvalResult.from_dict(entry) for entry in payload["results"]]
+
+    def health(self) -> dict:
+        """``GET /v1/health`` as a dict."""
+        return json.loads(self._checked("GET", "/v1/health").decode("utf-8"))
+
+    def metrics(self) -> dict:
+        """``GET /v1/metrics`` as a dict."""
+        return json.loads(self._checked("GET", "/v1/metrics").decode("utf-8"))
+
+    def wait_ready(self, timeout: float = 10.0, interval: float = 0.05) -> dict:
+        """Poll ``/v1/health`` until the server answers (startup races)."""
+        deadline = time.monotonic() + timeout
+        while True:
+            try:
+                return self.health()
+            except (ConnectionError, OSError):
+                if time.monotonic() >= deadline:
+                    raise
+                time.sleep(interval)

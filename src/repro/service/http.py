@@ -1,0 +1,124 @@
+"""Minimal HTTP/1.1 plumbing over :mod:`asyncio` streams.
+
+The evaluation server speaks just enough HTTP for JSON request/response
+exchanges — request-line + headers + ``Content-Length`` body in, a complete
+``Connection: close`` response out — implemented directly on
+:class:`asyncio.StreamReader`/:class:`~asyncio.StreamWriter` so the service
+layer adds **zero** runtime dependencies.  Chunked transfer encoding,
+keep-alive and multipart bodies are deliberately out of scope: every
+endpoint is a single JSON document each way.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass, field
+
+#: Reason phrases for every status the service emits.
+REASON_PHRASES = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    413: "Payload Too Large",
+    431: "Request Header Fields Too Large",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+    505: "HTTP Version Not Supported",
+}
+
+#: Upper bounds keeping a single connection from exhausting the server.
+MAX_HEADER_BYTES = 16 * 1024
+MAX_BODY_BYTES = 16 * 1024 * 1024
+
+
+class HttpError(Exception):
+    """A request that cannot be served; carries the response status."""
+
+    def __init__(self, status: int, message: str):
+        super().__init__(message)
+        self.status = status
+        self.message = message
+
+
+@dataclass
+class HttpRequest:
+    """One parsed request: method, target path and the (possibly empty) body."""
+
+    method: str
+    target: str
+    headers: dict[str, str] = field(default_factory=dict)
+    body: bytes = b""
+
+    @property
+    def path(self) -> str:
+        """The target without any query string (routing key)."""
+        return self.target.partition("?")[0]
+
+
+async def read_request(reader: asyncio.StreamReader) -> HttpRequest | None:
+    """Parse one request from the stream (``None`` on a cleanly closed peer)."""
+    try:
+        request_line = await reader.readline()
+    except (ConnectionError, asyncio.IncompleteReadError):
+        return None
+    except ValueError:  # StreamReader limit overrun (huge request line)
+        raise HttpError(431, "request line exceeds the size limit") from None
+    if not request_line.strip():
+        return None
+    parts = request_line.decode("latin-1").strip().split()
+    if len(parts) != 3:
+        raise HttpError(400, f"malformed request line {request_line!r}")
+    method, target, version = parts
+    if not version.startswith("HTTP/1."):
+        raise HttpError(505, f"unsupported protocol version {version!r}")
+
+    headers: dict[str, str] = {}
+    header_bytes = 0
+    while True:
+        try:
+            line = await reader.readline()
+        except ValueError:  # StreamReader limit overrun (huge header line)
+            raise HttpError(431, "request header line exceeds the size "
+                                 "limit") from None
+        header_bytes += len(line)
+        if header_bytes > MAX_HEADER_BYTES:
+            raise HttpError(431, "request headers exceed "
+                                 f"{MAX_HEADER_BYTES} bytes")
+        if line in (b"\r\n", b"\n", b""):
+            break
+        name, separator, value = line.decode("latin-1").partition(":")
+        if not separator:
+            raise HttpError(400, f"malformed header line {line!r}")
+        headers[name.strip().lower()] = value.strip()
+
+    try:
+        length = int(headers.get("content-length", "0"))
+    except ValueError:
+        raise HttpError(400, "malformed Content-Length header") from None
+    if length < 0:
+        raise HttpError(400, "negative Content-Length")
+    if length > MAX_BODY_BYTES:
+        raise HttpError(413, f"request body exceeds {MAX_BODY_BYTES} bytes")
+    body = b""
+    if length:
+        try:
+            body = await reader.readexactly(length)
+        except (ConnectionError, asyncio.IncompleteReadError):
+            return None
+    return HttpRequest(method=method.upper(), target=target,
+                       headers=headers, body=body)
+
+
+def render_response(status: int, body: bytes,
+                    content_type: str = "application/json") -> bytes:
+    """A complete ``Connection: close`` HTTP/1.1 response."""
+    reason = REASON_PHRASES.get(status, "Unknown")
+    head = (
+        f"HTTP/1.1 {status} {reason}\r\n"
+        f"Content-Type: {content_type}\r\n"
+        f"Content-Length: {len(body)}\r\n"
+        "Connection: close\r\n"
+        "\r\n"
+    )
+    return head.encode("latin-1") + body

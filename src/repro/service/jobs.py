@@ -1,0 +1,163 @@
+"""Bounded job queue feeding the evaluation worker pool.
+
+The server never evaluates on the event loop: parsed requests become
+:class:`Job` entries on a bounded :class:`asyncio.Queue` (backpressure —
+a full queue is reported as ``503`` rather than buffering without limit),
+and ``jobs`` worker tasks drain it, running each batch on a thread pool
+through :func:`repro.api.evaluate_many` against the one shared
+:class:`~repro.runtime.session.Session`.
+
+A lock serializes session access across worker threads: evaluation is
+pure-Python CPU work the GIL would serialize anyway, so the lock costs no
+throughput while making the session's memoization race-free — every
+served answer is byte-identical to a direct in-process ``repro.api``
+call.  The worker *pool* still buys pipelining (HTTP parsing and response
+serialization overlap evaluation) and bounds in-flight work; batches of
+more than one request additionally shard across processes when the
+session was built with ``jobs > 1``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+from repro.api.spec import EvalRequest, EvalResult
+
+
+class ServiceOverloaded(Exception):
+    """The bounded job queue is full; the caller should retry later (503)."""
+
+
+@dataclass
+class Job:
+    """One unit of queued work: a request batch and the future it resolves."""
+
+    requests: Sequence[EvalRequest]
+    future: asyncio.Future = field(repr=False)
+
+
+class EvalExecutor:
+    """Worker pool draining a bounded queue of evaluation jobs.
+
+    ``runner`` maps a request batch to its results; the default wires
+    :func:`repro.api.evaluate_many` to ``session``.  It is injectable so
+    tests can exercise queue bounds and drain behaviour with a controlled
+    (e.g. deliberately blocking) workload.
+    """
+
+    def __init__(self, session, jobs: int = 1, max_queue: int = 64,
+                 runner: Callable[[Sequence[EvalRequest]],
+                                  list[EvalResult]] | None = None):
+        if jobs < 1:
+            raise ValueError("jobs must be at least 1")
+        if max_queue < 1:
+            raise ValueError("max_queue must be at least 1")
+        self.session = session
+        self.jobs = jobs
+        self.max_queue = max_queue
+        self._runner = runner if runner is not None else self._run_with_session
+        self._session_lock = threading.Lock()
+        self._queue: asyncio.Queue[Job] | None = None
+        self._pool: ThreadPoolExecutor | None = None
+        self._workers: list[asyncio.Task] = []
+        #: Jobs submitted but not yet finished (queued + in flight).
+        self._pending = 0
+        self.jobs_completed = 0
+
+    # ------------------------------------------------------------------
+    def _run_with_session(self, requests: Sequence[EvalRequest]) -> list[EvalResult]:
+        from repro.api.batch import evaluate_many
+
+        with self._session_lock:
+            return evaluate_many(requests, session=self.session)
+
+    # ------------------------------------------------------------------
+    @property
+    def queue_depth(self) -> int:
+        return self._queue.qsize() if self._queue is not None else 0
+
+    def start(self) -> None:
+        """Create the queue and worker tasks (call from the event loop)."""
+        loop = asyncio.get_running_loop()
+        self._queue = asyncio.Queue(maxsize=self.max_queue)
+        self._pool = ThreadPoolExecutor(
+            max_workers=self.jobs, thread_name_prefix="repro-eval"
+        )
+        self._workers = [
+            loop.create_task(self._worker(), name=f"repro-eval-worker-{index}")
+            for index in range(self.jobs)
+        ]
+
+    def submit(self, requests: Sequence[EvalRequest]) -> asyncio.Future:
+        """Enqueue a batch; the future resolves to its ``EvalResult`` list.
+
+        Raises :class:`ServiceOverloaded` immediately when the queue is
+        full — the server maps this to ``503`` so clients get an honest
+        backpressure signal instead of unbounded latency.
+        """
+        if self._queue is None:
+            raise RuntimeError("executor is not started")
+        future = asyncio.get_running_loop().create_future()
+        try:
+            self._queue.put_nowait(Job(requests=list(requests), future=future))
+        except asyncio.QueueFull:
+            raise ServiceOverloaded(
+                f"job queue is full ({self.max_queue} pending)"
+            ) from None
+        self._pending += 1
+        return future
+
+    async def _worker(self) -> None:
+        assert self._queue is not None
+        while True:
+            job = await self._queue.get()
+            await self._process(job)
+
+    async def _process(self, job: Job) -> None:
+        loop = asyncio.get_running_loop()
+        try:
+            results = await loop.run_in_executor(
+                self._pool, self._runner, job.requests
+            )
+            if not job.future.cancelled():
+                job.future.set_result(results)
+        except Exception as exc:  # surfaced as a 500 by the server
+            if not job.future.cancelled():
+                job.future.set_exception(exc)
+        finally:
+            self.jobs_completed += 1
+            self._pending -= 1
+
+    async def drain(self) -> None:
+        """Finish every queued job, then stop the workers (graceful path).
+
+        Live workers drain the backlog.  If the event loop's teardown
+        already cancelled them — Python 3.10's ``asyncio.run`` cancels
+        *every* task on ``KeyboardInterrupt``, 3.11+ only the main one —
+        the remaining queued jobs are processed inline here, so the
+        no-accepted-request-is-dropped contract holds on every supported
+        Python (and Ctrl-C can never hang waiting on dead workers).
+        """
+        if self._queue is None:
+            return
+        while self._pending:
+            if all(worker.done() for worker in self._workers):
+                try:
+                    job = self._queue.get_nowait()
+                except asyncio.QueueEmpty:
+                    break  # an in-flight job died with its cancelled worker
+                await self._process(job)
+            else:
+                await asyncio.sleep(0.005)
+        for worker in self._workers:
+            worker.cancel()
+        await asyncio.gather(*self._workers, return_exceptions=True)
+        self._workers = []
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+        self._queue = None

@@ -1,0 +1,90 @@
+"""Service observability: request counters and latency percentiles.
+
+Everything ``GET /v1/metrics`` reports is collected here.  Latencies are
+kept per endpoint in a bounded window (the most recent
+:data:`LATENCY_WINDOW` observations) so the percentile report tracks
+current behaviour rather than averaging over the server's whole lifetime;
+counters are cumulative.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+import time
+from collections import Counter, defaultdict, deque
+from typing import Sequence
+
+#: Observations retained per endpoint for the percentile report.
+LATENCY_WINDOW = 1024
+
+#: Percentiles reported for every endpoint.
+PERCENTILES = (50, 90, 99)
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """The ``q``-th percentile (nearest-rank) of a non-empty sequence."""
+    if not values:
+        raise ValueError("percentile of an empty sequence")
+    if not 0 < q <= 100:
+        raise ValueError(f"percentile must be in (0, 100], got {q}")
+    ordered = sorted(values)
+    rank = max(1, math.ceil(q / 100.0 * len(ordered)))
+    return ordered[rank - 1]
+
+
+class ServiceMetrics:
+    """Counters and latency windows for one server instance."""
+
+    def __init__(self, clock=time.monotonic):
+        self._clock = clock
+        self._started_at = clock()
+        self._lock = threading.Lock()
+        self._requests: Counter[str] = Counter()
+        self._errors: Counter[str] = Counter()
+        self._responses: Counter[int] = Counter()
+        self._latencies: dict[str, deque[float]] = defaultdict(
+            lambda: deque(maxlen=LATENCY_WINDOW)
+        )
+        self.evaluations_total = 0
+
+    @property
+    def uptime_seconds(self) -> float:
+        return self._clock() - self._started_at
+
+    def observe(self, endpoint: str, status: int, seconds: float) -> None:
+        """Record one completed request."""
+        with self._lock:
+            self._requests[endpoint] += 1
+            self._responses[status] += 1
+            if status >= 400:
+                self._errors[endpoint] += 1
+            self._latencies[endpoint].append(seconds)
+
+    def count_evaluations(self, count: int) -> None:
+        with self._lock:
+            self.evaluations_total += count
+
+    def snapshot(self) -> dict:
+        """The ``GET /v1/metrics`` payload body (sans queue/cache sections)."""
+        with self._lock:
+            endpoints = {}
+            for endpoint in sorted(self._requests):
+                window = list(self._latencies[endpoint])
+                latency_ms = {
+                    f"p{q}": round(percentile(window, q) * 1000.0, 3)
+                    for q in PERCENTILES
+                } if window else {}
+                endpoints[endpoint] = {
+                    "count": self._requests[endpoint],
+                    "errors": self._errors.get(endpoint, 0),
+                    "latency_ms": latency_ms,
+                }
+            return {
+                "uptime_seconds": round(self.uptime_seconds, 3),
+                "requests_total": sum(self._requests.values()),
+                "evaluations_total": self.evaluations_total,
+                "responses": {str(status): count for status, count
+                              in sorted(self._responses.items())},
+                "endpoints": endpoints,
+            }

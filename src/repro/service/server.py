@@ -1,0 +1,427 @@
+"""The asyncio evaluation server: routes, lifecycle and the CLI entry.
+
+Endpoints (all JSON):
+
+* ``POST /v1/eval``   — one :class:`~repro.api.spec.EvalRequest`; the
+  response body is **byte-identical** to
+  ``repro.api.evaluate(request).to_json()`` run in-process;
+* ``POST /v1/sweep``  — one :class:`~repro.api.sweep.SweepRequest`,
+  expanded and answered as ``{"schema_version", "count", "results"}``;
+* ``GET /v1/health``  — liveness plus queue/cache occupancy;
+* ``GET /v1/metrics`` — request counters, latency percentiles, cache hit
+  rate and queue depth (see :mod:`repro.service.metrics`).
+
+Successful evaluation responses are cached in a TTL+LRU
+:class:`~repro.service.cache.ResultCache` keyed by the canonical JSON of
+the parsed request, layered above the on-disk artifact cache the shared
+session already uses — a warm repeat skips the job queue entirely.
+
+Shutdown is a drain: the listener closes first, in-flight connections
+finish, then the job queue empties before the worker pool stops, so no
+accepted request is ever dropped.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import json
+import threading
+import time
+from dataclasses import dataclass
+
+from repro.api.batch import validate_requests
+from repro.api.spec import API_SCHEMA_VERSION, EvalRequest
+from repro.api.sweep import SweepRequest
+from repro.runtime.session import pooled_session
+from repro.service.cache import ResultCache, canonical_key
+from repro.service.http import (
+    HttpError,
+    HttpRequest,
+    read_request,
+    render_response,
+)
+from repro.service.jobs import EvalExecutor, ServiceOverloaded
+from repro.service.metrics import ServiceMetrics
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Everything needed to stand up one evaluation server."""
+
+    host: str = "127.0.0.1"
+    #: 0 binds an ephemeral port (tests, benches); read it back via ``.port``.
+    port: int = 8765
+    #: Worker tasks/threads; also the shared session's process-pool width.
+    jobs: int = 1
+    #: Bounded job-queue length; a full queue answers 503.
+    max_queue: int = 64
+    #: Artifact-cache directory shared with the CLI (None: in-memory only).
+    cache_dir: str | None = None
+    #: Result-cache entries kept (LRU beyond this).
+    cache_capacity: int = 1024
+    #: Result-cache entry lifetime in seconds.
+    cache_ttl: float = 600.0
+    #: Result-cache byte budget across all cached response bodies.
+    cache_max_bytes: int = 64 * 1024 * 1024
+    #: Seconds a connection may sit without delivering a request before it
+    #: is released (bounds idle liveness probes; also keeps drain prompt).
+    read_timeout: float = 30.0
+    #: Seconds allowed to flush a response to a slow (or stopped) reader;
+    #: past it the connection is dropped so shutdown can never hang on a
+    #: client that requested a large sweep and stopped consuming it.
+    write_timeout: float = 30.0
+
+
+#: The routing table: path -> (method, EvalServer handler method name).
+ROUTES = {
+    "/v1/eval": ("POST", "_handle_eval"),
+    "/v1/sweep": ("POST", "_handle_sweep"),
+    "/v1/health": ("GET", "_handle_health"),
+    "/v1/metrics": ("GET", "_handle_metrics"),
+}
+
+#: The served endpoints, as metric labels.  Anything else — unknown paths,
+#: unknown methods, unparsable requests — is bucketed under ``"other"`` so
+#: a client scanning paths cannot grow the metrics tables without bound.
+KNOWN_ENDPOINTS = frozenset(
+    f"{method} {path}" for path, (method, _) in ROUTES.items()
+)
+OTHER_ENDPOINT = "other"
+
+
+def _json_body(payload) -> bytes:
+    return json.dumps(payload, indent=2).encode("utf-8")
+
+
+def _error_body(message: str) -> bytes:
+    return _json_body({"error": message})
+
+
+class EvalServer:
+    """One listening evaluation service around a shared session."""
+
+    def __init__(self, config: ServiceConfig):
+        self.config = config
+        self._resources = contextlib.ExitStack()
+        # pooled_session gives sharded servers (jobs > 1, no cache_dir) a
+        # server-lifetime temporary cache directory, so pool workers share
+        # traces and profiling state across requests instead of redoing
+        # each other's work; released by stop().
+        self.session = self._resources.enter_context(
+            pooled_session(config.cache_dir, config.jobs)
+        )
+        self.cache = ResultCache(capacity=config.cache_capacity,
+                                 ttl_seconds=config.cache_ttl,
+                                 max_bytes=config.cache_max_bytes)
+        self.metrics = ServiceMetrics()
+        self.executor = EvalExecutor(self.session, jobs=config.jobs,
+                                     max_queue=config.max_queue)
+        self._server: asyncio.base_events.Server | None = None
+        self._connections: set[asyncio.Task] = set()
+        #: Handler task -> writer for connections still waiting on a
+        #: request; they hold no accepted work, so drain closes their
+        #: transports rather than waiting them out.
+        self._reading: dict[asyncio.Task, asyncio.StreamWriter] = {}
+        self._draining = False
+
+    # ------------------------------------------------------------------
+    # Lifecycle.
+    # ------------------------------------------------------------------
+    @property
+    def port(self) -> int:
+        """The bound port (resolves ``port=0`` to the ephemeral choice)."""
+        if self._server is None:
+            raise RuntimeError("server is not started")
+        return self._server.sockets[0].getsockname()[1]
+
+    async def start(self) -> None:
+        self.executor.start()
+        self._server = await asyncio.start_server(
+            self._handle_connection, host=self.config.host,
+            port=self.config.port,
+        )
+
+    async def stop(self) -> None:
+        """Graceful drain: stop accepting, finish connections, empty the queue."""
+        try:
+            self._draining = True
+            if self._server is not None:
+                self._server.close()
+                # Idle peers (connected, no request yet) hold no accepted
+                # work and would otherwise stall the drain until their read
+                # deadline; closing their transports ends those handlers as
+                # a clean peer-closed read.  Loop until every handler is
+                # done — this must happen BEFORE wait_closed(), which on
+                # Python 3.12+ itself waits for connection handlers, and
+                # the loop also covers connections accepted just before
+                # close() that had not reached their read yet.  In-flight
+                # requests finish normally: the executor is still live.
+                while self._connections:
+                    for writer in list(self._reading.values()):
+                        writer.close()
+                    await asyncio.wait(set(self._connections), timeout=0.1)
+                await self._server.wait_closed()
+                self._server = None
+            # Unconditional: start() launches the workers before binding the
+            # listener, so a failed bind must still tear the executor down.
+            await self.executor.drain()
+        finally:
+            self._resources.close()  # idempotent; releases the temp cache dir
+
+    # ------------------------------------------------------------------
+    # Connection handling.
+    # ------------------------------------------------------------------
+    async def _handle_connection(self, reader: asyncio.StreamReader,
+                                 writer: asyncio.StreamWriter) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._connections.add(task)
+        try:
+            await self._serve_one(reader, writer)
+        finally:
+            if task is not None:
+                self._connections.discard(task)
+
+    async def _serve_one(self, reader: asyncio.StreamReader,
+                         writer: asyncio.StreamWriter) -> None:
+        started = time.perf_counter()
+        endpoint = OTHER_ENDPOINT
+        status: int | None = None
+        task = asyncio.current_task()
+        try:
+            try:
+                if task is not None:
+                    self._reading[task] = writer
+                try:
+                    request = await asyncio.wait_for(
+                        read_request(reader),
+                        timeout=self.config.read_timeout,
+                    )
+                except asyncio.TimeoutError:
+                    request = None  # idle peer: release the connection
+                finally:
+                    if task is not None:
+                        self._reading.pop(task, None)
+                if request is not None:
+                    label = f"{request.method} {request.path}"
+                    if label in KNOWN_ENDPOINTS:
+                        endpoint = label
+                    status, body = await self._dispatch(request)
+            except HttpError as exc:
+                status, body = exc.status, _error_body(exc.message)
+            except Exception as exc:  # never leak a traceback as a hung socket
+                status, body = 500, _error_body(
+                    f"internal error: {type(exc).__name__}: {exc}"
+                )
+            if status is not None:
+                try:
+                    writer.write(render_response(status, body))
+                    await asyncio.wait_for(writer.drain(),
+                                           timeout=self.config.write_timeout)
+                except (ConnectionError, asyncio.TimeoutError):
+                    pass  # peer gone or not reading: the finally drops it
+        finally:
+            # Always release the transport — including for peers that
+            # connect and close without sending a request (liveness
+            # probes), which would otherwise leak the socket.
+            writer.close()
+            with contextlib.suppress(ConnectionError):
+                await writer.wait_closed()
+        if status is not None:
+            self.metrics.observe(endpoint, status,
+                                 time.perf_counter() - started)
+
+    # ------------------------------------------------------------------
+    # Routing.
+    # ------------------------------------------------------------------
+    async def _dispatch(self, request: HttpRequest) -> tuple[int, bytes]:
+        route = ROUTES.get(request.path)
+        if route is None:
+            known = ", ".join(sorted(ROUTES))
+            raise HttpError(404, f"unknown path {request.path!r}; known: {known}")
+        method, handler_name = route
+        if request.method != method:
+            raise HttpError(405, f"{request.path} accepts {method} only")
+        return await getattr(self, handler_name)(request)
+
+    @staticmethod
+    def _parse_json(body: bytes):
+        try:
+            return json.loads(body.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise HttpError(400, f"request body is not valid JSON: {exc}") from exc
+
+    async def _answer(self, key: str, requests: list[EvalRequest],
+                      serialize) -> tuple[int, bytes]:
+        """Shared eval/sweep tail: cache lookup, queue, serialize, cache fill."""
+        cached = self.cache.get(key)
+        if cached is not None:
+            return 200, cached
+        try:
+            future = self.executor.submit(requests)
+        except ServiceOverloaded as exc:
+            raise HttpError(503, str(exc)) from exc
+        results = await future
+        self.metrics.count_evaluations(len(results))
+        body = serialize(results)
+        self.cache.put(key, body)
+        return 200, body
+
+    async def _handle_eval(self, request: HttpRequest) -> tuple[int, bytes]:
+        payload = self._parse_json(request.body)
+        try:
+            parsed = EvalRequest.parse(payload)
+            validate_requests([parsed])
+        except (ValueError, KeyError, TypeError) as exc:
+            raise HttpError(400, str(exc)) from exc
+        key = canonical_key({"endpoint": "eval", "request": parsed.to_dict()})
+        # The body is exactly EvalResult.to_json() so a served answer is
+        # byte-identical to the same request through repro.api.evaluate.
+        return await self._answer(
+            key, [parsed],
+            lambda results: results[0].to_json().encode("utf-8"),
+        )
+
+    async def _handle_sweep(self, request: HttpRequest) -> tuple[int, bytes]:
+        payload = self._parse_json(request.body)
+        try:
+            sweep = SweepRequest.from_dict(payload)
+            expanded = sweep.expand()
+            validate_requests(expanded)
+        except (ValueError, KeyError, TypeError) as exc:
+            raise HttpError(400, str(exc)) from exc
+        key = canonical_key({"endpoint": "sweep", "sweep": sweep.to_dict()})
+        return await self._answer(
+            key, expanded,
+            lambda results: _json_body({
+                "schema_version": API_SCHEMA_VERSION,
+                "count": len(results),
+                "results": [result.to_dict() for result in results],
+            }),
+        )
+
+    async def _handle_health(self, request: HttpRequest) -> tuple[int, bytes]:
+        return 200, _json_body({
+            "status": "draining" if self._draining else "ok",
+            "uptime_seconds": round(self.metrics.uptime_seconds, 3),
+            "jobs": self.config.jobs,
+            "queue_depth": self.executor.queue_depth,
+            "max_queue": self.config.max_queue,
+            "result_cache_entries": len(self.cache),
+        })
+
+    async def _handle_metrics(self, request: HttpRequest) -> tuple[int, bytes]:
+        payload = self.metrics.snapshot()
+        payload["cache"] = {**self.cache.stats.as_dict(),
+                            "entries": len(self.cache),
+                            "capacity": self.cache.capacity,
+                            "bytes": self.cache.total_bytes,
+                            "max_bytes": self.cache.max_bytes,
+                            "ttl_seconds": self.cache.ttl_seconds}
+        payload["queue"] = {"depth": self.executor.queue_depth,
+                            "max": self.config.max_queue,
+                            "jobs_completed": self.executor.jobs_completed}
+        payload["jobs"] = self.config.jobs
+        payload["session"] = self.session.summary()
+        return 200, _json_body(payload)
+
+
+# ----------------------------------------------------------------------
+# Running the server.
+# ----------------------------------------------------------------------
+async def serve(config: ServiceConfig, *, ready=None) -> None:
+    """Run a server until cancelled, then drain (the CLI entry point).
+
+    ``ready`` is an optional callback invoked with the started server —
+    used by the CLI to print the bound address.
+    """
+    server = EvalServer(config)
+    try:
+        await server.start()
+        if ready is not None:
+            ready(server)
+        await asyncio.Event().wait()  # until cancelled (Ctrl-C / stop)
+    finally:
+        await server.stop()
+
+
+class ServerThread:
+    """A server on a background thread — tests, benches, examples, smoke.
+
+    Usage::
+
+        with ServerThread(ServiceConfig(port=0, cache_dir=tmp)) as running:
+            client = ServiceClient(port=running.port)
+            ...
+
+    Entering the context blocks until the listener is bound (so ``port``
+    is valid); exiting performs the graceful drain before returning.
+    """
+
+    def __init__(self, config: ServiceConfig):
+        self.config = config
+        self.server: EvalServer | None = None
+        self.port: int | None = None
+        self._thread: threading.Thread | None = None
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._stopped: asyncio.Event | None = None
+        self._ready = threading.Event()
+        self._startup_error: BaseException | None = None
+
+    def __enter__(self) -> "ServerThread":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    def start(self) -> None:
+        self._thread = threading.Thread(target=self._run, daemon=True,
+                                        name="repro-service")
+        self._thread.start()
+        self._ready.wait()
+        if self._startup_error is not None:
+            # The thread has already exited (and closed its loop): reset so
+            # a later stop() is a no-op instead of poking the dead loop.
+            self._thread.join()
+            self._thread = None
+            self._loop = None
+            self._stopped = None
+            raise self._startup_error
+
+    def stop(self) -> None:
+        if self._thread is None:
+            return
+        if self._loop is not None and self._stopped is not None:
+            with contextlib.suppress(RuntimeError):  # loop already closed
+                self._loop.call_soon_threadsafe(self._stopped.set)
+        self._thread.join()
+        self._thread = None
+
+    def _run(self) -> None:
+        asyncio.run(self._main())
+
+    async def _main(self) -> None:
+        self._loop = asyncio.get_running_loop()
+        self._stopped = asyncio.Event()
+        server = None
+        try:
+            server = EvalServer(self.config)
+            await server.start()
+        except BaseException as exc:
+            # Construction and bind failures alike must reach start()'s
+            # caller — and _ready must always be set, or start() would
+            # block forever on a dead thread.
+            self._startup_error = exc
+            if server is not None:
+                await server.stop()  # releases session resources
+            self._ready.set()
+            return
+        self.server = server
+        self.port = server.port
+        self._ready.set()
+        try:
+            await self._stopped.wait()
+        finally:
+            await server.stop()

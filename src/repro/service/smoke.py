@@ -1,0 +1,54 @@
+"""End-to-end smoke check: serve, evaluate, shut down cleanly.
+
+Run as ``make serve-smoke`` (or ``python -m repro.service.smoke``): starts
+a server on an ephemeral port against a scratch cache directory, answers
+one evaluation through :class:`~repro.service.client.ServiceClient`,
+verifies a warm repeat is served from the result cache, and asserts the
+listener is really gone after the graceful drain.  Exit code 0 means the
+whole request path — HTTP, queue, workers, session, cache, shutdown — is
+alive; any failure raises.
+"""
+
+from __future__ import annotations
+
+import sys
+import tempfile
+
+from repro.service.client import ServiceClient
+from repro.service.server import ServerThread, ServiceConfig
+
+
+def main(argv: list[str] | None = None) -> int:
+    request = {"workload": "sha", "machine": {"preset": "paper_default"}}
+    with tempfile.TemporaryDirectory(prefix="repro-serve-smoke-") as cache_dir:
+        with ServerThread(ServiceConfig(port=0, jobs=1,
+                                        cache_dir=cache_dir)) as running:
+            client = ServiceClient(port=running.port)
+            health = client.wait_ready()
+            assert health["status"] == "ok", health
+
+            result = client.evaluate(request)
+            assert result.workload == "sha" and result.cycles > 0, result
+
+            # The identical request again: must hit the result cache.
+            rerun = client.evaluate(request)
+            assert rerun == result
+            metrics = client.metrics()
+            assert metrics["cache"]["hits"] >= 1, metrics["cache"]
+
+            port = running.port
+        # The context has drained and stopped the server: the port is closed.
+        try:
+            ServiceClient(port=port, timeout=2.0).health()
+        except (ConnectionError, OSError):
+            pass
+        else:
+            raise AssertionError(f"server still accepting on port {port} "
+                                 "after shutdown")
+    print(f"serve-smoke OK: eval cpi={result.cpi:.4f}, warm repeat cached, "
+          "clean shutdown")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

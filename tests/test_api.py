@@ -210,6 +210,29 @@ class TestBatch:
             api.validate_requests([_request(
                 machine=api.MachineSpec.make(l2_sise="1MB"))])
 
+    def test_validation_errors_list_the_valid_choices(self):
+        """Every unknown-name message names the choices, not just the value."""
+        with pytest.raises(KeyError, match="paper_default"):
+            api.validate_requests([api.EvalRequest.parse(
+                {"workload": "sha", "machine": "warp_drive"})])
+        with pytest.raises(KeyError, match="analytical.*simulator"):
+            api.validate_requests([api.EvalRequest.parse(
+                {"workload": "sha", "backend": "oracle"})])
+        with pytest.raises(ValueError, match="sha"):
+            api.validate_requests([api.EvalRequest.parse(
+                {"workload": "nonesuch"})])
+        with pytest.raises(ValueError, match="O3.*nosched.*unroll"):
+            api.validate_requests([api.EvalRequest.parse(
+                {"workload": {"name": "sha", "flags": "O9"}})])
+
+    def test_validation_errors_name_the_failing_batch_entry(self):
+        requests = [
+            api.EvalRequest.parse({"workload": "sha"}),
+            api.EvalRequest.parse({"workload": "sha", "backend": "oracle"}),
+        ]
+        with pytest.raises(KeyError, match=r"request\[1\]"):
+            api.validate_requests(requests)
+
     def test_override_modified_machines_get_distinct_labels(self, session):
         plain, modified = api.evaluate_many([
             {"workload": "sha"},

@@ -72,6 +72,78 @@ class TestParser:
             build_parser().parse_args([])
 
 
+class TestVersionFlag:
+    def test_version_prints_and_exits_cleanly(self, capsys):
+        with pytest.raises(SystemExit) as info:
+            cli_main(["--version"])
+        assert info.value.code == 0
+        out = capsys.readouterr().out
+        assert re.match(r"repro-experiments \d+\.\d+\.\d+", out)
+
+
+class TestServeParser:
+    def test_serve_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.host == "127.0.0.1" and args.port == 8765
+        assert args.jobs == 1 and args.max_queue == 64
+        assert args.cache_dir is None
+        assert args.cache_capacity == 1024 and args.cache_ttl == 600.0
+
+    def test_serve_options(self):
+        args = build_parser().parse_args(
+            ["serve", "--port", "0", "--jobs", "4", "--cache-dir", "/tmp/c",
+             "--max-queue", "8", "--cache-ttl", "30"]
+        )
+        assert args.port == 0 and args.jobs == 4
+        assert args.cache_dir == "/tmp/c" and args.max_queue == 8
+        assert args.cache_ttl == 30.0
+
+    def test_invalid_serve_values_exit_cleanly(self):
+        with pytest.raises(SystemExit, match="ttl_seconds"):
+            cli_main(["serve", "--cache-ttl", "0"])
+        with pytest.raises(SystemExit, match="jobs"):
+            cli_main(["serve", "--jobs", "0"])
+        with pytest.raises(SystemExit, match="malformed size"):
+            cli_main(["serve", "--cache-max-bytes", "nonsense"])
+
+
+class TestCacheSubcommand:
+    def test_reports_entries_bytes_and_versions(self, tmp_path, capsys):
+        from repro.runtime import ArtifactCache
+
+        cache = ArtifactCache(tmp_path)
+        cache.store([1, 2, 3], "trace", workload="w", flags="O3",
+                    trace_version=1)
+        assert cli_main(["cache", "--cache-dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "trace" in out and "total" in out
+        assert "trace_version=1" in out
+
+    def test_clear_empties_the_directory(self, tmp_path, capsys):
+        from repro.runtime import ArtifactCache
+
+        cache = ArtifactCache(tmp_path)
+        cache.store("value", "engine", workload="w", engine_version=2)
+        assert cli_main(["cache", "--cache-dir", str(tmp_path),
+                         "--clear"]) == 0
+        assert "cleared 1 entries" in capsys.readouterr().out
+        assert cache.disk_stats()["entries"] == 0
+
+    def test_missing_directory_is_a_clean_error(self, tmp_path):
+        with pytest.raises(SystemExit, match="not a directory"):
+            cli_main(["cache", "--cache-dir", str(tmp_path / "nope")])
+
+
+class TestBackendsListing:
+    def test_backends_prints_capabilities_and_presets(self, capsys):
+        assert cli_main(["eval", "--backends"]) == 0
+        out = capsys.readouterr().out
+        assert "analytical" in out and "simulator" in out
+        # The preset table renders byte counts through format_size.
+        assert "paper_default" in out
+        assert "512KB" in out and "1MB" in out and "32KB" in out
+
+
 class TestList:
     def test_list_text_shows_every_experiment(self, capsys):
         assert cli_main(["list"]) == 0

@@ -8,6 +8,7 @@ from repro.machine import (
     DEFAULT_MACHINE,
     MACHINE_PRESETS,
     MachineConfig,
+    format_size,
     machine_from_spec,
     parse_size,
 )
@@ -124,6 +125,51 @@ class TestParseSize:
             parse_size(1.5)
         with pytest.raises(TypeError):
             parse_size(True)
+
+
+class TestFormatSize:
+    @pytest.mark.parametrize("value,expected", [
+        (0, "0B"),
+        (1, "1B"),
+        (512, "512B"),
+        (1023, "1023B"),
+        (1024, "1KB"),
+        (1536, "1536B"),       # not a whole KB: falls back to bytes
+        (32 * 1024, "32KB"),
+        (512 * 1024, "512KB"),
+        (1024 * 1024, "1MB"),
+        (3 * 1024 ** 2 // 2, "1536KB"),
+        (2 * 1024 ** 3, "2GB"),
+    ])
+    def test_rendered_forms(self, value, expected):
+        assert format_size(value) == expected
+
+    @pytest.mark.parametrize("value", [
+        0, 1, 63, 64, 1023, 1024, 1536, 4096, 32 * 1024, 512 * 1024,
+        1024 * 1024 - 1, 1024 * 1024, 7 * 1024 ** 2, 1024 ** 3,
+        5 * 1024 ** 3, 123456789,
+    ])
+    def test_round_trips_through_parse_size(self, value):
+        assert parse_size(format_size(value)) == value
+
+    def test_preset_sizes_round_trip(self):
+        for name in MACHINE_PRESETS.names():
+            machine = machine_from_spec(name)
+            for size in (machine.l1i_size, machine.l1d_size, machine.l2_size,
+                         machine.line_size, machine.page_size):
+                assert parse_size(format_size(size)) == size
+
+    def test_describe_uses_size_strings(self):
+        assert "L2 512KB" in DEFAULT_MACHINE.describe()
+        assert "L2 1MB" in DEFAULT_MACHINE.with_(l2_size=1024 ** 2).describe()
+
+    def test_rejects_non_int_and_negative(self):
+        with pytest.raises(TypeError):
+            format_size("1MB")
+        with pytest.raises(TypeError):
+            format_size(True)
+        with pytest.raises(ValueError):
+            format_size(-1)
 
 
 class TestMachineSpecs:

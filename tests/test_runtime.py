@@ -46,6 +46,97 @@ class TestArtifactCache:
         value, cached = cache.load_or_build(lambda: "unused", "thing", name="x")
         assert value == "rebuilt" and cached
 
+    def test_disk_stats_and_clear(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        cache.store([1] * 100, "trace", workload="sha", flags="O3",
+                    trace_version=1)
+        cache.store({"h": 2}, "engine", workload="sha", flags="O3",
+                    trace_version=1, engine_version=3)
+        stats = cache.disk_stats()
+        assert stats["entries"] == 2 and stats["bytes"] > 0
+        assert set(stats["kinds"]) == {"trace", "engine"}
+        assert stats["schema_versions"] == {"engine_version": [3],
+                                            "trace_version": [1]}
+        assert stats["corrupt"] == 0
+        assert cache.clear() == 2
+        assert cache.disk_stats()["entries"] == 0
+
+    def test_disk_stats_counts_unreadable_entries(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        cache.store("value", "thing", name="x")
+        cache.path_for("thing", name="x").write_bytes(b"junk")
+        stats = cache.disk_stats()
+        assert stats["entries"] == 1 and stats["corrupt"] == 1
+
+    def test_legacy_single_pickle_entry_is_dropped_and_rebuilt(self, tmp_path):
+        import pickle
+
+        cache = ArtifactCache(tmp_path)
+        path = cache.path_for("thing", name="x")
+        path.parent.mkdir(parents=True)
+        with path.open("wb") as handle:  # pre-two-part on-disk layout
+            pickle.dump({"fields": {"kind": "thing", "name": "x"},
+                         "value": "stale"}, handle)
+        assert cache.load("thing", name="x") is MISSING
+        assert not path.exists()
+        value, cached = cache.load_or_build(lambda: "fresh", "thing", name="x")
+        assert value == "fresh" and not cached
+        assert cache.load("thing", name="x") == "fresh"
+
+
+def _racing_store(args) -> int:
+    """Hammer one cache key from a worker process (atomic-write race test)."""
+    cache_dir, worker_id, rounds = args
+    cache = ArtifactCache(cache_dir)
+    # Big enough that a non-atomic write would be observably torn.
+    value = {"worker": worker_id, "blob": bytes(range(256)) * 1024}
+    for _ in range(rounds):
+        cache.store(value, "race", name="contended", version=1)
+    return worker_id
+
+
+class TestConcurrentArtifactCacheWriters:
+    def test_racing_writers_never_corrupt_an_entry(self, tmp_path):
+        """Two processes storing the same key concurrently both succeed.
+
+        Writes go through tmp-file + ``os.replace``, so every concurrent
+        read must see either a miss (before the first write lands) or one
+        writer's complete, unpickleable-without-error value — never a
+        torn pickle.  The loader treats corruption as a miss *and deletes
+        the entry*, so a fresh cache asserting a hit at the end proves
+        the final artifact is intact.
+        """
+        from concurrent.futures import ProcessPoolExecutor
+
+        rounds = 20
+        expected_blob = bytes(range(256)) * 1024
+        with ProcessPoolExecutor(max_workers=2) as pool:
+            futures = [
+                pool.submit(_racing_store, (tmp_path, worker_id, rounds))
+                for worker_id in (0, 1)
+            ]
+            # Read concurrently with the racing writers: every observation
+            # must be a complete value from one of the two writers.
+            observed_workers = set()
+            while not all(future.done() for future in futures):
+                value = ArtifactCache(tmp_path).load("race", name="contended",
+                                                     version=1)
+                if value is not MISSING:
+                    assert value["blob"] == expected_blob
+                    observed_workers.add(value["worker"])
+            assert sorted(future.result() for future in futures) == [0, 1]
+
+        final = ArtifactCache(tmp_path)
+        value = final.load("race", name="contended", version=1)
+        assert value is not MISSING, "final entry was corrupt or missing"
+        assert value["worker"] in (0, 1)
+        assert value["blob"] == expected_blob
+        assert observed_workers <= {0, 1}
+        # No stray tmp files left behind by either writer.
+        leftovers = [path for path in (tmp_path / "race").iterdir()
+                     if path.suffix != ".pkl"]
+        assert leftovers == []
+
 
 # ----------------------------------------------------------------------------
 # Session.
