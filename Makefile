@@ -16,6 +16,16 @@ bench:
 bench-smoke:
 	$(PY) benchmarks/run_bench.py --repeat 1 --output /tmp/BENCH_smoke.json
 
+# Regression gate against the committed reference numbers.  CI hardware
+# differs wildly from the machine that recorded BENCH_core.json, so the
+# smoke tolerance is deliberately loose — it catches order-of-magnitude
+# regressions and proves the comparison machinery works; tighten locally
+# with `repro-bench --compare BENCH_core.json --tolerance 25`.  Three
+# repetitions so the compared median is a warm run, not process cold-start.
+bench-compare:
+	$(PY) benchmarks/run_bench.py --repeat 3 --output /tmp/BENCH_compare.json \
+		--compare BENCH_core.json --tolerance 400
+
 # Start an evaluation server, answer one request through ServiceClient,
 # verify the warm repeat hits the result cache, assert a clean shutdown.
 serve-smoke:

@@ -1,0 +1,227 @@
+"""Kernel protocol and the pure-Python reference implementation.
+
+A :class:`Kernels` instance computes the profiling passes of the single-pass
+engine over a trace's packed columns:
+
+* the **base pass** — per L1/TLB front-end geometry: stack-distance
+  histograms for the L1I, the L1D and both TLBs, plus the interleaved
+  L1-miss stream the unified L2 observes;
+* the **L2 pass** — stack distances of that stream for one (sets, line
+  size) geometry, split into instruction- and data-side histograms;
+* **miss-run counting** — grouping DL2 misses into MLP runs;
+* **branch replay** — branch statistics of the packed control stream for
+  one predictor specification;
+* **dependency profiling** — the machine-independent dependency-distance
+  histograms of the program profile.
+
+:class:`PythonKernels` is the stdlib-only reference: it is the exact code
+the engine ran before the kernel layer existed, so its results define the
+contract.  The NumPy backend (:mod:`repro.accel.np_kernels`) must be
+bit-identical to it; the parity suite in ``tests/test_accel.py`` asserts
+that across the full workload set and randomized traces.
+
+A kernel hook may return ``None`` (``branch_profile``,
+``dependency_profile``) to tell the caller "no accelerated path for this
+input" — the caller then falls back to the interpreted loop, which keeps
+third-party branch predictors and exotic traces fully supported.
+"""
+
+from __future__ import annotations
+
+import abc
+from array import array
+from typing import NamedTuple
+
+from repro.accel.passes import BasePass, L2Pass, count_miss_runs
+from repro.branch.profiler import BranchProfile
+from repro.isa.opcodes import OpClass
+from repro.memory.single_pass import StackDistanceProfiler
+from repro.trace.trace import OP_CLASS_IDS, Trace
+
+_LOAD_ID = OP_CLASS_IDS[OpClass.LOAD]
+_STORE_ID = OP_CLASS_IDS[OpClass.STORE]
+_BRANCH_ID = OP_CLASS_IDS[OpClass.BRANCH]
+_JUMP_ID = OP_CLASS_IDS[OpClass.JUMP]
+
+#: Instruction-side / data-side tags in the recorded L2 access stream.
+INSTRUCTION_SIDE = 0
+DATA_SIDE = 1
+
+
+class BaseGeometry(NamedTuple):
+    """Front-end geometry one base pass is computed for."""
+
+    l1i_size: int
+    l1i_associativity: int
+    l1d_size: int
+    l1d_associativity: int
+    line_size: int
+    page_size: int
+
+
+class ControlStream(NamedTuple):
+    """Packed control-transfer columns extracted once per trace."""
+
+    pcs: array
+    taken: array
+    conditional: array
+
+    def __len__(self) -> int:
+        return len(self.pcs)
+
+
+class Kernels(abc.ABC):
+    """Profiling kernels over packed trace columns (one backend instance)."""
+
+    name: str = "kernels"
+
+    @abc.abstractmethod
+    def base_pass(self, trace: Trace, geometry: BaseGeometry) -> BasePass:
+        """One walk of ``trace`` for a fixed L1/TLB front-end geometry."""
+
+    @abc.abstractmethod
+    def l2_pass(self, base: BasePass, sets: int, line_size: int) -> L2Pass:
+        """Stack distances of ``base``'s L2 stream for one (sets, line)."""
+
+    @abc.abstractmethod
+    def control_stream(self, trace: Trace) -> ControlStream:
+        """The packed (pc, taken, is conditional) control columns."""
+
+    def branch_profile(self, controls: ControlStream,
+                       predictor_spec: str) -> BranchProfile | None:
+        """Branch statistics for one predictor, or ``None`` to fall back."""
+        return None
+
+    def count_runs(self, seqs, distances, associativity: int,
+                   mlp_window: int) -> int:
+        """Number of miss runs in a miss stream (see :class:`MissProfile`)."""
+        return count_miss_runs(seqs, distances, associativity, mlp_window)
+
+    def dependency_profile(self, trace: Trace, max_distance: int):
+        """Dependency-distance histograms, or ``None`` to fall back."""
+        return None
+
+    def instruction_mix(self, trace: Trace):
+        """Dynamic op-class histogram, or ``None`` to fall back."""
+        return None
+
+    def predict_batch(self, program, profiles, machines):
+        """Batched mechanistic-model evaluation, or ``None`` to fall back.
+
+        Given one program profile and parallel lists of miss profiles and
+        machine configurations, returns ``[(cycles, cpi_stack), ...]``
+        bit-identical to scalar
+        :meth:`~repro.core.model.InOrderMechanisticModel.predict` calls —
+        or ``None`` when the backend has no vectorized model path.
+        """
+        return None
+
+
+class PythonKernels(Kernels):
+    """The stdlib-only reference implementation (defines the contract)."""
+
+    name = "python"
+
+    def base_pass(self, trace: Trace, geometry: BaseGeometry) -> BasePass:
+        line = geometry.line_size
+        l1i = StackDistanceProfiler(
+            geometry.l1i_size // (geometry.l1i_associativity * line), line
+        )
+        l1d = StackDistanceProfiler(
+            geometry.l1d_size // (geometry.l1d_associativity * line), line
+        )
+        itlb = StackDistanceProfiler(1, geometry.page_size)
+        dtlb = StackDistanceProfiler(1, geometry.page_size)
+        i_access = l1i.access
+        d_access = l1d.access
+        itlb_access = itlb.access
+        dtlb_access = dtlb.access
+        i_ways = geometry.l1i_associativity
+        d_ways = geometry.l1d_associativity
+
+        l2_addrs = array("q")
+        l2_sides = array("b")
+        l2_seqs = array("q")
+        addr_append = l2_addrs.append
+        side_append = l2_sides.append
+        seq_append = l2_seqs.append
+
+        pcs = trace.pcs
+        mem_addrs = trace.mem_addrs
+        op_classes = trace.op_classes
+        seqs = trace.seqs
+        for index, class_id in enumerate(op_classes):
+            pc = pcs[index]
+            itlb_access(pc)
+            distance = i_access(pc)
+            if distance < 0 or distance >= i_ways:
+                addr_append(pc)
+                side_append(INSTRUCTION_SIDE)
+                seq_append(seqs[index])
+            if class_id == _LOAD_ID or class_id == _STORE_ID:
+                # Memory rows always hold the address the memory system sees
+                # (a raw -1 is a genuine address, not a sentinel).
+                addr = mem_addrs[index]
+                dtlb_access(addr)
+                distance = d_access(addr)
+                if distance < 0 or distance >= d_ways:
+                    addr_append(addr)
+                    side_append(DATA_SIDE)
+                    seq_append(seqs[index])
+
+        return BasePass(
+            l1i=l1i.result(),
+            l1d=l1d.result(),
+            itlb=itlb.result(),
+            dtlb=dtlb.result(),
+            l2_addrs=l2_addrs,
+            l2_sides=l2_sides,
+            l2_seqs=l2_seqs,
+        )
+
+    def l2_pass(self, base: BasePass, sets: int, line_size: int) -> L2Pass:
+        profiler = StackDistanceProfiler(sets, line_size)
+        access = profiler.access
+        instruction_cold = data_cold = 0
+        instruction_histogram: dict[int, int] = {}
+        data_histogram: dict[int, int] = {}
+        data_seqs = array("q")
+        data_distances = array("q")
+        for addr, side, seq in zip(base.l2_addrs, base.l2_sides, base.l2_seqs):
+            distance = access(addr)
+            if side == INSTRUCTION_SIDE:
+                if distance < 0:
+                    instruction_cold += 1
+                else:
+                    instruction_histogram[distance] = (
+                        instruction_histogram.get(distance, 0) + 1
+                    )
+            else:
+                if distance < 0:
+                    data_cold += 1
+                else:
+                    data_histogram[distance] = data_histogram.get(distance, 0) + 1
+                data_seqs.append(seq)
+                data_distances.append(distance)
+
+        return L2Pass(
+            instruction_cold=instruction_cold,
+            data_cold=data_cold,
+            instruction_histogram=instruction_histogram,
+            data_histogram=data_histogram,
+            data_seqs=data_seqs,
+            data_distances=data_distances,
+        )
+
+    def control_stream(self, trace: Trace) -> ControlStream:
+        pcs = trace.pcs
+        takens = trace.taken
+        control_pcs = array("q")
+        control_taken = array("b")
+        control_conditional = array("b")
+        for index, class_id in enumerate(trace.op_classes):
+            if class_id == _BRANCH_ID or class_id == _JUMP_ID:
+                control_pcs.append(pcs[index])
+                control_taken.append(1 if takens[index] == 1 else 0)
+                control_conditional.append(1 if class_id == _BRANCH_ID else 0)
+        return ControlStream(control_pcs, control_taken, control_conditional)

@@ -1,0 +1,863 @@
+"""NumPy-vectorized profiling kernels (bit-identical to the reference).
+
+Every kernel reproduces the pure-Python reference
+(:class:`~repro.accel.kernels.PythonKernels`) exactly — all counts are
+integers computed by exact algorithms, so there is no floating-point
+tolerance anywhere, only equality.
+
+Vectorization notes
+-------------------
+**Stack distances.**  The per-set LRU stack walk is replaced by an exact
+offline formulation.  Arrange the accesses grouped by set (stable, so
+each set's subsequence stays in trace order and occupies a contiguous
+block) and collapse runs of consecutive same-line accesses (repeats have
+distance 0 and never change a window's *distinct* count).  The stack
+distance of a warm access is the number of distinct same-set lines in its
+reuse window ``(prev, i)``: give every line one bit of a per-set-dense
+bitmask, and the distinct count becomes ``popcount(OR)`` over the window.
+ORs over arbitrary windows come from a sparse table of power-of-two
+windows built by in-place doubling — OR is idempotent, so two overlapping
+power-of-two sub-windows cover any window exactly.  Tiny fully
+associative footprints (TLBs) skip the table and count, per line, whether
+its latest occurrence falls inside the window.  No Python-level
+per-access work remains.
+
+**Branch predictors.**  Two-bit saturating counters are four-state
+automata; each outcome is a state map, and maps compose associatively.  A
+map packs into one byte (2 bits per state), composition is a 256x256
+table lookup, and the per-slot pre-update states come from a segmented
+Hillis-Steele scan over the packed maps — grouped by table slot, because
+slots evolve independently.  Global (gshare) and per-PC (local) histories
+are sliding windows over the taken bits, computed with shifted adds.
+
+**Dependencies.**  Reads and writes fold into composite
+register-position keys; one ``searchsorted`` drops each write at its
+insertion point in the read sequence and a running maximum forward-fills
+every read's latest visible producer.  The shortest-distance/first-source
+tie rule is a two-step scatter fold.
+
+**Batched model evaluation.**  ``predict_batch`` evaluates the
+mechanistic model for a whole configuration list at once: per-machine
+penalty scalars come from the exact scalar code (Python floats), and only
+the per-configuration products and the ordered component sum are
+vectorized — the same IEEE-754 operations in the same order, so cycles
+and CPI stacks match the scalar model bit for bit.
+"""
+
+from __future__ import annotations
+
+from array import array
+from operator import attrgetter
+
+import numpy as np
+
+from repro.accel.kernels import (
+    DATA_SIDE,
+    INSTRUCTION_SIDE,
+    BaseGeometry,
+    ControlStream,
+    Kernels,
+)
+from repro.accel.passes import BasePass, L2Pass
+from repro.branch.predictors import PREDICTORS
+from repro.branch.profiler import BranchProfile
+from repro.isa.opcodes import OpClass
+from repro.memory.single_pass import SinglePassResult
+from repro.profiler.dependences import (
+    KIND_LOAD,
+    KIND_LONG,
+    KIND_UNIT,
+    DependencyProfile,
+)
+from repro.trace.trace import OP_CLASS_IDS, Trace
+
+_LOAD_ID = OP_CLASS_IDS[OpClass.LOAD]
+_STORE_ID = OP_CLASS_IDS[OpClass.STORE]
+_BRANCH_ID = OP_CLASS_IDS[OpClass.BRANCH]
+_JUMP_ID = OP_CLASS_IDS[OpClass.JUMP]
+
+#: Miss-profile counter fields consumed by the batched model evaluation.
+_MISS_FIELDS = attrgetter(
+    "l1d_misses", "l1i_misses", "il2_misses", "dl2_misses",
+    "itlb_misses", "dtlb_misses", "mispredictions", "taken_bubbles",
+)
+
+
+# ----------------------------------------------------------------------
+# Column views.
+# ----------------------------------------------------------------------
+def _as_i64(column) -> np.ndarray:
+    """Zero-copy int64 view of a packed ``array('q')`` column."""
+    if isinstance(column, np.ndarray):
+        return column.astype(np.int64, copy=False)
+    if isinstance(column, range):
+        return np.arange(column.start, column.stop, column.step, dtype=np.int64)
+    if isinstance(column, array) and column.typecode == "q" and len(column):
+        return np.frombuffer(column, dtype=np.int64)
+    return np.asarray(column, dtype=np.int64)
+
+
+def _as_i8(column) -> np.ndarray:
+    """Zero-copy int8 view of a packed ``array('b')`` column."""
+    if isinstance(column, array) and column.typecode == "b" and len(column):
+        return np.frombuffer(column, dtype=np.int8)
+    return np.asarray(column, dtype=np.int8)
+
+
+def _to_q(values: np.ndarray) -> array:
+    out = array("q")
+    out.frombytes(values.astype(np.int64, copy=False).tobytes())
+    return out
+
+
+def _to_b(values: np.ndarray) -> array:
+    out = array("b")
+    out.frombytes(values.astype(np.int8, copy=False).tobytes())
+    return out
+
+
+def _validate_geometry(sets: int, line_size: int) -> None:
+    """Mirror :class:`StackDistanceProfiler`'s constructor checks exactly."""
+    if sets <= 0 or sets & (sets - 1):
+        raise ValueError("sets must be a positive power of two")
+    if line_size <= 0 or line_size & (line_size - 1):
+        raise ValueError("line_size must be a positive power of two")
+
+
+def _stable_argsort_ints(values: np.ndarray) -> np.ndarray:
+    """Stable argsort of integers, radix-sorted 16 bits at a time.
+
+    NumPy's stable sort only uses radix for 8/16-bit integers; cache lines,
+    set indices and predictor-table slots live in tiny ranges, so shifting
+    to zero and sorting by 16-bit digits (LSD order, each pass stable) is
+    several times faster than a 64-bit merge sort.
+    """
+    if values.size == 0:
+        return np.empty(0, dtype=np.intp)
+    low = int(values.min())
+    span = int(values.max()) - low
+    if span >= (1 << 62):  # subtraction could overflow: take the slow path
+        return np.argsort(values, kind="stable")
+    if span < (1 << 15):
+        return np.argsort((values - low).astype(np.int16), kind="stable")
+    shifted = (values - low).astype(np.uint64)
+    perm = None
+    shift = 0
+    while True:
+        digit = ((shifted >> np.uint64(shift)) & np.uint64(0xFFFF)).astype(np.uint16)
+        if perm is None:
+            perm = np.argsort(digit, kind="stable")
+        else:
+            perm = perm[np.argsort(digit[perm], kind="stable")]
+        shift += 16
+        if (span >> shift) == 0:
+            return perm
+
+
+# ----------------------------------------------------------------------
+# Exact stack distances.
+# ----------------------------------------------------------------------
+def _stack_distances(lines: np.ndarray, set_ids: np.ndarray,
+                     single_set: bool = False) -> np.ndarray:
+    """Exact per-set LRU stack distances (-1 = cold), original order.
+
+    The stack distance of a warm access equals the number of distinct
+    same-set lines touched inside its reuse window ``(prev, i)``.  Each
+    line gets one bit of a per-set-dense bitmask; the distinct count of a
+    window is then ``popcount(OR)`` over the window, and ORs over arbitrary
+    windows come from a sparse table of power-of-two windows (built with
+    log2 in-place doubling steps, since OR is idempotent two overlapping
+    power-of-two sub-windows cover any window exactly).
+
+    Work is O(n log n + n * lanes) where ``lanes`` is the per-set distinct
+    line count divided by 64 — effectively linear for cache-shaped streams,
+    where per-set footprints are small.
+    """
+    n = int(lines.size)
+    if n == 0:
+        return np.empty(0, dtype=np.int64)
+    if single_set:
+        arrange = None
+        a_lines = lines
+        a_sets = None
+    else:
+        # Group accesses by set; stable, so each set's block keeps trace
+        # order and every reuse window stays inside one contiguous block.
+        arrange = _stable_argsort_ints(set_ids)
+        a_lines = lines[arrange]
+        a_sets = set_ids[arrange]
+
+    # Run compression: sequential streams re-touch the same line many times
+    # in a row.  A repeat access has distance 0 by definition, and
+    # duplicates inside any reuse window never change its *distinct* count,
+    # so the core algorithm only needs the first access of every run (equal
+    # consecutive lines are the same set, so runs never span set blocks).
+    starts = np.empty(n, dtype=bool)
+    starts[0] = True
+    np.not_equal(a_lines[1:], a_lines[:-1], out=starts[1:])
+    firsts = np.flatnonzero(starts)
+    if firsts.size < n:
+        compressed = _grouped_distances(
+            a_lines[firsts],
+            a_sets[firsts] if a_sets is not None else None, single_set,
+        )
+        arranged_out = np.zeros(n, dtype=np.int64)
+        arranged_out[firsts] = compressed
+    else:
+        arranged_out = _grouped_distances(a_lines, a_sets, single_set)
+    if arrange is None:
+        return arranged_out
+    out = np.empty(n, dtype=np.int64)
+    out[arrange] = arranged_out
+    return out
+
+
+def _grouped_distances(a_lines: np.ndarray, a_sets: np.ndarray | None,
+                       single_set: bool) -> np.ndarray:
+    """Core stack-distance algorithm over a set-grouped access stream."""
+    n = int(a_lines.size)
+    # One stable sort by line yields everything: previous-occurrence links
+    # (neighbours inside equal-line runs), first occurrences, and the dense
+    # line ids (run index) — same line => same set => same block.
+    order = _stable_argsort_ints(a_lines)
+    ordered = a_lines[order]
+    same = np.empty(n, dtype=bool)
+    same[0] = False
+    same[1:] = ordered[1:] == ordered[:-1]
+    prev = np.full(n, -1, dtype=np.int64)
+    prev[order[1:]] = np.where(same[1:], order[:-1], -1)
+    line_of = np.cumsum(~same) - 1  # dense line id, in sorted order
+    first_at = order[np.flatnonzero(~same)]
+    inverse = np.empty(n, dtype=np.int64)
+    inverse[order] = line_of
+
+    # Per-set-dense line ids, so each set's bitmask lanes stay compact.
+    if single_set:
+        dense = inverse
+    else:
+        line_sets = a_sets[first_at]
+        set_order = _stable_argsort_ints(line_sets)
+        grouped = line_sets[set_order]
+        boundary = np.empty(grouped.size, dtype=bool)
+        boundary[0] = True
+        boundary[1:] = grouped[1:] != grouped[:-1]
+        starts = np.flatnonzero(boundary)
+        rank = np.arange(grouped.size, dtype=np.int64)
+        rank -= starts[np.cumsum(boundary) - 1]
+        line_rank = np.empty(grouped.size, dtype=np.int64)
+        line_rank[set_order] = rank
+        dense = line_rank[inverse]
+
+    distances = np.full(n, -1, dtype=np.int64)
+    warm = np.flatnonzero(prev >= 0)
+    distinct = int(inverse.max()) + 1 if n else 0
+    if warm.size and single_set and distinct <= 16:
+        # Tiny footprint (TLBs see a handful of pages): count, per line,
+        # whether its latest occurrence before i falls inside the window.
+        # The re-referenced line's own latest occurrence is prev itself, so
+        # it never counts — no special case needed.
+        starts = prev[warm]
+        totals = np.zeros(warm.size, dtype=np.int64)
+        for line_id in range(distinct):
+            positions = np.flatnonzero(inverse == line_id)
+            slot = np.searchsorted(positions, warm, side="left") - 1
+            latest = np.where(slot >= 0, positions[slot.clip(0)], -1)
+            totals += latest > starts
+        distances[warm] = totals
+    elif warm.size:
+        length = warm - prev[warm] - 1
+        distances[warm] = 0  # empty window: re-reference at stack top
+        lanes = (int(dense.max()) >> 6) + 1
+        table = np.zeros((n, lanes), dtype=np.uint64)
+        table[np.arange(n), dense >> 6] = (
+            np.uint64(1) << (dense & 63).astype(np.uint64)
+        )
+        # Group the windowed queries by floor(log2(length)) up front, so
+        # each doubling level answers one contiguous slice.  (Exact for
+        # lengths below 2^53: powers of two are exact in float64.)
+        windowed = np.flatnonzero(length > 0)
+        if windowed.size:
+            level_of = np.floor(np.log2(length[windowed])).astype(np.int8)
+            level_order = np.argsort(level_of, kind="stable")
+            by_level = windowed[level_order]
+            bounds = np.searchsorted(level_of[level_order],
+                                     np.arange(int(level_of.max()) + 2))
+
+            def _answer(level: int) -> None:
+                chunk = by_level[bounds[level]:bounds[level + 1]]
+                if chunk.size == 0:
+                    return
+                width = 1 << level
+                queries = warm[chunk]
+                rows = table[prev[queries] + 1] | table[queries - width]
+                counts = np.bitwise_count(rows)
+                distances[queries] = (counts.sum(axis=1) if lanes > 1
+                                      else counts[:, 0]).astype(np.int64)
+
+            _answer(0)
+            for level in range(1, int(level_of.max()) + 1):
+                half = 1 << (level - 1)
+                # Doubling: row p ORs row p+half (ufuncs handle overlap).
+                np.bitwise_or(table[:-half], table[half:], out=table[:-half])
+                _answer(level)
+
+    return distances
+
+
+def _histogram(distances: np.ndarray) -> dict[int, int]:
+    warm = distances[distances >= 0]
+    if warm.size == 0:
+        return {}
+    counts = np.bincount(warm)
+    return {int(d): int(counts[d]) for d in np.flatnonzero(counts)}
+
+
+def _profile_structure(addrs: np.ndarray, sets: int,
+                       line_size: int) -> tuple[SinglePassResult, np.ndarray]:
+    _validate_geometry(sets, line_size)
+    lines = addrs >> (line_size.bit_length() - 1)
+    if sets == 1:
+        distances = _stack_distances(lines, lines, single_set=True)
+    else:
+        distances = _stack_distances(lines, lines & (sets - 1))
+    return (
+        SinglePassResult(
+            sets=sets,
+            line_size=line_size,
+            accesses=int(distances.size),
+            cold_misses=int((distances < 0).sum()),
+            distance_histogram=_histogram(distances),
+        ),
+        distances,
+    )
+
+
+# ----------------------------------------------------------------------
+# Branch predictors.
+# ----------------------------------------------------------------------
+def _pack(mapping) -> int:
+    return mapping[0] | mapping[1] << 2 | mapping[2] << 4 | mapping[3] << 6
+
+
+#: Packed state maps of a 2-bit saturating counter (states 0..3, init 2).
+_MAP_IDENTITY = _pack((0, 1, 2, 3))
+_MAP_INC = _pack((1, 2, 3, 3))
+_MAP_DEC = _pack((0, 0, 1, 2))
+
+
+def _build_compose() -> np.ndarray:
+    codes = np.arange(256, dtype=np.uint16)
+    digits = np.stack([(codes >> (2 * s)) & 3 for s in range(4)], axis=1)
+    # composed[f, g][s] = f[g[s]]  (g applied first).
+    composed = digits[:, digits]
+    return (composed[..., 0] | composed[..., 1] << 2
+            | composed[..., 2] << 4 | composed[..., 3] << 6).astype(np.uint8)
+
+
+_COMPOSE = _build_compose()
+
+
+def _counter_states(slots: np.ndarray, maps: np.ndarray) -> np.ndarray:
+    """Pre-event state (0..3, init 2) of per-slot saturating counters.
+
+    ``maps`` holds one packed state map per event (chronological order);
+    events on different slots are independent, so the scan runs segmented
+    over the slot-grouped (stable) ordering: a Hillis-Steele doubling pass
+    composes the packed maps through the 256x256 composition table.
+    """
+    n = int(slots.size)
+    if n == 0:
+        return np.empty(0, dtype=np.int64)
+    order = _stable_argsort_ints(slots)
+    grouped_slots = slots[order]
+    acc = maps[order].astype(np.int64)
+    boundary = np.empty(n, dtype=bool)
+    boundary[0] = True
+    boundary[1:] = grouped_slots[1:] != grouped_slots[:-1]
+    segment = np.cumsum(boundary) - 1
+    longest = int(np.bincount(segment).max())
+    step = 1
+    while step < longest:
+        # acc[i] (later maps) composed after acc[i - step] (earlier maps),
+        # except across segment boundaries.
+        merged = _COMPOSE[acc[step:], acc[:-step]]
+        acc[step:] = np.where(segment[step:] == segment[:-step],
+                              merged, acc[step:])
+        step <<= 1
+    states = np.full(n, 2, dtype=np.int64)
+    inner = np.flatnonzero(~boundary)
+    states[inner] = (acc[inner - 1] >> 4) & 3  # map applied to init state 2
+    out = np.empty(n, dtype=np.int64)
+    out[order] = states
+    return out
+
+
+def _counter_predictions(slots: np.ndarray, taken: np.ndarray) -> np.ndarray:
+    """predict-then-update predictions of a 2-bit counter table."""
+    maps = np.where(taken, np.uint8(_MAP_INC), np.uint8(_MAP_DEC))
+    return _counter_states(slots, maps) >= 2
+
+
+def _global_history(taken: np.ndarray, bits: int) -> np.ndarray:
+    """Pre-branch global history (bit ``j`` = outcome of branch ``i-1-j``)."""
+    n = int(taken.size)
+    history = np.zeros(n, dtype=np.int64)
+    outcomes = taken.astype(np.int64)
+    for j in range(1, bits + 1):
+        history[j:] |= outcomes[:-j] << (j - 1)
+    return history
+
+
+def _local_histories(pcs: np.ndarray, taken: np.ndarray, history_bits: int,
+                     history_entries: int) -> np.ndarray:
+    """Pre-branch per-PC local history (the local predictor's first level)."""
+    n = int(pcs.size)
+    slots = (pcs >> 2) & (history_entries - 1)
+    order = _stable_argsort_ints(slots)
+    grouped_slots = slots[order]
+    grouped_taken = taken[order].astype(np.int64)
+    boundary = np.empty(n, dtype=bool)
+    boundary[0] = True
+    boundary[1:] = grouped_slots[1:] != grouped_slots[:-1]
+    start_positions = np.flatnonzero(boundary)
+    segment_start = start_positions[np.cumsum(boundary) - 1]
+    positions = np.arange(n, dtype=np.int64)
+    history = np.zeros(n, dtype=np.int64)
+    for j in range(1, history_bits + 1):
+        source = positions - j
+        ok = source >= segment_start
+        history[ok] |= grouped_taken[source[ok]] << (j - 1)
+    out = np.empty(n, dtype=np.int64)
+    out[order] = history
+    return out
+
+
+def _predict_bimodal(pcs, taken, entries=2048):
+    return _counter_predictions((pcs >> 2) & (entries - 1), taken)
+
+
+def _predict_gshare(pcs, taken, history_bits=12):
+    entries = 1 << history_bits
+    index = (pcs >> 2) ^ _global_history(taken, history_bits)
+    return _counter_predictions(index & (entries - 1), taken)
+
+
+def _predict_local(pcs, taken, history_bits=10, history_entries=1024):
+    histories = _local_histories(pcs, taken, history_bits, history_entries)
+    # The shared second-level table is indexed by the history value itself.
+    return _counter_predictions(histories & ((1 << history_bits) - 1), taken)
+
+
+def _predict_hybrid(pcs, taken, chooser_entries=1024):
+    local = _predict_local(pcs, taken, history_bits=10, history_entries=1024)
+    global_ = _predict_gshare(pcs, taken, history_bits=12)
+    # The chooser trains only on disagreements (toward whichever component
+    # was right) and is consulted before any update.
+    maps = np.where(
+        local == global_,
+        np.uint8(_MAP_IDENTITY),
+        np.where(global_ == taken, np.uint8(_MAP_INC), np.uint8(_MAP_DEC)),
+    )
+    choose_global = _counter_states((pcs >> 2) & (chooser_entries - 1),
+                                    maps) >= 2
+    return np.where(choose_global, global_, local)
+
+
+#: spec -> (prediction kernel, BranchPredictor.name of the built instance).
+_PREDICTOR_KERNELS = {
+    "global_1kb": (_predict_gshare, "gshare"),
+    "hybrid_3.5kb": (_predict_hybrid, "hybrid"),
+    "bimodal": (_predict_bimodal, "bimodal"),
+    "always_taken": (lambda pcs, taken: np.ones(taken.size, dtype=bool),
+                     "always_taken"),
+    "always_not_taken": (lambda pcs, taken: np.zeros(taken.size, dtype=bool),
+                         "always_not_taken"),
+}
+
+
+# ----------------------------------------------------------------------
+# The backend.
+# ----------------------------------------------------------------------
+class NumpyKernels(Kernels):
+    """Vectorized kernels over the packed trace columns."""
+
+    name = "numpy"
+
+    #: Bound on the per-machine penalty memo: a long-lived server answering
+    #: arbitrary override combinations must not grow it without limit.
+    _FACTOR_MEMO_LIMIT = 4096
+
+    def __init__(self):
+        #: Per-machine penalty scalars (pure functions of the config) reused
+        #: across every batch the backend answers.
+        self._machine_factors: dict = {}
+
+    def base_pass(self, trace: Trace, geometry: BaseGeometry) -> BasePass:
+        line = geometry.line_size
+        pcs = _as_i64(trace.pcs)
+        op_classes = _as_i8(trace.op_classes)
+        seqs = _as_i64(trace.seqs)
+
+        l1i, i_distances = _profile_structure(
+            pcs, geometry.l1i_size // (geometry.l1i_associativity * line), line
+        )
+        itlb, _ = _profile_structure(pcs, 1, geometry.page_size)
+
+        memory_indices = np.flatnonzero(
+            (op_classes == _LOAD_ID) | (op_classes == _STORE_ID)
+        )
+        data_addrs = _as_i64(trace.mem_addrs)[memory_indices]
+        l1d, d_distances = _profile_structure(
+            data_addrs, geometry.l1d_size // (geometry.l1d_associativity * line),
+            line,
+        )
+        dtlb, _ = _profile_structure(data_addrs, 1, geometry.page_size)
+
+        i_miss = (i_distances < 0) | (i_distances >= geometry.l1i_associativity)
+        d_miss = (d_distances < 0) | (d_distances >= geometry.l1d_associativity)
+        instruction_at = np.flatnonzero(i_miss)
+        data_at = memory_indices[d_miss]
+        # Interleave by trace position; an instruction fetch precedes the
+        # same instruction's data access, exactly like the reference walk.
+        # Both halves are already position-sorted, so the merged slots come
+        # from two searchsorted calls instead of a sort.
+        total = instruction_at.size + data_at.size
+        instruction_slots = (np.arange(instruction_at.size, dtype=np.int64)
+                             + np.searchsorted(data_at, instruction_at,
+                                               side="left"))
+        data_slots = (np.arange(data_at.size, dtype=np.int64)
+                      + np.searchsorted(instruction_at, data_at,
+                                        side="right"))
+        addrs = np.empty(total, dtype=np.int64)
+        addrs[instruction_slots] = pcs[instruction_at]
+        addrs[data_slots] = data_addrs[d_miss]
+        sides = np.empty(total, dtype=np.int8)
+        sides[instruction_slots] = INSTRUCTION_SIDE
+        sides[data_slots] = DATA_SIDE
+        stream_seqs = np.empty(total, dtype=np.int64)
+        stream_seqs[instruction_slots] = seqs[instruction_at]
+        stream_seqs[data_slots] = seqs[data_at]
+
+        return BasePass(
+            l1i=l1i, l1d=l1d, itlb=itlb, dtlb=dtlb,
+            l2_addrs=_to_q(addrs), l2_sides=_to_b(sides),
+            l2_seqs=_to_q(stream_seqs),
+        )
+
+    def l2_pass(self, base: BasePass, sets: int, line_size: int) -> L2Pass:
+        _validate_geometry(sets, line_size)
+        addrs = _as_i64(base.l2_addrs)
+        sides = _as_i8(base.l2_sides)
+        seqs = _as_i64(base.l2_seqs)
+        lines = addrs >> (line_size.bit_length() - 1)
+        if sets == 1:
+            distances = _stack_distances(lines, lines, single_set=True)
+        else:
+            distances = _stack_distances(lines, lines & (sets - 1))
+        data_side = sides == DATA_SIDE
+        instruction_distances = distances[~data_side]
+        data_distances = distances[data_side]
+        return L2Pass(
+            instruction_cold=int((instruction_distances < 0).sum()),
+            data_cold=int((data_distances < 0).sum()),
+            instruction_histogram=_histogram(instruction_distances),
+            data_histogram=_histogram(data_distances),
+            data_seqs=_to_q(seqs[data_side]),
+            data_distances=_to_q(data_distances),
+        )
+
+    def control_stream(self, trace: Trace) -> ControlStream:
+        op_classes = _as_i8(trace.op_classes)
+        control = np.flatnonzero(
+            (op_classes == _BRANCH_ID) | (op_classes == _JUMP_ID)
+        )
+        taken = _as_i8(trace.taken)[control] == 1
+        conditional = op_classes[control] == _BRANCH_ID
+        return ControlStream(
+            _to_q(_as_i64(trace.pcs)[control]),
+            _to_b(taken.astype(np.int8)),
+            _to_b(conditional.astype(np.int8)),
+        )
+
+    def branch_profile(self, controls: ControlStream,
+                       predictor_spec: str) -> BranchProfile | None:
+        try:
+            canonical = PREDICTORS.canonical(predictor_spec.lower())
+        except KeyError:
+            return None
+        kernel = _PREDICTOR_KERNELS.get(canonical)
+        if kernel is None:
+            # Third-party predictor registration: no vectorized replay.
+            return None
+        predict, predictor_name = kernel
+
+        taken = _as_i8(controls.taken) == 1
+        conditional = _as_i8(controls.conditional) == 1
+        pcs = _as_i64(controls.pcs)[conditional]
+        outcomes = taken[conditional]
+        jumps = int((~conditional).sum())
+        predictions = predict(pcs, outcomes)
+        correct = predictions == outcomes
+        return BranchProfile(
+            predictor_name=predictor_name,
+            conditional_branches=int(outcomes.size),
+            unconditional_jumps=jumps,
+            taken_branches=int(outcomes.sum()) + jumps,
+            mispredictions=int((~correct).sum()),
+            predicted_taken_correct=int((correct & outcomes).sum()),
+        )
+
+    def count_runs(self, seqs, distances, associativity: int,
+                   mlp_window: int) -> int:
+        distance_values = _as_i64(distances)
+        miss = (distance_values < 0) | (distance_values >= associativity)
+        miss_seqs = _as_i64(seqs)[miss]
+        if miss_seqs.size == 0:
+            return 0
+        return 1 + int((np.diff(miss_seqs) > mlp_window).sum())
+
+    def predict_batch(self, program, profiles, machines):
+        """Vectorized mechanistic-model evaluation (bit-identical).
+
+        Per-machine penalty scalars and dependency totals are computed with
+        the exact scalar code (:mod:`repro.core.penalties`) — Python floats
+        — and only the per-configuration products and the ordered component
+        sum are vectorized.  Every float operation happens in the same
+        order, on the same IEEE-754 doubles, as a scalar
+        :meth:`~repro.core.model.InOrderMechanisticModel.predict` call, so
+        cycles and CPI stacks match bit for bit (excluded components
+        contribute an exact ``+0.0``, which is an identity on the positive
+        partial sums).
+        """
+        from repro.core import penalties
+        from repro.core.cpi_stack import CPIComponent
+
+        count = len(machines)
+        if count == 0:
+            return []
+        dependencies = program.dependencies
+        dependency_totals = {
+            width: (
+                penalties.unit_dependency_total(dependencies.unit, width),
+                penalties.long_dependency_total(dependencies.long, width),
+                penalties.load_dependency_total(dependencies.load, width),
+            )
+            for width in {machine.width for machine in machines}
+        }
+
+        data_accesses = program.loads + program.stores
+        factor_memo = self._machine_factors
+        if len(factor_memo) > self._FACTOR_MEMO_LIMIT:
+            factor_memo.clear()  # recomputing a row is cheap; leaking is not
+        base = []
+        rows = []
+        dep_unit, dep_long, dep_load = [], [], []
+        for machine in machines:
+            base.append(program.instructions / machine.width)
+            row = factor_memo.get(machine)
+            if row is None:
+                correction = penalties.slot_correction(machine.width)
+
+                def miss(latency, correction=correction):
+                    return max(0.0, latency - correction)
+
+                def long_latency(latency, correction=correction):
+                    return max(0.0, (latency - 1.0) - correction)
+
+                memory = miss(machine.memory_cycles)
+                row = (
+                    long_latency(machine.mul_latency),
+                    long_latency(machine.div_latency),
+                    long_latency(machine.l1_hit_cycles)
+                    if machine.l1_hit_cycles > 1 else 0.0,
+                    long_latency(machine.l1_hit_cycles
+                                 + machine.l2_hit_cycles),
+                    miss(machine.l2_hit_cycles),
+                    memory,
+                    memory,
+                    miss(machine.tlb_miss_cycles),
+                    machine.frontend_depth + correction,
+                )
+                factor_memo[machine] = row
+            rows.append(row)
+            unit, long_, load = dependency_totals[machine.width]
+            dep_unit.append(unit)
+            dep_long.append(long_)
+            dep_load.append(load)
+
+        count_rows = np.array([
+            _MISS_FIELDS(profile) for profile in profiles
+        ], dtype=np.int64)
+        count_columns = dict(zip(
+            ("l1d_misses", "l1i_misses", "il2_misses", "dl2_misses",
+             "itlb_misses", "dtlb_misses", "mispredictions",
+             "taken_bubbles"),
+            count_rows.T,
+        ))
+
+        def counts(field):
+            return count_columns[field]
+
+        factor_table = np.array(rows)
+        factors = {
+            key: factor_table[:, column]
+            for column, key in enumerate(
+                ("mul", "div", "l1_extra", "dl1", "il1", "il2", "dl2",
+                 "tlb", "bpred")
+            )
+        }
+        taken_penalty = penalties.taken_branch_penalty()
+        columns = [
+            (CPIComponent.BASE, np.array(base)),
+            (CPIComponent.MUL, program.multiplies * factors["mul"]),
+            (CPIComponent.DIV, program.divides * factors["div"]),
+            (CPIComponent.L1_HIT_EXTRA, data_accesses * factors["l1_extra"]),
+            (CPIComponent.DL1_MISS, counts("l1d_misses") * factors["dl1"]),
+            (CPIComponent.IL1_MISS, counts("l1i_misses") * factors["il1"]),
+            (CPIComponent.IL2_MISS, counts("il2_misses") * factors["il2"]),
+            (CPIComponent.DL2_MISS, counts("dl2_misses") * factors["dl2"]),
+            (CPIComponent.ITLB_MISS, counts("itlb_misses") * factors["tlb"]),
+            (CPIComponent.DTLB_MISS, counts("dtlb_misses") * factors["tlb"]),
+            (CPIComponent.BPRED_MISS, counts("mispredictions") * factors["bpred"]),
+            (CPIComponent.BPRED_TAKEN,
+             counts("taken_bubbles") * taken_penalty),
+            (CPIComponent.DEP_UNIT, np.array(dep_unit)),
+            (CPIComponent.DEP_LONG, np.array(dep_long)),
+            (CPIComponent.DEP_LOAD, np.array(dep_load)),
+        ]
+        total = np.zeros(count, dtype=np.float64)
+        for _, values in columns:
+            total = total + np.where(values > 0.0, values, 0.0)
+
+        names = [component.value for component, _ in columns]
+        value_lists = [values.tolist() for _, values in columns]
+        cycle_list = total.tolist()
+        results = []
+        for index in range(count):
+            stack = {}
+            for name, values in zip(names, value_lists):
+                value = values[index]
+                if value > 0:
+                    stack[name] = value
+            results.append((cycle_list[index], stack))
+        return results
+
+    def instruction_mix(self, trace: Trace):
+        from repro.profiler.instruction_mix import InstructionMix
+        from repro.trace.trace import OP_CLASS_BY_ID
+
+        op_classes = _as_i8(trace.op_classes)
+        if op_classes.size == 0:
+            return InstructionMix(total=0, counts={})
+        counts = np.bincount(op_classes)
+        present, first_at = np.unique(op_classes, return_index=True)
+        # Counter() insertion order is first-encounter order; mirror it.
+        ordered = present[np.argsort(first_at, kind="stable")]
+        return InstructionMix(
+            total=int(op_classes.size),
+            counts={OP_CLASS_BY_ID[class_id]: int(counts[class_id])
+                    for class_id in ordered},
+        )
+
+    def dependency_profile(self, trace: Trace,
+                           max_distance: int) -> DependencyProfile | None:
+        statics = trace.statics
+        n = len(trace)
+        profile = DependencyProfile()
+        if n == 0:
+            return profile
+
+        kind_names = (KIND_UNIT, KIND_LONG, KIND_LOAD)
+        # One pass over the (small) static program resolves operands and
+        # producer kinds; everything after reads only packed columns.
+        first_sources, second_sources, destinations, producer_kinds = \
+            [], [], [], []
+        for static in statics:
+            sources = static.src_regs()
+            if len(sources) > 2:
+                return None  # outside the two-operand ISA: reference walk
+            first_sources.append(sources[0] if sources else -1)
+            second_sources.append(sources[1] if len(sources) > 1 else -1)
+            dest_regs = static.dest_regs()
+            destinations.append(dest_regs[0] if dest_regs else -1)
+            op_class = static.op_class
+            producer_kinds.append(
+                2 if op_class is OpClass.LOAD
+                else 1 if op_class in (OpClass.INT_MUL, OpClass.INT_DIV)
+                else 0
+            )
+
+        static_index = _as_i64(trace.static_index)
+        seqs = _as_i64(trace.seqs)
+        dest = np.array(destinations, dtype=np.int64)[static_index]
+        kinds = np.array(producer_kinds, dtype=np.int64)[static_index]
+        source_slots = [
+            np.array(slot, dtype=np.int64)[static_index]
+            for slot in (first_sources, second_sources)
+        ]
+
+        # Reads and writes fold into composite keys ``(register * (n + 1)
+        # + position) * 2 (+ 1 for writes)`` — within a register the key
+        # order is program order, reads at a position sort before that
+        # position's write, and a larger register's keys dominate a
+        # smaller's.  Group both sides by register (stable radix sorts keep
+        # positions ascending), drop each write at its insertion point in
+        # the read sequence, and a running maximum forward-fills "largest
+        # visible write key" per read: that is automatically the latest
+        # earlier write of the read's own register when one exists, and
+        # decodes to a negative position ("no producer") otherwise.
+        # ``searchsorted`` runs writes-into-reads — the cheap direction,
+        # since reads outnumber writes.
+        stride = np.int64(n + 1)
+        write_at = np.flatnonzero(dest >= 0)
+        write_order = np.argsort(dest[write_at].astype(np.int8),
+                                 kind="stable")
+        write_positions = write_at[write_order]
+        write_keys = (dest[write_positions] * stride + write_positions) * 2 + 1
+
+        none = np.int64(np.iinfo(np.int64).max)
+        best_distance = np.full(n, none, dtype=np.int64)
+        best_kind = np.full(n, -1, dtype=np.int64)
+        # The paper's convention: shortest distance wins; on ties, the
+        # first source operand — so scatter slot 0 first and let slot 1
+        # only replace strictly closer producers.
+        for slot, sources in enumerate(
+            source_slots if write_positions.size else ()
+        ):
+            reads_at = np.flatnonzero(sources >= 0)
+            read_regs = sources[reads_at]
+            read_order = np.argsort(read_regs.astype(np.int8), kind="stable")
+            consumers = reads_at[read_order]
+            read_regs = read_regs[read_order]
+            read_keys = (read_regs * stride + consumers) * 2
+            drop_at = np.searchsorted(read_keys, write_keys, side="left")
+            visible = np.full(consumers.size + 1, -1, dtype=np.int64)
+            # Ascending write keys: the last write dropped at a slot is the
+            # largest, and the running maximum carries it forward.
+            visible[drop_at] = write_keys
+            producers = ((np.maximum.accumulate(visible[:-1]) >> 1)
+                         - read_regs * stride)
+            valid = producers >= 0
+            consumers = consumers[valid]
+            producers = producers[valid]
+            distance = seqs[consumers] - seqs[producers]
+            kind = kinds[producers]
+            if slot == 0:
+                best_distance[consumers] = distance
+                best_kind[consumers] = kind
+            else:
+                closer = distance < best_distance[consumers]
+                best_distance[consumers[closer]] = distance[closer]
+                best_kind[consumers[closer]] = kind[closer]
+
+        recorded = (best_kind >= 0) & (best_distance <= max_distance)
+        profile.consumers = int(recorded.sum())
+        for kind_id, kind_name in enumerate(kind_names):
+            values = best_distance[recorded & (best_kind == kind_id)]
+            if values.size == 0:
+                continue
+            counts = np.bincount(values)
+            histogram = profile.histogram(kind_name)
+            for distance_value in np.flatnonzero(counts):
+                histogram[int(distance_value)] = int(counts[distance_value])
+        return profile

@@ -72,21 +72,34 @@ def evaluate(request: "EvalRequest | Mapping", *,
                          EvalRequest.parse(request))
 
 
-def validate_requests(requests: Sequence[EvalRequest]) -> None:
+def validate_requests(requests: Sequence[EvalRequest], *,
+                      machines: dict | None = None) -> None:
     """Fail fast on unresolvable requests, before any evaluation work.
 
     Checks every backend name, machine spec (preset, override fields, size
     strings) and workload name/flags against their registries, so a typo
     surfaces as one clear error instead of a traceback out of a worker
-    process mid-batch.
+    process mid-batch.  ``machines`` (spec -> resolved config) memoizes
+    resolution across the batch — a 192-point sweep resolves 192 machines,
+    not one per request — and is shared with the sweep planner.
     """
     from repro.runtime.session import COMPILER_FLAGS
     from repro.workloads.registry import WORKLOADS
 
+    if machines is None:
+        machines = {}
+    checked: set[tuple] = set()
     for index, request in enumerate(requests):
+        # A sweep repeats the same (backend, workload, machine) coordinates
+        # thousands of times; validate each distinct combination once.
+        key = (request.backend, request.workload.name,
+               request.workload.flags, request.machine)
+        if key in checked:
+            continue
         try:
             get_backend(request.backend)
-            request.machine.resolve()
+            if request.machine not in machines:
+                machines[request.machine] = request.machine.resolve()
             if request.workload.name not in WORKLOADS:
                 known = ", ".join(WORKLOADS.names())
                 raise ValueError(
@@ -106,12 +119,21 @@ def validate_requests(requests: Sequence[EvalRequest]) -> None:
             if len(requests) > 1:
                 message = f"request[{index}]: {message}"
             raise type(exc)(message) from exc
+        checked.add(key)
 
 
 def evaluate_many(requests: Iterable["EvalRequest | Mapping"], *,
                   session: Session | None = None, jobs: int | None = None,
-                  cache_dir=None) -> list[EvalResult]:
+                  cache_dir=None, plan: bool = True) -> list[EvalResult]:
     """Answer a batch of requests, optionally sharded across processes.
+
+    The batch runs through the sweep planner (:mod:`repro.api.planner`):
+    requests are grouped by workload and ordered by pass signature, so
+    each profiling pass is computed exactly once per trace across the
+    whole batch — also under sharding, where each group goes to one worker
+    and traces the parent already holds ship as raw column bytes.
+    ``plan=False`` falls back to request-by-request sharding (same
+    results, byte for byte — planning only changes *where* work happens).
 
     With ``jobs > 1`` the batch is distributed over a process pool whose
     workers share the session's artifact-cache directory (a run-scoped
@@ -123,16 +145,40 @@ def evaluate_many(requests: Iterable["EvalRequest | Mapping"], *,
     from repro.runtime.session import pooled_session
 
     parsed = [EvalRequest.parse(request) for request in requests]
-    validate_requests(parsed)
+    machines: dict = {}
+    validate_requests(parsed, machines=machines)
     if session is not None:
         if jobs is not None or cache_dir is not None:
             raise ValueError(
                 "pass either an existing session or jobs/cache_dir, not both "
                 "(the session already fixes its job count and cache directory)"
             )
-        return session.map(_evaluate_one, parsed)
+        return _run_batch(session, parsed, machines, plan)
     with pooled_session(cache_dir, jobs if jobs is not None else 1) as pooled:
-        return pooled.map(_evaluate_one, parsed)
+        return _run_batch(pooled, parsed, machines, plan)
+
+
+def _run_batch(session: Session, parsed: list[EvalRequest],
+               machines: dict, plan: bool) -> list[EvalResult]:
+    from repro.api.planner import evaluate_group, plan_requests
+
+    if not plan or len(parsed) <= 1:
+        return session.map(_evaluate_one, parsed)
+    groups = plan_requests(parsed, jobs=session.jobs, machines=machines)
+    if session.jobs > 1:
+        # Ship traces the parent already holds as raw column bytes; cold
+        # traces are built (or cache-loaded) by the worker that owns them.
+        groups = [
+            group.with_payload(session.trace_payload(group.workload,
+                                                     group.flags))
+            for group in groups
+        ]
+    grouped_results = session.map(evaluate_group, groups)
+    results: list[EvalResult | None] = [None] * len(parsed)
+    for group, answers in zip(groups, grouped_results):
+        for index, answer in zip(group.indices, answers):
+            results[index] = answer
+    return results
 
 
 # ----------------------------------------------------------------------

@@ -98,6 +98,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--smoke", action="store_true",
         help="apply each experiment's registered fast-subset preset",
     )
+    run_parser.add_argument(
+        "--accel", choices=("auto", "numpy", "python"), default=None,
+        metavar="BACKEND",
+        help="profiling-kernel backend: numpy, python, or auto "
+             "(default: the REPRO_ACCEL environment variable, then auto)",
+    )
 
     eval_parser = subparsers.add_parser(
         "eval",
@@ -123,8 +129,14 @@ def build_parser() -> argparse.ArgumentParser:
     )
     eval_parser.add_argument(
         "--backends", action="store_true",
-        help="print the backend capability matrix and machine presets, "
-             "then exit",
+        help="print the backend capability matrix, machine presets and "
+             "kernel backends, then exit",
+    )
+    eval_parser.add_argument(
+        "--accel", choices=("auto", "numpy", "python"), default=None,
+        metavar="BACKEND",
+        help="profiling-kernel backend: numpy, python, or auto "
+             "(default: the REPRO_ACCEL environment variable, then auto)",
     )
 
     serve_parser = subparsers.add_parser(
@@ -168,6 +180,13 @@ def build_parser() -> argparse.ArgumentParser:
         "--cache-max-bytes", default="64MB", metavar="SIZE",
         help="result-cache byte budget, e.g. '64MB' (default: 64MB)",
     )
+    serve_parser.add_argument(
+        "--accel", choices=("auto", "numpy", "python"), default=None,
+        metavar="BACKEND",
+        help="profiling-kernel backend: numpy, python, or auto "
+             "(default: the REPRO_ACCEL environment variable, then auto); "
+             "published in GET /v1/metrics",
+    )
 
     cache_parser = subparsers.add_parser(
         "cache", help="inspect or clear an artifact-cache directory"
@@ -200,7 +219,41 @@ def build_parser() -> argparse.ArgumentParser:
     bench_parser.add_argument("--jobs", type=int, default=1, metavar="N",
                               help="worker processes for the job-aware "
                                    "benchmarks; recorded in the output")
+    bench_parser.add_argument("--compare", default=None, metavar="REFERENCE",
+                              help="reference BENCH json; exit non-zero when "
+                                   "a shared benchmark's median regresses "
+                                   "beyond --tolerance")
+    bench_parser.add_argument("--tolerance", type=float, default=25.0,
+                              metavar="PCT",
+                              help="allowed regression vs --compare, in "
+                                   "percent (default: 25)")
+    bench_parser.add_argument(
+        "--accel", choices=("auto", "numpy", "python"), default=None,
+        metavar="BACKEND",
+        help="profiling-kernel backend: numpy, python, or auto "
+             "(default: the REPRO_ACCEL environment variable, then auto)",
+    )
     return parser
+
+
+def _apply_accel(args: argparse.Namespace) -> None:
+    """Select the kernel backend before any profiling work starts.
+
+    Also exported through ``REPRO_ACCEL`` so ``--jobs`` worker processes
+    (which resolve their backend independently) inherit the choice.
+    """
+    choice = getattr(args, "accel", None)
+    if choice is None:
+        return
+    import os
+
+    from repro.accel import ACCEL_ENV, set_backend
+
+    try:
+        set_backend(choice)
+    except ValueError as exc:
+        raise SystemExit(f"--accel: {exc}") from exc
+    os.environ[ACCEL_ENV] = choice
 
 
 def _select_experiments(names: list[str]) -> list[str]:
@@ -289,6 +342,16 @@ def _cmd_eval(args: argparse.Namespace) -> int:
             ("preset", "width", "stages", "clock", "L1I", "L1D", "L2",
              "branch predictor"),
             preset_rows,
+        ))
+        from repro.accel import active_backend, available_backends
+
+        active = active_backend()
+        print()
+        print(format_table(
+            ("kernel backend", "available", "active"),
+            [(name, "yes" if usable else "no",
+              "yes" if name == active else "no")
+             for name, usable in available_backends().items()],
         ))
         return 0
     if not args.requests:
@@ -417,15 +480,20 @@ def _cmd_list(args: argparse.Namespace) -> int:
 def _cmd_bench(args: argparse.Namespace) -> int:
     from pathlib import Path
 
-    from repro.bench import run as bench_run
+    from repro.bench import gate, run as bench_run
 
+    if args.tolerance < 0:
+        raise SystemExit("--tolerance must be non-negative")
     output = Path(args.output) if args.output else Path.cwd() / "BENCH_core.json"
-    bench_run(output, repeat=args.repeat, jobs=args.jobs)
+    payload = bench_run(output, repeat=args.repeat, jobs=args.jobs)
+    if args.compare is not None:
+        return gate(payload, Path(args.compare), args.tolerance)
     return 0
 
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
+    _apply_accel(args)
     if args.command == "run":
         return _cmd_run(args)
     if args.command == "eval":

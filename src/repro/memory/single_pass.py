@@ -11,8 +11,28 @@ the stack inclusion property.
 
 from __future__ import annotations
 
+from array import array
 from collections import defaultdict
 from dataclasses import dataclass
+
+
+def suffix_counts(histogram: dict[int, int]) -> array:
+    """Cumulative (suffix-sum) form of a stack-distance histogram.
+
+    Entry ``a`` holds the number of accesses whose distance is ``>= a``
+    (queries beyond the array are zero), so a miss-count lookup for any
+    associativity is O(1) instead of a histogram scan.
+    """
+    if not histogram:
+        return array("q", (0,))
+    suffix = array("q", bytes(8 * (max(histogram) + 2)))
+    for distance, count in histogram.items():
+        suffix[distance] = count
+    total = 0
+    for distance in range(len(suffix) - 1, -1, -1):
+        total += suffix[distance]
+        suffix[distance] = total
+    return suffix
 
 
 @dataclass(frozen=True)
@@ -27,14 +47,19 @@ class SinglePassResult:
     distance_histogram: dict[int, int]
 
     def misses(self, associativity: int) -> int:
-        """Exact LRU miss count for a cache of the given associativity."""
+        """Exact LRU miss count for a cache of the given associativity (O(1)).
+
+        The histogram is folded once into a suffix-sum array (lazily, so
+        instances unpickled from cache entries stay valid) and every query
+        after that is a single lookup.
+        """
         if associativity <= 0:
             raise ValueError("associativity must be positive")
-        conflict = sum(
-            count
-            for distance, count in self.distance_histogram.items()
-            if distance >= associativity
-        )
+        suffix = self.__dict__.get("_suffix")
+        if suffix is None:
+            suffix = suffix_counts(self.distance_histogram)
+            object.__setattr__(self, "_suffix", suffix)
+        conflict = suffix[associativity] if associativity < len(suffix) else 0
         return self.cold_misses + conflict
 
     def miss_rate(self, associativity: int) -> float:

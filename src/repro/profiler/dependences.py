@@ -75,10 +75,19 @@ def _producer_kind(op_class: OpClass) -> str:
 def collect_dependencies(trace: Trace, max_distance: int = MAX_DISTANCE) -> DependencyProfile:
     """Collect the dependency-distance profile of ``trace``.
 
-    Operand tuples and producer kinds are resolved once per *static*
-    instruction, then the walk reads only the trace's packed ``static_index``
-    column — no per-instruction facade objects are materialized.
+    The active :mod:`repro.accel` kernel backend answers first (the NumPy
+    kernels resolve producers with vectorized searches over the packed
+    columns, bit-identically); the interpreted walk below is the reference
+    and the fallback.  Operand tuples and producer kinds are resolved once
+    per *static* instruction, then the walk reads only the trace's packed
+    ``static_index`` column — no per-instruction facade objects are
+    materialized.
     """
+    from repro.accel import get_kernels
+
+    accelerated = get_kernels().dependency_profile(trace, max_distance)
+    if accelerated is not None:
+        return accelerated
     profile = DependencyProfile()
     # Per-static operand info: (sources, destinations, producer kind).
     operands = [

@@ -21,88 +21,31 @@ Because every structure is true-LRU, an access with stack distance ``d``
 hits in an ``a``-way cache iff ``d < a`` — so the cached histograms answer
 miss counts for *all* associativities, sizes and TLB capacities in a design
 space without re-walking the trace, bit-identically to the legacy replay.
+
+The passes themselves are computed by the active :mod:`repro.accel` kernel
+backend — vectorized NumPy kernels when available, the stdlib reference
+otherwise; both produce bit-identical passes, so engine state is portable
+across backends (and across the artifact cache).
 """
 
 from __future__ import annotations
 
-from array import array
-from dataclasses import dataclass
-
+from repro.accel import BaseGeometry, BasePass, Kernels, L2Pass, get_kernels
 from repro.branch.predictors import make_predictor
 from repro.branch.profiler import BranchProfile, profile_control_stream
-from repro.isa.opcodes import OpClass
 from repro.machine import MachineConfig
-from repro.memory.single_pass import SinglePassResult, StackDistanceProfiler
 from repro.profiler.machine_stats import MissProfile
-from repro.trace.trace import OP_CLASS_IDS, Trace
+from repro.trace.trace import Trace
 
-_LOAD_ID = OP_CLASS_IDS[OpClass.LOAD]
-_STORE_ID = OP_CLASS_IDS[OpClass.STORE]
-_BRANCH_ID = OP_CLASS_IDS[OpClass.BRANCH]
-_JUMP_ID = OP_CLASS_IDS[OpClass.JUMP]
-
-#: Instruction-side / data-side tags in the recorded L2 access stream.
-_INSTRUCTION_SIDE = 0
-_DATA_SIDE = 1
+#: Backwards-compatible aliases (the pass dataclasses live in repro.accel now).
+_BasePass = BasePass
+_L2Pass = L2Pass
 
 #: Version of the engine's cached-pass layout.  The on-disk artifact cache
 #: (:mod:`repro.runtime.artifacts`) keys persisted engine state on this
 #: number; bump it whenever the pass dataclasses or their keying change.
-ENGINE_SCHEMA_VERSION = 1
-
-
-@dataclass(frozen=True)
-class _BasePass:
-    """One walk of the trace for a fixed L1/TLB front-end geometry."""
-
-    l1i: SinglePassResult
-    l1d: SinglePassResult
-    itlb: SinglePassResult
-    dtlb: SinglePassResult
-    #: The unified L2's access stream (byte addresses, trace order).
-    l2_addrs: array
-    #: 0 = instruction fetch, 1 = load/store, per ``l2_addrs`` entry.
-    l2_sides: array
-    #: Dynamic sequence number of the instruction that caused each access.
-    l2_seqs: array
-
-
-@dataclass(frozen=True)
-class _L2Pass:
-    """Stack distances of the shared L2 stream for one (sets, line) geometry."""
-
-    instruction_cold: int
-    data_cold: int
-    instruction_histogram: dict[int, int]
-    data_histogram: dict[int, int]
-    #: Data-side accesses only: (sequence, stack distance) with -1 = cold.
-    data_seqs: array
-    data_distances: array
-
-    def instruction_misses(self, associativity: int) -> int:
-        return self.instruction_cold + sum(
-            count
-            for distance, count in self.instruction_histogram.items()
-            if distance >= associativity
-        )
-
-    def data_misses(self, associativity: int) -> int:
-        return self.data_cold + sum(
-            count
-            for distance, count in self.data_histogram.items()
-            if distance >= associativity
-        )
-
-    def data_miss_runs(self, associativity: int, mlp_window: int) -> int:
-        """Number of DL2 "miss runs" (see :class:`MissProfile`)."""
-        runs = 0
-        last_seq = None
-        for seq, distance in zip(self.data_seqs, self.data_distances):
-            if distance < 0 or distance >= associativity:
-                if last_seq is None or seq - last_seq > mlp_window:
-                    runs += 1
-                last_seq = seq
-        return runs
+#: v2: passes moved to :mod:`repro.accel` and carry suffix-sum caches.
+ENGINE_SCHEMA_VERSION = 2
 
 
 class SinglePassEngine:
@@ -114,12 +57,13 @@ class SinglePassEngine:
     distinct predictor — instead of ``n`` full replays.
     """
 
-    def __init__(self, trace: Trace):
+    def __init__(self, trace: Trace, kernels: Kernels | None = None):
         self.trace = trace
-        self._base_passes: dict[tuple, _BasePass] = {}
-        self._l2_passes: dict[tuple, _L2Pass] = {}
+        self.kernels = kernels if kernels is not None else get_kernels()
+        self._base_passes: dict[tuple, BasePass] = {}
+        self._l2_passes: dict[tuple, L2Pass] = {}
         self._branch_profiles: dict[str, BranchProfile] = {}
-        self._control_stream: tuple[array, array, array] | None = None
+        self._control_stream = None
 
     @classmethod
     def for_trace(cls, trace: Trace) -> "SinglePassEngine":
@@ -160,7 +104,8 @@ class SinglePassEngine:
         """Adopt passes previously captured with :meth:`export_state`.
 
         Passes computed since the export win on key collisions (they are
-        bit-identical anyway — the engine is deterministic per trace).
+        bit-identical anyway — the engine is deterministic per trace,
+        whichever kernel backend produced them).
         """
         merged_base = dict(state["base_passes"])
         merged_base.update(self._base_passes)
@@ -178,140 +123,39 @@ class SinglePassEngine:
     # Passes.
     # ------------------------------------------------------------------
     @staticmethod
-    def _base_key(machine: MachineConfig) -> tuple:
+    def _base_key(machine: MachineConfig) -> BaseGeometry:
         """Front-end geometry key (stable across processes, unlike ``id``)."""
-        return (
+        return BaseGeometry(
             machine.l1i_size, machine.l1i_associativity,
             machine.l1d_size, machine.l1d_associativity,
             machine.line_size, machine.page_size,
         )
 
-    def _base_pass(self, machine: MachineConfig) -> _BasePass:
-        line = machine.line_size
+    def _base_pass(self, machine: MachineConfig) -> BasePass:
         key = self._base_key(machine)
         cached = self._base_passes.get(key)
-        if cached is not None:
-            return cached
+        if cached is None:
+            cached = self.kernels.base_pass(self.trace, key)
+            self._base_passes[key] = cached
+        return cached
 
-        l1i = StackDistanceProfiler(
-            machine.l1i_size // (machine.l1i_associativity * line), line
-        )
-        l1d = StackDistanceProfiler(
-            machine.l1d_size // (machine.l1d_associativity * line), line
-        )
-        itlb = StackDistanceProfiler(1, machine.page_size)
-        dtlb = StackDistanceProfiler(1, machine.page_size)
-        i_access = l1i.access
-        d_access = l1d.access
-        itlb_access = itlb.access
-        dtlb_access = dtlb.access
-        i_ways = machine.l1i_associativity
-        d_ways = machine.l1d_associativity
-
-        l2_addrs = array("q")
-        l2_sides = array("b")
-        l2_seqs = array("q")
-        addr_append = l2_addrs.append
-        side_append = l2_sides.append
-        seq_append = l2_seqs.append
-
-        trace = self.trace
-        pcs = trace.pcs
-        mem_addrs = trace.mem_addrs
-        op_classes = trace.op_classes
-        seqs = trace.seqs
-        for index, class_id in enumerate(op_classes):
-            pc = pcs[index]
-            itlb_access(pc)
-            distance = i_access(pc)
-            if distance < 0 or distance >= i_ways:
-                addr_append(pc)
-                side_append(_INSTRUCTION_SIDE)
-                seq_append(seqs[index])
-            if class_id == _LOAD_ID or class_id == _STORE_ID:
-                # Memory rows always hold the address the memory system sees
-                # (a raw -1 is a genuine address, not a sentinel).
-                addr = mem_addrs[index]
-                dtlb_access(addr)
-                distance = d_access(addr)
-                if distance < 0 or distance >= d_ways:
-                    addr_append(addr)
-                    side_append(_DATA_SIDE)
-                    seq_append(seqs[index])
-
-        result = _BasePass(
-            l1i=l1i.result(),
-            l1d=l1d.result(),
-            itlb=itlb.result(),
-            dtlb=dtlb.result(),
-            l2_addrs=l2_addrs,
-            l2_sides=l2_sides,
-            l2_seqs=l2_seqs,
-        )
-        self._base_passes[key] = result
-        return result
-
-    def _l2_pass(self, machine: MachineConfig) -> _L2Pass:
+    def _l2_pass(self, machine: MachineConfig) -> L2Pass:
         line = machine.line_size
         sets = machine.l2_size // (machine.l2_associativity * line)
-        base = self._base_pass(machine)
+        base_key = self._base_key(machine)
         # Keyed on the front-end geometry (not ``id(base)``) so persisted
         # passes stay addressable after a pickle round trip.
-        key = (self._base_key(machine), sets, line)
+        key = (tuple(base_key), sets, line)
         cached = self._l2_passes.get(key)
-        if cached is not None:
-            return cached
+        if cached is None:
+            cached = self.kernels.l2_pass(self._base_pass(machine), sets, line)
+            self._l2_passes[key] = cached
+        return cached
 
-        profiler = StackDistanceProfiler(sets, line)
-        access = profiler.access
-        instruction_cold = data_cold = 0
-        instruction_histogram: dict[int, int] = {}
-        data_histogram: dict[int, int] = {}
-        data_seqs = array("q")
-        data_distances = array("q")
-        for addr, side, seq in zip(base.l2_addrs, base.l2_sides, base.l2_seqs):
-            distance = access(addr)
-            if side == _INSTRUCTION_SIDE:
-                if distance < 0:
-                    instruction_cold += 1
-                else:
-                    instruction_histogram[distance] = (
-                        instruction_histogram.get(distance, 0) + 1
-                    )
-            else:
-                if distance < 0:
-                    data_cold += 1
-                else:
-                    data_histogram[distance] = data_histogram.get(distance, 0) + 1
-                data_seqs.append(seq)
-                data_distances.append(distance)
-
-        result = _L2Pass(
-            instruction_cold=instruction_cold,
-            data_cold=data_cold,
-            instruction_histogram=instruction_histogram,
-            data_histogram=data_histogram,
-            data_seqs=data_seqs,
-            data_distances=data_distances,
-        )
-        self._l2_passes[key] = result
-        return result
-
-    def _controls(self) -> tuple[array, array, array]:
+    def _controls(self):
         """Packed (pc, taken, is conditional) stream of control instructions."""
         if self._control_stream is None:
-            trace = self.trace
-            pcs = trace.pcs
-            takens = trace.taken
-            control_pcs = array("q")
-            control_taken = array("b")
-            control_conditional = array("b")
-            for index, class_id in enumerate(trace.op_classes):
-                if class_id == _BRANCH_ID or class_id == _JUMP_ID:
-                    control_pcs.append(pcs[index])
-                    control_taken.append(1 if takens[index] == 1 else 0)
-                    control_conditional.append(1 if class_id == _BRANCH_ID else 0)
-            self._control_stream = (control_pcs, control_taken, control_conditional)
+            self._control_stream = self.kernels.control_stream(self.trace)
         return self._control_stream
 
     def branch_profile(self, predictor_spec: str) -> BranchProfile:
@@ -319,16 +163,21 @@ class SinglePassEngine:
         cached = self._branch_profiles.get(predictor_spec)
         if cached is not None:
             return cached
-        control_pcs, control_taken, control_conditional = self._controls()
-        profile = profile_control_stream(
-            (
-                (pc, taken == 1, conditional == 1)
-                for pc, taken, conditional in zip(
-                    control_pcs, control_taken, control_conditional
-                )
-            ),
-            make_predictor(predictor_spec),
-        )
+        controls = self._controls()
+        profile = self.kernels.branch_profile(controls, predictor_spec)
+        if profile is None:
+            # No accelerated replay for this predictor (e.g. a third-party
+            # registration): fall back to the interpreted reference replay.
+            control_pcs, control_taken, control_conditional = controls
+            profile = profile_control_stream(
+                (
+                    (pc, taken == 1, conditional == 1)
+                    for pc, taken, conditional in zip(
+                        control_pcs, control_taken, control_conditional
+                    )
+                ),
+                make_predictor(predictor_spec),
+            )
         self._branch_profiles[predictor_spec] = profile
         return profile
 
@@ -351,7 +200,8 @@ class SinglePassEngine:
             l1d_misses=base.l1d.misses(machine.l1d_associativity),
             dl2_misses=l2.data_misses(l2_ways),
             dtlb_misses=base.dtlb.misses(machine.tlb_entries),
-            dl2_miss_runs=l2.data_miss_runs(l2_ways, mlp_window),
+            dl2_miss_runs=l2.data_miss_runs(l2_ways, mlp_window,
+                                            self.kernels.count_runs),
             mispredictions=branches.mispredictions,
             taken_bubbles=branches.taken_bubbles,
             conditional_branches=branches.conditional_branches,

@@ -160,6 +160,41 @@ class Session:
     def workloads(self, names: Sequence[str], flags: str = "O3") -> list[Workload]:
         return [self.workload(name, flags) for name in names]
 
+    def adopt_trace(self, name: str, flags: str, trace: Trace) -> Workload:
+        """Register an externally supplied trace as ``(name, flags)``.
+
+        The sweep planner ships already-generated traces to pool workers as
+        raw column bytes (:meth:`~repro.trace.trace.Trace.to_payload`); the
+        worker adopts the rebuilt trace here so every downstream memo
+        (program profiles, engine passes, artifact-cache persistence) keys
+        on the session-managed ``(name, flags)`` token — no compilation, no
+        cache round trip.  A workload the session already holds wins.
+        """
+        if flags not in COMPILER_FLAGS:
+            raise ValueError(
+                f"unknown compiler flags {flags!r}; expected one of {COMPILER_FLAGS}"
+            )
+        key = (name, flags)
+        cached = self._workloads.get(key)
+        if cached is not None:
+            return cached
+        workload = Workload.from_trace(trace)
+        self._workloads[key] = workload
+        self._trace_tokens[id(trace)] = key
+        return workload
+
+    def trace_payload(self, name: str, flags: str = "O3") -> dict | None:
+        """Column bytes of an already-loaded trace (``None`` when absent).
+
+        Deliberately does not trigger compilation: the planner only ships a
+        trace the parent session holds in memory; otherwise the worker
+        builds or cache-loads it itself, which keeps cold batches parallel.
+        """
+        workload = self._workloads.get((name, flags))
+        if workload is None:
+            return None
+        return workload.trace().to_payload()
+
     def trace(self, name: str, flags: str = "O3") -> Trace:
         return self.workload(name, flags).trace()
 

@@ -324,6 +324,9 @@ class EvalServer:
                             "jobs_completed": self.executor.jobs_completed}
         payload["jobs"] = self.config.jobs
         payload["session"] = self.session.summary()
+        from repro.accel import active_backend
+
+        payload["accel_backend"] = active_backend()
         return 200, _json_body(payload)
 
 

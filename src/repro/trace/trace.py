@@ -206,6 +206,48 @@ class Trace:
         }
 
     # ------------------------------------------------------------------
+    # Zero-copy column shipping (process-pool transport).
+    # ------------------------------------------------------------------
+    def to_payload(self) -> dict:
+        """The trace as raw column bytes plus statics.
+
+        The packed columns travel as ``(typecode, bytes)`` pairs produced by
+        ``array.tobytes`` — a flat buffer copy instead of a pickled object
+        graph — which is how the sweep planner ships an already-generated
+        trace to pool workers.  :meth:`from_payload` is the inverse.
+        """
+        return {
+            "schema_version": TRACE_SCHEMA_VERSION,
+            "name": self.name,
+            "statics": self.statics,
+            "columns": {
+                name: (column.typecode, column.tobytes())
+                for name, column in (
+                    ("pcs", self.pcs), ("next_pcs", self.next_pcs),
+                    ("mem_addrs", self.mem_addrs),
+                    ("op_classes", self.op_classes), ("taken", self.taken),
+                    ("static_index", self.static_index),
+                )
+            },
+        }
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "Trace":
+        """Rebuild a trace from :meth:`to_payload` output (frombytes)."""
+        if payload.get("schema_version") != TRACE_SCHEMA_VERSION:
+            raise ValueError(
+                f"trace payload schema {payload.get('schema_version')!r} "
+                f"does not match {TRACE_SCHEMA_VERSION}"
+            )
+        columns = {}
+        for name, (typecode, raw) in payload["columns"].items():
+            column = array(typecode)
+            column.frombytes(raw)
+            columns[name] = column
+        return cls.from_columns(statics=payload["statics"],
+                                name=payload["name"], **columns)
+
+    # ------------------------------------------------------------------
     # Facade materialization.
     # ------------------------------------------------------------------
     def _make(self, index: int) -> DynamicInstruction:

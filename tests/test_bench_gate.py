@@ -1,0 +1,79 @@
+"""Unit tests for the benchmark regression gate (``repro bench --compare``)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.bench import compare_results
+
+
+def _payload(**medians) -> dict:
+    return {"results": {name: {"median": value, "runs": [value]}
+                        for name, value in medians.items()}}
+
+
+def test_within_tolerance_passes():
+    reference = _payload(a=1.0, b=0.5)
+    current = _payload(a=1.2, b=0.55)
+    assert compare_results(reference, current, 25.0) == []
+
+
+def test_regression_beyond_tolerance_reported():
+    reference = _payload(a=1.0, b=0.5)
+    current = _payload(a=1.26, b=0.4)
+    regressions = compare_results(reference, current, 25.0)
+    assert len(regressions) == 1
+    assert regressions[0].startswith("a:")
+    assert "+26.0%" in regressions[0]
+
+
+def test_only_shared_benchmarks_compared():
+    reference = _payload(retired=1.0)
+    current = _payload(brand_new=99.0)
+    assert compare_results(reference, current, 0.0) == []
+
+
+def test_improvements_never_flag():
+    assert compare_results(_payload(a=2.0), _payload(a=0.1), 0.0) == []
+
+
+def test_negative_tolerance_rejected():
+    with pytest.raises(ValueError, match="non-negative"):
+        compare_results(_payload(a=1.0), _payload(a=1.0), -1.0)
+
+
+def test_cli_gate_exit_codes(tmp_path, monkeypatch):
+    """End-to-end: the bench subcommand compares and gates on exit code."""
+    from repro import bench
+
+    reference_file = tmp_path / "ref.json"
+    reference_file.write_text(json.dumps(_payload(fake=1.0)))
+
+    def fake_run(output, repeat=3, jobs=1):
+        payload = {"schema_version": bench.BENCH_SCHEMA_VERSION,
+                   **_payload(fake=5.0)}
+        output.write_text(json.dumps(payload))
+        return payload
+
+    monkeypatch.setattr(bench, "run", fake_run)
+    out = tmp_path / "out.json"
+    assert bench.main(["--output", str(out), "--repeat", "1",
+                       "--compare", str(reference_file)]) == 1
+    loose = bench.main(["--output", str(out), "--repeat", "1",
+                        "--compare", str(reference_file),
+                        "--tolerance", "1000"])
+    assert loose == 0
+
+
+def test_cli_gate_missing_reference(tmp_path, monkeypatch):
+    from repro import bench
+
+    monkeypatch.setattr(
+        bench, "run",
+        lambda output, repeat=3, jobs=1: _payload(fake=1.0),
+    )
+    with pytest.raises(SystemExit):
+        bench.main(["--output", str(tmp_path / "o.json"),
+                    "--compare", str(tmp_path / "missing.json")])
