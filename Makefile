@@ -7,6 +7,7 @@ test:
 
 lint:
 	ruff check .
+	python tools/check_process_pools.py
 
 bench:
 	$(PY) benchmarks/run_bench.py

@@ -94,12 +94,17 @@ def _as_i64(column) -> np.ndarray:
         return np.arange(column.start, column.stop, column.step, dtype=np.int64)
     if isinstance(column, array) and column.typecode == "q" and len(column):
         return np.frombuffer(column, dtype=np.int64)
+    if isinstance(column, memoryview) and column.format == "q" and len(column):
+        # Shared-memory attached trace: the view maps the segment directly.
+        return np.frombuffer(column, dtype=np.int64)
     return np.asarray(column, dtype=np.int64)
 
 
 def _as_i8(column) -> np.ndarray:
     """Zero-copy int8 view of a packed ``array('b')`` column."""
     if isinstance(column, array) and column.typecode == "b" and len(column):
+        return np.frombuffer(column, dtype=np.int8)
+    if isinstance(column, memoryview) and column.format == "b" and len(column):
         return np.frombuffer(column, dtype=np.int8)
     return np.asarray(column, dtype=np.int8)
 

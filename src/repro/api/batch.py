@@ -160,24 +160,34 @@ def evaluate_many(requests: Iterable["EvalRequest | Mapping"], *,
 
 def _run_batch(session: Session, parsed: list[EvalRequest],
                machines: dict, plan: bool) -> list[EvalResult]:
-    from repro.api.planner import evaluate_group, plan_requests
+    import time
+
+    from repro.api.planner import evaluate_group_timed, plan_requests
 
     if not plan or len(parsed) <= 1:
         return session.map(_evaluate_one, parsed)
     groups = plan_requests(parsed, jobs=session.jobs, machines=machines)
     if session.jobs > 1:
-        # Ship traces the parent already holds as raw column bytes; cold
-        # traces are built (or cache-loaded) by the worker that owns them.
+        # Ship traces the parent already holds through the active data
+        # plane — a shared-memory segment handle the workers attach
+        # zero-copy, or raw column bytes on platforms without POSIX shared
+        # memory; cold traces are built (or cache-loaded) by the worker
+        # that owns them.
+        started = time.perf_counter()
         groups = [
-            group.with_payload(session.trace_payload(group.workload,
-                                                     group.flags))
+            group.with_payload(session.ship_trace(group.workload,
+                                                  group.flags))
             for group in groups
         ]
-    grouped_results = session.map(evaluate_group, groups)
+        session.stages.add("ship", time.perf_counter() - started)
+    grouped = session.map(evaluate_group_timed, groups)
+    started = time.perf_counter()
     results: list[EvalResult | None] = [None] * len(parsed)
-    for group, answers in zip(groups, grouped_results):
+    for group, (answers, stages) in zip(groups, grouped):
+        session.stages.merge(stages)
         for index, answer in zip(group.indices, answers):
             results[index] = answer
+    session.stages.add("collect", time.perf_counter() - started)
     return results
 
 

@@ -11,11 +11,13 @@ pass four times.  The planner regroups the batch before any work starts:
   spec, mlp window)``, so the engine computes each unique pass exactly
   once per trace *across the whole batch* and in cache-friendly order;
 * each group becomes one work item for :meth:`Session.map`; a trace the
-  parent session already holds ships to the worker as raw column bytes
-  (``array.tobytes``/``frombytes`` — see
-  :meth:`~repro.trace.trace.Trace.to_payload`) instead of a pickled object
-  graph, and cold traces are built by the owning worker, keeping cold
-  batches as parallel as before;
+  parent session already holds ships to the worker through the active
+  data plane — a zero-copy shared-memory
+  :class:`~repro.runtime.dataplane.SegmentHandle` the worker attaches, or
+  raw column bytes (``array.tobytes``/``frombytes`` — see
+  :meth:`~repro.trace.trace.Trace.to_payload`) on platforms without POSIX
+  shared memory — instead of a pickled object graph, and cold traces are
+  built by the owning worker, keeping cold batches as parallel as before;
 * machines are resolved and labelled **once per unique spec** per group
   instead of once per request;
 * for plain ``analytical`` requests the group is answered through the
@@ -34,11 +36,13 @@ job count.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 
 from repro.api.backends import BACKENDS, get_backend
 from repro.api.spec import EvalRequest, EvalResult, MachineSpec
 from repro.machine import MachineConfig
+from repro.runtime.dataplane import SegmentHandle, attach_trace
 from repro.trace.trace import TRACE_SCHEMA_VERSION, Trace
 
 
@@ -70,10 +74,11 @@ class PlannedGroup:
     #: Machines resolved and labelled at planning time — (spec, config,
     #: label) triples — so workers do neither per group.
     machines: tuple = ()
-    #: Column bytes of the trace (``None`` -> the worker builds/loads it).
-    payload: dict | None = None
+    #: Trace transport: a shared-memory ``SegmentHandle``, a column-bytes
+    #: payload dict, or ``None`` (the worker builds/loads the trace).
+    payload: "SegmentHandle | dict | None" = None
 
-    def with_payload(self, payload: dict | None) -> "PlannedGroup":
+    def with_payload(self, payload) -> "PlannedGroup":
         return PlannedGroup(self.workload, self.flags, self.trace_version,
                             self.indices, self.requests, self.machines,
                             payload)
@@ -151,16 +156,53 @@ def _fair_chunks(ordered, signature, group_count: int, jobs: int):
 # ----------------------------------------------------------------------
 # Group execution (module-level: process-pool unit).
 # ----------------------------------------------------------------------
-def evaluate_group(session, group: PlannedGroup) -> list[EvalResult]:
-    """Answer one planned group through a session (results in group order)."""
-    from repro.api.batch import _machine_label
+def _install_group_trace(session, group: PlannedGroup) -> None:
+    """Adopt the group's shipped trace into the session (the attach stage).
 
-    if group.payload is not None:
+    A persistent pool worker that already holds the workload from an
+    earlier batch skips the transport entirely — neither the segment
+    attach nor the payload deserialization is repeated.
+    """
+    if group.payload is None or session.has_workload(group.workload,
+                                                     group.flags):
+        return
+    if isinstance(group.payload, SegmentHandle):
+        if group.payload.schema_version != group.trace_version:
+            raise ValueError("planned group carries a mismatched trace segment")
+        trace = attach_trace(group.payload)
+    else:
         if group.payload["schema_version"] != group.trace_version:
             raise ValueError("planned group carries a mismatched trace payload")
-        session.adopt_trace(group.workload, group.flags,
-                            Trace.from_payload(group.payload))
+        trace = Trace.from_payload(group.payload)
+    session.adopt_trace(group.workload, group.flags, trace)
+
+
+def evaluate_group(session, group: PlannedGroup) -> list[EvalResult]:
+    """Answer one planned group through a session (results in group order)."""
+    results, _ = evaluate_group_timed(session, group)
+    return results
+
+
+def evaluate_group_timed(
+    session, group: PlannedGroup
+) -> tuple[list[EvalResult], dict[str, float]]:
+    """:func:`evaluate_group` plus the per-stage timing breakdown.
+
+    The returned mapping accounts the group's wall time to the data-plane
+    stages ``attach`` (trace transport into this session), ``profile``
+    (miss profiles + program profiles through the single-pass engine) and
+    ``model`` (mechanistic-model evaluation; scalar backends fold their
+    profiling in here).  This is the :meth:`Session.map` work unit the
+    batch layer dispatches, so stage timings ride back with each group's
+    results and are merged into the parent session.
+    """
+    from repro.api.batch import _machine_label
+
+    stages: dict[str, float] = {}
+    started = time.perf_counter()
+    _install_group_trace(session, group)
     workload = session.workload(group.workload, group.flags)
+    stages["attach"] = time.perf_counter() - started
 
     machines: dict[MachineSpec, MachineConfig] = {}
     labels: dict[MachineSpec, str] = {}
@@ -194,6 +236,7 @@ def evaluate_group(session, group: PlannedGroup) -> list[EvalResult]:
     if batched:
         from repro.accel import get_kernels
 
+        started = time.perf_counter()
         program = session.program_profile(workload)
         pairs = [resolved(group.requests[position]) for position in batched]
         # Miss counts only depend on the memory/predictor side of the
@@ -216,6 +259,8 @@ def evaluate_group(session, group: PlannedGroup) -> list[EvalResult]:
                                                mlp_window=mlp_window)
                 shared[key] = profile
             profiles.append(profile)
+        stages["profile"] = time.perf_counter() - started
+        started = time.perf_counter()
         predictions = get_kernels().predict_batch(
             program, profiles, [machine for machine, _ in pairs]
         )
@@ -237,9 +282,12 @@ def evaluate_group(session, group: PlannedGroup) -> list[EvalResult]:
                     cpi_stack=cpi_stack,
                     energy_joules=None,
                 )
+        stages["model"] = time.perf_counter() - started
 
-    remaining = (position for position in range(len(group.requests))
-                 if results[position] is None)
+    remaining = [position for position in range(len(group.requests))
+                 if results[position] is None]
+    if remaining:
+        started = time.perf_counter()
     for position in remaining:
         request = group.requests[position]
         backend = get_backend(request.backend)
@@ -259,4 +307,10 @@ def evaluate_group(session, group: PlannedGroup) -> list[EvalResult]:
             cpi_stack=point.cpi_stack,
             energy_joules=point.energy_joules,
         )
-    return results
+    if remaining:
+        # Scalar backends interleave profiling with the model; account the
+        # whole fallback to the model stage rather than guessing a split.
+        stages["model"] = stages.get("model", 0.0) + (
+            time.perf_counter() - started
+        )
+    return results, stages

@@ -26,25 +26,40 @@ Times the paths every PR is expected to keep fast:
   active :mod:`repro.accel` kernel backend,
 * ``accel_vs_python``      — the identical sweep forced onto the
   pure-Python kernel backend; ``sweep_table2``'s median divided into this
-  one is the kernel-layer speedup (reported as ``accel_speedup``).
+  one is the kernel-layer speedup (reported as ``accel_speedup``),
+* ``sharded_evaluate_many`` — all 19 MiBench workloads x 4 machine
+  presets through ``evaluate_many`` sharded across a **persistent 4-worker
+  pool**, four consecutive batches over parent-held traces on the active
+  data plane (shared memory where available), with the per-stage
+  ship/attach/profile/model/collect breakdown recorded next to the median,
+* ``sharded_evaluate_many_payload`` — the identical sharded run forced
+  onto the column-bytes payload plane; the ship/attach stage deltas
+  against ``sharded_evaluate_many`` are the data-plane win.
 
 Each benchmark runs ``--repeat`` times with the garbage collector paused
 around the timed region (collector pauses otherwise dominate the variance
 of sub-second runs) and the *median* is reported.  The output schema
-(``schema_version`` 3) records the Python version, job count and active
-kernel backend next to the results:
+(``schema_version`` 4) records the Python version, job count, active
+kernel backend and resolved data plane next to the results; benchmarks
+with a stage breakdown carry it (from the median run) in their entry:
 
 .. code-block:: json
 
-    {"schema_version": 3, "python_version": "3.11.7", "jobs": 1,
+    {"schema_version": 4, "python_version": "3.11.7", "jobs": 1,
      "repeats": 3, "accel_backend": "numpy", "accel_speedup": 5.3,
-     "results": {"trace_generation": {"median": ..., "runs": [...]}}}
+     "dataplane": "shm",
+     "results": {"trace_generation": {"median": ..., "runs": [...]},
+                 "sharded_evaluate_many": {"median": ..., "runs": [...],
+                                           "dataplane": "shm",
+                                           "stages": {"ship": ...}}}}
 
 ``--compare REFERENCE.json`` turns the run into a regression gate: after
 benchmarking, every benchmark present in both files is checked and the
 process exits non-zero when a median regressed more than ``--tolerance``
 percent (``make bench-compare`` wires this into CI against the committed
-``BENCH_core.json``).
+``BENCH_core.json``).  Per-stage timings are gated the same way for
+stages both files record above a noise floor, so older (v3) references
+still compare cleanly.
 
 Run via ``make bench``, ``PYTHONPATH=src python benchmarks/run_bench.py``,
 ``repro-bench`` or ``repro-experiments bench``.
@@ -70,7 +85,12 @@ from repro.runtime.session import Session
 from repro.workloads import get_workload
 
 #: Version of the BENCH_core.json layout.
-BENCH_SCHEMA_VERSION = 3
+BENCH_SCHEMA_VERSION = 4
+
+#: Per-stage regressions below this many reference seconds are ignored by
+#: the gate: sub-50ms stages (handle pickling, result reassembly) are
+#: scheduler noise, not signal.
+STAGE_NOISE_FLOOR_SECONDS = 0.05
 
 
 def _fresh_workloads():
@@ -260,6 +280,60 @@ def bench_accel_vs_python() -> float:
     return _timed_table2_sweep("python")
 
 
+def _timed_sharded_evaluate_many(plane: str) -> tuple[float, dict]:
+    """19 workloads x 4 presets, four batches over a persistent 4-way pool.
+
+    The parent session holds every trace before the timed region starts
+    (adopted from payloads — trace generation is benchmarked separately),
+    so each batch exercises the full data plane: ship from the parent,
+    attach in the workers, then the profiling and model work.  Four
+    consecutive batches against the *same* pooled session are what the
+    persistent pool exists for — batches after the first pay no worker
+    spawn and (on ``shm``) re-ship only tiny segment handles.
+    """
+    from repro.api import EvalRequest, MachineSpec, WorkloadSpec, evaluate_many
+    from repro.machine import MACHINE_PRESETS
+    from repro.runtime import dataplane
+    from repro.runtime.session import pooled_session
+    from repro.trace.trace import Trace
+    from repro.workloads.registry import suite_names
+
+    names = suite_names("mibench")
+    _table2_session()  # populates the shared payload cache
+    requests = [
+        EvalRequest(workload=WorkloadSpec(name), machine=MachineSpec(preset))
+        for name in names
+        for preset in MACHINE_PRESETS.names()
+    ]
+    previous = dataplane.active_mode()
+    dataplane.set_mode(plane)
+    try:
+        with pooled_session(None, 4) as session:
+            for name in names:
+                session.adopt_trace(
+                    name, "O3", Trace.from_payload(_TABLE2_PAYLOADS[name])
+                )
+            start = time.perf_counter()
+            for _ in range(4):
+                evaluate_many(requests, session=session)
+            elapsed = time.perf_counter() - start
+            extras = {"dataplane": session.dataplane_mode(),
+                      "stages": session.stages.as_dict()}
+    finally:
+        dataplane.set_mode(previous)
+    return elapsed, extras
+
+
+def bench_sharded_evaluate_many() -> tuple[float, dict]:
+    """Sharded batches on the preferred data plane (shared memory)."""
+    return _timed_sharded_evaluate_many("auto")
+
+
+def bench_sharded_evaluate_many_payload() -> tuple[float, dict]:
+    """The identical sharded batches forced onto column-bytes payloads."""
+    return _timed_sharded_evaluate_many("payload")
+
+
 BENCHES = {
     "trace_generation": bench_trace_generation,
     "profile_machine": bench_profile_machine,
@@ -269,6 +343,8 @@ BENCHES = {
     "service_warm_eval": bench_service_warm_eval,
     "sweep_table2": bench_sweep_table2,
     "accel_vs_python": bench_accel_vs_python,
+    "sharded_evaluate_many": bench_sharded_evaluate_many,
+    "sharded_evaluate_many_payload": bench_sharded_evaluate_many_payload,
 }
 
 #: Benchmarks whose callable accepts (and honours) the job count.
@@ -277,37 +353,52 @@ _JOB_AWARE = {"session_cached_rerun", "api_batch_evaluate"}
 
 def run(output: Path, repeat: int = 3, jobs: int = 1) -> dict:
     from repro.accel import active_backend
+    from repro.runtime.dataplane import active_mode
 
     if repeat < 1:
         raise ValueError("repeat must be at least 1")
     results: dict[str, dict] = {}
     for name, bench in BENCHES.items():
         kwargs = {"jobs": jobs} if name in _JOB_AWARE else {}
-        runs = []
+        runs: list[float] = []
+        extras: list[dict | None] = []
         for _ in range(repeat):
             gc_was_enabled = gc.isenabled()
             gc.disable()
             try:
-                runs.append(bench(**kwargs))
+                timed = bench(**kwargs)
             finally:
                 if gc_was_enabled:
                     gc.enable()
+            # A bench returns either the elapsed seconds, or (elapsed,
+            # extras) where extras carries e.g. the per-stage breakdown.
+            if isinstance(timed, tuple):
+                elapsed, extra = timed
+            else:
+                elapsed, extra = timed, None
+            runs.append(elapsed)
+            extras.append(extra)
         median = statistics.median(runs)
         results[name] = {"median": median, "runs": runs}
-        print(f"{name:22s} {median:8.3f} s  (median of {repeat})")
+        # Report the extras of the run the median represents.
+        nearest = min(range(len(runs)), key=lambda i: abs(runs[i] - median))
+        if extras[nearest]:
+            results[name].update(extras[nearest])
+        print(f"{name:30s} {median:8.3f} s  (median of {repeat})")
     payload = {
         "schema_version": BENCH_SCHEMA_VERSION,
         "python_version": platform.python_version(),
         "jobs": jobs,
         "repeats": repeat,
         "accel_backend": active_backend(),
+        "dataplane": active_mode(),
         "results": results,
     }
     sweep = results.get("sweep_table2", {}).get("median")
     baseline = results.get("accel_vs_python", {}).get("median")
     if sweep and baseline:
         payload["accel_speedup"] = round(baseline / sweep, 2)
-        print(f"accel_speedup          {payload['accel_speedup']:8.2f} x  "
+        print(f"{'accel_speedup':30s} {payload['accel_speedup']:8.2f} x  "
               f"({payload['accel_backend']} vs python on sweep_table2)")
     output.parent.mkdir(parents=True, exist_ok=True)
     output.write_text(json.dumps(payload, indent=2) + "\n")
@@ -321,21 +412,39 @@ def compare_results(reference: dict, current: dict,
 
     Only benchmarks present in both payloads are compared (new benchmarks
     pass vacuously; retired ones are ignored), so the gate stays useful
-    across schema growth.  Returns one human-readable line per regression.
+    across schema growth.  Per-stage timings (schema 4) are gated the same
+    way for stages recorded in *both* entries whose reference time clears
+    :data:`STAGE_NOISE_FLOOR_SECONDS` — older references without stage
+    breakdowns, and stages too small to measure reliably, pass vacuously.
+    Returns one human-readable line per regression.
     """
     if tolerance < 0:
         raise ValueError("tolerance must be non-negative")
+    limit = 1.0 + tolerance / 100.0
     regressions = []
     reference_results = reference.get("results", {})
     current_results = current.get("results", {})
     for name in sorted(set(reference_results) & set(current_results)):
         old = reference_results[name]["median"]
         new = current_results[name]["median"]
-        if old > 0 and new > old * (1.0 + tolerance / 100.0):
+        if old > 0 and new > old * limit:
             regressions.append(
                 f"{name}: {new:.3f} s vs reference {old:.3f} s "
                 f"(+{(new / old - 1.0) * 100.0:.1f}% > {tolerance:g}%)"
             )
+        old_stages = reference_results[name].get("stages") or {}
+        new_stages = current_results[name].get("stages") or {}
+        for stage in sorted(set(old_stages) & set(new_stages)):
+            old_stage = old_stages[stage]
+            new_stage = new_stages[stage]
+            if (old_stage >= STAGE_NOISE_FLOOR_SECONDS
+                    and new_stage > old_stage * limit):
+                regressions.append(
+                    f"{name}[{stage}]: {new_stage:.3f} s vs reference "
+                    f"{old_stage:.3f} s "
+                    f"(+{(new_stage / old_stage - 1.0) * 100.0:.1f}% "
+                    f"> {tolerance:g}%)"
+                )
     return regressions
 
 
@@ -390,6 +499,11 @@ def main(argv: list[str] | None = None) -> int:
         "--accel", choices=("auto", "numpy", "python"), default=None,
         help="kernel backend for this run (default: REPRO_ACCEL or auto)",
     )
+    parser.add_argument(
+        "--dataplane", choices=("auto", "shm", "payload"), default=None,
+        help="trace transport for sharded benches "
+             "(default: REPRO_DATAPLANE or auto)",
+    )
     args = parser.parse_args(argv)
     if args.tolerance < 0:
         raise SystemExit("--tolerance must be non-negative")
@@ -404,6 +518,16 @@ def main(argv: list[str] | None = None) -> int:
             raise SystemExit(f"--accel: {exc}") from exc
         # Exported so --jobs worker processes resolve the same backend.
         os.environ[ACCEL_ENV] = args.accel
+    if args.dataplane:
+        import os
+
+        from repro.runtime.dataplane import DATAPLANE_ENV, set_mode
+
+        try:
+            set_mode(args.dataplane)
+        except ValueError as exc:
+            raise SystemExit(f"--dataplane: {exc}") from exc
+        os.environ[DATAPLANE_ENV] = args.dataplane
     payload = run(args.output, repeat=args.repeat, jobs=args.jobs)
     if args.compare is not None:
         return gate(payload, args.compare, args.tolerance)

@@ -104,6 +104,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="profiling-kernel backend: numpy, python, or auto "
              "(default: the REPRO_ACCEL environment variable, then auto)",
     )
+    run_parser.add_argument(
+        "--dataplane", choices=("auto", "shm", "payload"), default=None,
+        metavar="PLANE",
+        help="trace transport for --jobs workers: shm (zero-copy shared "
+             "memory), payload (column bytes), or auto (default: the "
+             "REPRO_DATAPLANE environment variable, then auto)",
+    )
 
     eval_parser = subparsers.add_parser(
         "eval",
@@ -137,6 +144,12 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="BACKEND",
         help="profiling-kernel backend: numpy, python, or auto "
              "(default: the REPRO_ACCEL environment variable, then auto)",
+    )
+    eval_parser.add_argument(
+        "--dataplane", choices=("auto", "shm", "payload"), default=None,
+        metavar="PLANE",
+        help="trace transport for --jobs workers: shm, payload, or auto "
+             "(default: the REPRO_DATAPLANE environment variable, then auto)",
     )
 
     serve_parser = subparsers.add_parser(
@@ -187,6 +200,13 @@ def build_parser() -> argparse.ArgumentParser:
              "(default: the REPRO_ACCEL environment variable, then auto); "
              "published in GET /v1/metrics",
     )
+    serve_parser.add_argument(
+        "--dataplane", choices=("auto", "shm", "payload"), default=None,
+        metavar="PLANE",
+        help="trace transport for --jobs workers: shm, payload, or auto "
+             "(default: the REPRO_DATAPLANE environment variable, then "
+             "auto); published in GET /v1/metrics",
+    )
 
     cache_parser = subparsers.add_parser(
         "cache", help="inspect or clear an artifact-cache directory"
@@ -233,6 +253,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="profiling-kernel backend: numpy, python, or auto "
              "(default: the REPRO_ACCEL environment variable, then auto)",
     )
+    bench_parser.add_argument(
+        "--dataplane", choices=("auto", "shm", "payload"), default=None,
+        metavar="PLANE",
+        help="trace transport for --jobs workers: shm, payload, or auto "
+             "(default: the REPRO_DATAPLANE environment variable, then "
+             "auto); recorded in the output",
+    )
     return parser
 
 
@@ -254,6 +281,26 @@ def _apply_accel(args: argparse.Namespace) -> None:
     except ValueError as exc:
         raise SystemExit(f"--accel: {exc}") from exc
     os.environ[ACCEL_ENV] = choice
+
+
+def _apply_dataplane(args: argparse.Namespace) -> None:
+    """Select the trace transport before any sharded work starts.
+
+    Also exported through ``REPRO_DATAPLANE`` so worker processes (which
+    resolve the plane independently) inherit the choice.
+    """
+    choice = getattr(args, "dataplane", None)
+    if choice is None:
+        return
+    import os
+
+    from repro.runtime.dataplane import DATAPLANE_ENV, set_mode
+
+    try:
+        set_mode(choice)
+    except ValueError as exc:
+        raise SystemExit(f"--dataplane: {exc}") from exc
+    os.environ[DATAPLANE_ENV] = choice
 
 
 def _select_experiments(names: list[str]) -> list[str]:
@@ -299,12 +346,16 @@ def _cmd_run(args: argparse.Namespace) -> int:
 def _session_report(session: Session) -> None:
     summary = session.summary()
     cache = summary.pop("artifact_cache")
-    print(
-        "session: "
-        + "  ".join(f"{key}={value}" for key, value in summary.items())
-        + "  cache(" + " ".join(f"{k}={v}" for k, v in cache.items()) + ")",
-        file=sys.stderr,
-    )
+    stages = summary.pop("stages")
+    report = ("session: "
+              + "  ".join(f"{key}={value}" for key, value in summary.items())
+              + "  cache(" + " ".join(f"{k}={v}" for k, v in cache.items())
+              + ")")
+    if stages:
+        report += ("  stages("
+                   + " ".join(f"{k}={v:.3f}s" for k, v in stages.items())
+                   + ")")
+    print(report, file=sys.stderr)
 
 
 def _cmd_eval(args: argparse.Namespace) -> int:
@@ -494,6 +545,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     _apply_accel(args)
+    _apply_dataplane(args)
     if args.command == "run":
         return _cmd_run(args)
     if args.command == "eval":

@@ -1,31 +1,52 @@
-"""Process-pool sharding for session work.
+"""Persistent process-pool sharding for session work.
 
 The unit of parallelism is ``fn(session, item)`` where ``fn`` is a
 module-level function (it is pickled by reference) and ``item`` a picklable
-work description — typically a ``(benchmark, machine)`` pair or a benchmark
-name.  Each worker process owns its own :class:`~repro.runtime.session.Session`
+work description — typically a planned sweep group or a benchmark name.
+Each worker process owns its own :class:`~repro.runtime.session.Session`
 bound to the same cache directory as the parent, so traces and profiling
-passes flow between processes through the on-disk artifact cache rather than
-through pickled arguments.
+passes flow between processes through the on-disk artifact cache (or the
+shared-memory data plane) rather than through pickled arguments.
+
+The pool is **persistent and pre-warmed**: a session creates its
+:class:`WorkerPool` once and reuses it for every subsequent ``map`` call,
+so worker sessions keep their attached shared-memory segments, adopted
+traces and warm :class:`~repro.profiler.single_pass_engine.SinglePassEngine`
+state between batches — the second request a :mod:`repro.service` server
+answers pays zero pool spawn, zero trace transport and zero repeated
+profiling passes.  This module is the only place in the tree allowed to
+construct a ``ProcessPoolExecutor`` (``make lint`` enforces it), which is
+what makes the warm-pool guarantee checkable.
 
 ``session_map`` preserves item order and degrades to an inline loop for
 ``jobs=1`` (and for trivially small batches), which is what makes parallel
-experiment output byte-identical to serial output.
+experiment output byte-identical to serial output.  A worker killed
+mid-batch (OOM, SIGKILL) breaks the executor; the map transparently
+respawns the pool and retries the batch once, so a single crash costs
+latency, not results.
 """
 
 from __future__ import annotations
 
-from concurrent.futures import ProcessPoolExecutor
+import os
+from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
 from typing import Callable, Iterable
 
 #: The per-process session of pool workers (created by the initializer).
 _WORKER_SESSION = None
 
 
-def _worker_init(spec) -> None:
+def _worker_init(spec, parent_pid: int, dataplane_mode: str) -> None:
     global _WORKER_SESSION
+    from repro.runtime import dataplane
+
     # Workers run their shard inline: nested pools would oversubscribe.
     _WORKER_SESSION = spec.create(jobs=1)
+    # Pin the data plane the parent resolved (spawned workers cannot rely
+    # on inherited module state) and watch for the parent disappearing —
+    # an orphaned worker detaches its segments and exits.
+    dataplane.set_mode(dataplane_mode)
+    dataplane.start_parent_watch(parent_pid)
 
 
 def _worker_call(payload):
@@ -33,16 +54,65 @@ def _worker_call(payload):
     return fn(_WORKER_SESSION, item)
 
 
+class WorkerPool:
+    """A long-lived process pool bound to one session spec.
+
+    Wraps the sole ``ProcessPoolExecutor`` of the tree.  Workers are
+    initialized once with their own session and the parent's data-plane
+    mode, then reused across every batch until :meth:`close` — the
+    "pre-warmed" half of the data plane refactor.
+    """
+
+    #: Pools constructed process-wide (the pool-churn regression tests
+    #: assert this stays flat across warm service requests).
+    created_total = 0
+
+    def __init__(self, spec, jobs: int):
+        from repro.runtime.dataplane import active_mode
+
+        if jobs < 1:
+            raise ValueError("jobs must be at least 1")
+        type(self).created_total += 1
+        self.spec = spec
+        self.jobs = jobs
+        self._executor: ProcessPoolExecutor | None = ProcessPoolExecutor(
+            max_workers=jobs, initializer=_worker_init,
+            initargs=(spec, os.getpid(), active_mode()),
+        )
+
+    @property
+    def alive(self) -> bool:
+        return self._executor is not None
+
+    def map(self, fn: Callable, items: list) -> list:
+        if self._executor is None:
+            raise RuntimeError("worker pool is closed")
+        return list(self._executor.map(_worker_call,
+                                       [(fn, item) for item in items]))
+
+    def close(self) -> None:
+        """Shut the workers down (idempotent); safe on a broken pool."""
+        executor, self._executor = self._executor, None
+        if executor is not None:
+            executor.shutdown(wait=True, cancel_futures=True)
+
+
 def session_map(session, fn: Callable, items: Iterable) -> list:
     """Apply ``fn(session, item)`` over ``items``, sharding across processes.
 
-    See :meth:`repro.runtime.session.Session.map` for the contract.
+    See :meth:`repro.runtime.session.Session.map` for the contract.  The
+    session's persistent pool is created on first use and reused after;
+    a batch that loses a worker to a crash is retried once on a fresh
+    pool (same items, same order — results stay deterministic).
     """
     items = list(items)
     if session.jobs <= 1 or len(items) <= 1:
         return [fn(session, item) for item in items]
-    workers = min(session.jobs, len(items))
-    with ProcessPoolExecutor(
-        max_workers=workers, initializer=_worker_init, initargs=(session.spec,)
-    ) as pool:
-        return list(pool.map(_worker_call, [(fn, item) for item in items]))
+    try:
+        return session.pool().map(fn, items)
+    except BrokenExecutor:
+        # A worker died mid-batch (crash/SIGKILL).  The executor is
+        # unusable; respawn it and rerun the whole batch once.  Published
+        # shared-memory segments belong to the parent and survive intact.
+        session.reset_pool()
+        return session.pool().map(fn, items)

@@ -25,6 +25,7 @@ from __future__ import annotations
 
 import contextlib
 import tempfile
+import weakref
 from dataclasses import dataclass
 from typing import Callable, Iterable, Iterator, Sequence
 
@@ -81,11 +82,26 @@ class Session:
     """Owns workload/trace/profile reuse for a batch of experiments."""
 
     def __init__(self, cache_dir=None, jobs: int = 1):
+        from repro.runtime.dataplane import StageTimings
+
         if jobs < 1:
             raise ValueError("jobs must be at least 1")
         self.jobs = jobs
         self.cache = ArtifactCache(cache_dir)
         self.stats = SessionStats()
+        #: Per-stage (ship/attach/profile/model/collect) wall time of every
+        #: batch this session evaluated; surfaced in /v1/metrics and bench.
+        self.stages = StageTimings()
+        #: The persistent worker pool (created on first sharded map).
+        self._pool = None
+        self._pool_finalizer = None
+        #: Shared-memory segment registry (created on first publish).
+        self._segments = None
+        self._segments_finalizer = None
+        #: (name, flags) -> SegmentHandle of published traces.
+        self._segment_handles: dict[tuple[str, str], object] = {}
+        #: Set when shared memory failed at runtime: fall back to payloads.
+        self._dataplane_failed = False
         self._workloads: dict[tuple[str, str], Workload] = {}
         #: id(trace) -> (name, flags) for traces this session manages.
         self._trace_tokens: dict[int, tuple[str, str]] = {}
@@ -183,6 +199,10 @@ class Session:
         self._trace_tokens[id(trace)] = key
         return workload
 
+    def has_workload(self, name: str, flags: str = "O3") -> bool:
+        """Whether this session already holds ``(name, flags)`` in memory."""
+        return (name, flags) in self._workloads
+
     def trace_payload(self, name: str, flags: str = "O3") -> dict | None:
         """Column bytes of an already-loaded trace (``None`` when absent).
 
@@ -194,6 +214,83 @@ class Session:
         if workload is None:
             return None
         return workload.trace().to_payload()
+
+    # ------------------------------------------------------------------
+    # Data plane: shared-memory publishing.
+    # ------------------------------------------------------------------
+    def _segment_registry(self):
+        from repro.runtime.dataplane import (
+            SegmentRegistry,
+            shared_memory_available,
+        )
+
+        if self._segments is None:
+            if self._dataplane_failed or not shared_memory_available():
+                self._dataplane_failed = True
+                return None
+            self._segments = SegmentRegistry()
+            self._segments_finalizer = weakref.finalize(
+                self, SegmentRegistry.close, self._segments
+            )
+        return self._segments
+
+    def publish_trace(self, name: str, flags: str = "O3"):
+        """The :class:`~repro.runtime.dataplane.SegmentHandle` of a
+        parent-held trace, publishing it into shared memory on first use.
+
+        Memoized per ``(name, flags)``: across every later batch — and,
+        through the service's shared session, across every later request —
+        the same segment is reused and only the tiny handle travels.
+        Returns ``None`` when the trace is not loaded (same contract as
+        :meth:`trace_payload`) or when shared memory is unusable (the
+        caller falls back to payload shipping).
+        """
+        key = (name, flags)
+        handle = self._segment_handles.get(key)
+        if handle is not None:
+            return handle
+        workload = self._workloads.get(key)
+        if workload is None:
+            return None
+        registry = self._segment_registry()
+        if registry is None:
+            return None
+        try:
+            handle = registry.publish(workload.trace())
+        except OSError:
+            # /dev/shm full or withdrawn mid-run: degrade to payloads and
+            # report it (dataplane_mode()) instead of failing the batch.
+            self._dataplane_failed = True
+            return None
+        self._segment_handles[key] = handle
+        return handle
+
+    def ship_trace(self, name: str, flags: str = "O3"):
+        """Transport form of a parent-held trace for pool workers.
+
+        The active data plane decides the form: a shared-memory
+        :class:`~repro.runtime.dataplane.SegmentHandle` (``shm``) or raw
+        column bytes (``payload``), with automatic degradation when shared
+        memory is unavailable or fails.  ``None`` when this session does
+        not hold the trace (the worker builds or cache-loads it).
+        """
+        from repro.runtime.dataplane import active_mode
+
+        if active_mode() == "shm" and not self._dataplane_failed:
+            handle = self.publish_trace(name, flags)
+            if handle is not None:
+                return handle
+        return self.trace_payload(name, flags)
+
+    def dataplane_mode(self) -> str:
+        """The data plane this session actually uses (``shm``/``payload``).
+
+        Reported in ``/v1/metrics`` and ``repro bench``: differs from the
+        configured mode when shared memory turned out to be unavailable.
+        """
+        from repro.runtime.dataplane import active_mode
+
+        return "payload" if self._dataplane_failed else active_mode()
 
     def trace(self, name: str, flags: str = "O3") -> Trace:
         return self.workload(name, flags).trace()
@@ -292,12 +389,56 @@ class Session:
     # ------------------------------------------------------------------
     # Parallelism.
     # ------------------------------------------------------------------
+    def pool(self):
+        """The session's persistent worker pool (created on first use).
+
+        Workers stay alive across every :meth:`map` call — and, for the
+        service's shared session, across requests — holding their adopted
+        traces, attached shared-memory segments and warm single-pass
+        engine state, so only the first batch pays spawn and transport.
+        """
+        from repro.runtime.scheduler import WorkerPool
+
+        if self._pool is None:
+            pool = WorkerPool(self.spec, self.jobs)
+            self._pool = pool
+            self._pool_finalizer = weakref.finalize(self, WorkerPool.close,
+                                                    pool)
+        return self._pool
+
+    def reset_pool(self) -> None:
+        """Discard the worker pool (crash recovery; a new one spawns lazily)."""
+        pool, self._pool = self._pool, None
+        if self._pool_finalizer is not None:
+            self._pool_finalizer.detach()
+            self._pool_finalizer = None
+        if pool is not None:
+            pool.close()
+
+    def close(self) -> None:
+        """Release pooled workers and published shared-memory segments.
+
+        Idempotent; also run by GC finalizers and — last resort — the data
+        plane's ``atexit`` hook, so segments cannot outlive the process
+        even when a caller forgets.  :func:`pooled_session` closes its
+        session on exit.
+        """
+        self.reset_pool()
+        segments, self._segments = self._segments, None
+        if self._segments_finalizer is not None:
+            self._segments_finalizer.detach()
+            self._segments_finalizer = None
+        self._segment_handles.clear()
+        if segments is not None:
+            segments.close()
+
     def map(self, fn: Callable, items: Iterable) -> list:
         """Apply a module-level ``fn(session, item)`` across ``items``.
 
-        Runs inline for ``jobs=1``; otherwise shards across a process pool
-        (each worker owns a session on the same cache directory).  Results
-        keep item order, so parallel runs are byte-identical to serial ones.
+        Runs inline for ``jobs=1``; otherwise shards across the persistent
+        process pool (each worker owns a session on the same cache
+        directory).  Results keep item order, so parallel runs are
+        byte-identical to serial ones.
         """
         from repro.runtime.scheduler import session_map
 
@@ -305,7 +446,10 @@ class Session:
 
     def summary(self) -> dict:
         """Counters for the CLI's end-of-run session report."""
-        return {**self.stats.as_dict(), "artifact_cache": self.cache.stats.as_dict()}
+        return {**self.stats.as_dict(),
+                "dataplane": self.dataplane_mode(),
+                "stages": self.stages.as_dict(),
+                "artifact_cache": self.cache.stats.as_dict()}
 
 
 @contextlib.contextmanager
@@ -322,4 +466,8 @@ def pooled_session(cache_dir=None, jobs: int = 1) -> Iterator[Session]:
             cache_dir = stack.enter_context(
                 tempfile.TemporaryDirectory(prefix="repro-cache-")
             )
-        yield Session(cache_dir=cache_dir, jobs=jobs)
+        session = Session(cache_dir=cache_dir, jobs=jobs)
+        # LIFO: the pool and shared-memory segments are released before
+        # the temporary cache directory the workers were bound to.
+        stack.callback(session.close)
+        yield session

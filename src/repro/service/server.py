@@ -327,6 +327,7 @@ class EvalServer:
         from repro.accel import active_backend
 
         payload["accel_backend"] = active_backend()
+        payload["dataplane"] = self.session.dataplane_mode()
         return 200, _json_body(payload)
 
 

@@ -43,6 +43,18 @@ _JUMP_ID = OP_CLASS_IDS[OpClass.JUMP]
 NO_VALUE = -1
 
 
+def _typecode(column) -> str:
+    """``array.typecode``, or the format of a ``memoryview`` column.
+
+    Traces attached through the shared-memory data plane
+    (:mod:`repro.runtime.dataplane`) carry ``memoryview`` casts of the
+    mapped segment instead of ``array`` objects; both expose the same
+    element type, under different attribute names.
+    """
+    typecode = getattr(column, "typecode", None)
+    return typecode if typecode is not None else column.format
+
+
 @dataclass(frozen=True)
 class DynamicInstruction:
     """One committed instruction of a dynamic execution.
@@ -221,7 +233,7 @@ class Trace:
             "name": self.name,
             "statics": self.statics,
             "columns": {
-                name: (column.typecode, column.tobytes())
+                name: (_typecode(column), column.tobytes())
                 for name, column in (
                     ("pcs", self.pcs), ("next_pcs", self.next_pcs),
                     ("mem_addrs", self.mem_addrs),
@@ -301,7 +313,14 @@ class Trace:
     # ------------------------------------------------------------------
     def count(self, op_class: OpClass) -> int:
         """Number of dynamic instructions of the given class."""
-        return self.op_classes.count(OP_CLASS_IDS[op_class])
+        column = self.op_classes
+        target = OP_CLASS_IDS[op_class]
+        counter = getattr(column, "count", None)
+        if counter is not None:
+            return counter(target)
+        # memoryview column (shared-memory attached trace): one byte per
+        # element, so counting the raw bytes counts the elements.
+        return column.tobytes().count(target.to_bytes(1, "little"))
 
     def instruction_mix(self) -> dict[OpClass, int]:
         """Histogram of dynamic instruction classes (first-seen order)."""

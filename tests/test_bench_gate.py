@@ -44,6 +44,41 @@ def test_negative_tolerance_rejected():
         compare_results(_payload(a=1.0), _payload(a=1.0), -1.0)
 
 
+def _staged(median: float, **stages) -> dict:
+    return {"results": {"sharded": {"median": median, "runs": [median],
+                                    "stages": stages}}}
+
+
+def test_stage_regression_beyond_tolerance_reported():
+    reference = _staged(1.0, ship=0.2, profile=0.8)
+    current = _staged(1.0, ship=0.3, profile=0.8)
+    regressions = compare_results(reference, current, 25.0)
+    assert len(regressions) == 1
+    assert regressions[0].startswith("sharded[ship]:")
+    assert "+50.0%" in regressions[0]
+
+
+def test_stage_below_noise_floor_ignored():
+    # A 0.01 s -> 0.04 s jump is 300% but under the measurable floor.
+    reference = _staged(1.0, collect=0.01)
+    current = _staged(1.0, collect=0.04)
+    assert compare_results(reference, current, 25.0) == []
+
+
+def test_older_reference_without_stages_passes_vacuously():
+    reference = _payload(sharded=1.0)  # schema v3: medians only
+    current = _staged(1.0, ship=9.0, profile=9.0)
+    assert compare_results(reference, current, 0.0) == []
+    # And the other direction: a staged reference vs a stage-less current.
+    assert compare_results(current, reference, 0.0) == []
+
+
+def test_stage_only_present_on_one_side_ignored():
+    reference = _staged(1.0, ship=0.2)
+    current = _staged(1.0, attach=99.0)
+    assert compare_results(reference, current, 0.0) == []
+
+
 def test_cli_gate_exit_codes(tmp_path, monkeypatch):
     """End-to-end: the bench subcommand compares and gates on exit code."""
     from repro import bench

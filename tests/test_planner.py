@@ -129,6 +129,63 @@ def test_adopt_trace_rejects_unknown_flags():
         Session().adopt_trace("sha", "O9", trace)
 
 
+def test_segment_handle_payload_attaches_without_compilation():
+    from repro.runtime.dataplane import (
+        SegmentRegistry,
+        detach_all,
+        shared_memory_available,
+    )
+
+    if not shared_memory_available():
+        pytest.skip("POSIX shared memory unavailable")
+    parent = Session()
+    registry = SegmentRegistry()
+    try:
+        handle = registry.publish(parent.workload("sha").trace())
+        requests = [
+            EvalRequest(workload=WorkloadSpec("sha"),
+                        machine=MachineSpec(preset))
+            for preset in ("paper_default", "big_l2_1mb")
+        ]
+        (group,) = plan_requests(requests, jobs=1)
+        worker = Session()
+        results = evaluate_group(worker, group.with_payload(handle))
+        assert len(results) == len(requests)
+        assert worker.stats.workloads_compiled == 0
+        assert worker.stats.traces_generated == 0
+        # Same answers as the payload-dict transport.
+        payload_results = evaluate_group(
+            Session(), group.with_payload(parent.trace_payload("sha")))
+        assert ([r.to_dict() for r in results]
+                == [r.to_dict() for r in payload_results])
+    finally:
+        detach_all()
+        registry.close()
+
+
+def test_segment_handle_schema_mismatch_rejected():
+    from dataclasses import replace
+
+    from repro.runtime.dataplane import (
+        SegmentRegistry,
+        shared_memory_available,
+    )
+
+    if not shared_memory_available():
+        pytest.skip("POSIX shared memory unavailable")
+    parent = Session()
+    registry = SegmentRegistry()
+    try:
+        handle = registry.publish(parent.workload("sha").trace())
+        (group,) = plan_requests(
+            [EvalRequest(workload=WorkloadSpec("sha"))], jobs=1)
+        stale = replace(handle, schema_version=-1)
+        with pytest.raises(ValueError, match="mismatched trace segment"):
+            evaluate_group(Session(), group.with_payload(stale))
+    finally:
+        registry.close()
+
+
 # ----------------------------------------------------------------------
 # Byte identity across planning modes and job counts.
 # ----------------------------------------------------------------------

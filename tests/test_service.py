@@ -421,6 +421,48 @@ class TestServedEval:
         assert metrics["queue"]["max"] == 16
         assert metrics["session"]["workloads_compiled"] >= 1
 
+    def test_metrics_report_dataplane_and_stage_breakdown(self, client):
+        client.sweep({"workloads": ["sha"],
+                      "axes": {"l1d_size": ["4KB", "8KB"]}})
+        metrics = client.metrics()
+        assert metrics["dataplane"] in ("shm", "payload")
+        assert metrics["session"]["dataplane"] == metrics["dataplane"]
+        stages = metrics["session"]["stages"]
+        assert isinstance(stages, dict)
+        # The sharded sweep above accounted its wall time to the stages.
+        assert {"profile", "model", "collect"} <= set(stages)
+
+    def test_distinct_sweeps_share_one_warm_worker_pool(self, client,
+                                                        server):
+        """Request N+1 pays zero pool spawn (the pool-churn regression).
+
+        Two *different* sweeps (no result-cache hit possible) against the
+        jobs=2 server must run through the same persistent worker pool,
+        and the warm one — no pool spawn, no compilation, traces already
+        adopted by the workers — must not be slower than the cold one.
+        """
+        from repro.runtime.scheduler import WorkerPool
+
+        session = server.server.session
+        start = time.perf_counter()
+        client.sweep({"workloads": ["qsort"],
+                      "axes": {"l2_size": ["256KB", "1MB"]}})
+        cold = time.perf_counter() - start
+        pool = session._pool
+        created = WorkerPool.created_total
+        assert pool is not None and pool.alive
+
+        start = time.perf_counter()
+        client.sweep({"workloads": ["qsort"],
+                      "axes": {"l2_size": ["128KB", "512KB"]}})
+        warm = time.perf_counter() - start
+        assert session._pool is pool  # same pool object, still alive
+        assert WorkerPool.created_total == created  # zero new pools
+        assert warm < cold, (
+            f"warm sweep slower than cold: warm={warm * 1000:.1f} ms, "
+            f"cold={cold * 1000:.1f} ms"
+        )
+
 
 class TestShutdown:
     def test_drain_finishes_in_flight_work_then_closes_port(self, tmp_path):
