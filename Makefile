@@ -25,7 +25,7 @@ bench-smoke:
 # repetitions so the compared median is a warm run, not process cold-start.
 bench-compare:
 	$(PY) benchmarks/run_bench.py --repeat 3 --output /tmp/BENCH_compare.json \
-		--compare BENCH_core.json --tolerance 400
+		--compare BENCH_core.json --tolerance 400 --stage-tolerance-ms 50
 
 # Start an evaluation server, answer one request through ServiceClient,
 # verify the warm repeat hits the result cache, assert a clean shutdown.

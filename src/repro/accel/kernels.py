@@ -29,11 +29,18 @@ third-party branch predictors and exotic traces fully supported.
 from __future__ import annotations
 
 import abc
+import dataclasses
 from array import array
 from typing import NamedTuple
 
-from repro.accel.passes import BasePass, L2Pass, count_miss_runs
-from repro.branch.profiler import BranchProfile
+from repro.accel.passes import (
+    BasePass,
+    L2Pass,
+    StreamedL2Pass,
+    count_miss_runs,
+    resume_miss_runs,
+)
+from repro.branch.profiler import BranchProfile, profile_control_stream
 from repro.isa.opcodes import OpClass
 from repro.memory.single_pass import StackDistanceProfiler
 from repro.trace.trace import OP_CLASS_IDS, Trace
@@ -116,6 +123,56 @@ class Kernels(abc.ABC):
         """
         return None
 
+    # ------------------------------------------------------------------
+    # Chunk-resumable streaming.  Each ``*_stream`` factory returns a
+    # stateful object with ``update(chunk...)`` / ``finish()`` methods whose
+    # accumulated result is bit-identical to the corresponding offline pass
+    # over the concatenation of the chunks: all carried state (LRU stacks,
+    # predictor tables and histories, miss-run cursors, register writers)
+    # survives chunk boundaries exactly.  The defaults below are the
+    # stdlib reference implementations, so any backend streams correctly;
+    # backends override them with resumable accelerated passes.
+    # ------------------------------------------------------------------
+
+    def base_stream(self, geometry: BaseGeometry):
+        """Resumable base pass: ``update(chunk) -> (addrs, sides, seqs)``.
+
+        Each update returns the chunk's slice of the interleaved L2 access
+        stream (to be fed to an L2 stream); ``finish()`` returns a
+        :class:`BasePass` whose L2 stream columns are empty.
+        """
+        return _PyBaseStream(geometry)
+
+    def l2_stream(self, sets: int, line_size: int, run_keys=()):
+        """Resumable L2 pass over base-stream slices.
+
+        ``run_keys`` is the set of ``(associativity, mlp_window)`` pairs
+        whose miss-run counts are accumulated incrementally; ``finish()``
+        returns a :class:`StreamedL2Pass` that answers exactly those.
+        """
+        return _PyL2Stream(sets, line_size, run_keys)
+
+    def branch_stream(self, predictor_spec: str):
+        """Resumable branch replay for one predictor, or ``None``.
+
+        ``None`` tells the caller to fall back to
+        :class:`PredictorBranchStream` around an interpreted predictor
+        object, which supports any registered predictor.
+        """
+        return None
+
+    def dependency_stream(self, statics, max_distance: int):
+        """Resumable dependency-distance profiling (never ``None``).
+
+        ``statics`` is the trace's static-instruction table, available up
+        front so a backend can pick its fast path once per stream.
+        """
+        return _PyDependencyStream(max_distance)
+
+    def mix_stream(self):
+        """Resumable instruction-mix histogram (never ``None``)."""
+        return MixStream(self)
+
 
 class PythonKernels(Kernels):
     """The stdlib-only reference implementation (defines the contract)."""
@@ -123,57 +180,12 @@ class PythonKernels(Kernels):
     name = "python"
 
     def base_pass(self, trace: Trace, geometry: BaseGeometry) -> BasePass:
-        line = geometry.line_size
-        l1i = StackDistanceProfiler(
-            geometry.l1i_size // (geometry.l1i_associativity * line), line
-        )
-        l1d = StackDistanceProfiler(
-            geometry.l1d_size // (geometry.l1d_associativity * line), line
-        )
-        itlb = StackDistanceProfiler(1, geometry.page_size)
-        dtlb = StackDistanceProfiler(1, geometry.page_size)
-        i_access = l1i.access
-        d_access = l1d.access
-        itlb_access = itlb.access
-        dtlb_access = dtlb.access
-        i_ways = geometry.l1i_associativity
-        d_ways = geometry.l1d_associativity
-
-        l2_addrs = array("q")
-        l2_sides = array("b")
-        l2_seqs = array("q")
-        addr_append = l2_addrs.append
-        side_append = l2_sides.append
-        seq_append = l2_seqs.append
-
-        pcs = trace.pcs
-        mem_addrs = trace.mem_addrs
-        op_classes = trace.op_classes
-        seqs = trace.seqs
-        for index, class_id in enumerate(op_classes):
-            pc = pcs[index]
-            itlb_access(pc)
-            distance = i_access(pc)
-            if distance < 0 or distance >= i_ways:
-                addr_append(pc)
-                side_append(INSTRUCTION_SIDE)
-                seq_append(seqs[index])
-            if class_id == _LOAD_ID or class_id == _STORE_ID:
-                # Memory rows always hold the address the memory system sees
-                # (a raw -1 is a genuine address, not a sentinel).
-                addr = mem_addrs[index]
-                dtlb_access(addr)
-                distance = d_access(addr)
-                if distance < 0 or distance >= d_ways:
-                    addr_append(addr)
-                    side_append(DATA_SIDE)
-                    seq_append(seqs[index])
-
-        return BasePass(
-            l1i=l1i.result(),
-            l1d=l1d.result(),
-            itlb=itlb.result(),
-            dtlb=dtlb.result(),
+        # The offline pass is the one-chunk case of the resumable stream,
+        # which keeps the two code paths structurally identical.
+        stream = _PyBaseStream(geometry)
+        l2_addrs, l2_sides, l2_seqs = stream.update(trace)
+        return dataclasses.replace(
+            stream.finish(),
             l2_addrs=l2_addrs,
             l2_sides=l2_sides,
             l2_seqs=l2_seqs,
@@ -225,3 +237,243 @@ class PythonKernels(Kernels):
                 control_taken.append(1 if takens[index] == 1 else 0)
                 control_conditional.append(1 if class_id == _BRANCH_ID else 0)
         return ControlStream(control_pcs, control_taken, control_conditional)
+
+
+class _PyBaseStream:
+    """Chunk-resumable reference base pass.
+
+    The four stack-distance profilers are ordinary stateful
+    :class:`StackDistanceProfiler` objects, so feeding chunks in trace
+    order is *literally* the same computation as one offline walk.
+    """
+
+    def __init__(self, geometry: BaseGeometry):
+        line = geometry.line_size
+        self._l1i = StackDistanceProfiler(
+            geometry.l1i_size // (geometry.l1i_associativity * line), line
+        )
+        self._l1d = StackDistanceProfiler(
+            geometry.l1d_size // (geometry.l1d_associativity * line), line
+        )
+        self._itlb = StackDistanceProfiler(1, geometry.page_size)
+        self._dtlb = StackDistanceProfiler(1, geometry.page_size)
+        self._i_ways = geometry.l1i_associativity
+        self._d_ways = geometry.l1d_associativity
+
+    def update(self, trace: Trace) -> tuple[array, array, array]:
+        i_access = self._l1i.access
+        d_access = self._l1d.access
+        itlb_access = self._itlb.access
+        dtlb_access = self._dtlb.access
+        i_ways = self._i_ways
+        d_ways = self._d_ways
+
+        l2_addrs = array("q")
+        l2_sides = array("b")
+        l2_seqs = array("q")
+        addr_append = l2_addrs.append
+        side_append = l2_sides.append
+        seq_append = l2_seqs.append
+
+        pcs = trace.pcs
+        mem_addrs = trace.mem_addrs
+        seqs = trace.seqs
+        for index, class_id in enumerate(trace.op_classes):
+            pc = pcs[index]
+            itlb_access(pc)
+            distance = i_access(pc)
+            if distance < 0 or distance >= i_ways:
+                addr_append(pc)
+                side_append(INSTRUCTION_SIDE)
+                seq_append(seqs[index])
+            if class_id == _LOAD_ID or class_id == _STORE_ID:
+                # Memory rows always hold the address the memory system sees
+                # (a raw -1 is a genuine address, not a sentinel).
+                addr = mem_addrs[index]
+                dtlb_access(addr)
+                distance = d_access(addr)
+                if distance < 0 or distance >= d_ways:
+                    addr_append(addr)
+                    side_append(DATA_SIDE)
+                    seq_append(seqs[index])
+        return l2_addrs, l2_sides, l2_seqs
+
+    def finish(self) -> BasePass:
+        return BasePass(
+            l1i=self._l1i.result(),
+            l1d=self._l1d.result(),
+            itlb=self._itlb.result(),
+            dtlb=self._dtlb.result(),
+            l2_addrs=array("q"),
+            l2_sides=array("b"),
+            l2_seqs=array("q"),
+        )
+
+
+class _PyL2Stream:
+    """Chunk-resumable reference L2 pass over base-stream slices."""
+
+    def __init__(self, sets: int, line_size: int, run_keys=()):
+        self._profiler = StackDistanceProfiler(sets, line_size)
+        self._instruction_cold = 0
+        self._data_cold = 0
+        self._instruction_histogram: dict[int, int] = {}
+        self._data_histogram: dict[int, int] = {}
+        self._runs = {(int(a), int(w)): 0 for a, w in run_keys}
+        self._last_seq: dict[tuple[int, int], int | None] = {
+            key: None for key in self._runs
+        }
+
+    def update(self, addrs, sides, seqs) -> None:
+        access = self._profiler.access
+        instruction_histogram = self._instruction_histogram
+        data_histogram = self._data_histogram
+        chunk_seqs = array("q")
+        chunk_distances = array("q")
+        for addr, side, seq in zip(addrs, sides, seqs):
+            distance = access(addr)
+            if side == INSTRUCTION_SIDE:
+                if distance < 0:
+                    self._instruction_cold += 1
+                else:
+                    instruction_histogram[distance] = (
+                        instruction_histogram.get(distance, 0) + 1
+                    )
+            else:
+                if distance < 0:
+                    self._data_cold += 1
+                else:
+                    data_histogram[distance] = data_histogram.get(distance, 0) + 1
+                chunk_seqs.append(seq)
+                chunk_distances.append(distance)
+        for (associativity, window), last in self._last_seq.items():
+            runs, last = resume_miss_runs(
+                chunk_seqs, chunk_distances, associativity, window, last
+            )
+            self._runs[(associativity, window)] += runs
+            self._last_seq[(associativity, window)] = last
+
+    def finish(self) -> StreamedL2Pass:
+        return StreamedL2Pass(
+            instruction_cold=self._instruction_cold,
+            data_cold=self._data_cold,
+            instruction_histogram=self._instruction_histogram,
+            data_histogram=self._data_histogram,
+            data_seqs=array("q"),
+            data_distances=array("q"),
+            _runs=dict(self._runs),
+        )
+
+
+class PredictorBranchStream:
+    """Chunk-resumable branch replay through one persistent predictor object.
+
+    The universal fallback stream: it works for any registered predictor
+    because the predictor's own tables *are* the carried state.
+    """
+
+    def __init__(self, predictor):
+        self._predictor = predictor
+        self._profile = BranchProfile(predictor_name=predictor.name)
+
+    def update(self, controls: ControlStream) -> None:
+        stream = (
+            (pc, taken == 1, conditional == 1)
+            for pc, taken, conditional in zip(
+                controls.pcs, controls.taken, controls.conditional
+            )
+        )
+        profile_control_stream(stream, self._predictor, self._profile)
+
+    def finish(self) -> BranchProfile:
+        return self._profile
+
+
+class _PyDependencyStream:
+    """Chunk-resumable reference dependency profiling.
+
+    Carried state is the ``last_writer`` table of the offline walk —
+    sequence numbers are global, so producer distances across chunk
+    boundaries come out exactly as in the offline pass.
+    """
+
+    def __init__(self, max_distance: int):
+        from repro.isa.registers import NUM_INT_REGS
+        from repro.profiler.dependences import DependencyProfile
+
+        self._max_distance = max_distance
+        self._profile = DependencyProfile()
+        self._last_writer: list[tuple[int, str] | None] = [None] * NUM_INT_REGS
+        self._operands: list = []
+
+    def update(self, trace: Trace) -> None:
+        from repro.profiler.dependences import _producer_kind
+
+        statics = trace.statics
+        if len(statics) != len(self._operands):
+            # The static table of one trace is append-only across chunks.
+            self._operands = [
+                (
+                    instruction.src_regs(),
+                    instruction.dest_regs(),
+                    _producer_kind(instruction.op_class),
+                )
+                for instruction in statics
+            ]
+        operands = self._operands
+        last_writer = self._last_writer
+        profile = self._profile
+        max_distance = self._max_distance
+        seqs = trace.seqs
+        for index, static_slot in enumerate(trace.static_index):
+            sources, destinations, kind = operands[static_slot]
+            seq = seqs[index]
+            if sources:
+                best: tuple[int, str] | None = None
+                for source in sources:
+                    producer = last_writer[source]
+                    if producer is None:
+                        continue
+                    distance = seq - producer[0]
+                    if best is None or distance < best[0]:
+                        best = (distance, producer[1])
+                if best is not None and best[0] <= max_distance:
+                    profile.consumers += 1
+                    profile._record(best[1], best[0])
+            for dest in destinations:
+                last_writer[dest] = (seq, kind)
+
+    def finish(self):
+        return self._profile
+
+
+class MixStream:
+    """Chunk-resumable instruction mix (shared by every backend).
+
+    Per-chunk histograms come from the owning backend's offline
+    ``instruction_mix`` kernel (or the trace's columnar histogram when the
+    backend has none); merging them in chunk order preserves the global
+    first-encounter key order of the offline histogram.
+    """
+
+    def __init__(self, kernels: Kernels):
+        self._kernels = kernels
+        self._total = 0
+        self._counts: dict = {}
+
+    def update(self, trace: Trace) -> None:
+        mix = self._kernels.instruction_mix(trace)
+        if mix is None:
+            counts = trace.instruction_mix()
+            self._total += len(trace)
+        else:
+            counts = mix.counts
+            self._total += mix.total
+        merged = self._counts
+        for op_class, count in counts.items():
+            merged[op_class] = merged.get(op_class, 0) + count
+
+    def finish(self):
+        from repro.profiler.instruction_mix import InstructionMix
+
+        return InstructionMix(total=self._total, counts=self._counts)

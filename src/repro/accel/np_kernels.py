@@ -58,10 +58,11 @@ from repro.accel.kernels import (
     ControlStream,
     Kernels,
 )
-from repro.accel.passes import BasePass, L2Pass
+from repro.accel.passes import BasePass, L2Pass, StreamedL2Pass
 from repro.branch.predictors import PREDICTORS
 from repro.branch.profiler import BranchProfile
 from repro.isa.opcodes import OpClass
+from repro.isa.registers import NUM_INT_REGS
 from repro.memory.single_pass import SinglePassResult
 from repro.profiler.dependences import (
     KIND_LOAD,
@@ -337,6 +338,228 @@ def _profile_structure(addrs: np.ndarray, sets: int,
     )
 
 
+def _interleave_l2_stream(pcs, seqs, memory_indices, data_addrs,
+                          i_distances, d_distances, i_ways, d_ways):
+    """The L2's interleaved L1-miss stream as (addrs, sides, seqs) arrays.
+
+    Interleaves by trace position; an instruction fetch precedes the same
+    instruction's data access, exactly like the reference walk.  Both
+    halves are already position-sorted, so the merged slots come from two
+    searchsorted calls instead of a sort.
+    """
+    i_miss = (i_distances < 0) | (i_distances >= i_ways)
+    d_miss = (d_distances < 0) | (d_distances >= d_ways)
+    instruction_at = np.flatnonzero(i_miss)
+    data_at = memory_indices[d_miss]
+    total = instruction_at.size + data_at.size
+    instruction_slots = (np.arange(instruction_at.size, dtype=np.int64)
+                         + np.searchsorted(data_at, instruction_at,
+                                           side="left"))
+    data_slots = (np.arange(data_at.size, dtype=np.int64)
+                  + np.searchsorted(instruction_at, data_at,
+                                    side="right"))
+    addrs = np.empty(total, dtype=np.int64)
+    addrs[instruction_slots] = pcs[instruction_at]
+    addrs[data_slots] = data_addrs[d_miss]
+    sides = np.empty(total, dtype=np.int8)
+    sides[instruction_slots] = INSTRUCTION_SIDE
+    sides[data_slots] = DATA_SIDE
+    stream_seqs = np.empty(total, dtype=np.int64)
+    stream_seqs[instruction_slots] = seqs[instruction_at]
+    stream_seqs[data_slots] = seqs[data_at]
+    return addrs, sides, stream_seqs
+
+
+class _NpStackState:
+    """Carried per-set LRU stack state of one structure across chunks.
+
+    Stack distances only depend on the LRU stacks at the start of a chunk,
+    and those stacks are fully determined by each previously-seen line's
+    *last* access position.  So the carried state is one dict
+    ``line -> last global access position``, and each chunk is answered by
+    the offline kernel over ``prologue + chunk``, where the prologue
+    replays every carried line once in oldest-first order — after it, every
+    set's LRU stack is exactly the true mid-trace stack, making the chunk
+    part of the offline answer *identical* to the distances an uninterrupted
+    walk would produce (a prologue line's last access becomes its prologue
+    slot, and the reuse window from there contains exactly the lines more
+    recent than it).  The prologue's own distances are discarded.
+    """
+
+    def __init__(self, sets: int, line_size: int):
+        _validate_geometry(sets, line_size)
+        self._sets = sets
+        self._shift = line_size.bit_length() - 1
+        self._last: dict[int, int] = {}
+        self._position = 0
+
+    def distances(self, addrs: np.ndarray) -> np.ndarray:
+        lines = addrs >> self._shift
+        n = int(lines.size)
+        if n == 0:
+            return np.empty(0, dtype=np.int64)
+        if self._last:
+            carried = np.fromiter(self._last.keys(), dtype=np.int64,
+                                  count=len(self._last))
+            stamps = np.fromiter(self._last.values(), dtype=np.int64,
+                                 count=len(self._last))
+            prologue = carried[np.argsort(stamps)]  # oldest first
+            full = np.concatenate([prologue, lines])
+        else:
+            prologue = np.empty(0, dtype=np.int64)
+            full = lines
+        if self._sets == 1:
+            all_distances = _stack_distances(full, full, single_set=True)
+        else:
+            all_distances = _stack_distances(full, full & (self._sets - 1))
+        distances = all_distances[prologue.size:]
+        # Remember each chunk line's last (global) access position.
+        order = _stable_argsort_ints(lines)
+        ordered = lines[order]
+        last_of_line = np.empty(n, dtype=bool)
+        last_of_line[-1] = True
+        last_of_line[:-1] = ordered[1:] != ordered[:-1]
+        picks = np.flatnonzero(last_of_line)
+        self._last.update(zip(
+            ordered[picks].tolist(),
+            (order[picks] + self._position).tolist(),
+        ))
+        self._position += n
+        return distances
+
+
+class _DistanceTally:
+    """Accumulated accesses / cold misses / distance histogram of a stream."""
+
+    __slots__ = ("accesses", "cold", "histogram")
+
+    def __init__(self):
+        self.accesses = 0
+        self.cold = 0
+        self.histogram: dict[int, int] = {}
+
+    def add(self, distances: np.ndarray) -> None:
+        self.accesses += int(distances.size)
+        self.cold += int((distances < 0).sum())
+        warm = distances[distances >= 0]
+        if warm.size:
+            counts = np.bincount(warm)
+            histogram = self.histogram
+            for distance in np.flatnonzero(counts):
+                histogram[int(distance)] = (
+                    histogram.get(int(distance), 0) + int(counts[distance])
+                )
+
+    def result(self, sets: int, line_size: int) -> SinglePassResult:
+        return SinglePassResult(
+            sets=sets,
+            line_size=line_size,
+            accesses=self.accesses,
+            cold_misses=self.cold,
+            distance_histogram=self.histogram,
+        )
+
+
+class _NpBaseStream:
+    """Chunk-resumable vectorized base pass."""
+
+    def __init__(self, geometry: BaseGeometry):
+        line = geometry.line_size
+        self._geometry = geometry
+        self._l1i_sets = geometry.l1i_size // (geometry.l1i_associativity * line)
+        self._l1d_sets = geometry.l1d_size // (geometry.l1d_associativity * line)
+        self._l1i_state = _NpStackState(self._l1i_sets, line)
+        self._l1d_state = _NpStackState(self._l1d_sets, line)
+        self._itlb_state = _NpStackState(1, geometry.page_size)
+        self._dtlb_state = _NpStackState(1, geometry.page_size)
+        self._l1i_tally = _DistanceTally()
+        self._l1d_tally = _DistanceTally()
+        self._itlb_tally = _DistanceTally()
+        self._dtlb_tally = _DistanceTally()
+
+    def update(self, trace: Trace):
+        geometry = self._geometry
+        pcs = _as_i64(trace.pcs)
+        op_classes = _as_i8(trace.op_classes)
+        seqs = _as_i64(trace.seqs)
+        i_distances = self._l1i_state.distances(pcs)
+        self._l1i_tally.add(i_distances)
+        self._itlb_tally.add(self._itlb_state.distances(pcs))
+        memory_indices = np.flatnonzero(
+            (op_classes == _LOAD_ID) | (op_classes == _STORE_ID)
+        )
+        data_addrs = _as_i64(trace.mem_addrs)[memory_indices]
+        d_distances = self._l1d_state.distances(data_addrs)
+        self._l1d_tally.add(d_distances)
+        self._dtlb_tally.add(self._dtlb_state.distances(data_addrs))
+        return _interleave_l2_stream(
+            pcs, seqs, memory_indices, data_addrs, i_distances, d_distances,
+            geometry.l1i_associativity, geometry.l1d_associativity,
+        )
+
+    def finish(self) -> BasePass:
+        geometry = self._geometry
+        line = geometry.line_size
+        return BasePass(
+            l1i=self._l1i_tally.result(self._l1i_sets, line),
+            l1d=self._l1d_tally.result(self._l1d_sets, line),
+            itlb=self._itlb_tally.result(1, geometry.page_size),
+            dtlb=self._dtlb_tally.result(1, geometry.page_size),
+            l2_addrs=array("q"),
+            l2_sides=array("b"),
+            l2_seqs=array("q"),
+        )
+
+
+class _NpL2Stream:
+    """Chunk-resumable vectorized L2 pass over base-stream slices."""
+
+    def __init__(self, sets: int, line_size: int, run_keys=()):
+        _validate_geometry(sets, line_size)
+        self._state = _NpStackState(sets, line_size)
+        self._instruction = _DistanceTally()
+        self._data = _DistanceTally()
+        self._runs = {(int(a), int(w)): 0 for a, w in run_keys}
+        self._last_seq: dict[tuple[int, int], int | None] = {
+            key: None for key in self._runs
+        }
+
+    def update(self, addrs, sides, seqs) -> None:
+        addrs = _as_i64(addrs)
+        sides = _as_i8(sides)
+        seqs = _as_i64(seqs)
+        distances = self._state.distances(addrs)
+        data_side = sides == DATA_SIDE
+        self._instruction.add(distances[~data_side])
+        data_distances = distances[data_side]
+        self._data.add(data_distances)
+        if not self._runs:
+            return
+        data_seqs = seqs[data_side]
+        for key, last in self._last_seq.items():
+            associativity, window = key
+            miss = (data_distances < 0) | (data_distances >= associativity)
+            miss_seqs = data_seqs[miss]
+            if miss_seqs.size == 0:
+                continue
+            runs = int((np.diff(miss_seqs) > window).sum())
+            if last is None or int(miss_seqs[0]) - last > window:
+                runs += 1
+            self._runs[key] += runs
+            self._last_seq[key] = int(miss_seqs[-1])
+
+    def finish(self) -> StreamedL2Pass:
+        return StreamedL2Pass(
+            instruction_cold=self._instruction.cold,
+            data_cold=self._data.cold,
+            instruction_histogram=self._instruction.histogram,
+            data_histogram=self._data.histogram,
+            data_seqs=array("q"),
+            data_distances=array("q"),
+            _runs=dict(self._runs),
+        )
+
+
 # ----------------------------------------------------------------------
 # Branch predictors.
 # ----------------------------------------------------------------------
@@ -401,6 +624,47 @@ def _counter_predictions(slots: np.ndarray, taken: np.ndarray) -> np.ndarray:
     """predict-then-update predictions of a 2-bit counter table."""
     maps = np.where(taken, np.uint8(_MAP_INC), np.uint8(_MAP_DEC))
     return _counter_states(slots, maps) >= 2
+
+
+def _counter_states_resumable(slots: np.ndarray, maps: np.ndarray,
+                              table: np.ndarray) -> np.ndarray:
+    """Resumable :func:`_counter_states`: carried table, updated in place.
+
+    ``table`` holds the current state (0..3) of every counter.  The scan is
+    identical to the offline one, except the first event of each slot reads
+    its initial state from the table instead of the hardwired init, and the
+    per-slot final states are written back — so chunk-by-chunk replay
+    matches one offline replay of the concatenation exactly.
+    """
+    n = int(slots.size)
+    if n == 0:
+        return np.empty(0, dtype=np.int64)
+    order = _stable_argsort_ints(slots)
+    grouped_slots = slots[order]
+    acc = maps[order].astype(np.int64)
+    boundary = np.empty(n, dtype=bool)
+    boundary[0] = True
+    boundary[1:] = grouped_slots[1:] != grouped_slots[:-1]
+    segment = np.cumsum(boundary) - 1
+    longest = int(np.bincount(segment).max())
+    step = 1
+    while step < longest:
+        merged = _COMPOSE[acc[step:], acc[:-step]]
+        acc[step:] = np.where(segment[step:] == segment[:-step],
+                              merged, acc[step:])
+        step <<= 1
+    init = table[grouped_slots]  # per-event init state of its slot
+    states = init.copy()  # the first event of a slot sees the init directly
+    inner = np.flatnonzero(~boundary)
+    states[inner] = (acc[inner - 1] >> (2 * init[inner])) & 3
+    segment_starts = np.flatnonzero(boundary)
+    segment_ends = np.append(segment_starts[1:], n) - 1
+    table[grouped_slots[segment_starts]] = (
+        (acc[segment_ends] >> (2 * init[segment_ends])) & 3
+    )
+    out = np.empty(n, dtype=np.int64)
+    out[order] = states
+    return out
 
 
 def _global_history(taken: np.ndarray, bits: int) -> np.ndarray:
@@ -481,6 +745,174 @@ _PREDICTOR_KERNELS = {
 
 
 # ----------------------------------------------------------------------
+# Chunk-resumable predictor states.
+#
+# Each class carries a predictor's architectural state (counter tables,
+# global/local histories, chooser) across chunk boundaries; one
+# ``predict(pcs, taken)`` call per chunk returns the predictions the
+# offline kernel would have produced for that slice of the full replay.
+# ----------------------------------------------------------------------
+class _BimodalState:
+    def __init__(self, entries: int = 2048):
+        self._entries = entries
+        self._table = np.full(entries, 2, dtype=np.int64)
+
+    def predict(self, pcs: np.ndarray, taken: np.ndarray) -> np.ndarray:
+        maps = np.where(taken, np.uint8(_MAP_INC), np.uint8(_MAP_DEC))
+        return _counter_states_resumable(
+            (pcs >> 2) & (self._entries - 1), maps, self._table
+        ) >= 2
+
+
+class _GShareState:
+    def __init__(self, history_bits: int = 12):
+        self._bits = history_bits
+        self._mask = (1 << history_bits) - 1
+        self._table = np.full(1 << history_bits, 2, dtype=np.int64)
+        self._history = 0  # carried global history register
+
+    def predict(self, pcs: np.ndarray, taken: np.ndarray) -> np.ndarray:
+        n = int(taken.size)
+        history = _global_history(taken, self._bits)
+        if n and self._history:
+            # Branch i's history bits >= i predate the chunk: bit j of the
+            # carried register is the outcome of branch -1-(j-i), so the
+            # whole register lands shifted left by i (older bits fall off
+            # the mask).
+            width = min(n, self._bits)
+            history[:width] |= (
+                np.int64(self._history) << np.arange(width, dtype=np.int64)
+            ) & self._mask
+        maps = np.where(taken, np.uint8(_MAP_INC), np.uint8(_MAP_DEC))
+        index = ((pcs >> 2) ^ history) & self._mask
+        predictions = _counter_states_resumable(index, maps, self._table) >= 2
+        if n:
+            width = min(n, self._bits)
+            recent = taken[n - width:].astype(np.int64)[::-1]  # newest first
+            packed = int((recent << np.arange(width, dtype=np.int64)).sum())
+            self._history = ((self._history << width) | packed) & self._mask
+        return predictions
+
+
+class _LocalState:
+    def __init__(self, history_bits: int = 10, history_entries: int = 1024):
+        self._bits = history_bits
+        self._mask = (1 << history_bits) - 1
+        self._entries = history_entries
+        self._histories = np.zeros(history_entries, dtype=np.int64)
+        self._table = np.full(1 << history_bits, 2, dtype=np.int64)
+
+    def predict(self, pcs: np.ndarray, taken: np.ndarray) -> np.ndarray:
+        n = int(pcs.size)
+        if n == 0:
+            return np.zeros(0, dtype=bool)
+        bits = self._bits
+        slots = (pcs >> 2) & (self._entries - 1)
+        order = _stable_argsort_ints(slots)
+        grouped_slots = slots[order]
+        grouped_taken = taken[order].astype(np.int64)
+        boundary = np.empty(n, dtype=bool)
+        boundary[0] = True
+        boundary[1:] = grouped_slots[1:] != grouped_slots[:-1]
+        start_positions = np.flatnonzero(boundary)
+        segment_start = start_positions[np.cumsum(boundary) - 1]
+        positions = np.arange(n, dtype=np.int64)
+        history = np.zeros(n, dtype=np.int64)
+        for j in range(1, bits + 1):
+            source = positions - j
+            ok = source >= segment_start
+            history[ok] |= grouped_taken[source[ok]] << (j - 1)
+        # An event at within-slot rank r has only r in-chunk predecessors;
+        # the carried per-slot history supplies the rest, shifted past them.
+        rank = positions - segment_start
+        carried = self._histories[grouped_slots]
+        shallow = rank < bits
+        history[shallow] |= (carried[shallow] << rank[shallow]) & self._mask
+        out_history = np.empty(n, dtype=np.int64)
+        out_history[order] = history
+        # Advance each touched slot's history by its segment's outcomes.
+        segment_ends = np.append(start_positions[1:], n) - 1
+        counts = segment_ends - start_positions + 1
+        packed = np.zeros(start_positions.size, dtype=np.int64)
+        for j in range(bits):
+            deep = counts > j
+            packed[deep] |= grouped_taken[segment_ends[deep] - j] << j
+        shift = np.minimum(counts, bits)
+        slot_ids = grouped_slots[start_positions]
+        self._histories[slot_ids] = (
+            (self._histories[slot_ids] << shift) | packed
+        ) & self._mask
+        maps = np.where(taken, np.uint8(_MAP_INC), np.uint8(_MAP_DEC))
+        # The shared second-level table is indexed by the history value.
+        return _counter_states_resumable(out_history, maps, self._table) >= 2
+
+
+class _HybridState:
+    def __init__(self, chooser_entries: int = 1024):
+        self._local = _LocalState(history_bits=10, history_entries=1024)
+        self._gshare = _GShareState(history_bits=12)
+        self._entries = chooser_entries
+        self._chooser = np.full(chooser_entries, 2, dtype=np.int64)
+
+    def predict(self, pcs: np.ndarray, taken: np.ndarray) -> np.ndarray:
+        local = self._local.predict(pcs, taken)
+        global_ = self._gshare.predict(pcs, taken)
+        maps = np.where(
+            local == global_,
+            np.uint8(_MAP_IDENTITY),
+            np.where(global_ == taken, np.uint8(_MAP_INC), np.uint8(_MAP_DEC)),
+        )
+        choose_global = _counter_states_resumable(
+            (pcs >> 2) & (self._entries - 1), maps, self._chooser
+        ) >= 2
+        return np.where(choose_global, global_, local)
+
+
+class _ConstantState:
+    def __init__(self, value: bool):
+        self._value = value
+
+    def predict(self, pcs: np.ndarray, taken: np.ndarray) -> np.ndarray:
+        return np.full(taken.size, self._value, dtype=bool)
+
+
+#: spec -> (carried-state factory, BranchPredictor.name of the built instance).
+_PREDICTOR_STREAM_STATES = {
+    "global_1kb": (lambda: _GShareState(history_bits=12), "gshare"),
+    "hybrid_3.5kb": (_HybridState, "hybrid"),
+    "bimodal": (_BimodalState, "bimodal"),
+    "always_taken": (lambda: _ConstantState(True), "always_taken"),
+    "always_not_taken": (lambda: _ConstantState(False), "always_not_taken"),
+}
+
+
+class _NpBranchStream:
+    """Chunk-resumable vectorized branch replay for one predictor."""
+
+    def __init__(self, state, predictor_name: str):
+        self._state = state
+        self._profile = BranchProfile(predictor_name=predictor_name)
+
+    def update(self, controls: ControlStream) -> None:
+        taken = _as_i8(controls.taken) == 1
+        conditional = _as_i8(controls.conditional) == 1
+        pcs = _as_i64(controls.pcs)[conditional]
+        outcomes = taken[conditional]
+        jumps = int((~conditional).sum())
+        predictions = self._state.predict(pcs, outcomes)
+        correct = predictions == outcomes
+        profile = self._profile
+        profile.conditional_branches += int(outcomes.size)
+        profile.unconditional_jumps += jumps
+        profile.taken_branches += int(outcomes.sum()) + jumps
+        profile.mispredictions += int((~correct).sum())
+        profile.predicted_taken_correct += int((correct & outcomes).sum())
+
+    def finish(self) -> BranchProfile:
+        return self._profile
+
+
+# ----------------------------------------------------------------------
 # The backend.
 # ----------------------------------------------------------------------
 class NumpyKernels(Kernels):
@@ -518,30 +950,10 @@ class NumpyKernels(Kernels):
         )
         dtlb, _ = _profile_structure(data_addrs, 1, geometry.page_size)
 
-        i_miss = (i_distances < 0) | (i_distances >= geometry.l1i_associativity)
-        d_miss = (d_distances < 0) | (d_distances >= geometry.l1d_associativity)
-        instruction_at = np.flatnonzero(i_miss)
-        data_at = memory_indices[d_miss]
-        # Interleave by trace position; an instruction fetch precedes the
-        # same instruction's data access, exactly like the reference walk.
-        # Both halves are already position-sorted, so the merged slots come
-        # from two searchsorted calls instead of a sort.
-        total = instruction_at.size + data_at.size
-        instruction_slots = (np.arange(instruction_at.size, dtype=np.int64)
-                             + np.searchsorted(data_at, instruction_at,
-                                               side="left"))
-        data_slots = (np.arange(data_at.size, dtype=np.int64)
-                      + np.searchsorted(instruction_at, data_at,
-                                        side="right"))
-        addrs = np.empty(total, dtype=np.int64)
-        addrs[instruction_slots] = pcs[instruction_at]
-        addrs[data_slots] = data_addrs[d_miss]
-        sides = np.empty(total, dtype=np.int8)
-        sides[instruction_slots] = INSTRUCTION_SIDE
-        sides[data_slots] = DATA_SIDE
-        stream_seqs = np.empty(total, dtype=np.int64)
-        stream_seqs[instruction_slots] = seqs[instruction_at]
-        stream_seqs[data_slots] = seqs[data_at]
+        addrs, sides, stream_seqs = _interleave_l2_stream(
+            pcs, seqs, memory_indices, data_addrs, i_distances, d_distances,
+            geometry.l1i_associativity, geometry.l1d_associativity,
+        )
 
         return BasePass(
             l1i=l1i, l1d=l1d, itlb=itlb, dtlb=dtlb,
@@ -766,40 +1178,145 @@ class NumpyKernels(Kernels):
 
     def dependency_profile(self, trace: Trace,
                            max_distance: int) -> DependencyProfile | None:
+        # The offline pass is the one-chunk case of the resumable stream.
+        if len(trace) == 0:
+            return DependencyProfile()
+        table = _dependency_static_table(trace.statics)
+        if table is None:
+            return None  # outside the two-operand ISA: reference walk
+        stream = _NpDependencyStream(max_distance, trace.statics, table)
+        stream.update(trace)
+        return stream.finish()
+
+    def base_stream(self, geometry: BaseGeometry):
+        return _NpBaseStream(geometry)
+
+    def l2_stream(self, sets: int, line_size: int, run_keys=()):
+        return _NpL2Stream(sets, line_size, run_keys)
+
+    def branch_stream(self, predictor_spec: str):
+        try:
+            canonical = PREDICTORS.canonical(predictor_spec.lower())
+        except KeyError:
+            return None
+        entry = _PREDICTOR_STREAM_STATES.get(canonical)
+        if entry is None:
+            # Third-party predictor registration: no vectorized replay.
+            return None
+        factory, predictor_name = entry
+        return _NpBranchStream(factory(), predictor_name)
+
+    def dependency_stream(self, statics, max_distance: int):
+        table = _dependency_static_table(statics)
+        if table is None:
+            # Outside the two-operand ISA: the reference stream handles it.
+            return super().dependency_stream(statics, max_distance)
+        return _NpDependencyStream(max_distance, statics, table)
+
+
+#: Memo for :func:`_dependency_static_table`, keyed by the identity of the
+#: statics tuple.  A chunked trace shares one immutable statics tuple across
+#: every chunk, so per-chunk dependency streams (the sampling path builds
+#: one per profiled interval) would otherwise rebuild the same operand
+#: arrays over and over.  Entries hold a strong reference to their statics
+#: tuple, which keeps the id stable for as long as the entry lives; the
+#: ``is`` check guards the (now impossible) collision anyway.
+_DEP_TABLE_CACHE: dict = {}
+_DEP_TABLE_CACHE_MAX = 8
+
+
+def _dependency_static_table(statics):
+    """Per-static operand arrays for the vectorized dependency pass.
+
+    One pass over the (small) static program resolves operands and producer
+    kinds; everything after reads only packed columns.  Returns ``None``
+    when a static instruction has more than two sources (outside the
+    two-operand ISA) — those traces take the reference walk.
+    """
+    entry = _DEP_TABLE_CACHE.get(id(statics))
+    if entry is not None and entry[0] is statics:
+        return entry[1]
+    table = _build_dependency_static_table(statics)
+    if len(_DEP_TABLE_CACHE) >= _DEP_TABLE_CACHE_MAX:
+        _DEP_TABLE_CACHE.pop(next(iter(_DEP_TABLE_CACHE)))
+    _DEP_TABLE_CACHE[id(statics)] = (statics, table)
+    return table
+
+
+def _build_dependency_static_table(statics):
+    first_sources, second_sources, destinations, producer_kinds = \
+        [], [], [], []
+    for static in statics:
+        sources = static.src_regs()
+        if len(sources) > 2:
+            return None
+        first_sources.append(sources[0] if sources else -1)
+        second_sources.append(sources[1] if len(sources) > 1 else -1)
+        dest_regs = static.dest_regs()
+        destinations.append(dest_regs[0] if dest_regs else -1)
+        op_class = static.op_class
+        producer_kinds.append(
+            2 if op_class is OpClass.LOAD
+            else 1 if op_class in (OpClass.INT_MUL, OpClass.INT_DIV)
+            else 0
+        )
+    return (
+        np.array(first_sources, dtype=np.int64),
+        np.array(second_sources, dtype=np.int64),
+        np.array(destinations, dtype=np.int64),
+        np.array(producer_kinds, dtype=np.int64),
+    )
+
+
+class _NpDependencyStream:
+    """Chunk-resumable vectorized dependency profiling.
+
+    The carried state is the reference walk's ``last_writer`` table — per
+    register, the sequence number and producer kind of the latest write in
+    any earlier chunk.  Within a chunk the offline composite-key fold runs
+    unchanged; a read with no in-chunk producer (which the offline fold
+    leaves unresolved) falls back to the carried writer of its register,
+    and an in-chunk producer is by construction more recent than any
+    carried one, so the merged result matches the uninterrupted walk
+    exactly.  Sequence numbers are global, so cross-chunk distances are
+    too.
+    """
+
+    def __init__(self, max_distance: int, statics, table):
+        self._max_distance = max_distance
+        self._profile = DependencyProfile()
+        self._table = table
+        self._num_statics = len(statics)
+        self._writer_seq = np.full(NUM_INT_REGS, -1, dtype=np.int64)
+        self._writer_kind = np.zeros(NUM_INT_REGS, dtype=np.int64)
+        self._has_writer = np.zeros(NUM_INT_REGS, dtype=bool)
+
+    def update(self, trace: Trace) -> None:
         statics = trace.statics
+        if len(statics) != self._num_statics:
+            # The static table of one trace is append-only across chunks.
+            table = _dependency_static_table(statics)
+            if table is None:
+                raise ValueError(
+                    "a static instruction with more than two sources "
+                    "appeared mid-stream; profile this trace with the "
+                    "python backend"
+                )
+            self._table = table
+            self._num_statics = len(statics)
         n = len(trace)
-        profile = DependencyProfile()
         if n == 0:
-            return profile
-
-        kind_names = (KIND_UNIT, KIND_LONG, KIND_LOAD)
-        # One pass over the (small) static program resolves operands and
-        # producer kinds; everything after reads only packed columns.
+            return
         first_sources, second_sources, destinations, producer_kinds = \
-            [], [], [], []
-        for static in statics:
-            sources = static.src_regs()
-            if len(sources) > 2:
-                return None  # outside the two-operand ISA: reference walk
-            first_sources.append(sources[0] if sources else -1)
-            second_sources.append(sources[1] if len(sources) > 1 else -1)
-            dest_regs = static.dest_regs()
-            destinations.append(dest_regs[0] if dest_regs else -1)
-            op_class = static.op_class
-            producer_kinds.append(
-                2 if op_class is OpClass.LOAD
-                else 1 if op_class in (OpClass.INT_MUL, OpClass.INT_DIV)
-                else 0
-            )
-
+            self._table
         static_index = _as_i64(trace.static_index)
         seqs = _as_i64(trace.seqs)
-        dest = np.array(destinations, dtype=np.int64)[static_index]
-        kinds = np.array(producer_kinds, dtype=np.int64)[static_index]
-        source_slots = [
-            np.array(slot, dtype=np.int64)[static_index]
-            for slot in (first_sources, second_sources)
-        ]
+        dest = destinations[static_index]
+        kinds = producer_kinds[static_index]
+        source_slots = (
+            first_sources[static_index],
+            second_sources[static_index],
+        )
 
         # Reads and writes fold into composite keys ``(register * (n + 1)
         # + position) * 2 (+ 1 for writes)`` — within a register the key
@@ -826,27 +1343,39 @@ class NumpyKernels(Kernels):
         # The paper's convention: shortest distance wins; on ties, the
         # first source operand — so scatter slot 0 first and let slot 1
         # only replace strictly closer producers.
-        for slot, sources in enumerate(
-            source_slots if write_positions.size else ()
-        ):
+        for slot, sources in enumerate(source_slots):
             reads_at = np.flatnonzero(sources >= 0)
             read_regs = sources[reads_at]
             read_order = np.argsort(read_regs.astype(np.int8), kind="stable")
             consumers = reads_at[read_order]
             read_regs = read_regs[read_order]
-            read_keys = (read_regs * stride + consumers) * 2
-            drop_at = np.searchsorted(read_keys, write_keys, side="left")
-            visible = np.full(consumers.size + 1, -1, dtype=np.int64)
-            # Ascending write keys: the last write dropped at a slot is the
-            # largest, and the running maximum carries it forward.
-            visible[drop_at] = write_keys
-            producers = ((np.maximum.accumulate(visible[:-1]) >> 1)
-                         - read_regs * stride)
-            valid = producers >= 0
-            consumers = consumers[valid]
-            producers = producers[valid]
-            distance = seqs[consumers] - seqs[producers]
-            kind = kinds[producers]
+            if write_positions.size:
+                read_keys = (read_regs * stride + consumers) * 2
+                drop_at = np.searchsorted(read_keys, write_keys, side="left")
+                visible = np.full(consumers.size + 1, -1, dtype=np.int64)
+                # Ascending write keys: the last write dropped at a slot is
+                # the largest, and the running maximum carries it forward.
+                visible[drop_at] = write_keys
+                producers = ((np.maximum.accumulate(visible[:-1]) >> 1)
+                             - read_regs * stride)
+                valid = producers >= 0
+            else:
+                producers = np.zeros(consumers.size, dtype=np.int64)
+                valid = np.zeros(consumers.size, dtype=bool)
+            # An in-chunk producer is always the register's latest writer;
+            # only unresolved reads consult the carried writer table.
+            carried = ~valid & self._has_writer[read_regs]
+            resolved = valid | carried
+            distance = np.empty(consumers.size, dtype=np.int64)
+            kind = np.empty(consumers.size, dtype=np.int64)
+            distance[valid] = seqs[consumers[valid]] - seqs[producers[valid]]
+            kind[valid] = kinds[producers[valid]]
+            distance[carried] = (seqs[consumers[carried]]
+                                 - self._writer_seq[read_regs[carried]])
+            kind[carried] = self._writer_kind[read_regs[carried]]
+            consumers = consumers[resolved]
+            distance = distance[resolved]
+            kind = kind[resolved]
             if slot == 0:
                 best_distance[consumers] = distance
                 best_kind[consumers] = kind
@@ -855,14 +1384,35 @@ class NumpyKernels(Kernels):
                 best_distance[consumers[closer]] = distance[closer]
                 best_kind[consumers[closer]] = kind[closer]
 
-        recorded = (best_kind >= 0) & (best_distance <= max_distance)
-        profile.consumers = int(recorded.sum())
-        for kind_id, kind_name in enumerate(kind_names):
+        recorded = (best_kind >= 0) & (best_distance <= self._max_distance)
+        profile = self._profile
+        profile.consumers += int(recorded.sum())
+        for kind_id, kind_name in enumerate((KIND_UNIT, KIND_LONG, KIND_LOAD)):
             values = best_distance[recorded & (best_kind == kind_id)]
             if values.size == 0:
                 continue
             counts = np.bincount(values)
             histogram = profile.histogram(kind_name)
             for distance_value in np.flatnonzero(counts):
-                histogram[int(distance_value)] = int(counts[distance_value])
-        return profile
+                histogram[int(distance_value)] = (
+                    histogram.get(int(distance_value), 0)
+                    + int(counts[distance_value])
+                )
+
+        # Carry each register's latest in-chunk write out of this chunk.
+        if write_positions.size:
+            # ``write_positions`` is register-grouped with ascending
+            # positions inside each group: the last entry per group is the
+            # register's latest write.
+            write_regs = dest[write_positions]
+            last_in_group = np.empty(write_regs.size, dtype=bool)
+            last_in_group[-1] = True
+            last_in_group[:-1] = write_regs[1:] != write_regs[:-1]
+            picks = write_positions[last_in_group]
+            picked_regs = write_regs[last_in_group]
+            self._writer_seq[picked_regs] = seqs[picks]
+            self._writer_kind[picked_regs] = kinds[picks]
+            self._has_writer[picked_regs] = True
+
+    def finish(self) -> DependencyProfile:
+        return self._profile

@@ -28,14 +28,26 @@ def count_miss_runs(seqs, distances, associativity: int, mlp_window: int) -> int
     A run starts at a miss whose distance from the previous miss exceeds
     ``mlp_window`` dynamic instructions; ``distance < 0`` is a cold miss.
     """
+    runs, _ = resume_miss_runs(seqs, distances, associativity, mlp_window, None)
+    return runs
+
+
+def resume_miss_runs(seqs, distances, associativity: int, mlp_window: int,
+                     last_seq: int | None) -> tuple[int, int | None]:
+    """One chunk of miss-run counting: ``(new runs, last miss sequence)``.
+
+    The carried ``last_seq`` is the sequence number of the last miss seen in
+    earlier chunks (``None`` before the first miss), so feeding a stream
+    chunk by chunk counts exactly the runs :func:`count_miss_runs` counts
+    over the concatenation.
+    """
     runs = 0
-    last_seq = None
     for seq, distance in zip(seqs, distances):
         if distance < 0 or distance >= associativity:
             if last_seq is None or seq - last_seq > mlp_window:
                 runs += 1
             last_seq = seq
-    return runs
+    return runs, last_seq
 
 
 @dataclass(frozen=True)
@@ -98,3 +110,28 @@ class L2Pass:
                              associativity, mlp_window)
             self._runs[key] = cached
         return cached
+
+
+@dataclass(frozen=True)
+class StreamedL2Pass(L2Pass):
+    """An :class:`L2Pass` assembled chunk by chunk from a trace stream.
+
+    The per-access ``(seq, distance)`` miss stream is never materialized —
+    that is the whole point of streaming — so run counts exist only for the
+    ``(associativity, mlp_window)`` pairs that were registered before the
+    walk and accumulated incrementally into ``_runs``.  Asking for any other
+    pair is a programming error (the silent alternative would be a wrong
+    count computed from the empty arrays), so it raises instead.
+    """
+
+    def data_miss_runs(self, associativity: int, mlp_window: int,
+                       counter=count_miss_runs) -> int:
+        key = (associativity, mlp_window)
+        try:
+            return self._runs[key]
+        except KeyError:
+            raise KeyError(
+                f"streamed L2 pass has no miss-run count for associativity="
+                f"{associativity}, mlp_window={mlp_window}; re-stream the "
+                f"trace with this pair in run_keys"
+            ) from None

@@ -211,7 +211,11 @@ class EvalResult:
     (simulator) cycle count; ``cpi_stack`` maps CPI-component names to
     cycle counts for backends that decompose their prediction, and is
     ``None`` for the cycle-accurate simulator.  ``energy_joules`` is
-    ``None`` unless the request asked for power.
+    ``None`` unless the request asked for power.  ``sampling`` carries the
+    interval-sampling metadata (plan geometry, fraction profiled,
+    per-metric estimated relative errors) when the result came from a
+    sampled evaluation of a chunked trace, and is ``None`` for exact
+    evaluations.
     """
 
     request: EvalRequest
@@ -223,6 +227,7 @@ class EvalResult:
     seconds: float
     cpi_stack: dict[str, float] | None = None
     energy_joules: float | None = None
+    sampling: dict | None = None
     schema_version: int = API_SCHEMA_VERSION
 
     @property
@@ -252,6 +257,7 @@ class EvalResult:
             "seconds": self.seconds,
             "cpi_stack": self.cpi_stack,
             "energy_joules": self.energy_joules,
+            "sampling": self.sampling,
         }
 
     @classmethod
@@ -266,6 +272,7 @@ class EvalResult:
             seconds=payload["seconds"],
             cpi_stack=payload.get("cpi_stack"),
             energy_joules=payload.get("energy_joules"),
+            sampling=payload.get("sampling"),
             schema_version=payload.get("schema_version", API_SCHEMA_VERSION),
         )
 

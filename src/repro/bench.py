@@ -34,21 +34,32 @@ Times the paths every PR is expected to keep fast:
   ship/attach/profile/model/collect breakdown recorded next to the median,
 * ``sharded_evaluate_many_payload`` — the identical sharded run forced
   onto the column-bytes payload plane; the ship/attach stage deltas
-  against ``sharded_evaluate_many`` are the data-plane win.
+  against ``sharded_evaluate_many`` are the data-plane win,
+* ``long_workload_sampled`` — a synthetic workload scaled 100x past the
+  in-memory default, generated straight into an on-disk spill store and
+  evaluated by warmed interval sampling (:mod:`repro.profiler.sampling`)
+  in a subprocess; the entry records the sampling rate, the estimated CPI
+  error, the child's peak RSS and the exact-streaming wall time the
+  sampled evaluation replaces (``speedup_vs_exact``).
 
 Each benchmark runs ``--repeat`` times with the garbage collector paused
 around the timed region (collector pauses otherwise dominate the variance
 of sub-second runs) and the *median* is reported.  The output schema
-(``schema_version`` 4) records the Python version, job count, active
-kernel backend and resolved data plane next to the results; benchmarks
-with a stage breakdown carry it (from the median run) in their entry:
+(``schema_version`` 5) records the Python version, job count, active
+kernel backend, resolved data plane and the per-stage gate floor
+(``stage_tolerance_ms``) next to the results; benchmarks with a stage
+breakdown carry it (from the median run) in their entry:
 
 .. code-block:: json
 
-    {"schema_version": 4, "python_version": "3.11.7", "jobs": 1,
+    {"schema_version": 5, "python_version": "3.11.7", "jobs": 1,
      "repeats": 3, "accel_backend": "numpy", "accel_speedup": 5.3,
-     "dataplane": "shm",
+     "dataplane": "shm", "stage_tolerance_ms": 50.0,
      "results": {"trace_generation": {"median": ..., "runs": [...]},
+                 "long_workload_sampled": {"median": ..., "runs": [...],
+                                           "sampling_rate": 32,
+                                           "est_error": ...,
+                                           "peak_rss_mb": ...},
                  "sharded_evaluate_many": {"median": ..., "runs": [...],
                                            "dataplane": "shm",
                                            "stages": {"ship": ...}}}}
@@ -58,8 +69,8 @@ benchmarking, every benchmark present in both files is checked and the
 process exits non-zero when a median regressed more than ``--tolerance``
 percent (``make bench-compare`` wires this into CI against the committed
 ``BENCH_core.json``).  Per-stage timings are gated the same way for
-stages both files record above a noise floor, so older (v3) references
-still compare cleanly.
+stages both files record above the ``--stage-tolerance-ms`` floor
+(default 50ms), so older (v3/v4) references still compare cleanly.
 
 Run via ``make bench``, ``PYTHONPATH=src python benchmarks/run_bench.py``,
 ``repro-bench`` or ``repro-experiments bench``.
@@ -85,12 +96,20 @@ from repro.runtime.session import Session
 from repro.workloads import get_workload
 
 #: Version of the BENCH_core.json layout.
-BENCH_SCHEMA_VERSION = 4
+BENCH_SCHEMA_VERSION = 5
 
-#: Per-stage regressions below this many reference seconds are ignored by
-#: the gate: sub-50ms stages (handle pickling, result reassembly) are
-#: scheduler noise, not signal.
-STAGE_NOISE_FLOOR_SECONDS = 0.05
+#: Default --stage-tolerance-ms: per-stage regressions whose reference time
+#: is below this many milliseconds are ignored by the gate — sub-50ms stages
+#: (handle pickling, result reassembly) are scheduler noise, not signal.
+DEFAULT_STAGE_TOLERANCE_MS = 50.0
+
+#: Long-workload benchmark shape: a synthetic workload scaled 100x past the
+#: in-memory default, spilled to disk and evaluated by interval sampling.
+LONG_WORKLOAD_SCALE = 100
+LONG_WORKLOAD_CHUNK_LENGTH = 16384
+LONG_WORKLOAD_RATE = 64
+LONG_WORKLOAD_WARMUP = 3
+LONG_WORKLOAD_WARMING = 2
 
 
 def _fresh_workloads():
@@ -334,6 +353,141 @@ def bench_sharded_evaluate_many_payload() -> tuple[float, dict]:
     return _timed_sharded_evaluate_many("payload")
 
 
+def _reset_peak_rss() -> None:
+    """Zero the process's peak-RSS watermark where the kernel allows it.
+
+    A freshly spawned child briefly shares the parent's address space
+    (fork/vfork before exec), so its ``ru_maxrss`` starts at the parent's
+    RSS — 200+ MB mid-benchmark — rather than zero.  Linux resets the
+    ``VmHWM`` watermark on writing ``5`` to ``/proc/self/clear_refs``;
+    elsewhere the inherited figure stands (and overstates).
+    """
+    try:
+        with open("/proc/self/clear_refs", "w") as fh:
+            fh.write("5")
+    except OSError:
+        pass
+
+
+def _peak_rss_mb() -> float:
+    """Peak RSS in MB, honouring a :func:`_reset_peak_rss` watermark."""
+    import resource
+
+    try:
+        with open("/proc/self/status", encoding="ascii") as fh:
+            for line in fh:
+                if line.startswith("VmHWM:"):
+                    return int(line.split()[1]) / 1024.0
+    except OSError:
+        pass
+    return resource.getrusage(resource.RUSAGE_SELF).ru_maxrss / 1024.0
+
+
+def _long_workload_child() -> None:
+    """Subprocess body of ``long_workload_sampled`` (clean-RSS measurement).
+
+    Generates a ``LONG_WORKLOAD_SCALE``x synthetic workload straight into a
+    spill store, evaluates it by interval sampling and once exactly through
+    the streaming engine, and prints one JSON line with both wall times,
+    the sampled CPI's estimated error and the process peak RSS.  Runs in
+    its own process so the peak reflects the streamed evaluation, not
+    whatever the parent benchmarked before.
+    """
+    import sys as _sys
+    import tempfile as _tempfile
+
+    from repro.core.model import InOrderMechanisticModel
+    from repro.profiler.sampling import sample_evaluate
+    from repro.profiler.streaming import StreamingEngine
+    from repro.workloads.synthetic import (
+        SyntheticWorkloadSpec,
+        generate_synthetic_store,
+    )
+
+    from repro.accel import get_kernels
+
+    _reset_peak_rss()
+    spec = SyntheticWorkloadSpec(name="synthetic-long")
+    with _tempfile.TemporaryDirectory() as root:
+        chunked = generate_synthetic_store(
+            Path(root) / "store", spec, scale=LONG_WORKLOAD_SCALE,
+            chunk_length=LONG_WORKLOAD_CHUNK_LENGTH,
+        )
+        # Resolve the kernel backend before either timed phase so neither
+        # is charged the one-time import of its implementation module.
+        get_kernels()
+        # Min over inner repeats on both sides: the phases are ~100ms and
+        # ~1s, so a single scheduler hiccup otherwise dominates the ratio.
+        sampled_seconds = float("inf")
+        for _ in range(3):
+            start = time.perf_counter()
+            sampled = sample_evaluate(chunked, DEFAULT_MACHINE,
+                                      rate=LONG_WORKLOAD_RATE,
+                                      warmup=LONG_WORKLOAD_WARMUP,
+                                      warming=LONG_WORKLOAD_WARMING)
+            sampled_seconds = min(sampled_seconds,
+                                  time.perf_counter() - start)
+
+        exact_seconds = float("inf")
+        for _ in range(3):
+            # A fresh engine each round: ``for_chunked`` memoizes its walk
+            # on the trace, which would make later rounds free.
+            start = time.perf_counter()
+            engine = StreamingEngine(chunked)
+            exact = InOrderMechanisticModel(DEFAULT_MACHINE).predict(
+                engine.program_profile(),
+                engine.miss_profile(DEFAULT_MACHINE),
+            )
+            exact_seconds = min(exact_seconds, time.perf_counter() - start)
+
+    peak_rss_mb = _peak_rss_mb()
+    print(json.dumps({
+        "sampled_seconds": sampled_seconds,
+        "exact_seconds": exact_seconds,
+        "instructions": len(chunked),
+        "sampled_cpi": sampled.cpi,
+        "exact_cpi": exact.cpi,
+        "est_error": sampled.est_rel_error["cpi"],
+        "peak_rss_mb": round(peak_rss_mb, 1),
+    }))
+    _sys.stdout.flush()
+
+
+def bench_long_workload_sampled() -> tuple[float, dict]:
+    """Interval-sampled evaluation of a 100x spilled synthetic workload.
+
+    The reported time is the sampled evaluation alone; the extras record
+    the sampling rate, the estimated CPI error, the exact-streaming wall
+    time it replaces (``speedup_vs_exact``) and the child's peak RSS —
+    the figure the bounded-memory CI leg asserts against.
+    """
+    import os
+    import subprocess
+    import sys
+
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(p for p in sys.path if p)
+    proc = subprocess.run(
+        [sys.executable, "-c",
+         "from repro.bench import _long_workload_child; _long_workload_child()"],
+        env=env, capture_output=True, text=True, check=True,
+    )
+    report = json.loads(proc.stdout.strip().splitlines()[-1])
+    exact = report["exact_seconds"]
+    sampled = report["sampled_seconds"]
+    return sampled, {
+        "sampling_rate": LONG_WORKLOAD_RATE,
+        "warmup": LONG_WORKLOAD_WARMUP,
+        "warming": LONG_WORKLOAD_WARMING,
+        "scale": LONG_WORKLOAD_SCALE,
+        "instructions": report["instructions"],
+        "est_error": round(report["est_error"], 6),
+        "peak_rss_mb": report["peak_rss_mb"],
+        "exact_seconds": exact,
+        "speedup_vs_exact": round(exact / sampled, 2) if sampled else None,
+    }
+
+
 BENCHES = {
     "trace_generation": bench_trace_generation,
     "profile_machine": bench_profile_machine,
@@ -345,13 +499,15 @@ BENCHES = {
     "accel_vs_python": bench_accel_vs_python,
     "sharded_evaluate_many": bench_sharded_evaluate_many,
     "sharded_evaluate_many_payload": bench_sharded_evaluate_many_payload,
+    "long_workload_sampled": bench_long_workload_sampled,
 }
 
 #: Benchmarks whose callable accepts (and honours) the job count.
 _JOB_AWARE = {"session_cached_rerun", "api_batch_evaluate"}
 
 
-def run(output: Path, repeat: int = 3, jobs: int = 1) -> dict:
+def run(output: Path, repeat: int = 3, jobs: int = 1,
+        stage_tolerance_ms: float = DEFAULT_STAGE_TOLERANCE_MS) -> dict:
     from repro.accel import active_backend
     from repro.runtime.dataplane import active_mode
 
@@ -392,6 +548,7 @@ def run(output: Path, repeat: int = 3, jobs: int = 1) -> dict:
         "repeats": repeat,
         "accel_backend": active_backend(),
         "dataplane": active_mode(),
+        "stage_tolerance_ms": stage_tolerance_ms,
         "results": results,
     }
     sweep = results.get("sweep_table2", {}).get("median")
@@ -406,21 +563,25 @@ def run(output: Path, repeat: int = 3, jobs: int = 1) -> dict:
     return payload
 
 
-def compare_results(reference: dict, current: dict,
-                    tolerance: float) -> list[str]:
+def compare_results(reference: dict, current: dict, tolerance: float,
+                    stage_tolerance_ms: float = DEFAULT_STAGE_TOLERANCE_MS,
+                    ) -> list[str]:
     """Regressions of ``current`` vs ``reference`` beyond ``tolerance`` %.
 
     Only benchmarks present in both payloads are compared (new benchmarks
     pass vacuously; retired ones are ignored), so the gate stays useful
-    across schema growth.  Per-stage timings (schema 4) are gated the same
+    across schema growth.  Per-stage timings (schema 4+) are gated the same
     way for stages recorded in *both* entries whose reference time clears
-    :data:`STAGE_NOISE_FLOOR_SECONDS` — older references without stage
-    breakdowns, and stages too small to measure reliably, pass vacuously.
-    Returns one human-readable line per regression.
+    ``stage_tolerance_ms`` — older references without stage breakdowns,
+    and stages too small to measure reliably, pass vacuously.  Returns one
+    human-readable line per regression.
     """
     if tolerance < 0:
         raise ValueError("tolerance must be non-negative")
+    if stage_tolerance_ms < 0:
+        raise ValueError("stage tolerance must be non-negative")
     limit = 1.0 + tolerance / 100.0
+    stage_floor = stage_tolerance_ms / 1000.0
     regressions = []
     reference_results = reference.get("results", {})
     current_results = current.get("results", {})
@@ -437,7 +598,7 @@ def compare_results(reference: dict, current: dict,
         for stage in sorted(set(old_stages) & set(new_stages)):
             old_stage = old_stages[stage]
             new_stage = new_stages[stage]
-            if (old_stage >= STAGE_NOISE_FLOOR_SECONDS
+            if (old_stage >= stage_floor
                     and new_stage > old_stage * limit):
                 regressions.append(
                     f"{name}[{stage}]: {new_stage:.3f} s vs reference "
@@ -448,7 +609,8 @@ def compare_results(reference: dict, current: dict,
     return regressions
 
 
-def gate(payload: dict, reference_path: Path, tolerance: float) -> int:
+def gate(payload: dict, reference_path: Path, tolerance: float,
+         stage_tolerance_ms: float = DEFAULT_STAGE_TOLERANCE_MS) -> int:
     """Load a reference file, report regressions, return the exit code.
 
     The shared tail of both bench entry points (``repro-bench`` and
@@ -459,13 +621,15 @@ def gate(payload: dict, reference_path: Path, tolerance: float) -> int:
         reference = json.loads(reference_path.read_text())
     except (OSError, ValueError) as exc:
         raise SystemExit(f"--compare {reference_path}: {exc}") from exc
-    regressions = compare_results(reference, payload, tolerance)
+    regressions = compare_results(reference, payload, tolerance,
+                                  stage_tolerance_ms)
     if regressions:
         print(f"REGRESSIONS vs {reference_path}:")
         for line in regressions:
             print(f"  {line}")
         return 1
-    print(f"no regressions vs {reference_path} (tolerance {tolerance:g}%)")
+    print(f"no regressions vs {reference_path} (tolerance {tolerance:g}%, "
+          f"stage floor {stage_tolerance_ms:g}ms)")
     return 0
 
 
@@ -496,6 +660,12 @@ def main(argv: list[str] | None = None) -> int:
         help="allowed regression vs --compare, in percent (default: 25)",
     )
     parser.add_argument(
+        "--stage-tolerance-ms", type=float,
+        default=DEFAULT_STAGE_TOLERANCE_MS, metavar="MS",
+        help="per-stage gate floor: stages whose reference time is below "
+             "this many milliseconds are not gated (default: 50)",
+    )
+    parser.add_argument(
         "--accel", choices=("auto", "numpy", "python"), default=None,
         help="kernel backend for this run (default: REPRO_ACCEL or auto)",
     )
@@ -507,6 +677,8 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
     if args.tolerance < 0:
         raise SystemExit("--tolerance must be non-negative")
+    if args.stage_tolerance_ms < 0:
+        raise SystemExit("--stage-tolerance-ms must be non-negative")
     if args.accel:
         import os
 
@@ -528,9 +700,11 @@ def main(argv: list[str] | None = None) -> int:
         except ValueError as exc:
             raise SystemExit(f"--dataplane: {exc}") from exc
         os.environ[DATAPLANE_ENV] = args.dataplane
-    payload = run(args.output, repeat=args.repeat, jobs=args.jobs)
+    payload = run(args.output, repeat=args.repeat, jobs=args.jobs,
+                  stage_tolerance_ms=args.stage_tolerance_ms)
     if args.compare is not None:
-        return gate(payload, args.compare, args.tolerance)
+        return gate(payload, args.compare, args.tolerance,
+                    args.stage_tolerance_ms)
     return 0
 
 

@@ -52,14 +52,19 @@ class BranchProfile:
         return self.predicted_taken_correct + self.unconditional_jumps
 
 
-def profile_control_stream(stream, predictor: BranchPredictor) -> BranchProfile:
+def profile_control_stream(stream, predictor: BranchPredictor,
+                           profile: BranchProfile | None = None) -> BranchProfile:
     """Replay a stream of ``(pc, taken, is_conditional)`` control transfers.
 
     This is the single source of truth for the branch accounting; both
     :func:`profile_branches` and the single-pass engine (which caches a
-    compact control stream per trace) feed it.
+    compact control stream per trace) feed it.  Passing an existing
+    ``profile`` accumulates into it — the chunked-trace streaming path
+    replays each chunk's control stream through one persistent predictor,
+    which is indistinguishable from a single replay of the whole trace.
     """
-    profile = BranchProfile(predictor_name=predictor.name)
+    if profile is None:
+        profile = BranchProfile(predictor_name=predictor.name)
     predict = predictor.predict
     update = predictor.update
     for pc, taken, conditional in stream:

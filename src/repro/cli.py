@@ -27,6 +27,7 @@ redirected output stays byte-identical between serial and parallel runs.
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 
 from repro.runtime import (
@@ -228,6 +229,94 @@ def build_parser() -> argparse.ArgumentParser:
         help="output format (default: text)",
     )
 
+    trace_parser = subparsers.add_parser(
+        "trace",
+        help="long-workload trace tooling: import, inspect, generate and "
+             "sample chunked trace stores",
+    )
+    trace_sub = trace_parser.add_subparsers(dest="trace_command",
+                                            required=True)
+
+    trace_import = trace_sub.add_parser(
+        "import",
+        help="convert a portable trace file into a chunked spill store",
+    )
+    trace_import.add_argument("file", metavar="FILE",
+                              help="portable trace file (#REPRO-TRACE 1)")
+    trace_import.add_argument("store", metavar="DIR",
+                              help="destination spill-store directory")
+    trace_import.add_argument("--chunk-length", type=int, default=65536,
+                              metavar="N",
+                              help="rows per chunk (default: 65536)")
+    trace_import.add_argument("--name", default=None, metavar="NAME",
+                              help="workload name recorded in the store "
+                                   "(default: the file header's)")
+
+    trace_info = trace_sub.add_parser(
+        "info",
+        help="describe a spill store directory or portable trace file",
+    )
+    trace_info.add_argument("path", metavar="PATH",
+                            help="spill store directory or portable file")
+
+    trace_synth = trace_sub.add_parser(
+        "synth",
+        help="generate a (scaled) synthetic workload straight into a "
+             "spill store at bounded memory",
+    )
+    trace_synth.add_argument("store", metavar="DIR",
+                             help="destination spill-store directory")
+    trace_synth.add_argument("--scale", type=int, default=1, metavar="N",
+                             help="multiply the spec's instruction count by "
+                                  "N (100-1000 for long-workload runs; "
+                                  "default: 1)")
+    trace_synth.add_argument("--instructions", type=int, default=20_000,
+                             metavar="N",
+                             help="base instruction count before --scale "
+                                  "(default: 20000)")
+    trace_synth.add_argument("--seed", type=int, default=2012, metavar="S",
+                             help="generator seed (default: 2012)")
+    trace_synth.add_argument("--name", default="synthetic", metavar="NAME",
+                             help="workload name (default: synthetic)")
+    trace_synth.add_argument("--chunk-length", type=int, default=65536,
+                             metavar="N",
+                             help="rows per chunk (default: 65536)")
+
+    trace_sample = trace_sub.add_parser(
+        "sample",
+        help="evaluate a trace store through interval sampling (or exactly, "
+             "with --rate 1) and report CPI with error estimates",
+    )
+    trace_sample.add_argument("store", metavar="DIR",
+                              help="spill-store directory to evaluate")
+    trace_sample.add_argument("--rate", type=int, default=10, metavar="K",
+                              help="profile every K-th chunk (default: 10; "
+                                   "1 profiles everything, exactly)")
+    trace_sample.add_argument("--warmup", type=int, default=4, metavar="N",
+                              help="exactly-profiled census prefix chunks "
+                                   "(default: 4)")
+    trace_sample.add_argument("--warming", type=int, default=1, metavar="N",
+                              help="chunks streamed to warm state before "
+                                   "each sampled interval (default: 1)")
+    trace_sample.add_argument("--preset", default="paper_default",
+                              metavar="NAME",
+                              help="machine preset to evaluate "
+                                   "(default: paper_default)")
+    trace_sample.add_argument("--mlp-window", type=int, default=64,
+                              metavar="N",
+                              help="MLP coalescing window (default: 64)")
+    trace_sample.add_argument("--cache-dir", default=None, metavar="DIR",
+                              help="artifact cache directory; per-chunk "
+                                   "interval profiles are reused across "
+                                   "invocations and sampling rates")
+    trace_sample.add_argument("--json", action="store_true",
+                              help="emit the full result as JSON")
+    trace_sample.add_argument(
+        "--accel", choices=("auto", "numpy", "python"), default=None,
+        metavar="BACKEND",
+        help="profiling-kernel backend (default: REPRO_ACCEL, then auto)",
+    )
+
     bench_parser = subparsers.add_parser(
         "bench", help="run the core hot-path benchmark (writes BENCH_core.json)"
     )
@@ -247,6 +336,12 @@ def build_parser() -> argparse.ArgumentParser:
                               metavar="PCT",
                               help="allowed regression vs --compare, in "
                                    "percent (default: 25)")
+    bench_parser.add_argument("--stage-tolerance-ms", type=float, default=50.0,
+                              metavar="MS",
+                              help="absolute slack added to --compare's "
+                                   "per-benchmark gate, in milliseconds: "
+                                   "sub-tolerance regressions smaller than "
+                                   "this never fail the gate (default: 50)")
     bench_parser.add_argument(
         "--accel", choices=("auto", "numpy", "python"), default=None,
         metavar="BACKEND",
@@ -528,6 +623,161 @@ def _cmd_list(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    if args.trace_command == "import":
+        from repro.trace.store import import_portable
+
+        try:
+            chunked = import_portable(args.file, args.store,
+                                      chunk_length=args.chunk_length,
+                                      name=args.name)
+        except (OSError, ValueError, NotImplementedError) as exc:
+            raise SystemExit(f"import: {exc}") from exc
+        print(f"imported {len(chunked):,} instructions into {args.store} "
+              f"({chunked.num_chunks} chunks of {chunked.chunk_length}, "
+              f"{len(chunked.statics)} statics)")
+        return 0
+
+    if args.trace_command == "info":
+        import json
+
+        from repro.trace.store import portable_info, store_info
+
+        path = Path(args.path)
+        try:
+            if path.is_dir():
+                info = store_info(path)
+                info["kind"] = "store"
+            else:
+                info = portable_info(path)
+                info["kind"] = "portable"
+        except (OSError, ValueError, NotImplementedError, KeyError) as exc:
+            raise SystemExit(f"info: {path}: {exc}") from exc
+        print(json.dumps(info, indent=2, sort_keys=True))
+        return 0
+
+    if args.trace_command == "synth":
+        from repro.workloads.synthetic import (
+            SyntheticWorkloadSpec,
+            generate_synthetic_store,
+        )
+
+        try:
+            spec = SyntheticWorkloadSpec(name=args.name,
+                                         instructions=args.instructions,
+                                         seed=args.seed)
+            chunked = generate_synthetic_store(args.store, spec,
+                                               scale=args.scale,
+                                               chunk_length=args.chunk_length)
+        except (OSError, ValueError) as exc:
+            raise SystemExit(f"synth: {exc}") from exc
+        print(f"generated {len(chunked):,} instructions "
+              f"({args.instructions} x{args.scale}) into {args.store} "
+              f"({chunked.num_chunks} chunks of {chunked.chunk_length})")
+        return 0
+
+    # sample
+    from repro.machine import machine_from_spec
+    from repro.trace.store import TraceStore
+
+    if args.rate < 1:
+        raise SystemExit("--rate must be at least 1")
+    try:
+        machine = machine_from_spec(args.preset)
+    except KeyError as exc:
+        raise SystemExit(f"--preset: {exc.args[0]}") from exc
+    try:
+        chunked = TraceStore.open(args.store)
+    except (OSError, ValueError, NotImplementedError) as exc:
+        raise SystemExit(f"sample: {args.store}: {exc}") from exc
+
+    if args.rate == 1:
+        # Exact: stream every chunk once through the resumable engine.
+        from repro.core.model import InOrderMechanisticModel
+        from repro.profiler.streaming import StreamingEngine
+
+        engine = StreamingEngine.for_chunked(chunked)
+        misses = engine.miss_profile(machine, args.mlp_window)
+        program = engine.program_profile()
+        result = InOrderMechanisticModel(machine).predict(program, misses)
+        payload = {
+            "store": str(args.store),
+            "name": chunked.name,
+            "machine": machine.name,
+            "instructions": len(chunked),
+            "exact": True,
+            "cycles": result.cycles,
+            "cpi": result.cpi,
+            "seconds": result.execution_time_seconds,
+            "misses": {metric: getattr(misses, metric)
+                       for metric in _SAMPLE_METRICS},
+        }
+        if args.json:
+            import json
+
+            print(json.dumps(payload, indent=2, sort_keys=True))
+        else:
+            print(f"{chunked.name}: {len(chunked):,} instructions, "
+                  f"{chunked.num_chunks} chunks (exact)")
+            print(f"cpi={result.cpi:.4f}  cycles={result.cycles:,.0f}  "
+                  f"seconds={result.execution_time_seconds:.6f}")
+        return 0
+
+    session = Session(cache_dir=args.cache_dir)
+    evaluation = session.sample_evaluate(
+        chunked, machine, rate=args.rate, warmup=args.warmup,
+        warming=args.warming, mlp_window=args.mlp_window,
+    )
+    bar = evaluation.est_rel_error.get("cpi", 0.0)
+    payload = {
+        "store": str(args.store),
+        "name": chunked.name,
+        "machine": machine.name,
+        "instructions": evaluation.instructions,
+        "exact": evaluation.plan.exact,
+        "cycles": evaluation.cycles,
+        "cpi": evaluation.cpi,
+        "seconds": evaluation.seconds,
+        "misses": {metric: getattr(evaluation.misses, metric)
+                   for metric in _SAMPLE_METRICS},
+        "sampling": evaluation.to_dict(),
+        "interval_cache": {"hits": evaluation.cache_hits,
+                           "misses": evaluation.cache_misses},
+    }
+    if args.json:
+        import json
+
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0
+    plan = evaluation.plan
+    print(f"{chunked.name}: {evaluation.instructions:,} instructions, "
+          f"{plan.num_chunks} chunks; profiled "
+          f"{plan.intervals_profiled} ({plan.fraction:.1%}) at rate "
+          f"{plan.rate} (warmup={plan.warmup}, warming={evaluation.warming})")
+    print(f"cpi={evaluation.cpi:.4f} +-{bar:.2%}  "
+          f"cycles={evaluation.cycles:,.0f}  "
+          f"seconds={evaluation.seconds:.6f}")
+    errors = "  ".join(
+        f"{metric}={getattr(evaluation.misses, metric):,.0f}"
+        f"(+-{evaluation.est_rel_error.get(metric, 0.0):.1%})"
+        for metric in _SAMPLE_METRICS
+    )
+    print(f"misses: {errors}")
+    if evaluation.cache_hits or evaluation.cache_misses:
+        print(f"interval cache: {evaluation.cache_hits} hits, "
+              f"{evaluation.cache_misses} built")
+    return 0
+
+
+#: Miss metrics the ``trace sample`` reports, in display order.
+_SAMPLE_METRICS = (
+    "l1i_misses", "l1d_misses", "il2_misses", "dl2_misses",
+    "itlb_misses", "dtlb_misses", "mispredictions",
+)
+
+
 def _cmd_bench(args: argparse.Namespace) -> int:
     from pathlib import Path
 
@@ -535,10 +785,14 @@ def _cmd_bench(args: argparse.Namespace) -> int:
 
     if args.tolerance < 0:
         raise SystemExit("--tolerance must be non-negative")
+    if args.stage_tolerance_ms < 0:
+        raise SystemExit("--stage-tolerance-ms must be non-negative")
     output = Path(args.output) if args.output else Path.cwd() / "BENCH_core.json"
-    payload = bench_run(output, repeat=args.repeat, jobs=args.jobs)
+    payload = bench_run(output, repeat=args.repeat, jobs=args.jobs,
+                        stage_tolerance_ms=args.stage_tolerance_ms)
     if args.compare is not None:
-        return gate(payload, Path(args.compare), args.tolerance)
+        return gate(payload, Path(args.compare), args.tolerance,
+                    args.stage_tolerance_ms)
     return 0
 
 
@@ -546,17 +800,27 @@ def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     _apply_accel(args)
     _apply_dataplane(args)
-    if args.command == "run":
-        return _cmd_run(args)
-    if args.command == "eval":
-        return _cmd_eval(args)
-    if args.command == "serve":
-        return _cmd_serve(args)
-    if args.command == "cache":
-        return _cmd_cache(args)
-    if args.command == "list":
-        return _cmd_list(args)
-    return _cmd_bench(args)
+    try:
+        if args.command == "run":
+            return _cmd_run(args)
+        if args.command == "eval":
+            return _cmd_eval(args)
+        if args.command == "serve":
+            return _cmd_serve(args)
+        if args.command == "cache":
+            return _cmd_cache(args)
+        if args.command == "list":
+            return _cmd_list(args)
+        if args.command == "trace":
+            return _cmd_trace(args)
+        return _cmd_bench(args)
+    except BrokenPipeError:
+        # Downstream closed the pipe (`... | head`): exit quietly, and hand
+        # stdout a dead descriptor so interpreter shutdown's implicit flush
+        # cannot raise the same error again.
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+        return 0
 
 
 if __name__ == "__main__":

@@ -52,7 +52,12 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Iterator, Mapping
 
-from repro.trace.trace import TRACE_SCHEMA_VERSION, Trace
+from repro.trace.trace import Trace
+from repro.trace.trace_schema import (
+    COLUMN_NAMES,
+    TRACE_SCHEMA_VERSION,
+    column_typecode as _column_typecode,
+)
 
 #: Environment variable naming the data plane (``auto`` if unset).
 DATAPLANE_ENV = "REPRO_DATAPLANE"
@@ -63,9 +68,10 @@ DATAPLANE_CHOICES = ("auto", "shm", "payload")
 #: the leak tests (and operators) scan ``/dev/shm`` by this prefix.
 SEGMENT_PREFIX = "repro-dp"
 
-#: The trace columns a segment carries, in layout order.
-COLUMN_FIELDS = ("pcs", "next_pcs", "mem_addrs", "op_classes", "taken",
-                 "static_index")
+#: The trace columns a segment carries, in layout order.  Sourced from the
+#: shared trace schema so the segment layout and the payload transport can
+#: never disagree about the column set.
+COLUMN_FIELDS = COLUMN_NAMES
 
 _SHM_DIR = Path("/dev/shm")
 
@@ -135,12 +141,6 @@ def active_mode() -> str:
 # ----------------------------------------------------------------------
 # Segment layout.
 # ----------------------------------------------------------------------
-def _column_typecode(column) -> str:
-    """``array.typecode`` or the ``memoryview`` format of a packed column."""
-    typecode = getattr(column, "typecode", None)
-    return typecode if typecode is not None else column.format
-
-
 @dataclass(frozen=True)
 class ColumnSpec:
     """Where one packed column lives inside a segment."""
@@ -167,6 +167,11 @@ class SegmentHandle:
     statics: tuple
     columns: tuple[ColumnSpec, ...]
     nbytes: int
+    #: Global dynamic position of the first row.  Whole traces ship with 0;
+    #: a :class:`~repro.trace.store.ChunkedTrace` ships one chunk per
+    #: segment, and the chunk's sequence numbers must stay global so L2
+    #: interleaving and dependency distances agree with the full stream.
+    seq_start: int = 0
 
 
 def _segment_name() -> str:
@@ -256,10 +261,13 @@ class SegmentRegistry:
         self._segments[shm.name.lstrip("/")] = shm
         name = shm.name.lstrip("/")
         self._refs[name] = 1
+        seqs = trace.seqs
+        seq_start = seqs.start if isinstance(seqs, range) else (
+            seqs[0] if len(seqs) else 0)
         return SegmentHandle(
             name=name, schema_version=TRACE_SCHEMA_VERSION,
             trace_name=trace.name, statics=trace.statics,
-            columns=tuple(columns), nbytes=offset,
+            columns=tuple(columns), nbytes=offset, seq_start=seq_start,
         )
 
     def retain(self, name: str) -> None:
@@ -369,7 +377,8 @@ def attach_trace(handle: SegmentHandle) -> Trace:
         else:
             columns[spec.field] = array(spec.typecode)
     trace = Trace.from_columns(statics=handle.statics,
-                               name=handle.trace_name, **columns)
+                               name=handle.trace_name,
+                               seq_start=handle.seq_start, **columns)
     _ATTACHED[handle.name] = _Attachment(shm=shm, views=views, trace=trace)
     return trace
 

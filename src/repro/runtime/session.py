@@ -66,6 +66,8 @@ class SessionStats:
     engine_state_loads: int = 0
     engine_state_saves: int = 0
     miss_profiles_built: int = 0
+    interval_cache_hits: int = 0
+    interval_profiles_built: int = 0
 
     def as_dict(self) -> dict[str, int]:
         return {
@@ -75,7 +77,29 @@ class SessionStats:
             "engine_state_loads": self.engine_state_loads,
             "engine_state_saves": self.engine_state_saves,
             "miss_profiles_built": self.miss_profiles_built,
+            "interval_cache_hits": self.interval_cache_hits,
+            "interval_profiles_built": self.interval_profiles_built,
         }
+
+
+class _IntervalProfileCache:
+    """Mapping facade over the artifact cache for warmed interval profiles.
+
+    :func:`~repro.profiler.sampling.sample_evaluate` wants ``get`` +
+    ``__setitem__`` keyed by a content address (warming-window digests,
+    machine fingerprint, MLP window), so entries are shared across
+    sampling rates, sessions and processes with no extra bookkeeping.
+    """
+
+    def __init__(self, cache: ArtifactCache):
+        self._cache = cache
+
+    def get(self, key: str):
+        record = self._cache.load("interval", key=key)
+        return None if record is MISSING else record
+
+    def __setitem__(self, key: str, record) -> None:
+        self._cache.store(record, "interval", key=key)
 
 
 class Session:
@@ -111,6 +135,9 @@ class Session:
         #: token -> (trace, profile); the trace reference pins id() stability.
         self._program_profiles: dict[object, tuple[Trace, ProgramProfile]] = {}
         self._miss_profiles: dict[tuple, tuple[Trace, MissProfile]] = {}
+        #: In-memory interval-profile store used when no cache directory is
+        #: configured (same content-addressed keys as the on-disk cache).
+        self._interval_memory: dict[str, object] = {}
 
     @property
     def spec(self) -> SessionSpec:
@@ -385,6 +412,30 @@ class Session:
             )
         self._miss_profiles[memo_key] = (trace, profile)
         return profile
+
+    def sample_evaluate(self, chunked, machine: MachineConfig, *, rate: int,
+                        warmup: int = 4, warming: int = 1,
+                        mlp_window: int = 64):
+        """Interval-sampled model evaluation of a chunked (spilled) trace.
+
+        Thin session wrapper over
+        :func:`~repro.profiler.sampling.sample_evaluate` that wires in the
+        artifact cache: every warmed interval profile is persisted
+        content-addressed, so re-sampling the same store — at any nested
+        rate, from any process sharing the cache directory — reuses the
+        expensive per-interval streaming work.  Without a cache directory
+        the records are memoized in process instead.
+        """
+        from repro.profiler.sampling import sample_evaluate
+
+        cache = (_IntervalProfileCache(self.cache) if self.cache.enabled
+                 else self._interval_memory)
+        evaluation = sample_evaluate(chunked, machine, rate, warmup=warmup,
+                                     warming=warming, mlp_window=mlp_window,
+                                     cache=cache)
+        self.stats.interval_cache_hits += evaluation.cache_hits
+        self.stats.interval_profiles_built += evaluation.cache_misses
+        return evaluation
 
     # ------------------------------------------------------------------
     # Parallelism.

@@ -13,10 +13,11 @@ emits a :class:`~repro.trace.trace.Trace` of
 so every consumer sees exactly the same dynamic instruction stream.
 """
 
-from repro.trace.trace import DynamicInstruction, Trace
+from repro.trace.trace import ChunkedTrace, DynamicInstruction, Trace
 from repro.trace.functional import FunctionalSimulator, MemoryImage, SimulationLimitError
 
 __all__ = [
+    "ChunkedTrace",
     "DynamicInstruction",
     "Trace",
     "FunctionalSimulator",

@@ -1,0 +1,430 @@
+"""On-disk trace spilling and the portable trace ingestion format.
+
+Two persistence layers for :class:`~repro.trace.trace.ChunkedTrace`:
+
+``TraceStore`` — the **spill format**.  A directory holding one raw
+little-endian file per column per chunk (``chunk000042.pcs.bin``), a JSON
+manifest and a JSON statics table.  Generation appends chunks as they are
+produced (never holding more than one in memory) and profiling memory-maps
+them back one at a time, so a workload 100–1000x longer than RAM-resident
+traces streams through the single-pass engine at bounded memory.  The
+per-chunk layout is exactly the ``to_payload`` column layout, versioned by
+:data:`~repro.trace.trace_schema.TRACE_SCHEMA_VERSION`, and every chunk
+records a SHA-256 content digest so per-chunk profiles can be cached
+content-addressed (re-sampling at a different rate reuses them).
+
+``write_portable`` / ``import_portable`` — the **ingestion format**.  One
+flat file with a magic line, a JSON header (schema version, column table,
+statics) and the raw column bytes, column-major.  It is the documented
+surface for evaluating traces produced by outside tooling: ``repro trace
+import`` converts such a file into a spill store chunk by chunk, without
+materializing the trace.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import mmap
+import sys
+from array import array
+from pathlib import Path
+from typing import Iterable
+
+from repro.isa.instructions import Instruction
+from repro.isa.opcodes import Opcode
+from repro.trace.trace import ChunkedTrace, Trace
+from repro.trace.trace_schema import (
+    COLUMN_NAMES,
+    COLUMN_TYPECODES,
+    TRACE_COLUMNS,
+    TRACE_SCHEMA_VERSION,
+)
+
+#: Version of the spill-store directory layout (manifest + chunk files).
+STORE_FORMAT_VERSION = 1
+
+#: Magic first line of the portable ingestion format, with its version.
+PORTABLE_MAGIC = "#REPRO-TRACE 1"
+
+_MANIFEST = "manifest.json"
+_STATICS = "statics.json"
+
+_ITEMSIZE = {code: array(code).itemsize for _, code in TRACE_COLUMNS}
+
+
+def _require_little_endian() -> None:
+    if sys.byteorder != "little":
+        raise NotImplementedError(
+            "trace stores and portable trace files are little-endian; "
+            "this platform is big-endian"
+        )
+
+
+# ----------------------------------------------------------------------
+# Statics (de)serialization — shared by the store and the portable format.
+# ----------------------------------------------------------------------
+def encode_statics(statics: Iterable[Instruction]) -> list[dict]:
+    """Static instructions as plain JSON-able dicts (stable field set)."""
+    return [
+        {
+            "opcode": ins.opcode.name,
+            "dest": ins.dest,
+            "src1": ins.src1,
+            "src2": ins.src2,
+            "imm": ins.imm,
+            "target": ins.target,
+            "tag": ins.tag,
+        }
+        for ins in statics
+    ]
+
+
+def decode_statics(encoded: Iterable[dict]) -> tuple[Instruction, ...]:
+    return tuple(
+        Instruction(
+            opcode=Opcode[item["opcode"]],
+            dest=item.get("dest"),
+            src1=item.get("src1"),
+            src2=item.get("src2"),
+            imm=item.get("imm", 0),
+            target=item.get("target"),
+            tag=item.get("tag"),
+        )
+        for item in encoded
+    )
+
+
+def statics_digest(statics: Iterable[Instruction]) -> str:
+    """SHA-256 over the canonical JSON encoding of the statics table."""
+    encoded = json.dumps(encode_statics(statics), sort_keys=True,
+                         separators=(",", ":"))
+    return hashlib.sha256(encoded.encode("utf-8")).hexdigest()
+
+
+def trace_digest(chunk: Trace, statics_hex: str) -> str:
+    """Content digest of one chunk: statics digest + raw column bytes.
+
+    Sequence numbers are deliberately excluded: an isolated chunk profile
+    depends only on the rows and the statics (distances and interleave gaps
+    are seq *differences*), so the same chunk content addresses the same
+    cached profile wherever it sits in the stream.
+    """
+    digest = hashlib.sha256(bytes.fromhex(statics_hex))
+    for name in COLUMN_NAMES:
+        digest.update(getattr(chunk, name).tobytes())
+    return digest.hexdigest()
+
+
+def chunk_digest(chunked: ChunkedTrace, index: int) -> str:
+    """The content digest of one chunk, computed at most once."""
+    cached = chunked.digests[index]
+    if cached is not None:
+        return cached
+    statics_hex = getattr(chunked, "_statics_digest", None)
+    if statics_hex is None:
+        statics_hex = statics_digest(chunked.statics)
+        chunked._statics_digest = statics_hex
+    digest = trace_digest(chunked.chunk(index), statics_hex)
+    chunked.digests[index] = digest
+    return digest
+
+
+# ----------------------------------------------------------------------
+# Spill store.
+# ----------------------------------------------------------------------
+def _chunk_file(index: int, column: str) -> str:
+    return f"chunk{index:06d}.{column}.bin"
+
+
+class TraceStoreWriter:
+    """Appends chunks to a spill store directory, one at a time.
+
+    ``append`` writes the chunk's column files and records its digest;
+    ``finalize`` writes the statics table and the manifest (the manifest
+    is written last, so a store without one is recognizably incomplete).
+    """
+
+    def __init__(self, path: str | Path, *, name: str, chunk_length: int):
+        _require_little_endian()
+        if chunk_length <= 0:
+            raise ValueError("chunk_length must be positive")
+        self.path = Path(path)
+        self.path.mkdir(parents=True, exist_ok=True)
+        if (self.path / _MANIFEST).exists():
+            raise FileExistsError(f"{self.path} already holds a trace store")
+        self.name = name
+        self.chunk_length = chunk_length
+        self._rows: list[int] = []
+        self._statics: tuple[Instruction, ...] = ()
+        self._finalized = False
+
+    def append(self, chunk: Trace) -> None:
+        if self._finalized:
+            raise RuntimeError("store already finalized")
+        index = len(self._rows)
+        for column in COLUMN_NAMES:
+            data = getattr(chunk, column)
+            with open(self.path / _chunk_file(index, column), "wb") as fh:
+                fh.write(data.tobytes())
+        # Streamed generators intern statics into one growing table; each
+        # chunk carries the table as of its flush, so the longest one wins.
+        if len(chunk.statics) >= len(self._statics):
+            self._statics = chunk.statics
+        self._rows.append(len(chunk))
+
+    def finalize(self) -> "ChunkedTrace":
+        if self._finalized:
+            raise RuntimeError("store already finalized")
+        self._finalized = True
+        statics_hex = statics_digest(self._statics)
+        with open(self.path / _STATICS, "w", encoding="utf-8") as fh:
+            json.dump(encode_statics(self._statics), fh)
+        manifest = {
+            "store_version": STORE_FORMAT_VERSION,
+            "schema_version": TRACE_SCHEMA_VERSION,
+            "byte_order": "little",
+            "name": self.name,
+            "length": sum(self._rows),
+            "chunk_length": self.chunk_length,
+            "columns": [[name, code] for name, code in TRACE_COLUMNS],
+            "statics_digest": statics_hex,
+            "chunks": [{"rows": rows} for rows in self._rows],
+        }
+        # Digest each chunk from its on-disk bytes (they are already raw
+        # column payloads), so the recorded digest describes the files.
+        opened = TraceStore.open(self.path, _manifest=manifest,
+                                 _statics=self._statics)
+        for index in range(opened.num_chunks):
+            manifest["chunks"][index]["digest"] = trace_digest(
+                opened.chunk(index), statics_hex)
+        tmp = self.path / (_MANIFEST + ".tmp")
+        with open(tmp, "w", encoding="utf-8") as fh:
+            json.dump(manifest, fh, indent=1)
+        tmp.replace(self.path / _MANIFEST)
+        return TraceStore.open(self.path)
+
+
+class TraceStore:
+    """Namespace for opening and writing spill stores."""
+
+    @staticmethod
+    def write(trace: "Trace | ChunkedTrace", path: str | Path,
+              chunk_length: int = 65536) -> ChunkedTrace:
+        """Spill a trace to disk, one chunk at a time; returns the opened store."""
+        if isinstance(trace, Trace):
+            trace = ChunkedTrace.from_trace(trace, chunk_length)
+        writer = TraceStoreWriter(path, name=trace.name,
+                                  chunk_length=trace.chunk_length)
+        for chunk in trace.chunks():
+            writer.append(chunk)
+        return writer.finalize()
+
+    @staticmethod
+    def open(path: str | Path, *, _manifest: dict | None = None,
+             _statics: tuple | None = None) -> ChunkedTrace:
+        """A :class:`ChunkedTrace` whose chunks memory-map the store's files."""
+        _require_little_endian()
+        root = Path(path)
+        if _manifest is None:
+            try:
+                with open(root / _MANIFEST, encoding="utf-8") as fh:
+                    manifest = json.load(fh)
+            except FileNotFoundError:
+                raise FileNotFoundError(
+                    f"{root} is not a trace store (no {_MANIFEST})"
+                ) from None
+        else:
+            manifest = _manifest
+        if manifest.get("store_version") != STORE_FORMAT_VERSION:
+            raise ValueError(
+                f"trace store {root} has format "
+                f"{manifest.get('store_version')!r}, expected "
+                f"{STORE_FORMAT_VERSION}"
+            )
+        if manifest.get("schema_version") != TRACE_SCHEMA_VERSION:
+            raise ValueError(
+                f"trace store {root} carries trace schema "
+                f"{manifest.get('schema_version')!r}, expected "
+                f"{TRACE_SCHEMA_VERSION}"
+            )
+        if manifest.get("byte_order", "little") != "little":
+            raise NotImplementedError("big-endian trace stores are not supported")
+        columns = [tuple(entry) for entry in manifest["columns"]]
+        if tuple(columns) != TRACE_COLUMNS:
+            raise ValueError(
+                f"trace store {root} column table {columns!r} does not "
+                f"match the schema {TRACE_COLUMNS!r}"
+            )
+        if _statics is None:
+            with open(root / _STATICS, encoding="utf-8") as fh:
+                statics = decode_statics(json.load(fh))
+        else:
+            statics = tuple(_statics)
+        rows = [entry["rows"] for entry in manifest["chunks"]]
+        starts = [0]
+        for count in rows:
+            starts.append(starts[-1] + count)
+        name = manifest["name"]
+
+        def load(index: int) -> Trace:
+            loaded = {}
+            for column, typecode in TRACE_COLUMNS:
+                file_path = root / _chunk_file(index, column)
+                expected = rows[index] * _ITEMSIZE[typecode]
+                if rows[index] == 0:
+                    loaded[column] = array(typecode)
+                    continue
+                with open(file_path, "rb") as fh:
+                    mapped = mmap.mmap(fh.fileno(), 0, access=mmap.ACCESS_READ)
+                if mapped.size() != expected:
+                    raise ValueError(
+                        f"{file_path} holds {mapped.size()} bytes, manifest "
+                        f"says {expected}"
+                    )
+                # The memoryview keeps the mapping alive for the chunk's
+                # lifetime; dropping the chunk unmaps it.
+                loaded[column] = memoryview(mapped).cast(typecode)
+            return Trace.from_columns(statics=statics, name=name,
+                                      seq_start=starts[index], **loaded)
+
+        chunked = ChunkedTrace(
+            name=name, statics=statics, lengths=rows,
+            chunk_length=manifest["chunk_length"], loader=load,
+            digests=[entry.get("digest") for entry in manifest["chunks"]],
+        )
+        chunked._statics_digest = manifest.get("statics_digest")
+        chunked.store_path = root
+        return chunked
+
+
+def store_info(path: str | Path) -> dict:
+    """The manifest of a spill store, with derived size figures."""
+    root = Path(path)
+    with open(root / _MANIFEST, encoding="utf-8") as fh:
+        manifest = json.load(fh)
+    row_bytes = sum(_ITEMSIZE[code] for _, code in TRACE_COLUMNS)
+    manifest["bytes_per_row"] = row_bytes
+    manifest["total_column_bytes"] = row_bytes * manifest["length"]
+    manifest["num_chunks"] = len(manifest["chunks"])
+    return manifest
+
+
+# ----------------------------------------------------------------------
+# Portable ingestion format.
+# ----------------------------------------------------------------------
+def write_portable(trace: "Trace | ChunkedTrace", path: str | Path) -> None:
+    """Serialize a trace into the portable ingestion format.
+
+    Layout: the magic line, one JSON header line (schema version, length,
+    column table, statics), then each column's raw little-endian bytes in
+    canonical column order (column-major over the whole stream).
+    """
+    _require_little_endian()
+    if isinstance(trace, Trace):
+        chunked = ChunkedTrace.from_trace(trace, max(1, len(trace)))
+    else:
+        chunked = trace
+    header = {
+        "schema_version": TRACE_SCHEMA_VERSION,
+        "byte_order": "little",
+        "name": chunked.name,
+        "length": len(chunked),
+        "columns": [[name, code] for name, code in TRACE_COLUMNS],
+        "statics": encode_statics(chunked.statics),
+    }
+    with open(path, "wb") as fh:
+        fh.write((PORTABLE_MAGIC + "\n").encode("ascii"))
+        fh.write((json.dumps(header, separators=(",", ":")) + "\n")
+                 .encode("utf-8"))
+        for column in COLUMN_NAMES:
+            for chunk in chunked.chunks():
+                fh.write(getattr(chunk, column).tobytes())
+
+
+def _read_portable_header(fh) -> tuple[dict, int]:
+    magic = fh.readline().decode("ascii", "replace").rstrip("\n")
+    if magic != PORTABLE_MAGIC:
+        raise ValueError(
+            f"not a portable trace file (first line {magic!r}, expected "
+            f"{PORTABLE_MAGIC!r})"
+        )
+    header = json.loads(fh.readline().decode("utf-8"))
+    if header.get("schema_version") != TRACE_SCHEMA_VERSION:
+        raise ValueError(
+            f"portable trace carries schema "
+            f"{header.get('schema_version')!r}, expected "
+            f"{TRACE_SCHEMA_VERSION}"
+        )
+    if header.get("byte_order", "little") != "little":
+        raise NotImplementedError("big-endian portable traces are not supported")
+    if [tuple(entry) for entry in header["columns"]] != list(TRACE_COLUMNS):
+        raise ValueError(
+            f"portable trace column table {header['columns']!r} does not "
+            f"match the schema {TRACE_COLUMNS!r}"
+        )
+    return header, fh.tell()
+
+
+def portable_info(path: str | Path) -> dict:
+    """The header of a portable trace file (statics replaced by a count)."""
+    _require_little_endian()
+    with open(path, "rb") as fh:
+        header, _ = _read_portable_header(fh)
+    header["num_statics"] = len(header.pop("statics"))
+    return header
+
+
+def import_portable(path: str | Path, store_path: str | Path, *,
+                    chunk_length: int = 65536,
+                    name: str | None = None) -> ChunkedTrace:
+    """Convert a portable trace file into a spill store, chunk by chunk.
+
+    Reads one chunk's worth of every column per step (seeking within the
+    column-major body), validates it, and appends it to the store — the
+    imported trace is never resident in full.
+    """
+    _require_little_endian()
+    with open(path, "rb") as fh:
+        header, body_start = _read_portable_header(fh)
+        statics = decode_statics(header["statics"])
+        length = int(header["length"])
+        if length < 0:
+            raise ValueError("portable trace header declares negative length")
+        offsets = {}
+        offset = body_start
+        for column, typecode in TRACE_COLUMNS:
+            offsets[column] = offset
+            offset += length * _ITEMSIZE[typecode]
+        fh.seek(0, 2)
+        if fh.tell() < offset:
+            raise ValueError(
+                f"portable trace file is truncated: {fh.tell()} bytes, "
+                f"header implies {offset}"
+            )
+        writer = TraceStoreWriter(
+            store_path, name=name or header["name"], chunk_length=chunk_length
+        )
+        for start in range(0, length, chunk_length) or (0,):
+            stop = min(start + chunk_length, length)
+            loaded = {}
+            for column, typecode in TRACE_COLUMNS:
+                fh.seek(offsets[column] + start * _ITEMSIZE[typecode])
+                raw = fh.read((stop - start) * _ITEMSIZE[typecode])
+                data = array(typecode)
+                data.frombytes(raw)
+                loaded[column] = data
+            if loaded["static_index"]:
+                low = min(loaded["static_index"])
+                high = max(loaded["static_index"])
+                if low < 0 or high >= len(statics):
+                    raise ValueError(
+                        f"static_index {low if low < 0 else high} out of "
+                        f"range for {len(statics)} statics "
+                        f"(rows {start}..{stop})"
+                    )
+            writer.append(Trace.from_columns(
+                statics=statics, name=name or header["name"],
+                seq_start=start, **loaded,
+            ))
+        return writer.finalize()

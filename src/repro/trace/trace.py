@@ -19,15 +19,16 @@ from typing import Iterable, Iterator, Sequence
 
 from repro.isa.instructions import Instruction
 from repro.isa.opcodes import OpClass
+from repro.trace.trace_schema import (  # noqa: F401  (re-exported legacy names)
+    COLUMN_NAMES,
+    NO_VALUE,
+    TRACE_COLUMNS,
+    TRACE_SCHEMA_VERSION,
+    column_typecode as _typecode,
+)
 
 #: Size of one instruction in bytes; fetch addresses are ``index * INSTR_BYTES``.
 INSTR_BYTES = 4
-
-#: Version of the columnar trace layout.  The on-disk artifact cache
-#: (:mod:`repro.runtime.artifacts`) keys serialized traces on this number, so
-#: bump it whenever the column set, the sentinel conventions or the functional
-#: simulator's observable output change.
-TRACE_SCHEMA_VERSION = 1
 
 #: Stable ordinal assigned to each :class:`OpClass` in the packed
 #: ``op_classes`` column (and its inverse mapping).
@@ -38,21 +39,6 @@ _LOAD_ID = OP_CLASS_IDS[OpClass.LOAD]
 _STORE_ID = OP_CLASS_IDS[OpClass.STORE]
 _BRANCH_ID = OP_CLASS_IDS[OpClass.BRANCH]
 _JUMP_ID = OP_CLASS_IDS[OpClass.JUMP]
-
-#: Column sentinel for "no value" (``mem_addr``/``next_pc``/``taken`` None).
-NO_VALUE = -1
-
-
-def _typecode(column) -> str:
-    """``array.typecode``, or the format of a ``memoryview`` column.
-
-    Traces attached through the shared-memory data plane
-    (:mod:`repro.runtime.dataplane`) carry ``memoryview`` casts of the
-    mapped segment instead of ``array`` objects; both expose the same
-    element type, under different attribute names.
-    """
-    typecode = getattr(column, "typecode", None)
-    return typecode if typecode is not None else column.format
 
 
 @dataclass(frozen=True)
@@ -184,8 +170,14 @@ class Trace:
     def from_columns(cls, *, statics: Sequence[Instruction], pcs: array,
                      next_pcs: array, mem_addrs: array, op_classes: array,
                      taken: array, static_index: array,
-                     name: str = "trace") -> "Trace":
-        """Build a trace directly from packed columns (no facade objects)."""
+                     name: str = "trace", seq_start: int = 0) -> "Trace":
+        """Build a trace directly from packed columns (no facade objects).
+
+        ``seq_start`` offsets the dynamic sequence numbers: chunk views of a
+        longer stream (:class:`repro.trace.store.ChunkedTrace`) pass the
+        chunk's global start position so dependency distances and L2
+        interleave ordering stay global.
+        """
         trace = cls.__new__(cls)
         trace.name = name
         trace._materialized = None
@@ -196,7 +188,7 @@ class Trace:
         trace.op_classes = op_classes
         trace.taken = taken
         trace.static_index = static_index
-        trace.seqs = range(len(pcs))
+        trace.seqs = range(seq_start, seq_start + len(pcs))
         return trace
 
     def columns(self) -> dict:
@@ -228,20 +220,20 @@ class Trace:
         graph — which is how the sweep planner ships an already-generated
         trace to pool workers.  :meth:`from_payload` is the inverse.
         """
-        return {
+        payload = {
             "schema_version": TRACE_SCHEMA_VERSION,
             "name": self.name,
             "statics": self.statics,
             "columns": {
-                name: (_typecode(column), column.tobytes())
-                for name, column in (
-                    ("pcs", self.pcs), ("next_pcs", self.next_pcs),
-                    ("mem_addrs", self.mem_addrs),
-                    ("op_classes", self.op_classes), ("taken", self.taken),
-                    ("static_index", self.static_index),
-                )
+                name: (_typecode(getattr(self, name)), getattr(self, name).tobytes())
+                for name in COLUMN_NAMES
             },
         }
+        seq_start = self.seqs.start if isinstance(self.seqs, range) else (
+            self.seqs[0] if len(self.seqs) else 0)
+        if seq_start:
+            payload["seq_start"] = seq_start
+        return payload
 
     @classmethod
     def from_payload(cls, payload: dict) -> "Trace":
@@ -257,7 +249,9 @@ class Trace:
             column.frombytes(raw)
             columns[name] = column
         return cls.from_columns(statics=payload["statics"],
-                                name=payload["name"], **columns)
+                                name=payload["name"],
+                                seq_start=payload.get("seq_start", 0),
+                                **columns)
 
     # ------------------------------------------------------------------
     # Facade materialization.
@@ -342,3 +336,100 @@ class Trace:
         for index, class_id in enumerate(self.op_classes):
             if class_id == _BRANCH_ID or class_id == _JUMP_ID:
                 yield materialized[index] if materialized is not None else self._make(index)
+
+
+class ChunkedTrace:
+    """A long dynamic trace as a sequence of fixed-size packed-column chunks.
+
+    Each chunk is an ordinary :class:`Trace` sharing the stream's statics
+    tuple, with **global** sequence numbers (``seqs = range(start, stop)``),
+    so every existing profiler sees exactly the rows it would see in the
+    monolithic trace.  Chunks are produced lazily through a loader callable:
+    an in-memory chunked trace serves zero-copy ``memoryview`` slices of the
+    parent's columns, a spill-store-backed one (:class:`repro.trace.store.TraceStore`)
+    memory-maps one file per column per chunk — either way only one chunk
+    needs to be resident while streaming.
+    """
+
+    def __init__(self, *, name: str, statics: Sequence[Instruction],
+                 lengths: Sequence[int], chunk_length: int, loader,
+                 digests: "list[str | None] | None" = None):
+        if chunk_length <= 0:
+            raise ValueError("chunk_length must be positive")
+        self.name = name
+        self.statics: tuple[Instruction, ...] = tuple(statics)
+        self.chunk_length = chunk_length
+        self._lengths = list(lengths)
+        starts = [0]
+        for length in self._lengths:
+            starts.append(starts[-1] + length)
+        self._starts = starts
+        self._loader = loader
+        #: Per-chunk content digests (``None`` until computed); spill stores
+        #: record them in the manifest, in-memory chunks compute on demand
+        #: (see :func:`repro.trace.store.chunk_digest`).
+        self.digests: list[str | None] = (
+            list(digests) if digests is not None else [None] * len(self._lengths)
+        )
+
+    # -- geometry ------------------------------------------------------
+    def __len__(self) -> int:
+        return self._starts[-1]
+
+    @property
+    def num_chunks(self) -> int:
+        return len(self._lengths)
+
+    def chunk_bounds(self, index: int) -> tuple[int, int]:
+        """Global ``(start, stop)`` row range of one chunk."""
+        return self._starts[index], self._starts[index + 1]
+
+    # -- chunk access --------------------------------------------------
+    def chunk(self, index: int) -> Trace:
+        """Materialize one chunk as a :class:`Trace` with global seqs."""
+        if not 0 <= index < len(self._lengths):
+            raise IndexError("chunk index out of range")
+        trace = self._loader(index)
+        if len(trace) != self._lengths[index]:
+            raise ValueError(
+                f"chunk {index} of {self.name!r} has {len(trace)} rows, "
+                f"manifest says {self._lengths[index]}"
+            )
+        return trace
+
+    def chunks(self) -> Iterator[Trace]:
+        """Iterate chunks in stream order (one resident at a time)."""
+        for index in range(len(self._lengths)):
+            yield self.chunk(index)
+
+    def to_trace(self) -> Trace:
+        """Concatenate every chunk into one in-memory :class:`Trace`."""
+        columns = {name: array(code) for name, code in TRACE_COLUMNS}
+        for chunk in self.chunks():
+            for name in COLUMN_NAMES:
+                columns[name].frombytes(getattr(chunk, name).tobytes())
+        return Trace.from_columns(statics=self.statics, name=self.name,
+                                  **columns)
+
+    # -- construction --------------------------------------------------
+    @classmethod
+    def from_trace(cls, trace: Trace, chunk_length: int) -> "ChunkedTrace":
+        """Split an in-memory trace into zero-copy chunk views."""
+        if chunk_length <= 0:
+            raise ValueError("chunk_length must be positive")
+        total = len(trace)
+        bounds = [(start, min(start + chunk_length, total))
+                  for start in range(0, total, chunk_length)] or [(0, 0)]
+        views = {name: memoryview(getattr(trace, name))
+                 for name in COLUMN_NAMES}
+
+        def load(index: int) -> Trace:
+            start, stop = bounds[index]
+            return Trace.from_columns(
+                statics=trace.statics, name=trace.name, seq_start=start,
+                **{name: views[name][start:stop] for name in COLUMN_NAMES},
+            )
+
+        return cls(name=trace.name, statics=trace.statics,
+                   lengths=[stop - start for start, stop in bounds],
+                   chunk_length=chunk_length, loader=load)

@@ -19,11 +19,17 @@ exactly like a trace produced by the functional simulator.
 from __future__ import annotations
 
 import random
+from array import array
 from dataclasses import dataclass, field
 
 from repro.isa.instructions import Instruction
 from repro.isa.opcodes import Opcode
-from repro.trace.trace import INSTR_BYTES, DynamicInstruction, Trace
+from repro.trace.trace import (
+    INSTR_BYTES,
+    OP_CLASS_IDS,
+    DynamicInstruction,
+    Trace,
+)
 
 #: Registers available to the generator (r0 is the zero register, excluded).
 _NUM_REGS = 31
@@ -91,6 +97,12 @@ class SyntheticTraceGenerator:
 
     def __init__(self, spec: SyntheticWorkloadSpec):
         self.spec = spec
+        # Static instructions interned by value: the generator materializes
+        # a fresh Instruction per dynamic record, but identical ones resolve
+        # to one shared object, so the statics table stays proportional to
+        # the register/opcode combinations, not the trace length — the
+        # property streamed (scaled) generation depends on.
+        self._intern: dict[Instruction, Instruction] = {}
 
     # ------------------------------------------------------------------
     def _choose_class(self, rng: random.Random) -> str:
@@ -126,9 +138,78 @@ class SyntheticTraceGenerator:
 
     # ------------------------------------------------------------------
     def generate(self) -> Trace:
+        return Trace(self._records(self.spec.instructions),
+                     name=self.spec.name)
+
+    def generate_store(self, path, *, scale: int = 1,
+                       chunk_length: int = 65536):
+        """Stream ``scale * spec.instructions`` records into a spill store.
+
+        Never holds more than one chunk of columns in memory: records are
+        packed straight into column arrays and flushed through a
+        :class:`~repro.trace.store.TraceStoreWriter` every ``chunk_length``
+        rows, with the statics table interned once across the whole stream
+        (each flushed chunk carries the table as of its flush, which is the
+        prefix-consistent layout the store's manifest expects).  This is
+        how 100–1000x workloads are produced without 100–1000x memory.
+        """
+        from repro.trace.store import TraceStoreWriter
+        from repro.trace.trace_schema import NO_VALUE
+
+        if scale < 1:
+            raise ValueError("scale must be at least 1")
+        spec = self.spec
+        total = spec.instructions * scale
+        writer = TraceStoreWriter(path, name=spec.name,
+                                  chunk_length=chunk_length)
+        statics: list[Instruction] = []
+        slots: dict[Instruction, int] = {}
+
+        def new_columns() -> dict:
+            return {
+                "pcs": array("q"), "next_pcs": array("q"),
+                "mem_addrs": array("q"), "op_classes": array("b"),
+                "taken": array("b"), "static_index": array("q"),
+            }
+
+        columns = new_columns()
+        start = 0
+        for dyn in self._records(total):
+            instruction = dyn.instruction
+            slot = slots.get(instruction)
+            if slot is None:
+                slot = len(statics)
+                slots[instruction] = slot
+                statics.append(instruction)
+            columns["pcs"].append(dyn.pc)
+            columns["next_pcs"].append(
+                NO_VALUE if dyn.next_pc is None else dyn.next_pc)
+            if dyn.mem_addr is not None:
+                columns["mem_addrs"].append(dyn.mem_addr)
+            elif instruction.is_memory:
+                columns["mem_addrs"].append(0)
+            else:
+                columns["mem_addrs"].append(NO_VALUE)
+            columns["op_classes"].append(OP_CLASS_IDS[instruction.op_class])
+            columns["taken"].append(
+                NO_VALUE if dyn.taken is None else int(dyn.taken))
+            columns["static_index"].append(slot)
+            if len(columns["pcs"]) == chunk_length:
+                writer.append(Trace.from_columns(
+                    statics=tuple(statics), name=spec.name,
+                    seq_start=start, **columns))
+                start += chunk_length
+                columns = new_columns()
+        if len(columns["pcs"]):
+            writer.append(Trace.from_columns(
+                statics=tuple(statics), name=spec.name,
+                seq_start=start, **columns))
+        return writer.finalize()
+
+    def _records(self, total: int):
+        """Yield ``total`` dynamic records (bounded state, any length)."""
         spec = self.spec
         rng = random.Random(spec.seed)
-        records: list[DynamicInstruction] = []
         cursor = 0
         # The synthetic program walks a static code loop so that the
         # instruction-cache behaviour is realistic (a hot loop of
@@ -141,7 +222,7 @@ class SyntheticTraceGenerator:
         # at ``branch_taken_rate``.
         pc_bias: dict[int, bool] = {}
 
-        for seq in range(spec.instructions):
+        for seq in range(total):
             kind = self._choose_class(rng)
             # Destination register: rotating allocation guarantees the value
             # written ``d`` instructions ago still lives in a unique register
@@ -182,21 +263,31 @@ class SyntheticTraceGenerator:
             else:
                 instruction = Instruction(Opcode.ADD, dest=dest, src1=source, src2=source)
 
-            records.append(
-                DynamicInstruction(
-                    seq=seq,
-                    pc=pc,
-                    instruction=instruction,
-                    mem_addr=mem_addr,
-                    taken=taken,
-                    next_pc=(next_static_pc % spec.static_code_size) * INSTR_BYTES,
-                )
+            yield DynamicInstruction(
+                seq=seq,
+                pc=pc,
+                instruction=self._intern.setdefault(instruction, instruction),
+                mem_addr=mem_addr,
+                taken=taken,
+                next_pc=(next_static_pc % spec.static_code_size) * INSTR_BYTES,
             )
             static_pc = next_static_pc
-
-        return Trace(records, name=spec.name)
 
 
 def generate_synthetic_trace(spec: SyntheticWorkloadSpec | None = None) -> Trace:
     """Convenience wrapper: generate a trace from ``spec`` (or the defaults)."""
     return SyntheticTraceGenerator(spec if spec is not None else SyntheticWorkloadSpec()).generate()
+
+
+def generate_synthetic_store(path, spec: SyntheticWorkloadSpec | None = None,
+                             *, scale: int = 1, chunk_length: int = 65536):
+    """Stream a (possibly scaled) synthetic trace into a spill store at ``path``.
+
+    ``scale`` multiplies ``spec.instructions``; peak memory stays bounded by
+    one ``chunk_length`` chunk regardless of scale.  Returns the opened
+    :class:`~repro.trace.trace.ChunkedTrace` backed by the store.
+    """
+    generator = SyntheticTraceGenerator(
+        spec if spec is not None else SyntheticWorkloadSpec())
+    return generator.generate_store(path, scale=scale,
+                                    chunk_length=chunk_length)

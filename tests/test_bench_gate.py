@@ -86,7 +86,7 @@ def test_cli_gate_exit_codes(tmp_path, monkeypatch):
     reference_file = tmp_path / "ref.json"
     reference_file.write_text(json.dumps(_payload(fake=1.0)))
 
-    def fake_run(output, repeat=3, jobs=1):
+    def fake_run(output, repeat=3, jobs=1, stage_tolerance_ms=50.0):
         payload = {"schema_version": bench.BENCH_SCHEMA_VERSION,
                    **_payload(fake=5.0)}
         output.write_text(json.dumps(payload))
@@ -107,7 +107,7 @@ def test_cli_gate_missing_reference(tmp_path, monkeypatch):
 
     monkeypatch.setattr(
         bench, "run",
-        lambda output, repeat=3, jobs=1: _payload(fake=1.0),
+        lambda output, repeat=3, jobs=1, stage_tolerance_ms=50.0: _payload(fake=1.0),
     )
     with pytest.raises(SystemExit):
         bench.main(["--output", str(tmp_path / "o.json"),
