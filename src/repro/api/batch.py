@@ -84,12 +84,27 @@ def validate_requests(requests: Sequence[EvalRequest], *,
     not one per request — and is shared with the sweep planner.
     """
     from repro.runtime.session import COMPILER_FLAGS
+    from repro.search.optimize import (
+        OptimizeRequest,
+        validate_optimize_request,
+    )
     from repro.workloads.registry import WORKLOADS
 
     if machines is None:
         machines = {}
     checked: set[tuple] = set()
     for index, request in enumerate(requests):
+        if isinstance(request, OptimizeRequest):
+            # Whole-search requests validate structurally (named-field
+            # errors for infeasible constraints, zero-cardinality spaces,
+            # bad strategies/budgets) instead of per-evaluation.
+            errors = validate_optimize_request(request)
+            if errors:
+                message = "; ".join(errors)
+                if len(requests) > 1:
+                    message = f"request[{index}]: {message}"
+                raise ValueError(message)
+            continue
         # A sweep repeats the same (backend, workload, machine) coordinates
         # thousands of times; validate each distinct combination once.
         key = (request.backend, request.workload.name,

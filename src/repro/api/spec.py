@@ -245,6 +245,99 @@ class EvalResult:
             return None
         return self.energy_joules * self.seconds
 
+    # ------------------------------------------------------------------
+    # Metric paths.
+    # ------------------------------------------------------------------
+    def _machine_config(self):
+        """The resolved machine config, memoized per result."""
+        machine = getattr(self, "_resolved_machine", None)
+        if machine is None:
+            machine = self.request.machine.resolve()
+            object.__setattr__(self, "_resolved_machine", machine)
+        return machine
+
+    def metric_paths(self) -> list[str]:
+        """Every metric path :meth:`metric` answers for *this* result.
+
+        The stable vocabulary shared by search objectives, constraints and
+        reporters: scalar result metrics (``"cpi"``, ``"cycles"``, ...),
+        energy/EDP when the evaluation carried power, the CPI-stack
+        components the backend produced (``"cpi_stack.base"``), and the
+        machine's own parameters (``"machine.l2_size"``, plus the
+        ``"frequency"``/``"area_proxy"`` shorthands).
+        """
+        from dataclasses import fields as dataclass_fields
+
+        machine = self._machine_config()
+        paths = ["cpi", "ipc", "cycles", "instructions", "seconds",
+                 "frequency", "area_proxy"]
+        if self.energy_joules is not None:
+            paths += ["energy", "energy.total", "edp"]
+        if self.cpi_stack:
+            paths += [f"cpi_stack.{name}" for name in self.cpi_stack]
+        # Only numeric machine parameters are metrics (branch_predictor is
+        # a label — constrain it with ``branch_predictor==...`` instead).
+        paths += [
+            f"machine.{f.name}" for f in dataclass_fields(type(machine))
+            if f.name != "name"
+            and isinstance(getattr(machine, f.name), (int, float))
+            and not isinstance(getattr(machine, f.name), bool)
+        ]
+        paths += ["machine.area_proxy", "machine.frontend_depth"]
+        return paths
+
+    def metric(self, path: str) -> float:
+        """Look up one scalar metric by its stable path name.
+
+        Unknown paths — and paths this result cannot answer, like
+        ``"edp"`` on an evaluation run without power — raise a
+        :class:`KeyError` listing every valid path, so objectives,
+        constraints and reporters share one clear failure mode instead of
+        ad-hoc attribute digging.
+        """
+        from repro.machine import area_proxy
+
+        scalars = {
+            "cpi": lambda: self.cpi,
+            "ipc": lambda: self.ipc,
+            "cycles": lambda: float(self.cycles),
+            "instructions": lambda: float(self.instructions),
+            "seconds": lambda: self.seconds,
+            "frequency": lambda: float(self._machine_config().frequency_mhz),
+            "area_proxy": lambda: area_proxy(self._machine_config()),
+        }
+        if path in scalars:
+            return scalars[path]()
+        if path in ("energy", "energy.total", "edp"):
+            if self.energy_joules is None:
+                raise KeyError(
+                    f"metric {path!r} needs power data; re-evaluate with "
+                    f"with_power=True (valid paths here: "
+                    f"{', '.join(self.metric_paths())})"
+                )
+            return self.energy_joules if path != "edp" else self.edp
+        if path.startswith("cpi_stack."):
+            component = path[len("cpi_stack."):]
+            if self.cpi_stack and component in self.cpi_stack:
+                return float(self.cpi_stack[component])
+            known = sorted(self.cpi_stack) if self.cpi_stack else []
+            raise KeyError(
+                f"unknown CPI-stack component {component!r}; this result "
+                f"has: {', '.join(known) or '<none>'}"
+            )
+        if path.startswith("machine."):
+            field_name = path[len("machine."):]
+            machine = self._machine_config()
+            if field_name == "area_proxy":
+                return area_proxy(machine)
+            value = getattr(machine, field_name, None)
+            if isinstance(value, (int, float)) and not isinstance(value, bool):
+                return float(value)
+        raise KeyError(
+            f"unknown metric path {path!r}; valid paths: "
+            f"{', '.join(self.metric_paths())}"
+        )
+
     def to_dict(self) -> dict:
         return {
             "schema_version": self.schema_version,

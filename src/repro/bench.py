@@ -40,12 +40,19 @@ Times the paths every PR is expected to keep fast:
   evaluated by warmed interval sampling (:mod:`repro.profiler.sampling`)
   in a subprocess; the entry records the sampling rate, the estimated CPI
   error, the child's peak RSS and the exact-streaming wall time the
-  sampled evaluation replaces (``speedup_vs_exact``).
+  sampled evaluation replaces (``speedup_vs_exact``),
+* ``search_surrogate_dse`` — :mod:`repro.search` surrogate-guided
+  optimization: the Table-2 192-point space searched for the minimum-EDP
+  configuration under a budget of a third of the space, checked against
+  the (untimed) exhaustive front, plus a budgeted search of a >10^6-point
+  synthetic space with machine constraints; the entry records
+  ``evals_to_front`` (evaluations spent when the returned best was found)
+  and ``matched_exhaustive_best``, both of which the compare gate checks.
 
 Each benchmark runs ``--repeat`` times with the garbage collector paused
 around the timed region (collector pauses otherwise dominate the variance
 of sub-second runs) and the *median* is reported.  The output schema
-(``schema_version`` 5) records the Python version, job count, active
+(``schema_version`` 6) records the Python version, job count, active
 kernel backend, resolved data plane and the per-stage gate floor
 (``stage_tolerance_ms``) next to the results; benchmarks with a stage
 breakdown carry it (from the median run) in their entry:
@@ -71,6 +78,9 @@ percent (``make bench-compare`` wires this into CI against the committed
 ``BENCH_core.json``).  Per-stage timings are gated the same way for
 stages both files record above the ``--stage-tolerance-ms`` floor
 (default 50ms), so older (v3/v4) references still compare cleanly.
+Search-quality figures are gated too: ``evals_to_front`` regressing
+beyond the tolerance, or ``matched_exhaustive_best`` flipping from true
+to false, fails the gate exactly like a wall-clock regression.
 
 Run via ``make bench``, ``PYTHONPATH=src python benchmarks/run_bench.py``,
 ``repro-bench`` or ``repro-experiments bench``.
@@ -96,7 +106,7 @@ from repro.runtime.session import Session
 from repro.workloads import get_workload
 
 #: Version of the BENCH_core.json layout.
-BENCH_SCHEMA_VERSION = 5
+BENCH_SCHEMA_VERSION = 6
 
 #: Default --stage-tolerance-ms: per-stage regressions whose reference time
 #: is below this many milliseconds are ignored by the gate — sub-50ms stages
@@ -488,6 +498,111 @@ def bench_long_workload_sampled() -> tuple[float, dict]:
     }
 
 
+#: Search-bench shape: the Table-2 surrogate budget is a third of the
+#: 192-point space; the synthetic space must exceed a million points.
+SEARCH_TABLE2_BUDGET = 64
+SEARCH_SYNTH_BUDGET = 36
+SEARCH_BATCH = 8
+SEARCH_SEED = 2012
+SEARCH_WORKLOAD = "dijkstra"
+
+
+def _synthetic_search_space():
+    """A >10^6-point space the surrogate bench searches under budget.
+
+    Ten axes over cache geometry, core shape and latencies — including a
+    coupled depth/frequency axis and an associativity axis conditional on
+    L2 size — sized so exhaustive enumeration is out of the question
+    (the point of :class:`~repro.search.space.SearchSpace`'s indexed,
+    never-materialised representation).
+    """
+    from repro.search import SearchSpace
+
+    return SearchSpace.make([
+        {"axis": "pipeline_stages,frequency_mhz",
+         "values": [[5, 600], [6, 700], [7, 800], [8, 900], [9, 1000]]},
+        {"axis": "width", "values": [1, 2, 3, 4]},
+        {"axis": "l2_size", "values": ["128KB", "256KB", "512KB", "1MB"]},
+        {"axis": "l2_associativity", "values": [4, 8, 16],
+         "when": "l2_size>=256KB"},
+        {"axis": "l1i_size", "values": ["8KB", "16KB", "32KB", "64KB"]},
+        {"axis": "l1d_size", "values": ["8KB", "16KB", "32KB", "64KB"]},
+        {"axis": "l1i_associativity", "values": [2, 4]},
+        {"axis": "l1d_associativity", "values": [2, 4]},
+        {"axis": "line_size", "values": [32, 64]},
+        {"axis": "l1_hit_cycles", "values": [1, 2]},
+        {"axis": "tlb_entries", "values": [16, 32, 64]},
+        {"axis": "mul_latency", "values": [2, 4, 6]},
+        {"axis": "div_latency", "values": [12, 20, 28]},
+        {"axis": "branch_predictor", "values": ["global_1kb", "hybrid_3.5kb"]},
+    ])
+
+
+def bench_search_surrogate_dse() -> tuple[float, dict]:
+    """Surrogate-guided search vs the exhaustive Table-2 front.
+
+    The (untimed) exhaustive reference evaluates all 192 Table-2 points
+    for the minimum-EDP configuration; the timed region is the surrogate
+    search of the same space under a third of that budget plus a budgeted
+    search of a >10^6-point synthetic space with an area constraint —
+    both on a warm-trace session, so what is timed is the search itself
+    (per-geometry profiling passes, model evaluation, surrogate fitting
+    and proposal).  ``evals_to_front`` and ``matched_exhaustive_best``
+    ride along for the quality gate.
+    """
+    from repro.dse.space import default_design_space
+    from repro.search import OptimizeRequest, optimize
+
+    session = _table2_session()
+    space = default_design_space().to_search_space()
+    base = {"space": space, "workload": {"name": SEARCH_WORKLOAD},
+            "objectives": ["edp"]}
+    exhaustive = optimize(
+        OptimizeRequest.parse({**base, "strategy": "exhaustive",
+                               "budget": len(space)}),
+        session=session,
+    )
+    synthetic_space = _synthetic_search_space()
+    start = time.perf_counter()
+    surrogate = optimize(
+        OptimizeRequest.parse({**base, "strategy": "surrogate",
+                               "budget": SEARCH_TABLE2_BUDGET,
+                               "batch": SEARCH_BATCH, "seed": SEARCH_SEED}),
+        session=session,
+    )
+    synthetic = optimize(
+        OptimizeRequest.parse({
+            "space": synthetic_space,
+            "workload": {"name": SEARCH_WORKLOAD},
+            "objectives": ["edp"],
+            "constraints": ["area_proxy<=700"],
+            "strategy": "surrogate", "budget": SEARCH_SYNTH_BUDGET,
+            "batch": SEARCH_BATCH, "seed": SEARCH_SEED,
+        }),
+        session=session,
+    )
+    elapsed = time.perf_counter() - start
+    extras = {
+        "evals_to_front": surrogate.best_found_at_evaluation,
+        "matched_exhaustive_best":
+            surrogate.best["index"] == exhaustive.best["index"],
+        "surrogate_budget": SEARCH_TABLE2_BUDGET,
+        "exhaustive_points": exhaustive.evaluations,
+        "synthetic_cardinality": synthetic.cardinality,
+        "synthetic_evaluations": synthetic.evaluations,
+        "synthetic_infeasible_skipped": synthetic.infeasible_skipped,
+        "synthetic_trajectory_rounds": len(synthetic.trajectory),
+        # The convergence trajectory itself (compact: per surrogate round,
+        # cumulative evaluations and the incumbent's objective value).
+        "synthetic_trajectory": [
+            {"round": entry["round"], "evaluations": entry["evaluations"],
+             "best_edp": entry.get("best", {}).get("edp")}
+            for entry in synthetic.trajectory
+        ],
+    }
+    return elapsed, extras
+
+
 BENCHES = {
     "trace_generation": bench_trace_generation,
     "profile_machine": bench_profile_machine,
@@ -500,6 +615,7 @@ BENCHES = {
     "sharded_evaluate_many": bench_sharded_evaluate_many,
     "sharded_evaluate_many_payload": bench_sharded_evaluate_many_payload,
     "long_workload_sampled": bench_long_workload_sampled,
+    "search_surrogate_dse": bench_search_surrogate_dse,
 }
 
 #: Benchmarks whose callable accepts (and honours) the job count.
@@ -592,6 +708,27 @@ def compare_results(reference: dict, current: dict, tolerance: float,
             regressions.append(
                 f"{name}: {new:.3f} s vs reference {old:.3f} s "
                 f"(+{(new / old - 1.0) * 100.0:.1f}% > {tolerance:g}%)"
+            )
+        # Search-quality gates (schema 6+): more evaluations to reach the
+        # front is a regression exactly like more seconds; losing the
+        # exhaustive-best match is an unconditional one.
+        old_evals = reference_results[name].get("evals_to_front")
+        new_evals = current_results[name].get("evals_to_front")
+        if (isinstance(old_evals, (int, float)) and old_evals > 0
+                and isinstance(new_evals, (int, float))
+                and new_evals > old_evals * limit):
+            regressions.append(
+                f"{name}[evals_to_front]: {new_evals:g} vs reference "
+                f"{old_evals:g} "
+                f"(+{(new_evals / old_evals - 1.0) * 100.0:.1f}% "
+                f"> {tolerance:g}%)"
+            )
+        if (reference_results[name].get("matched_exhaustive_best") is True
+                and current_results[name].get("matched_exhaustive_best")
+                is False):
+            regressions.append(
+                f"{name}[matched_exhaustive_best]: false vs reference true "
+                "(the surrogate no longer finds the exhaustive best config)"
             )
         old_stages = reference_results[name].get("stages") or {}
         new_stages = current_results[name].get("stages") or {}

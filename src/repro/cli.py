@@ -12,10 +12,13 @@ Subcommands:
   requests from JSON request files (single requests, request lists or
   parameter sweeps); ``--backends`` prints the backend capability matrix
   and the machine-preset table.
+* ``optimize [FILE ...]`` — run :mod:`repro.search` design-space searches
+  from JSON ``OptimizeRequest`` files; ``--format json`` prints exactly
+  the ``POST /v1/optimize`` response body.
 * ``serve`` — the long-lived evaluation service (:mod:`repro.service`):
-  ``POST /v1/eval``/``/v1/sweep`` over a warm shared session, with
-  ``--port/--jobs/--cache-dir/--max-queue`` and a graceful drain on
-  Ctrl-C.
+  ``POST /v1/eval``/``/v1/sweep``/``/v1/optimize`` over a warm shared
+  session, with ``--port/--jobs/--cache-dir/--max-queue`` and a graceful
+  drain on Ctrl-C.
 * ``cache`` — inspect (or ``--clear``) an artifact-cache directory.
 * ``list`` — the experiment registry: names, artefacts, declared options.
 * ``bench`` — the core hot-path benchmark (see :mod:`repro.bench`).
@@ -153,10 +156,48 @@ def build_parser() -> argparse.ArgumentParser:
              "(default: the REPRO_DATAPLANE environment variable, then auto)",
     )
 
+    optimize_parser = subparsers.add_parser(
+        "optimize",
+        help="run design-space searches from JSON OptimizeRequest files "
+             "(see repro.search)",
+    )
+    optimize_parser.add_argument(
+        "requests", nargs="*", metavar="FILE",
+        help="JSON optimize-request files ('-' reads stdin); each may hold "
+             "one request or a list of requests",
+    )
+    optimize_parser.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="shard each evaluation batch across N worker processes "
+             "(default: 1, serial; results are byte-identical either way)",
+    )
+    optimize_parser.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="output format; json emits exactly the POST /v1/optimize "
+             "response body (default: text)",
+    )
+    optimize_parser.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="artifact cache directory shared with 'run'/'eval' "
+             "(default: none)",
+    )
+    optimize_parser.add_argument(
+        "--accel", choices=("auto", "numpy", "python"), default=None,
+        metavar="BACKEND",
+        help="profiling-kernel backend: numpy, python, or auto "
+             "(default: the REPRO_ACCEL environment variable, then auto)",
+    )
+    optimize_parser.add_argument(
+        "--dataplane", choices=("auto", "shm", "payload"), default=None,
+        metavar="PLANE",
+        help="trace transport for --jobs workers: shm, payload, or auto "
+             "(default: the REPRO_DATAPLANE environment variable, then auto)",
+    )
+
     serve_parser = subparsers.add_parser(
         "serve",
-        help="run the evaluation service (POST /v1/eval, /v1/sweep; "
-             "GET /v1/health, /v1/metrics)",
+        help="run the evaluation service (POST /v1/eval, /v1/sweep, "
+             "/v1/optimize; GET /v1/health, /v1/metrics)",
     )
     serve_parser.add_argument(
         "--host", default="127.0.0.1", metavar="ADDR",
@@ -525,6 +566,71 @@ def _cmd_eval(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_optimize(args: argparse.Namespace) -> int:
+    import json
+    from pathlib import Path
+
+    from repro.search.optimize import OptimizeRequest, optimize
+
+    if not args.requests:
+        raise SystemExit("optimize needs at least one request file")
+    requests = []
+    for source in args.requests:
+        try:
+            text = sys.stdin.read() if source == "-" else Path(source).read_text()
+            payload = json.loads(text)
+            items = payload if isinstance(payload, list) else [payload]
+            requests.extend(OptimizeRequest.parse(item) for item in items)
+        except (OSError, ValueError, KeyError, TypeError) as exc:
+            raise SystemExit(f"{source}: {exc}") from exc
+
+    with pooled_session(args.cache_dir, args.jobs) as session:
+        results = []
+        for request in requests:
+            try:
+                results.append(optimize(request, session=session))
+            except (ValueError, KeyError, TypeError) as exc:
+                raise SystemExit(str(exc)) from exc
+        if args.format == "json":
+            # One request prints exactly OptimizeResult.to_json() — the
+            # same bytes POST /v1/optimize answers for the same request.
+            if len(results) == 1:
+                sys.stdout.write(results[0].to_json() + "\n")
+            else:
+                body = json.dumps([result.to_dict() for result in results],
+                                  indent=2)
+                sys.stdout.write(body + "\n")
+        else:
+            for index, result in enumerate(results):
+                if index:
+                    sys.stdout.write("\n")
+                _render_optimize_text(result)
+    _session_report(session)
+    return 0
+
+
+def _render_optimize_text(result) -> None:
+    request = result.request
+    objectives = [str(objective) for objective in request.objectives]
+    print(f"search: {request.workload.name} [{request.workload.flags}] "
+          f"over {result.cardinality:,} points — strategy={request.strategy} "
+          f"budget={request.budget} seed={request.seed}")
+    print(f"evaluated {result.evaluations} points "
+          f"({result.infeasible_skipped} pruned by machine constraints); "
+          f"front size {len(result.front)}")
+    rows = [
+        (("*" if result.best is not None
+          and entry["index"] == result.best["index"] else ""),
+         entry["index"], entry["machine"],
+         *(f"{entry['objectives'][name]:.6g}" for name in objectives))
+        for entry in result.front
+    ]
+    print(format_table(("", "index", "machine", *objectives), rows))
+    if result.best is not None:
+        print(f"best: {result.best['machine']} "
+              f"(found after {result.best_found_at_evaluation} evaluations)")
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     import asyncio
 
@@ -805,6 +911,8 @@ def main(argv: list[str] | None = None) -> int:
             return _cmd_run(args)
         if args.command == "eval":
             return _cmd_eval(args)
+        if args.command == "optimize":
+            return _cmd_optimize(args)
         if args.command == "serve":
             return _cmd_serve(args)
         if args.command == "cache":

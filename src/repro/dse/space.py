@@ -100,6 +100,38 @@ class DesignSpace:
             with_power=with_power,
         )
 
+    def to_search_space(self):
+        """Express this space as a :class:`repro.search.space.SearchSpace`.
+
+        Point ``i`` of the returned space resolves to *exactly*
+        ``self.configurations()[i]`` — same enumeration order (depth/
+        frequency most significant, predictor least, matching the
+        ``itertools.product`` above) and same generated names via the
+        name template — so an exhaustive search over it reproduces
+        :class:`~repro.dse.explorer.DesignSpaceExplorer` selections
+        byte-for-byte, while indexed access costs O(axes) instead of
+        materialising the cross product.
+        """
+        from repro.api.spec import MachineSpec
+        from repro.search.space import SearchSpace
+
+        return SearchSpace.make(
+            [
+                {"axis": "pipeline_stages,frequency_mhz",
+                 "values": list(self.depth_frequency)},
+                {"axis": "width", "values": list(self.widths)},
+                {"axis": "l2_size", "values": list(self.l2_sizes)},
+                {"axis": "l2_associativity",
+                 "values": list(self.l2_associativities)},
+                {"axis": "branch_predictor",
+                 "values": list(self.branch_predictors)},
+            ],
+            base=MachineSpec.from_machine(self.base),
+            name_template=("w{width}_d{pipeline_stages}_f{frequency_mhz}"
+                           "_l2-{l2_size_kb}k-{l2_associativity}w"
+                           "_{branch_predictor}"),
+        )
+
 
 def default_design_space() -> DesignSpace:
     """The paper's full 192-point design space."""

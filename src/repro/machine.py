@@ -138,6 +138,19 @@ class MachineConfig:
 DEFAULT_MACHINE = MachineConfig(name="default")
 
 
+def area_proxy(machine: MachineConfig) -> float:
+    """A crude silicon-area proxy in KB-equivalents, for search objectives.
+
+    SRAM estate dominates small in-order cores, so the proxy is the cache
+    estate in KB plus a per-slot and per-stage core term.  It is *not* a
+    calibrated area model — it exists so design-space searches can trade
+    performance against a monotonic cost axis (``area_proxy`` grows with
+    every parameter a designer pays area for).
+    """
+    return ((machine.l1i_size + machine.l1d_size + machine.l2_size) / 1024.0
+            + 4.0 * machine.width + float(machine.pipeline_stages))
+
+
 # ----------------------------------------------------------------------
 # Size-string parsing ("1MB" -> 1048576).
 # ----------------------------------------------------------------------

@@ -1,0 +1,63 @@
+"""Design-space search: objectives, spaces, strategies, serving.
+
+The four layers stack bottom-up:
+
+* :mod:`repro.search.objectives` — :class:`Objective` (any
+  :meth:`~repro.api.spec.EvalResult.metric` path, min or max),
+  :class:`Constraint` (the ``"l2_size<=1MB"`` / ``"cpi<1.8"`` grammar)
+  and exact :func:`pareto_front` extraction;
+* :mod:`repro.search.space` — :class:`SearchSpace`, an indexable,
+  never-materialised cross product of plain / coupled / conditional
+  axes over a base machine spec;
+* :mod:`repro.search.strategies` — the :data:`STRATEGIES` registry
+  (``exhaustive``, ``random``, ``surrogate``) over a shared budgeted
+  :class:`SearchDriver`;
+* :mod:`repro.search.optimize` — the :class:`OptimizeRequest` /
+  :class:`OptimizeResult` envelopes behind ``repro optimize`` and
+  ``POST /v1/optimize``, plus :func:`optimize` itself.
+
+Every layer is pure stdlib arithmetic, so a whole search trajectory is
+byte-identical for a given seed across accel backends and job counts.
+"""
+
+from repro.search.objectives import (
+    Constraint,
+    Objective,
+    dominates,
+    needs_power,
+    objective_vector,
+    pareto_front,
+    pareto_indices,
+    split_constraints,
+)
+from repro.search.optimize import (
+    SEARCH_SCHEMA_VERSION,
+    OptimizeRequest,
+    OptimizeResult,
+    optimize,
+    validate_optimize_request,
+)
+from repro.search.space import SPACE_SCHEMA_VERSION, SearchSpace, SpaceAxis
+from repro.search.strategies import STRATEGIES, SearchDriver, strategy_names
+
+__all__ = [
+    "Constraint",
+    "Objective",
+    "OptimizeRequest",
+    "OptimizeResult",
+    "SEARCH_SCHEMA_VERSION",
+    "SPACE_SCHEMA_VERSION",
+    "STRATEGIES",
+    "SearchDriver",
+    "SearchSpace",
+    "SpaceAxis",
+    "dominates",
+    "needs_power",
+    "objective_vector",
+    "optimize",
+    "pareto_front",
+    "pareto_indices",
+    "split_constraints",
+    "strategy_names",
+    "validate_optimize_request",
+]

@@ -1,0 +1,275 @@
+"""Objectives, constraints and exact Pareto-front extraction.
+
+The vocabulary of :mod:`repro.search`: an :class:`Objective` names one
+scalar to minimise or maximise by its :meth:`~repro.api.spec.EvalResult.metric`
+path (``"cpi"``, ``"edp"``, ``"energy.total"``, ``"machine.l2_size"``,
+``"area_proxy"``, ...); a :class:`Constraint` is one comparison parsed
+from the grammar ``"l2_size<=1MB"`` / ``"cpi<1.8"``, applied either to
+candidate machines before evaluation (machine constraints prune the
+space for free) or to evaluated results (metric constraints filter the
+front); :func:`pareto_front` extracts the exact non-dominated subset of
+any batch of results.
+
+Everything here is pure stdlib arithmetic — deterministic regardless of
+the :mod:`repro.accel` backend, which is what keeps whole search
+trajectories byte-identical across backends and job counts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields as dataclass_fields
+from typing import Mapping, Sequence
+
+from repro.api.spec import EvalResult
+from repro.machine import SIZE_FIELDS, MachineConfig, area_proxy, parse_size
+
+#: MachineConfig parameters a constraint may test before evaluation
+#: (plus the derived ``area_proxy``); anything else is a result metric.
+MACHINE_FIELDS = frozenset(
+    f.name for f in dataclass_fields(MachineConfig) if f.name != "name"
+) | {"area_proxy"}
+
+
+# ----------------------------------------------------------------------
+# Objectives.
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class Objective:
+    """One scalar to optimise: a metric path plus a direction."""
+
+    metric: str
+    goal: str = "min"
+
+    def __post_init__(self) -> None:
+        if self.goal not in ("min", "max"):
+            raise ValueError(
+                f"objective goal must be 'min' or 'max', got {self.goal!r}"
+            )
+        if not self.metric:
+            raise ValueError("objective needs a metric path")
+
+    @classmethod
+    def parse(cls, value: "Objective | str | Mapping") -> "Objective":
+        """Coerce ``"edp"``, ``"max:ipc"`` or a mapping into an objective."""
+        if isinstance(value, cls):
+            return value
+        if isinstance(value, str):
+            if ":" in value:
+                goal, _, metric = value.partition(":")
+                return cls(metric=metric, goal=goal)
+            return cls(metric=value)
+        if isinstance(value, Mapping):
+            unknown = sorted(set(value) - {"metric", "goal"})
+            if unknown:
+                raise ValueError(
+                    f"unknown objective keys {unknown}; allowed: "
+                    "['goal', 'metric']"
+                )
+            return cls(metric=value["metric"], goal=value.get("goal", "min"))
+        raise TypeError(f"cannot parse objective from {value!r}")
+
+    @property
+    def sign(self) -> float:
+        """Multiplier turning the metric into a minimisation coordinate."""
+        return 1.0 if self.goal == "min" else -1.0
+
+    def value(self, result: EvalResult) -> float:
+        """The raw (caller-facing, un-negated) metric value."""
+        return result.metric(self.metric)
+
+    def key(self, result: EvalResult) -> float:
+        """The minimisation coordinate (maximisation metrics negated)."""
+        return self.sign * result.metric(self.metric)
+
+    def to_dict(self) -> dict:
+        return {"metric": self.metric, "goal": self.goal}
+
+    def __str__(self) -> str:
+        return self.metric if self.goal == "min" else f"max:{self.metric}"
+
+
+#: Metric paths that require the evaluation to carry power data.
+POWER_METRICS = frozenset({"edp", "energy", "energy.total"})
+
+
+def needs_power(objectives: Sequence[Objective],
+                constraints: Sequence["Constraint"] = ()) -> bool:
+    """Whether any objective or metric constraint touches energy/EDP."""
+    return (any(obj.metric in POWER_METRICS for obj in objectives)
+            or any(con.path in POWER_METRICS for con in constraints))
+
+
+# ----------------------------------------------------------------------
+# Constraints.
+# ----------------------------------------------------------------------
+#: Comparison operators, longest first so ``<=`` wins over ``<``.
+_OPERATORS: tuple[tuple[str, object], ...] = (
+    ("<=", lambda a, b: a <= b),
+    (">=", lambda a, b: a >= b),
+    ("==", lambda a, b: a == b),
+    ("!=", lambda a, b: a != b),
+    ("<", lambda a, b: a < b),
+    (">", lambda a, b: a > b),
+)
+
+
+@dataclass(frozen=True)
+class Constraint:
+    """One parsed comparison: ``path op value``.
+
+    ``path`` on the left of the operator is either a machine parameter
+    (``"l2_size"``, ``"machine.l2_size"``, ``"area_proxy"``) — checked
+    against candidate configurations *before* any evaluation is spent on
+    them — or a result metric path (``"cpi"``, ``"edp"``,
+    ``"cpi_stack.base"``) checked after evaluation.  Byte-count machine
+    fields accept size strings on the right (``"l2_size<=1MB"``).
+    """
+
+    path: str
+    op: str
+    value: object
+    source: str
+
+    @classmethod
+    def parse(cls, text: str) -> "Constraint":
+        stripped = text.strip()
+        for op, _ in _OPERATORS:
+            if op in stripped:
+                lhs, _, rhs = stripped.partition(op)
+                path, raw = lhs.strip(), rhs.strip()
+                if not path or not raw:
+                    break
+                if path.startswith("machine.") and \
+                        path[len("machine."):] in MACHINE_FIELDS:
+                    path = path[len("machine."):]
+                value: object = raw
+                field_name = path
+                if field_name in SIZE_FIELDS:
+                    value = parse_size(raw)
+                else:
+                    try:
+                        value = int(raw)
+                    except ValueError:
+                        try:
+                            value = float(raw)
+                        except ValueError:
+                            value = raw  # string (e.g. a predictor name)
+                if isinstance(value, str) and op not in ("==", "!="):
+                    raise ValueError(
+                        f"constraint {text!r}: ordering comparison against "
+                        f"non-numeric value {raw!r} (only == and != apply)"
+                    )
+                return cls(path=path, op=op, value=value, source=stripped)
+        raise ValueError(
+            f"malformed constraint {text!r}; expected 'path OP value' with "
+            "OP one of <=, >=, ==, !=, <, > (e.g. 'l2_size<=1MB', 'cpi<1.8')"
+        )
+
+    @property
+    def on_machine(self) -> bool:
+        """Whether this constraint prunes configurations before evaluation."""
+        return self.path in MACHINE_FIELDS
+
+    def _compare(self, left: object) -> bool:
+        comparator = dict(_OPERATORS)[self.op]
+        # Size fields compare in bytes whichever spelling the candidate
+        # uses — axis values may be "256KB" strings while the constraint
+        # parsed to an int (a lexicographic comparison would be wrong).
+        if self.path in SIZE_FIELDS and isinstance(left, str):
+            left = parse_size(left)
+        if isinstance(self.value, str) or isinstance(left, str):
+            return comparator(str(left), str(self.value))
+        return comparator(float(left), float(self.value))
+
+    def admits_value(self, value: object) -> bool:
+        """Whether one candidate field value satisfies the comparison."""
+        return self._compare(value)
+
+    def admits_machine(self, machine: MachineConfig) -> bool:
+        """Whether a resolved configuration satisfies a machine constraint."""
+        if not self.on_machine:
+            raise ValueError(
+                f"constraint {self.source!r} tests result metric "
+                f"{self.path!r}, not a machine parameter"
+            )
+        left = (area_proxy(machine) if self.path == "area_proxy"
+                else getattr(machine, self.path))
+        return self._compare(left)
+
+    def admits_result(self, result: EvalResult) -> bool:
+        """Whether an evaluated result satisfies a metric constraint."""
+        return self._compare(result.metric(self.path))
+
+    def to_dict(self) -> str:
+        return self.source
+
+    def __str__(self) -> str:
+        return self.source
+
+
+def split_constraints(
+    constraints: Sequence[Constraint],
+) -> tuple[list[Constraint], list[Constraint]]:
+    """(machine constraints, metric constraints), order preserved."""
+    machine = [con for con in constraints if con.on_machine]
+    metric = [con for con in constraints if not con.on_machine]
+    return machine, metric
+
+
+# ----------------------------------------------------------------------
+# Pareto-front extraction.
+# ----------------------------------------------------------------------
+def dominates(a: Sequence[float], b: Sequence[float]) -> bool:
+    """Whether minimisation vector ``a`` dominates ``b`` (<= everywhere,
+    < somewhere)."""
+    strictly = False
+    for left, right in zip(a, b):
+        if left > right:
+            return False
+        if left < right:
+            strictly = True
+    return strictly
+
+
+def pareto_indices(vectors: Sequence[Sequence[float]]) -> list[int]:
+    """Indices of the exact non-dominated subset of minimisation vectors.
+
+    A point is in the front iff **no** other point dominates it; points
+    with identical vectors never dominate each other, so duplicates all
+    survive — which makes the returned *set* invariant under permutation
+    and duplication of the input.  The returned list is in ascending
+    input order (the deterministic tie rule every caller shares).
+    """
+    order = sorted(range(len(vectors)), key=lambda i: (tuple(vectors[i]), i))
+    # After the lexicographic sort a point can only be dominated by an
+    # earlier point, and only front members can dominate anything — so one
+    # forward sweep against the growing archive is exact.
+    archive: list[int] = []
+    front: list[int] = []
+    for index in order:
+        vector = vectors[index]
+        if not any(dominates(vectors[kept], vector) for kept in archive):
+            archive.append(index)
+            front.append(index)
+    return sorted(front)
+
+
+def objective_vector(result: EvalResult,
+                     objectives: Sequence[Objective]) -> tuple[float, ...]:
+    """The result's minimisation coordinates under ``objectives``."""
+    return tuple(objective.key(result) for objective in objectives)
+
+
+def pareto_front(results: Sequence[EvalResult],
+                 objectives: Sequence["Objective | str | Mapping"],
+                 ) -> list[int]:
+    """Exact Pareto front of a result batch, as ascending input indices.
+
+    ``objectives`` accepts anything :meth:`Objective.parse` does.  With a
+    single objective the front is every result tied for the optimum.
+    """
+    parsed = [Objective.parse(objective) for objective in objectives]
+    if not parsed:
+        raise ValueError("pareto_front needs at least one objective")
+    vectors = [objective_vector(result, parsed) for result in results]
+    return pareto_indices(vectors)

@@ -1,7 +1,7 @@
 """Blocking client SDK for the evaluation service.
 
-:class:`ServiceClient` wraps the four endpoints in typed calls mirroring
-the in-process :mod:`repro.api` facade::
+:class:`ServiceClient` wraps the service endpoints in typed calls
+mirroring the in-process :mod:`repro.api` facade::
 
     from repro.service import ServiceClient
 
@@ -96,6 +96,26 @@ class ServiceClient:
         body = self._checked("POST", "/v1/sweep", parsed.to_json().encode("utf-8"))
         payload = json.loads(body.decode("utf-8"))
         return [EvalResult.from_dict(entry) for entry in payload["results"]]
+
+    def optimize_raw(self, request) -> bytes:
+        """``POST /v1/optimize`` returning the exact response body bytes.
+
+        The body is byte-identical to ``repro.search.optimize(request)
+        .to_json()`` run in-process (and to ``repro optimize --format
+        json``) — this is the method the equivalence tests use.
+        """
+        from repro.search.optimize import OptimizeRequest
+
+        parsed = OptimizeRequest.parse(request)
+        return self._checked("POST", "/v1/optimize",
+                             parsed.to_json().encode("utf-8"))
+
+    def optimize(self, request):
+        """``POST /v1/optimize`` decoded into an ``OptimizeResult``."""
+        from repro.search.optimize import OptimizeResult
+
+        return OptimizeResult.from_json(
+            self.optimize_raw(request).decode("utf-8"))
 
     def health(self) -> dict:
         """``GET /v1/health`` as a dict."""

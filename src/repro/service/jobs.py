@@ -34,10 +34,16 @@ class ServiceOverloaded(Exception):
 
 @dataclass
 class Job:
-    """One unit of queued work: a request batch and the future it resolves."""
+    """One unit of queued work: a request batch and the future it resolves.
+
+    ``call`` jobs carry an arbitrary session function instead of a request
+    batch (the optimize endpoint queues whole searches this way) — same
+    queue, same backpressure, same session serialization.
+    """
 
     requests: Sequence[EvalRequest]
     future: asyncio.Future = field(repr=False)
+    call: Callable | None = None
 
 
 class EvalExecutor:
@@ -111,6 +117,30 @@ class EvalExecutor:
         self._pending += 1
         return future
 
+    def submit_call(self, call: Callable) -> asyncio.Future:
+        """Enqueue a session function; the future resolves to its return.
+
+        ``call(session)`` runs on the worker thread pool under the same
+        session lock as request batches, so queued searches and queued
+        evaluations serialize against each other and stay byte-identical
+        to in-process calls.  Backpressure matches :meth:`submit`.
+        """
+        if self._queue is None:
+            raise RuntimeError("executor is not started")
+        future = asyncio.get_running_loop().create_future()
+        try:
+            self._queue.put_nowait(Job(requests=(), future=future, call=call))
+        except asyncio.QueueFull:
+            raise ServiceOverloaded(
+                f"job queue is full ({self.max_queue} pending)"
+            ) from None
+        self._pending += 1
+        return future
+
+    def _run_call(self, call: Callable):
+        with self._session_lock:
+            return call(self.session)
+
     async def _worker(self) -> None:
         assert self._queue is not None
         while True:
@@ -120,9 +150,14 @@ class EvalExecutor:
     async def _process(self, job: Job) -> None:
         loop = asyncio.get_running_loop()
         try:
-            results = await loop.run_in_executor(
-                self._pool, self._runner, job.requests
-            )
+            if job.call is not None:
+                results = await loop.run_in_executor(
+                    self._pool, self._run_call, job.call
+                )
+            else:
+                results = await loop.run_in_executor(
+                    self._pool, self._runner, job.requests
+                )
             if not job.future.cancelled():
                 job.future.set_result(results)
         except Exception as exc:  # surfaced as a 500 by the server

@@ -7,6 +7,9 @@ Endpoints (all JSON):
   ``repro.api.evaluate(request).to_json()`` run in-process;
 * ``POST /v1/sweep``  — one :class:`~repro.api.sweep.SweepRequest`,
   expanded and answered as ``{"schema_version", "count", "results"}``;
+* ``POST /v1/optimize`` — one :class:`~repro.search.optimize.OptimizeRequest`
+  (a whole design-space search); the response body is byte-identical to
+  ``repro.search.optimize(request).to_json()`` run in-process;
 * ``GET /v1/health``  — liveness plus queue/cache occupancy;
 * ``GET /v1/metrics`` — request counters, latency percentiles, cache hit
   rate and queue depth (see :mod:`repro.service.metrics`).
@@ -77,6 +80,7 @@ class ServiceConfig:
 ROUTES = {
     "/v1/eval": ("POST", "_handle_eval"),
     "/v1/sweep": ("POST", "_handle_sweep"),
+    "/v1/optimize": ("POST", "_handle_optimize"),
     "/v1/health": ("GET", "_handle_health"),
     "/v1/metrics": ("GET", "_handle_metrics"),
 }
@@ -300,6 +304,45 @@ class EvalServer:
                 "results": [result.to_dict() for result in results],
             }),
         )
+
+    async def _handle_optimize(self, request: HttpRequest) -> tuple[int, bytes]:
+        from repro.search.optimize import (
+            OptimizeRequest,
+            optimize,
+            validate_optimize_request,
+        )
+
+        payload = self._parse_json(request.body)
+        try:
+            parsed = OptimizeRequest.parse(payload)
+            errors = validate_optimize_request(parsed)
+            if errors:
+                raise ValueError(
+                    "invalid optimize request: " + "; ".join(errors)
+                )
+        except (ValueError, KeyError, TypeError) as exc:
+            raise HttpError(400, str(exc)) from exc
+        key = canonical_key({"endpoint": "optimize",
+                             "request": parsed.to_dict()})
+        cached = self.cache.get(key)
+        if cached is not None:
+            return 200, cached
+        # A search is one queue entry (a call job), not one entry per
+        # evaluation: backpressure applies to whole searches, and the
+        # session lock serializes it against concurrent eval batches.
+        try:
+            future = self.executor.submit_call(
+                lambda session: optimize(parsed, session=session)
+            )
+        except ServiceOverloaded as exc:
+            raise HttpError(503, str(exc)) from exc
+        result = await future
+        self.metrics.count_evaluations(result.evaluations)
+        # The body is exactly OptimizeResult.to_json(), so a served answer
+        # is byte-identical to `repro optimize --format json` in-process.
+        body = result.to_json().encode("utf-8")
+        self.cache.put(key, body)
+        return 200, body
 
     async def _handle_health(self, request: HttpRequest) -> tuple[int, bytes]:
         return 200, _json_body({

@@ -79,6 +79,47 @@ def test_stage_only_present_on_one_side_ignored():
     assert compare_results(reference, current, 0.0) == []
 
 
+def _search(median: float, evals: float | None = None,
+            matched: bool | None = None) -> dict:
+    entry: dict = {"median": median, "runs": [median]}
+    if evals is not None:
+        entry["evals_to_front"] = evals
+    if matched is not None:
+        entry["matched_exhaustive_best"] = matched
+    return {"results": {"search_surrogate_dse": entry}}
+
+
+def test_evals_to_front_regression_reported():
+    reference = _search(1.0, evals=15, matched=True)
+    current = _search(1.0, evals=40, matched=True)
+    regressions = compare_results(reference, current, 25.0)
+    assert len(regressions) == 1
+    assert regressions[0].startswith("search_surrogate_dse[evals_to_front]:")
+    assert "40 vs reference 15" in regressions[0]
+
+
+def test_evals_to_front_within_tolerance_passes():
+    reference = _search(1.0, evals=16, matched=True)
+    current = _search(1.0, evals=18, matched=True)
+    assert compare_results(reference, current, 25.0) == []
+
+
+def test_losing_exhaustive_best_match_is_unconditional():
+    reference = _search(1.0, evals=15, matched=True)
+    current = _search(1.0, evals=15, matched=False)
+    regressions = compare_results(reference, current, 1000.0)
+    assert len(regressions) == 1
+    assert "matched_exhaustive_best" in regressions[0]
+
+
+def test_search_quality_absent_on_one_side_passes_vacuously():
+    # Older (pre-v6) references carry no search-quality figures.
+    reference = _search(1.0)
+    current = _search(1.0, evals=99, matched=False)
+    assert compare_results(reference, current, 0.0) == []
+    assert compare_results(current, reference, 0.0) == []
+
+
 def test_cli_gate_exit_codes(tmp_path, monkeypatch):
     """End-to-end: the bench subcommand compares and gates on exit code."""
     from repro import bench

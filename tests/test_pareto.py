@@ -1,0 +1,231 @@
+"""Objectives, constraints and Pareto-front extraction (repro.search).
+
+Property-based checks pin the front's defining invariants — no dominated
+point is ever in the front, the front *set* is invariant under
+permutation and duplication of the input, ties resolve deterministically
+— next to a hand-checked two-objective fixture small enough to verify on
+paper.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.api.spec import EvalRequest, EvalResult, MachineSpec, WorkloadSpec
+from repro.search import (
+    Constraint,
+    Objective,
+    dominates,
+    needs_power,
+    pareto_front,
+    pareto_indices,
+    split_constraints,
+)
+
+
+def _result(cycles: float = 150.0, instructions: int = 100,
+            energy: float | None = None, **machine_overrides) -> EvalResult:
+    request = EvalRequest(
+        workload=WorkloadSpec("sha"),
+        machine=MachineSpec.make(**machine_overrides),
+    )
+    machine = request.machine.resolve()
+    seconds = cycles * machine.cycle_ns * 1e-9
+    return EvalResult(
+        request=request, backend="analytical", workload="sha",
+        machine=machine.name or "paper_default", instructions=instructions,
+        cycles=cycles, seconds=seconds,
+        cpi_stack={"base": cycles * 0.6, "l2": cycles * 0.4},
+        energy_joules=energy,
+    )
+
+
+# ----------------------------------------------------------------------
+# Objectives.
+# ----------------------------------------------------------------------
+class TestObjective:
+    def test_parse_forms(self):
+        assert Objective.parse("edp") == Objective("edp", "min")
+        assert Objective.parse("max:ipc") == Objective("ipc", "max")
+        assert Objective.parse({"metric": "cpi", "goal": "max"}) == \
+            Objective("cpi", "max")
+        parsed = Objective.parse(Objective("cycles"))
+        assert parsed == Objective("cycles")
+
+    def test_parse_rejects_bad_goal_and_unknown_keys(self):
+        with pytest.raises(ValueError, match="'min' or 'max'"):
+            Objective.parse("best:cpi")
+        with pytest.raises(ValueError, match="unknown objective keys"):
+            Objective.parse({"metric": "cpi", "direction": "min"})
+
+    def test_max_objective_negates_key(self):
+        result = _result(cycles=200.0, instructions=100)
+        objective = Objective.parse("max:ipc")
+        assert objective.value(result) == pytest.approx(0.5)
+        assert objective.key(result) == pytest.approx(-0.5)
+
+    def test_str_round_trips_through_parse(self):
+        for text in ("cpi", "max:ipc", "cpi_stack.l2", "machine.l2_size"):
+            assert str(Objective.parse(text)) == text
+
+    def test_needs_power(self):
+        assert needs_power([Objective("edp")])
+        assert needs_power([Objective("cpi")],
+                           [Constraint.parse("energy<=0.5")])
+        assert not needs_power([Objective("cpi")],
+                               [Constraint.parse("l2_size<=1MB")])
+
+
+# ----------------------------------------------------------------------
+# Constraints.
+# ----------------------------------------------------------------------
+class TestConstraint:
+    def test_size_grammar_on_machine_field(self):
+        constraint = Constraint.parse("l2_size<=1MB")
+        assert constraint.on_machine
+        assert constraint.value == 1024 * 1024
+        assert constraint.admits_value(512 * 1024)
+        assert not constraint.admits_value(2 * 1024 * 1024)
+        # Candidate values spelled as size strings compare in bytes.
+        assert constraint.admits_value("512KB")
+        assert not constraint.admits_value("2MB")
+
+    def test_machine_prefix_is_stripped(self):
+        constraint = Constraint.parse("machine.width>=2")
+        assert constraint.path == "width" and constraint.on_machine
+
+    def test_metric_constraint_applies_to_results(self):
+        constraint = Constraint.parse("cpi<1.8")
+        assert not constraint.on_machine
+        assert constraint.admits_result(_result(cycles=150.0))  # cpi 1.5
+        assert not constraint.admits_result(_result(cycles=200.0))
+
+    def test_string_equality_allowed_ordering_rejected(self):
+        constraint = Constraint.parse("branch_predictor==hybrid_3.5kb")
+        assert constraint.admits_value("hybrid_3.5kb")
+        assert not constraint.admits_value("global_1kb")
+        with pytest.raises(ValueError, match="ordering comparison"):
+            Constraint.parse("branch_predictor<=hybrid_3.5kb")
+
+    def test_malformed_constraint_names_the_grammar(self):
+        with pytest.raises(ValueError, match="expected 'path OP value'"):
+            Constraint.parse("l2_size")
+
+    def test_admits_machine_and_area_proxy(self):
+        machine = MachineSpec.make().resolve()
+        assert Constraint.parse("l2_size<=1MB").admits_machine(machine)
+        assert Constraint.parse("area_proxy<=1000").admits_machine(machine)
+        with pytest.raises(ValueError, match="not a machine parameter"):
+            Constraint.parse("cpi<1.8").admits_machine(machine)
+
+    def test_split_preserves_order(self):
+        parsed = [Constraint.parse(text) for text in
+                  ("cpi<2", "l2_size<=1MB", "width>=2", "edp<1e-9")]
+        machine, metric = split_constraints(parsed)
+        assert [c.source for c in machine] == ["l2_size<=1MB", "width>=2"]
+        assert [c.source for c in metric] == ["cpi<2", "edp<1e-9"]
+
+
+# ----------------------------------------------------------------------
+# Pareto extraction: hand-checked fixture.
+# ----------------------------------------------------------------------
+class TestParetoFixture:
+    #: (cpi, energy) points: a is dominated by b; b, c, e are the front
+    #: (e duplicates c and must survive); d is dominated by c/e.
+    VECTORS = [
+        (2.0, 5.0),   # a: dominated by b (worse on both)
+        (1.5, 4.0),   # b: front
+        (1.0, 6.0),   # c: front (best cpi)
+        (1.2, 6.5),   # d: dominated by c (and e)
+        (1.0, 6.0),   # e: duplicate of c — must also survive
+        (3.0, 3.0),   # f: front (best energy)
+    ]
+
+    def test_hand_checked_front(self):
+        assert pareto_indices(self.VECTORS) == [1, 2, 4, 5]
+
+    def test_dominates_is_strict(self):
+        assert dominates((1.0, 4.0), (1.5, 4.0))
+        assert not dominates((1.0, 6.0), (1.0, 6.0))  # equal: no dominance
+        assert not dominates((1.0, 7.0), (1.5, 4.0))  # trade-off
+
+    def test_single_objective_front_is_the_tied_minimum(self):
+        assert pareto_indices([(2.0,), (1.0,), (1.0,), (3.0,)]) == [1, 2]
+
+    def test_pareto_front_over_results(self):
+        results = [_result(cycles=c, energy=e) for c, e in
+                   ((200.0, 0.5), (150.0, 0.9), (120.0, 1.4))]
+        # (cpi, energy): (2.0, .5), (1.5, .9), (1.2, 1.4) — all trade off.
+        assert pareto_front(results, ["cpi", "energy"]) == [0, 1, 2]
+        # Minimizing cpi alone: only the fastest survives.
+        assert pareto_front(results, ["cpi"]) == [2]
+        # Maximizing cpi flips it.
+        assert pareto_front(results, ["max:cpi"]) == [0]
+
+    def test_pareto_front_needs_objectives(self):
+        with pytest.raises(ValueError, match="at least one objective"):
+            pareto_front([_result()], [])
+
+
+# ----------------------------------------------------------------------
+# Pareto extraction: properties.
+# ----------------------------------------------------------------------
+vectors_strategy = st.lists(
+    st.tuples(st.integers(-20, 20), st.integers(-20, 20),
+              st.integers(-20, 20)),
+    min_size=1, max_size=40,
+)
+
+
+class TestParetoProperties:
+    @given(vectors=vectors_strategy)
+    @settings(max_examples=80, deadline=None)
+    def test_no_front_member_is_dominated(self, vectors):
+        front = pareto_indices(vectors)
+        assert front  # at least one point is always non-dominated
+        for index in front:
+            assert not any(dominates(vectors[other], vectors[index])
+                           for other in range(len(vectors)))
+
+    @given(vectors=vectors_strategy)
+    @settings(max_examples=80, deadline=None)
+    def test_every_non_member_is_dominated(self, vectors):
+        front = set(pareto_indices(vectors))
+        for index in range(len(vectors)):
+            if index not in front:
+                assert any(dominates(vectors[other], vectors[index])
+                           for other in range(len(vectors)))
+
+    @given(vectors=vectors_strategy, seed=st.integers(0, 2**16))
+    @settings(max_examples=80, deadline=None)
+    def test_front_set_invariant_under_permutation(self, vectors, seed):
+        import random
+
+        order = list(range(len(vectors)))
+        random.Random(seed).shuffle(order)
+        shuffled = [vectors[i] for i in order]
+        original = {tuple(vectors[i]) for i in pareto_indices(vectors)}
+        permuted = {tuple(shuffled[i]) for i in pareto_indices(shuffled)}
+        assert original == permuted
+
+    @given(vectors=vectors_strategy)
+    @settings(max_examples=80, deadline=None)
+    def test_front_set_invariant_under_duplication(self, vectors):
+        doubled = vectors + vectors
+        original = {tuple(vectors[i]) for i in pareto_indices(vectors)}
+        duplicated = {tuple(doubled[i]) for i in pareto_indices(doubled)}
+        assert original == duplicated
+        # Every copy of a front point survives.
+        front = pareto_indices(doubled)
+        for index in front:
+            twin = (index + len(vectors)) % len(doubled)
+            assert twin in front
+
+    @given(vectors=vectors_strategy)
+    @settings(max_examples=80, deadline=None)
+    def test_deterministic_and_ascending(self, vectors):
+        first = pareto_indices(vectors)
+        assert first == pareto_indices(vectors)
+        assert first == sorted(first)

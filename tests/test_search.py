@@ -1,0 +1,341 @@
+"""End-to-end design-space search: strategies, envelopes, validation.
+
+The two anchor results: the ``exhaustive`` strategy reproduces the
+legacy :class:`~repro.dse.explorer.EDPResult` optimum bit-for-bit
+through the new machinery, and the ``surrogate`` strategy finds the same
+Table-2 EDP optimum in at most a third of the exhaustive evaluations —
+deterministically, byte-identical across job counts.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import api
+from repro.dse import DesignSpaceExplorer, default_design_space, reduced_design_space
+from repro.machine import area_proxy
+from repro.runtime.session import Session
+from repro.search import (
+    OptimizeRequest,
+    OptimizeResult,
+    optimize,
+    strategy_names,
+    validate_optimize_request,
+)
+from repro.workloads import get_workload
+
+
+@pytest.fixture(scope="module")
+def session():
+    """One shared in-memory session so traces/profiles memoize across tests."""
+    return Session()
+
+
+@pytest.fixture(scope="module")
+def sha_result(session):
+    return api.evaluate({"workload": "sha", "with_power": True},
+                        session=session)
+
+
+@pytest.fixture(scope="module")
+def sha_result_no_power(session):
+    return api.evaluate({"workload": "sha"}, session=session)
+
+
+# ----------------------------------------------------------------------
+# The metric accessor (the vocabulary objectives/constraints read).
+# ----------------------------------------------------------------------
+class TestMetricAccessor:
+    def test_scalar_paths(self, sha_result):
+        assert sha_result.metric("cpi") == sha_result.cpi
+        assert sha_result.metric("ipc") == pytest.approx(1 / sha_result.cpi)
+        assert sha_result.metric("cycles") == float(sha_result.cycles)
+        assert sha_result.metric("seconds") == sha_result.seconds
+
+    def test_power_paths(self, sha_result):
+        assert sha_result.metric("energy") == sha_result.energy_joules
+        assert sha_result.metric("edp") == pytest.approx(
+            sha_result.energy_joules * sha_result.seconds)
+
+    def test_machine_paths(self, sha_result):
+        machine = sha_result.request.machine.resolve()
+        assert sha_result.metric("machine.l2_size") == float(machine.l2_size)
+        assert sha_result.metric("machine.area_proxy") == \
+            pytest.approx(area_proxy(machine))
+        assert sha_result.metric("frequency") == float(machine.frequency_mhz)
+
+    def test_cpi_stack_paths(self, sha_result):
+        component = next(iter(sha_result.cpi_stack))
+        assert sha_result.metric(f"cpi_stack.{component}") == \
+            float(sha_result.cpi_stack[component])
+
+    def test_unknown_path_lists_vocabulary(self, sha_result):
+        with pytest.raises(KeyError, match="valid paths.*cpi"):
+            sha_result.metric("latency")
+
+    def test_power_path_without_power_advises_with_power(
+            self, sha_result_no_power):
+        with pytest.raises(KeyError, match="with_power=True"):
+            sha_result_no_power.metric("edp")
+        assert "edp" not in sha_result_no_power.metric_paths()
+
+    def test_unknown_stack_component_lists_components(self, sha_result):
+        with pytest.raises(KeyError, match="this result has"):
+            sha_result.metric("cpi_stack.nonexistent")
+
+    def test_metric_paths_all_resolve(self, sha_result):
+        for path in sha_result.metric_paths():
+            value = sha_result.metric(path)
+            assert isinstance(value, float)
+
+
+# ----------------------------------------------------------------------
+# Exhaustive golden: the legacy EDP optimum through the new machinery.
+# ----------------------------------------------------------------------
+class TestExhaustiveGolden:
+    def test_matches_legacy_explorer_optimum(self, session):
+        design = reduced_design_space()
+        legacy = DesignSpaceExplorer(
+            design.configurations(), session=session
+        ).explore_edp(get_workload("sha"), simulate=False).best_by_model()
+
+        result = optimize(OptimizeRequest(
+            space=design.to_search_space(), workload=api.WorkloadSpec("sha"),
+            objectives=(api_objective("edp"),), strategy="exhaustive",
+            budget=len(design),
+        ), session=session)
+
+        assert result.evaluations == result.cardinality == len(design)
+        assert result.best is not None
+        assert result.best["machine"] == legacy.machine.name
+        assert result.best["objectives"]["edp"] == \
+            pytest.approx(legacy.model_edp)
+
+    def test_front_is_subset_of_evaluations_and_contains_best(self, session):
+        design = reduced_design_space()
+        result = optimize(OptimizeRequest(
+            space=design.to_search_space(), workload=api.WorkloadSpec("sha"),
+            objectives=(api_objective("edp"), api_objective("max:ipc")),
+            strategy="exhaustive", budget=len(design),
+        ), session=session)
+        indices = [entry["index"] for entry in result.front]
+        assert indices == sorted(indices)
+        assert result.best["index"] in indices
+        assert 1 <= len(indices) <= result.evaluations
+
+
+def api_objective(text):
+    from repro.search import Objective
+
+    return Objective.parse(text)
+
+
+# ----------------------------------------------------------------------
+# Determinism.
+# ----------------------------------------------------------------------
+class TestDeterminism:
+    REQUEST = None  # built lazily against the reduced space
+
+    @staticmethod
+    def _request(strategy: str) -> OptimizeRequest:
+        return OptimizeRequest(
+            space=reduced_design_space().to_search_space(),
+            workload=api.WorkloadSpec("sha"),
+            objectives=(api_objective("edp"),),
+            strategy=strategy, budget=12, batch=4, seed=7,
+        )
+
+    @pytest.mark.parametrize("strategy", ["random", "surrogate"])
+    def test_same_seed_same_bytes(self, strategy, session):
+        request = self._request(strategy)
+        first = optimize(request, session=session).to_json()
+        second = optimize(request, session=session).to_json()
+        assert first == second
+
+    def test_jobs_do_not_change_bytes(self, tmp_path):
+        request = self._request("surrogate")
+        serial = optimize(request, jobs=1,
+                          cache_dir=tmp_path / "serial").to_json()
+        parallel = optimize(request, jobs=2,
+                            cache_dir=tmp_path / "parallel").to_json()
+        assert serial == parallel
+
+    def test_budget_is_respected(self, session):
+        for strategy in ("random", "surrogate"):
+            result = optimize(self._request(strategy), session=session)
+            assert result.evaluations <= 12
+            assert result.trajectory  # convergence rounds were recorded
+            assert result.trajectory[-1]["evaluations"] == result.evaluations
+
+
+# ----------------------------------------------------------------------
+# Surrogate convergence: the ISSUE's acceptance bar.
+# ----------------------------------------------------------------------
+class TestSurrogateConvergence:
+    def test_finds_table2_edp_best_in_a_third_of_the_evaluations(
+            self, session):
+        space = default_design_space().to_search_space()
+        common = dict(space=space, workload=api.WorkloadSpec("dijkstra"),
+                      objectives=(api_objective("edp"),))
+
+        exhaustive = optimize(
+            OptimizeRequest(strategy="exhaustive", budget=192, **common),
+            session=session)
+        assert exhaustive.evaluations == 192
+
+        budget = 192 // 3
+        surrogate = optimize(
+            OptimizeRequest(strategy="surrogate", budget=budget, batch=8,
+                            seed=2012, **common),
+            session=session)
+        assert surrogate.evaluations <= budget
+        assert surrogate.best["machine"] == exhaustive.best["machine"]
+        assert surrogate.best["objectives"]["edp"] == \
+            pytest.approx(exhaustive.best["objectives"]["edp"])
+        # The convergence figure the bench gates on.
+        assert surrogate.best_found_at_evaluation is not None
+        assert surrogate.best_found_at_evaluation <= budget
+
+    def test_machine_constraints_prune_without_spending_budget(self, session):
+        result = optimize(OptimizeRequest(
+            space=default_design_space().to_search_space(),
+            workload=api.WorkloadSpec("sha"),
+            objectives=(api_objective("edp"),),
+            constraints=tuple(api_constraint(text) for text in
+                              ("l2_size<=256KB", "width>=2")),
+            strategy="exhaustive", budget=192,
+        ), session=session)
+        assert result.infeasible_skipped > 0
+        assert result.evaluations + result.infeasible_skipped == 192
+        for entry in result.front:
+            spec = entry["result"]["request"]["machine"]
+            assert spec["width"] >= 2
+
+
+def api_constraint(text):
+    from repro.search import Constraint
+
+    return Constraint.parse(text)
+
+
+# ----------------------------------------------------------------------
+# Upfront validation (named-field errors).
+# ----------------------------------------------------------------------
+class TestValidation:
+    @staticmethod
+    def _request(**overrides) -> OptimizeRequest:
+        payload = {
+            "space": {"axes": [{"axis": "l2_size",
+                                "values": ["256KB", "1MB"]}]},
+            "workload": "sha",
+            "objectives": ["edp"],
+        }
+        payload.update(overrides)
+        return OptimizeRequest.from_dict(payload)
+
+    def test_well_formed_request_has_no_errors(self):
+        assert validate_optimize_request(self._request()) == []
+
+    def test_infeasible_constraint_names_field_and_candidates(self):
+        errors = validate_optimize_request(
+            self._request(constraints=["l2_size<=1KB"]))
+        assert len(errors) == 1
+        assert errors[0].startswith("constraints[0]:")
+        assert "'l2_size'" in errors[0] and "infeasible" in errors[0]
+
+    def test_feasible_constraint_on_base_value_passes(self):
+        # width is not on an axis; the base machine's width must be probed.
+        errors = validate_optimize_request(
+            self._request(constraints=["width>=1"]))
+        assert errors == []
+
+    def test_bad_budget_batch_and_strategy(self):
+        errors = validate_optimize_request(
+            self._request(budget=0, batch=0, strategy="genetic"))
+        fields = sorted(error.split(":")[0] for error in errors)
+        assert fields == ["batch", "budget", "strategy"]
+
+    def test_exhaustive_needs_full_budget(self):
+        errors = validate_optimize_request(
+            self._request(strategy="exhaustive", budget=1))
+        assert any("needs budget >= 2" in error for error in errors)
+
+    def test_power_objective_with_power_pinned_off(self):
+        errors = validate_optimize_request(
+            self._request(with_power=False))
+        assert any(error.startswith("objectives:") for error in errors)
+
+    def test_non_machine_axis_field_rejected(self):
+        errors = validate_optimize_request(self._request(
+            space={"axes": [{"axis": "turbo_mode", "values": [1]}]}))
+        assert any(error.startswith("space: axis field 'turbo_mode'")
+                   for error in errors)
+
+    def test_unknown_workload_surfaces_as_request_error(self):
+        errors = validate_optimize_request(self._request(workload="doom"))
+        assert any(error.startswith("request:") and "doom" in error
+                   for error in errors)
+
+    def test_optimize_raises_one_joined_error(self):
+        with pytest.raises(ValueError, match="invalid optimize request"):
+            optimize(self._request(constraints=["l2_size<=1KB"], budget=0))
+
+    def test_validate_requests_dispatches_optimize_requests(self):
+        good_eval = api.EvalRequest.parse({"workload": "sha"})
+        bad_search = self._request(strategy="genetic")
+        with pytest.raises(ValueError, match=r"request\[1\]: strategy:"):
+            api.validate_requests([good_eval, bad_search])
+        # A well-formed search request passes through the same gate.
+        api.validate_requests([good_eval, self._request()])
+
+
+# ----------------------------------------------------------------------
+# Envelopes.
+# ----------------------------------------------------------------------
+class TestEnvelopes:
+    def test_request_round_trips_through_json(self):
+        request = OptimizeRequest.from_dict({
+            "space": {"axes": [{"axis": "width", "values": [1, 2]}]},
+            "workload": {"name": "sha", "flags": "O2"},
+            "objectives": ["edp", "max:ipc"],
+            "constraints": ["area_proxy<=700"],
+            "strategy": "random", "budget": 5, "batch": 2, "seed": 3,
+            "tag": "round-trip",
+        })
+        clone = OptimizeRequest.from_json(request.to_json())
+        assert clone.to_dict() == request.to_dict()
+        assert clone.effective_with_power  # edp objective implies power
+
+    def test_single_objective_string_is_coerced(self):
+        request = OptimizeRequest.from_dict({
+            "space": {"axes": [{"axis": "width", "values": [1]}]},
+            "workload": "sha", "objectives": "cpi",
+        })
+        assert [str(objective) for objective in request.objectives] == ["cpi"]
+        assert not request.effective_with_power
+
+    def test_unknown_key_rejected(self):
+        with pytest.raises(ValueError, match="unknown optimize-request keys"):
+            OptimizeRequest.from_dict({
+                "space": {"axes": []}, "workload": "sha",
+                "objectives": ["cpi"], "stratgy": "random",
+            })
+
+    def test_missing_required_key_rejected(self):
+        with pytest.raises(ValueError, match="needs a 'objectives' entry"):
+            OptimizeRequest.from_dict({"space": {"axes": []},
+                                       "workload": "sha"})
+
+    def test_result_round_trips_through_json(self, session):
+        result = optimize(OptimizeRequest(
+            space=reduced_design_space().to_search_space(),
+            workload=api.WorkloadSpec("sha"),
+            objectives=(api_objective("edp"),),
+            strategy="random", budget=4, batch=2, seed=1,
+        ), session=session)
+        clone = OptimizeResult.from_json(result.to_json())
+        assert clone.to_dict() == result.to_dict()
+        assert clone.to_json() == result.to_json()
+
+    def test_strategy_registry_names(self):
+        assert set(strategy_names()) >= {"exhaustive", "random", "surrogate"}
