@@ -8,6 +8,7 @@ test:
 lint:
 	ruff check .
 	python tools/check_process_pools.py
+	python tools/check_print.py
 
 bench:
 	$(PY) benchmarks/run_bench.py

@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""Trace one served sweep end to end and read the span tree back.
+
+The observability layer (``repro.obs``) records hierarchical spans —
+request, queue wait, planner stages, per-worker profiling — as Chrome
+trace-event JSON lines that parent and pool-worker processes append to
+one shared file.  This example:
+
+1. enables tracing (exactly what ``--trace-out spans.jsonl`` does),
+2. starts a server in-process with ``jobs=2`` and serves one sweep,
+3. prints the self-time report ``repro-experiments obs report`` gives,
+4. writes the ``{"traceEvents": [...]}`` file Perfetto loads directly.
+
+Run with:  PYTHONPATH=src python examples/trace_a_sweep.py
+
+Then drop ``trace.json`` onto https://ui.perfetto.dev — the sweep shows
+up as one tree spanning the server process and its worker processes,
+joined by the trace id the ``X-Repro-Trace-Id`` header carried.
+"""
+
+import json
+import tempfile
+from pathlib import Path
+
+from repro.obs import tracing
+from repro.obs.report import load_events, render_report, to_chrome_trace
+from repro.service import ServerThread, ServiceClient, ServiceConfig
+
+SWEEP = {
+    "workloads": ["sha", "qsort", "dijkstra"],
+    "axes": {"l2_size": ["256KB", "512KB", "1MB"]},
+}
+
+
+def main() -> None:
+    spans = Path("spans.jsonl")
+    spans.unlink(missing_ok=True)
+    # Before the server starts: pool workers pick the sink up at spawn.
+    tracing.configure(str(spans))
+    try:
+        with tempfile.TemporaryDirectory(prefix="repro-trace-demo-") as cache:
+            config = ServiceConfig(port=0, jobs=2, cache_dir=cache)
+            with ServerThread(config) as running:
+                client = ServiceClient(port=running.port)
+                client.wait_ready()
+                results = client.sweep(SWEEP)
+        print(f"swept {len(results)} points; spans in {spans}\n")
+    finally:
+        tracing.configure(None)
+
+    events = load_events(str(spans))
+    print(render_report(events))
+
+    trace = Path("trace.json")
+    trace.write_text(json.dumps(to_chrome_trace(events), indent=2) + "\n")
+    print(f"wrote {trace} — load it at https://ui.perfetto.dev "
+          "(one track per process)")
+
+
+if __name__ == "__main__":
+    main()

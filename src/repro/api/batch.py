@@ -178,10 +178,13 @@ def _run_batch(session: Session, parsed: list[EvalRequest],
     import time
 
     from repro.api.planner import evaluate_group_timed, plan_requests
+    from repro.obs.tracing import emit_span, span
 
     if not plan or len(parsed) <= 1:
         return session.map(_evaluate_one, parsed)
-    groups = plan_requests(parsed, jobs=session.jobs, machines=machines)
+    with span("planner.plan", requests=len(parsed)) as plan_span:
+        groups = plan_requests(parsed, jobs=session.jobs, machines=machines)
+        plan_span.set(groups=len(groups))
     if session.jobs > 1:
         # Ship traces the parent already holds through the active data
         # plane — a shared-memory segment handle the workers attach
@@ -194,15 +197,20 @@ def _run_batch(session: Session, parsed: list[EvalRequest],
                                                   group.flags))
             for group in groups
         ]
-        session.stages.add("ship", time.perf_counter() - started)
-    grouped = session.map(evaluate_group_timed, groups)
+        elapsed = time.perf_counter() - started
+        session.stages.add("ship", elapsed)
+        emit_span("planner.ship", elapsed, groups=len(groups))
+    with span("planner.dispatch", groups=len(groups), jobs=session.jobs):
+        grouped = session.map(evaluate_group_timed, groups)
     started = time.perf_counter()
     results: list[EvalResult | None] = [None] * len(parsed)
     for group, (answers, stages) in zip(groups, grouped):
         session.stages.merge(stages)
         for index, answer in zip(group.indices, answers):
             results[index] = answer
-    session.stages.add("collect", time.perf_counter() - started)
+    elapsed = time.perf_counter() - started
+    session.stages.add("collect", elapsed)
+    emit_span("planner.collect", elapsed, requests=len(parsed))
     return results
 
 

@@ -42,6 +42,7 @@ from dataclasses import dataclass
 from repro.api.backends import BACKENDS, get_backend
 from repro.api.spec import EvalRequest, EvalResult, MachineSpec
 from repro.machine import MachineConfig
+from repro.obs.tracing import emit_span, span
 from repro.runtime.dataplane import SegmentHandle, attach_trace
 from repro.trace.trace import TRACE_SCHEMA_VERSION, Trace
 
@@ -194,8 +195,18 @@ def evaluate_group_timed(
     ``model`` (mechanistic-model evaluation; scalar backends fold their
     profiling in here).  This is the :meth:`Session.map` work unit the
     batch layer dispatches, so stage timings ride back with each group's
-    results and are merged into the parent session.
+    results and are merged into the parent session.  When tracing is
+    enabled the group and its stages become spans — children of whatever
+    dispatched the group, across the process boundary.
     """
+    with span("planner.group", workload=group.workload, flags=group.flags,
+              requests=len(group.requests)):
+        return _evaluate_group_body(session, group)
+
+
+def _evaluate_group_body(
+    session, group: PlannedGroup
+) -> tuple[list[EvalResult], dict[str, float]]:
     from repro.api.batch import _machine_label
 
     stages: dict[str, float] = {}
@@ -203,6 +214,7 @@ def evaluate_group_timed(
     _install_group_trace(session, group)
     workload = session.workload(group.workload, group.flags)
     stages["attach"] = time.perf_counter() - started
+    emit_span("planner.attach", stages["attach"], workload=group.workload)
 
     machines: dict[MachineSpec, MachineConfig] = {}
     labels: dict[MachineSpec, str] = {}
@@ -260,6 +272,8 @@ def evaluate_group_timed(
                 shared[key] = profile
             profiles.append(profile)
         stages["profile"] = time.perf_counter() - started
+        emit_span("planner.profile", stages["profile"],
+                  workload=group.workload, profiles=len(shared))
         started = time.perf_counter()
         predictions = get_kernels().predict_batch(
             program, profiles, [machine for machine, _ in pairs]
@@ -283,6 +297,8 @@ def evaluate_group_timed(
                     energy_joules=None,
                 )
         stages["model"] = time.perf_counter() - started
+        emit_span("planner.model", stages["model"],
+                  workload=group.workload, points=len(batched))
 
     remaining = [position for position in range(len(group.requests))
                  if results[position] is None]
@@ -310,7 +326,8 @@ def evaluate_group_timed(
     if remaining:
         # Scalar backends interleave profiling with the model; account the
         # whole fallback to the model stage rather than guessing a split.
-        stages["model"] = stages.get("model", 0.0) + (
-            time.perf_counter() - started
-        )
+        elapsed = time.perf_counter() - started
+        stages["model"] = stages.get("model", 0.0) + elapsed
+        emit_span("planner.model", elapsed, workload=group.workload,
+                  points=len(remaining))
     return results, stages

@@ -41,6 +41,14 @@ Times the paths every PR is expected to keep fast:
   in a subprocess; the entry records the sampling rate, the estimated CPI
   error, the child's peak RSS and the exact-streaming wall time the
   sampled evaluation replaces (``speedup_vs_exact``),
+* ``obs_overhead``         — the cost of :mod:`repro.obs` tracing on the
+  sharded hot path: one ``sharded_evaluate_many``-shaped batch timed with
+  tracing disabled (the median) and again with spans appended to a
+  scratch file; the entry records ``enabled_seconds``, ``spans_written``,
+  the micro-timed no-op ``span()`` cost (``noop_span_ns``) and the
+  disabled-instrumentation overhead it implies per batch
+  (``overhead_pct``), which the compare gate holds to
+  ``overhead_limit_pct`` (2%),
 * ``search_surrogate_dse`` — :mod:`repro.search` surrogate-guided
   optimization: the Table-2 192-point space searched for the minimum-EDP
   configuration under a budget of a third of the space, checked against
@@ -52,7 +60,7 @@ Times the paths every PR is expected to keep fast:
 Each benchmark runs ``--repeat`` times with the garbage collector paused
 around the timed region (collector pauses otherwise dominate the variance
 of sub-second runs) and the *median* is reported.  The output schema
-(``schema_version`` 6) records the Python version, job count, active
+(``schema_version`` 7) records the Python version, job count, active
 kernel backend, resolved data plane and the per-stage gate floor
 (``stage_tolerance_ms``) next to the results; benchmarks with a stage
 breakdown carry it (from the median run) in their entry:
@@ -80,7 +88,10 @@ stages both files record above the ``--stage-tolerance-ms`` floor
 (default 50ms), so older (v3/v4) references still compare cleanly.
 Search-quality figures are gated too: ``evals_to_front`` regressing
 beyond the tolerance, or ``matched_exhaustive_best`` flipping from true
-to false, fails the gate exactly like a wall-clock regression.
+to false, fails the gate exactly like a wall-clock regression.  So is
+observability overhead: ``obs_overhead``'s ``overhead_pct`` exceeding its
+recorded ``overhead_limit_pct`` while being worse than the reference
+fails the gate.
 
 Run via ``make bench``, ``PYTHONPATH=src python benchmarks/run_bench.py``,
 ``repro-bench`` or ``repro-experiments bench``.
@@ -106,7 +117,12 @@ from repro.runtime.session import Session
 from repro.workloads import get_workload
 
 #: Version of the BENCH_core.json layout.
-BENCH_SCHEMA_VERSION = 6
+BENCH_SCHEMA_VERSION = 7
+
+#: Allowed tracing overhead on the sharded hot path, in percent: the
+#: ``obs_overhead`` compare gate fails when ``overhead_pct`` exceeds this
+#: while also being worse than the reference run's figure.
+OBS_OVERHEAD_LIMIT_PCT = 2.0
 
 #: Default --stage-tolerance-ms: per-stage regressions whose reference time
 #: is below this many milliseconds are ignored by the gate — sub-50ms stages
@@ -363,6 +379,97 @@ def bench_sharded_evaluate_many_payload() -> tuple[float, dict]:
     return _timed_sharded_evaluate_many("payload")
 
 
+def bench_obs_overhead() -> tuple[float, dict]:
+    """Tracing's cost on the sharded hot path — near-free when disabled.
+
+    One ``sharded_evaluate_many``-shaped batch (19 workloads x 4 presets
+    over a persistent 4-worker pool, parent-held traces) is timed best-of-3
+    with tracing disabled, then again with spans appended to a scratch
+    file.  Each phase gets its own pool because workers pick up the span
+    sink at spawn through the pool initializer.  The disabled time is the
+    reported median.
+
+    The gated figure is ``overhead_pct``: what the instrumentation costs
+    when tracing is *disabled* — the per-call price of the ``span()``
+    no-op fast path (micro-timed over 100k calls, stable where a wall-time
+    diff of two separate runs would be noise) times the spans the batch
+    would emit, as a percent of the batch.  ``enabled_seconds`` and
+    ``enabled_pct`` (actual span writing, dominated by one ``os.write``
+    per span) ride along uncompared.
+    """
+    import os
+    from pathlib import Path as _Path
+
+    from repro.api import EvalRequest, MachineSpec, WorkloadSpec, evaluate_many
+    from repro.machine import MACHINE_PRESETS
+    from repro.obs import tracing
+    from repro.runtime.session import pooled_session
+    from repro.trace.trace import Trace
+    from repro.workloads.registry import suite_names
+
+    names = suite_names("mibench")
+    _table2_session()  # populates the shared payload cache
+    requests = [
+        EvalRequest(workload=WorkloadSpec(name), machine=MachineSpec(preset))
+        for name in names
+        for preset in MACHINE_PRESETS.names()
+    ]
+    timed_rounds = 3
+
+    def timed_batches(session) -> float:
+        for name in names:
+            session.adopt_trace(
+                name, "O3", Trace.from_payload(_TABLE2_PAYLOADS[name])
+            )
+        evaluate_many(requests, session=session)  # warmup
+        best = None
+        for _ in range(timed_rounds):
+            start = time.perf_counter()
+            evaluate_many(requests, session=session)
+            elapsed = time.perf_counter() - start
+            best = elapsed if best is None else min(best, elapsed)
+        return best
+
+    previous = tracing.configured_path()
+    with tempfile.TemporaryDirectory() as root:
+        span_path = os.path.join(root, "spans.jsonl")
+        try:
+            tracing.configure(None)
+            with pooled_session(None, 4) as session:
+                disabled = timed_batches(session)
+            # The no-op fast path, alone: what every untraced span site
+            # costs.  100k iterations make the figure stable enough to
+            # gate at single-digit percent.
+            calls = 100_000
+            start = time.perf_counter()
+            for _ in range(calls):
+                with tracing.span("bench.noop", probe=1):
+                    pass
+            noop_seconds = (time.perf_counter() - start) / calls
+            tracing.configure(span_path)
+            with pooled_session(None, 4) as session:
+                enabled = timed_batches(session)
+        finally:
+            tracing.configure(previous)
+        spans_written = len(
+            _Path(span_path).read_text().splitlines()
+        ) if os.path.exists(span_path) else 0
+    # Spans the enabled phase emitted per batch (warmup included in the
+    # line count, so this slightly overstates — the cold batch profiles
+    # more).  Their no-op cost as a percent of the disabled batch is the
+    # disabled-tracing overhead the gate holds to the limit.
+    spans_per_batch = spans_written / (timed_rounds + 1)
+    overhead_pct = spans_per_batch * noop_seconds / disabled * 100.0
+    return disabled, {
+        "enabled_seconds": enabled,
+        "enabled_pct": round((enabled / disabled - 1.0) * 100.0, 2),
+        "noop_span_ns": round(noop_seconds * 1e9),
+        "overhead_pct": round(overhead_pct, 4),
+        "overhead_limit_pct": OBS_OVERHEAD_LIMIT_PCT,
+        "spans_written": spans_written,
+    }
+
+
 def _reset_peak_rss() -> None:
     """Zero the process's peak-RSS watermark where the kernel allows it.
 
@@ -614,6 +721,7 @@ BENCHES = {
     "accel_vs_python": bench_accel_vs_python,
     "sharded_evaluate_many": bench_sharded_evaluate_many,
     "sharded_evaluate_many_payload": bench_sharded_evaluate_many_payload,
+    "obs_overhead": bench_obs_overhead,
     "long_workload_sampled": bench_long_workload_sampled,
     "search_surrogate_dse": bench_search_surrogate_dse,
 }
@@ -729,6 +837,22 @@ def compare_results(reference: dict, current: dict, tolerance: float,
             regressions.append(
                 f"{name}[matched_exhaustive_best]: false vs reference true "
                 "(the surrogate no longer finds the exhaustive best config)"
+            )
+        # Observability-overhead gate (schema 7+): tracing must stay
+        # near-free.  Over the recorded absolute limit *and* worse than
+        # the reference fails — the second condition keeps one noisy
+        # reference run from blocking every later PR.
+        new_pct = current_results[name].get("overhead_pct")
+        limit_pct = current_results[name].get("overhead_limit_pct")
+        old_pct = reference_results[name].get("overhead_pct")
+        if (isinstance(new_pct, (int, float))
+                and isinstance(limit_pct, (int, float))
+                and new_pct > limit_pct
+                and (not isinstance(old_pct, (int, float))
+                     or new_pct > old_pct)):
+            regressions.append(
+                f"{name}[overhead_pct]: {new_pct:g}% vs limit {limit_pct:g}% "
+                f"(reference {old_pct if old_pct is not None else 'n/a'})"
             )
         old_stages = reference_results[name].get("stages") or {}
         new_stages = current_results[name].get("stages") or {}

@@ -22,9 +22,16 @@ Subcommands:
 * ``cache`` — inspect (or ``--clear``) an artifact-cache directory.
 * ``list`` — the experiment registry: names, artefacts, declared options.
 * ``bench`` — the core hot-path benchmark (see :mod:`repro.bench`).
+* ``obs`` — observability tooling: ``report`` prints a self-time
+  breakdown of a span JSONL file, ``chrome`` wraps it for Perfetto.
 
-Tables go to stdout; the end-of-run session report goes to stderr, so
-redirected output stays byte-identical between serial and parallel runs.
+``--trace-out spans.jsonl`` on ``run``/``eval``/``optimize``/``serve``
+enables span tracing (parent and ``--jobs`` worker processes append to
+the same file; view with ``repro-experiments obs report`` or Perfetto).
+
+Tables go to stdout; diagnostics go to stderr through the structured
+:mod:`repro.obs.log` logger (``REPRO_LOG={text,json}``), so redirected
+output stays byte-identical between serial and parallel runs.
 """
 
 from __future__ import annotations
@@ -33,6 +40,7 @@ import argparse
 import os
 import sys
 
+from repro.obs.log import get_logger
 from repro.runtime import (
     Session,
     experiment_names,
@@ -43,6 +51,8 @@ from repro.runtime import (
     run_experiment,
 )
 from repro.runtime.reporters import REPORTERS, format_table
+
+_log = get_logger("repro.cli")
 
 
 def _package_version() -> str:
@@ -55,6 +65,16 @@ def _package_version() -> str:
         from repro import __version__
 
         return __version__
+
+
+def _add_trace_out(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--trace-out", default=None, metavar="FILE",
+        help="append tracing spans to FILE as Chrome trace-event JSONL "
+             "(parent and worker processes share the file; view with "
+             "'obs report' or Perfetto; default: the REPRO_TRACE_OUT "
+             "environment variable, else disabled)",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -115,6 +135,7 @@ def build_parser() -> argparse.ArgumentParser:
              "memory), payload (column bytes), or auto (default: the "
              "REPRO_DATAPLANE environment variable, then auto)",
     )
+    _add_trace_out(run_parser)
 
     eval_parser = subparsers.add_parser(
         "eval",
@@ -155,6 +176,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="trace transport for --jobs workers: shm, payload, or auto "
              "(default: the REPRO_DATAPLANE environment variable, then auto)",
     )
+    _add_trace_out(eval_parser)
 
     optimize_parser = subparsers.add_parser(
         "optimize",
@@ -193,6 +215,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="trace transport for --jobs workers: shm, payload, or auto "
              "(default: the REPRO_DATAPLANE environment variable, then auto)",
     )
+    _add_trace_out(optimize_parser)
 
     serve_parser = subparsers.add_parser(
         "serve",
@@ -249,6 +272,7 @@ def build_parser() -> argparse.ArgumentParser:
              "(default: the REPRO_DATAPLANE environment variable, then "
              "auto); published in GET /v1/metrics",
     )
+    _add_trace_out(serve_parser)
 
     cache_parser = subparsers.add_parser(
         "cache", help="inspect or clear an artifact-cache directory"
@@ -396,6 +420,29 @@ def build_parser() -> argparse.ArgumentParser:
              "(default: the REPRO_DATAPLANE environment variable, then "
              "auto); recorded in the output",
     )
+    _add_trace_out(bench_parser)
+
+    obs_parser = subparsers.add_parser(
+        "obs",
+        help="observability tooling over span JSONL files "
+             "(--trace-out output)",
+    )
+    obs_sub = obs_parser.add_subparsers(dest="obs_command", required=True)
+    obs_report = obs_sub.add_parser(
+        "report",
+        help="print a per-span-name self-time breakdown of a span file",
+    )
+    obs_report.add_argument("spans", metavar="FILE",
+                            help="span JSONL file written via --trace-out")
+    obs_chrome = obs_sub.add_parser(
+        "chrome",
+        help="wrap a span JSONL file into the {'traceEvents': [...]} JSON "
+             "chrome://tracing and Perfetto load directly",
+    )
+    obs_chrome.add_argument("spans", metavar="FILE",
+                            help="span JSONL file written via --trace-out")
+    obs_chrome.add_argument("--output", default=None, metavar="PATH",
+                            help="destination JSON file (default: stdout)")
     return parser
 
 
@@ -437,6 +484,23 @@ def _apply_dataplane(args: argparse.Namespace) -> None:
     except ValueError as exc:
         raise SystemExit(f"--dataplane: {exc}") from exc
     os.environ[DATAPLANE_ENV] = choice
+
+
+def _apply_obs(args: argparse.Namespace) -> None:
+    """Enable span tracing before any timed work starts.
+
+    ``--trace-out`` is also exported through ``REPRO_TRACE_OUT`` so worker
+    processes and spawned tools append to the same file; without the flag
+    the environment variable alone can enable tracing.
+    """
+    from repro.obs import tracing
+
+    path = getattr(args, "trace_out", None)
+    if path:
+        tracing.configure(path)
+        os.environ[tracing.TRACE_ENV] = path
+    else:
+        tracing.configure_from_env()
 
 
 def _select_experiments(names: list[str]) -> list[str]:
@@ -483,15 +547,10 @@ def _session_report(session: Session) -> None:
     summary = session.summary()
     cache = summary.pop("artifact_cache")
     stages = summary.pop("stages")
-    report = ("session: "
-              + "  ".join(f"{key}={value}" for key, value in summary.items())
-              + "  cache(" + " ".join(f"{k}={v}" for k, v in cache.items())
-              + ")")
-    if stages:
-        report += ("  stages("
-                   + " ".join(f"{k}={v:.3f}s" for k, v in stages.items())
-                   + ")")
-    print(report, file=sys.stderr)
+    fields = dict(summary)
+    fields.update({f"cache_{k}": v for k, v in cache.items()})
+    fields.update({f"stage_{k}_s": round(v, 3) for k, v in stages.items()})
+    _log.info("session summary", **fields)
 
 
 def _cmd_eval(args: argparse.Namespace) -> int:
@@ -649,18 +708,17 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     )
 
     def announce(server) -> None:
-        print(
-            f"repro.service listening on http://{config.host}:{server.port} "
-            f"(jobs={config.jobs}, max_queue={config.max_queue}, "
-            f"cache_dir={config.cache_dir or '<memory>'}) — Ctrl-C drains "
-            "and stops",
-            file=sys.stderr,
+        _log.info(
+            "repro.service listening — Ctrl-C drains and stops",
+            url=f"http://{config.host}:{server.port}",
+            jobs=config.jobs, max_queue=config.max_queue,
+            cache_dir=config.cache_dir or "<memory>",
         )
 
     try:
         asyncio.run(serve(config, ready=announce))
     except KeyboardInterrupt:
-        print("repro.service: drained and stopped", file=sys.stderr)
+        _log.info("repro.service drained and stopped")
     except (OSError, ValueError) as exc:
         # Bind failures (address in use) and invalid option values
         # (--cache-ttl 0, --jobs 0, ...) exit cleanly, no traceback.
@@ -902,10 +960,34 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_obs(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.obs.report import load_events, render_report, to_chrome_trace
+
+    try:
+        events = load_events(args.spans)
+    except OSError as exc:
+        raise SystemExit(f"obs: {exc}") from exc
+    if args.obs_command == "report":
+        sys.stdout.write(render_report(events) + "\n")
+        return 0
+    document = json.dumps(to_chrome_trace(events), indent=2)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(document + "\n")
+        _log.info("chrome trace written", path=args.output,
+                  events=len(events))
+    else:
+        sys.stdout.write(document + "\n")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     _apply_accel(args)
     _apply_dataplane(args)
+    _apply_obs(args)
     try:
         if args.command == "run":
             return _cmd_run(args)
@@ -921,6 +1003,8 @@ def main(argv: list[str] | None = None) -> int:
             return _cmd_list(args)
         if args.command == "trace":
             return _cmd_trace(args)
+        if args.command == "obs":
+            return _cmd_obs(args)
         return _cmd_bench(args)
     except BrokenPipeError:
         # Downstream closed the pipe (`... | head`): exit quietly, and hand

@@ -1,0 +1,47 @@
+"""repro.obs — structured tracing, unified metrics, and exporters.
+
+Three pieces, all stdlib-only:
+
+* :mod:`repro.obs.tracing` — hierarchical spans with trace-context
+  propagation across the worker pool and HTTP, written as Chrome
+  trace-event JSONL for Perfetto;
+* :mod:`repro.obs.metrics` — the counter/gauge/histogram registry that
+  ``ServiceMetrics``, ``StageTimings`` and ``SessionStats`` now adapt,
+  with Prometheus text exposition;
+* :mod:`repro.obs.log` — the ``REPRO_LOG={text,json}`` structured logger
+  replacing bare stderr prints.
+
+Disabled tracing costs one attribute load + ``is None`` check per
+``span()`` call — measured by the ``obs_overhead`` bench entry.
+"""
+
+from .log import get_logger
+from .metrics import MetricsRegistry, render_prometheus
+from .tracing import (
+    TRACE_ENV,
+    TRACE_HEADER,
+    TraceContext,
+    attach,
+    configure,
+    configure_from_env,
+    current_context,
+    emit_span,
+    enabled,
+    span,
+)
+
+__all__ = [
+    "TRACE_ENV",
+    "TRACE_HEADER",
+    "MetricsRegistry",
+    "TraceContext",
+    "attach",
+    "configure",
+    "configure_from_env",
+    "current_context",
+    "emit_span",
+    "enabled",
+    "get_logger",
+    "render_prometheus",
+    "span",
+]

@@ -1,0 +1,101 @@
+"""Structured diagnostic logging for the runtime and CLI.
+
+Replaces the ad-hoc ``print(..., file=sys.stderr)`` progress lines that
+had accumulated in ``cli.py`` and ``service/smoke.py``.  Two formats,
+selected by ``REPRO_LOG``:
+
+* ``text`` (default) — ``name: event key=value ...`` on stderr, what a
+  human watching ``repro serve`` wants;
+* ``json`` — one JSON object per line (``{"name", "event", "level",
+  ...fields}``), what log shippers want.
+
+``REPRO_LOG_LEVEL`` (``debug``/``info``/``warning``/``error``, default
+``info``) filters.  User-facing *results* — the CLI's stdout tables —
+stay on stdout via plain ``print`` and are explicitly not this module's
+business; ``tools/check_print.py`` enforces the split.
+
+When a trace span is active, json-format records carry its ``trace_id``
+so log lines can be joined against the span tree.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+
+from .tracing import current_context
+
+LOG_ENV = "REPRO_LOG"
+LEVEL_ENV = "REPRO_LOG_LEVEL"
+
+_LEVELS = {"debug": 10, "info": 20, "warning": 30, "error": 40}
+
+
+def _format() -> str:
+    value = os.environ.get(LOG_ENV, "text").strip().lower()
+    return value if value in ("text", "json") else "text"
+
+
+def _threshold() -> int:
+    value = os.environ.get(LEVEL_ENV, "info").strip().lower()
+    return _LEVELS.get(value, 20)
+
+
+class Logger:
+    """A named emitter of structured events."""
+
+    __slots__ = ("name", "_stream")
+
+    def __init__(self, name: str, stream=None):
+        self.name = name
+        self._stream = stream
+
+    def _emit(self, level: str, event: str, fields: dict) -> None:
+        if _LEVELS[level] < _threshold():
+            return
+        stream = self._stream or sys.stderr
+        if _format() == "json":
+            record = {"name": self.name, "level": level, "event": event}
+            ctx = current_context()
+            if ctx is not None:
+                record["trace_id"] = ctx.trace_id
+            record.update(fields)
+            stream.write(json.dumps(record, default=str) + "\n")
+        else:
+            parts = [f"{self.name}: {event}"]
+            parts.extend(f"{key}={_scalar(value)}"
+                         for key, value in fields.items())
+            stream.write(" ".join(parts) + "\n")
+        stream.flush()
+
+    def debug(self, event: str, **fields) -> None:
+        self._emit("debug", event, fields)
+
+    def info(self, event: str, **fields) -> None:
+        self._emit("info", event, fields)
+
+    def warning(self, event: str, **fields) -> None:
+        self._emit("warning", event, fields)
+
+    def error(self, event: str, **fields) -> None:
+        self._emit("error", event, fields)
+
+
+def _scalar(value) -> str:
+    if isinstance(value, float):
+        return f"{value:.6g}"
+    text = str(value)
+    if " " in text:
+        return json.dumps(text)
+    return text
+
+
+_LOGGERS: dict[str, Logger] = {}
+
+
+def get_logger(name: str) -> Logger:
+    logger = _LOGGERS.get(name)
+    if logger is None:
+        logger = _LOGGERS[name] = Logger(name)
+    return logger

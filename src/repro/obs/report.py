@@ -1,0 +1,121 @@
+"""Offline analysis of span JSONL files: self-time breakdown and Chrome export.
+
+``repro obs report spans.jsonl`` answers "where did the time go?" without
+opening Perfetto: for each span name it aggregates count, total wall time,
+and *self* time — total minus the time covered by the span's direct
+children — so a parent that merely waits on its children shows near-zero
+self time and the leaves surface to the top.
+
+``repro obs chrome`` wraps the JSONL lines into the ``{"traceEvents":
+[...]}`` object that ``chrome://tracing`` and https://ui.perfetto.dev
+load directly (the raw file is kept JSONL so concurrent ``O_APPEND``
+writers from multiple processes stay atomic and crash-tolerant).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+
+def load_events(path: str) -> list[dict]:
+    """Parse a span JSONL file, skipping blank or truncated lines.
+
+    A truncated final line (writer killed mid-append) is expected and
+    silently dropped rather than failing the whole report.
+    """
+    events = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                event = json.loads(line)
+            except json.JSONDecodeError:
+                continue
+            if isinstance(event, dict) and event.get("ph") == "X":
+                events.append(event)
+    return events
+
+
+@dataclass
+class NameStats:
+    """Aggregated timing for all spans sharing a name."""
+
+    name: str
+    count: int = 0
+    total_us: float = 0.0
+    self_us: float = 0.0
+    pids: set = field(default_factory=set)
+
+
+def _span_id(event: dict) -> str | None:
+    return (event.get("args") or {}).get("span_id")
+
+
+def _parent_id(event: dict) -> str | None:
+    return (event.get("args") or {}).get("parent_id")
+
+
+def summarize(events: list[dict]) -> list[NameStats]:
+    """Per-name count/total/self aggregates, sorted by self time descending.
+
+    Self time = the span's duration minus the summed durations of its
+    direct children.  Children running in a different process still
+    subtract — that is the point: a parent that fans out to workers is
+    all wait, and the report should say so.  Clamped at zero in case
+    clock skew makes children (timed on their own monotonic clocks)
+    overrun the parent slightly.
+    """
+    child_us: dict[str, float] = {}
+    for event in events:
+        parent = _parent_id(event)
+        if parent:
+            child_us[parent] = child_us.get(parent, 0.0) + float(
+                event.get("dur", 0.0))
+    stats: dict[str, NameStats] = {}
+    for event in events:
+        name = str(event.get("name", "?"))
+        entry = stats.get(name)
+        if entry is None:
+            entry = stats[name] = NameStats(name)
+        duration = float(event.get("dur", 0.0))
+        entry.count += 1
+        entry.total_us += duration
+        entry.self_us += max(0.0, duration - child_us.get(
+            _span_id(event) or "", 0.0))
+        entry.pids.add(event.get("pid"))
+    return sorted(stats.values(), key=lambda s: s.self_us, reverse=True)
+
+
+def render_report(events: list[dict]) -> str:
+    """The self-time table ``repro obs report`` prints."""
+    rows = summarize(events)
+    if not rows:
+        return "no span events found\n"
+    total_self = sum(row.self_us for row in rows) or 1.0
+    trace_ids = {(event.get("args") or {}).get("trace_id")
+                 for event in events}
+    trace_ids.discard(None)
+    header = (f"{'span':<28} {'count':>6} {'total_ms':>10} "
+              f"{'self_ms':>10} {'self%':>6} {'pids':>5}")
+    lines = [
+        f"{len(events)} spans, {len(trace_ids)} trace(s), "
+        f"{len({p for row in rows for p in row.pids})} process(es)",
+        header,
+        "-" * len(header),
+    ]
+    for row in rows:
+        lines.append(
+            f"{row.name:<28} {row.count:>6} {row.total_us / 1000:>10.2f} "
+            f"{row.self_us / 1000:>10.2f} "
+            f"{100.0 * row.self_us / total_self:>5.1f}% "
+            f"{len(row.pids):>5}"
+        )
+    return "\n".join(lines) + "\n"
+
+
+def to_chrome_trace(events: list[dict]) -> dict:
+    """The ``{"traceEvents": [...]}`` wrapper Perfetto/chrome://tracing load."""
+    return {"traceEvents": events, "displayTimeUnit": "ms"}

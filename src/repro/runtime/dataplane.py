@@ -458,36 +458,55 @@ class StageTimings:
     (mechanistic-model evaluation; scalar backends fold their profiling
     in here) and ``collect`` (parent-side result reassembly).  Worker
     timings travel back with each group's results and are merged here.
+
+    A thin adapter over a :class:`~repro.obs.metrics.MetricsRegistry`
+    counter family (``stage_seconds_total{stage=...}``): passing the
+    session's registry makes the stage totals show up in the Prometheus
+    exposition for free, while this class keeps the canonical ordering
+    and rounding the reports rely on.
     """
 
     ORDER = ("ship", "attach", "profile", "model", "collect")
 
-    __slots__ = ("_seconds",)
+    __slots__ = ("_family",)
 
-    def __init__(self):
-        self._seconds: dict[str, float] = {}
+    def __init__(self, registry=None):
+        from repro.obs.metrics import MetricsRegistry
+
+        if registry is None:
+            registry = MetricsRegistry()
+        self._family = registry.counter(
+            "stage_seconds_total",
+            "Accumulated wall time per data-plane stage.",
+            labels=("stage",),
+        )
 
     def add(self, stage: str, seconds: float) -> None:
-        self._seconds[stage] = self._seconds.get(stage, 0.0) + seconds
+        self._family.labels(stage=stage).inc(seconds)
+
+    def _raw(self) -> dict[str, float]:
+        return {child.label_values[0]: child.value
+                for child in self._family.children()}
 
     def merge(self, stages: "Mapping[str, float] | StageTimings | None") -> None:
         if not stages:
             return
-        items = stages._seconds if isinstance(stages, StageTimings) else stages
+        items = stages._raw() if isinstance(stages, StageTimings) else stages
         for stage, seconds in items.items():
             self.add(stage, seconds)
 
     def clear(self) -> None:
-        self._seconds.clear()
+        self._family.reset()
 
     def __bool__(self) -> bool:
-        return bool(self._seconds)
+        return any(child.value for child in self._family.children())
 
     def __iter__(self) -> Iterator[tuple[str, float]]:
         return iter(self.as_dict().items())
 
     def as_dict(self) -> dict[str, float]:
         """Seconds per stage, canonical order first, rounded for reports."""
-        ordered = [stage for stage in self.ORDER if stage in self._seconds]
-        ordered += sorted(set(self._seconds) - set(self.ORDER))
-        return {stage: round(self._seconds[stage], 6) for stage in ordered}
+        raw = self._raw()
+        ordered = [stage for stage in self.ORDER if stage in raw]
+        ordered += sorted(set(raw) - set(self.ORDER))
+        return {stage: round(raw[stage], 6) for stage in ordered}

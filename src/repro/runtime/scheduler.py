@@ -32,26 +32,34 @@ import os
 from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
 from typing import Callable, Iterable
 
+from repro.obs import tracing
+
 #: The per-process session of pool workers (created by the initializer).
 _WORKER_SESSION = None
 
 
-def _worker_init(spec, parent_pid: int, dataplane_mode: str) -> None:
+def _worker_init(spec, parent_pid: int, dataplane_mode: str,
+                 obs_config=None) -> None:
     global _WORKER_SESSION
     from repro.runtime import dataplane
 
     # Workers run their shard inline: nested pools would oversubscribe.
     _WORKER_SESSION = spec.create(jobs=1)
-    # Pin the data plane the parent resolved (spawned workers cannot rely
-    # on inherited module state) and watch for the parent disappearing —
-    # an orphaned worker detaches its segments and exits.
+    # Pin the data plane and span sink the parent resolved (spawned
+    # workers cannot rely on inherited module state) and watch for the
+    # parent disappearing — an orphaned worker detaches its segments and
+    # exits.
     dataplane.set_mode(dataplane_mode)
+    tracing.apply_worker_config(obs_config)
     dataplane.start_parent_watch(parent_pid)
 
 
 def _worker_call(payload):
-    fn, item = payload
-    return fn(_WORKER_SESSION, item)
+    # Envelopes carry the parent's trace context (or None) so a worker's
+    # spans parent under the span that dispatched the batch.
+    fn, item, wire_ctx = payload
+    with tracing.attach(tracing.TraceContext.from_wire(wire_ctx)):
+        return fn(_WORKER_SESSION, item)
 
 
 class WorkerPool:
@@ -77,7 +85,8 @@ class WorkerPool:
         self.jobs = jobs
         self._executor: ProcessPoolExecutor | None = ProcessPoolExecutor(
             max_workers=jobs, initializer=_worker_init,
-            initargs=(spec, os.getpid(), active_mode()),
+            initargs=(spec, os.getpid(), active_mode(),
+                      tracing.worker_config()),
         )
 
     @property
@@ -87,8 +96,11 @@ class WorkerPool:
     def map(self, fn: Callable, items: list) -> list:
         if self._executor is None:
             raise RuntimeError("worker pool is closed")
-        return list(self._executor.map(_worker_call,
-                                       [(fn, item) for item in items]))
+        ctx = tracing.current_context()
+        wire_ctx = ctx.to_wire() if ctx else None
+        return list(self._executor.map(
+            _worker_call, [(fn, item, wire_ctx) for item in items]
+        ))
 
     def close(self) -> None:
         """Shut the workers down (idempotent); safe on a broken pool."""

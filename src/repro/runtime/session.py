@@ -30,6 +30,7 @@ from dataclasses import dataclass
 from typing import Callable, Iterable, Iterator, Sequence
 
 from repro.machine import MachineConfig
+from repro.obs.tracing import span
 from repro.profiler.machine_stats import MissProfile
 from repro.profiler.program import ProgramProfile, profile_program
 from repro.profiler.single_pass_engine import ENGINE_SCHEMA_VERSION, SinglePassEngine
@@ -56,30 +57,62 @@ class SessionSpec:
                        jobs=self.jobs if jobs is None else jobs)
 
 
-@dataclass
-class SessionStats:
-    """Work counters; the warm-cache tests assert the zeros directly."""
+#: The session's work counters, in report order.
+SESSION_EVENTS = (
+    "workloads_compiled",
+    "traces_generated",
+    "trace_cache_hits",
+    "engine_state_loads",
+    "engine_state_saves",
+    "miss_profiles_built",
+    "interval_cache_hits",
+    "interval_profiles_built",
+)
 
-    workloads_compiled: int = 0
-    traces_generated: int = 0
-    trace_cache_hits: int = 0
-    engine_state_loads: int = 0
-    engine_state_saves: int = 0
-    miss_profiles_built: int = 0
-    interval_cache_hits: int = 0
-    interval_profiles_built: int = 0
+
+class SessionStats:
+    """Work counters; the warm-cache tests assert the zeros directly.
+
+    Historically a dataclass of eight ints; now a thin adapter over a
+    :class:`~repro.obs.metrics.MetricsRegistry` counter family
+    (``session_events_total{event=...}``) so the same numbers flow into
+    the Prometheus exposition.  The fields stay plain attributes
+    supporting ``stats.traces_generated += 1`` — each is a generated
+    property whose setter installs the new running total.
+    """
+
+    __slots__ = ("_family",)
+
+    def __init__(self, registry=None):
+        from repro.obs.metrics import MetricsRegistry
+
+        if registry is None:
+            registry = MetricsRegistry()
+        self._family = registry.counter(
+            "session_events_total",
+            "Session work counters: compilations, trace generations, "
+            "cache hits, profile builds.",
+            labels=("event",),
+        )
 
     def as_dict(self) -> dict[str, int]:
-        return {
-            "workloads_compiled": self.workloads_compiled,
-            "traces_generated": self.traces_generated,
-            "trace_cache_hits": self.trace_cache_hits,
-            "engine_state_loads": self.engine_state_loads,
-            "engine_state_saves": self.engine_state_saves,
-            "miss_profiles_built": self.miss_profiles_built,
-            "interval_cache_hits": self.interval_cache_hits,
-            "interval_profiles_built": self.interval_profiles_built,
-        }
+        return {event: int(self._family.labels(event=event).value)
+                for event in SESSION_EVENTS}
+
+
+def _session_event_property(event: str) -> property:
+    def _get(self) -> int:
+        return int(self._family.labels(event=event).value)
+
+    def _set(self, value: int) -> None:
+        self._family.labels(event=event).set_total(value)
+
+    return property(_get, _set)
+
+
+for _event in SESSION_EVENTS:
+    setattr(SessionStats, _event, _session_event_property(_event))
+del _event
 
 
 class _IntervalProfileCache:
@@ -106,16 +139,21 @@ class Session:
     """Owns workload/trace/profile reuse for a batch of experiments."""
 
     def __init__(self, cache_dir=None, jobs: int = 1):
+        from repro.obs.metrics import MetricsRegistry
         from repro.runtime.dataplane import StageTimings
 
         if jobs < 1:
             raise ValueError("jobs must be at least 1")
         self.jobs = jobs
         self.cache = ArtifactCache(cache_dir)
-        self.stats = SessionStats()
+        #: One registry holds every counter this session maintains —
+        #: work counters and stage timings alike — so the service's
+        #: Prometheus exposition can render it wholesale.
+        self.metrics = MetricsRegistry()
+        self.stats = SessionStats(self.metrics)
         #: Per-stage (ship/attach/profile/model/collect) wall time of every
         #: batch this session evaluated; surfaced in /v1/metrics and bench.
-        self.stages = StageTimings()
+        self.stages = StageTimings(self.metrics)
         #: The persistent worker pool (created on first sharded map).
         self._pool = None
         self._pool_finalizer = None
@@ -191,8 +229,9 @@ class Session:
             workload = Workload.from_trace(Trace.from_columns(**columns))
             trace = workload.trace()
         else:
-            workload = self._compile(name, flags)
-            trace = workload.trace()
+            with span("session.trace_generate", workload=name, flags=flags):
+                workload = self._compile(name, flags)
+                trace = workload.trace()
             self.stats.traces_generated += 1
             self.cache.store(trace.columns(), "trace", **fields)
 
@@ -398,18 +437,21 @@ class Session:
             return memo[1]
 
         self.stats.miss_profiles_built += 1
-        if exact:
-            from repro.profiler.machine_stats import profile_machine
+        with span("session.miss_profile", workload=workload.name,
+                  exact=exact):
+            if exact:
+                from repro.profiler.machine_stats import profile_machine
 
-            profile = profile_machine(trace, machine, mlp_window, exact=True)
-        elif isinstance(token, tuple):
-            engine = self.engine(*token)
-            profile = engine.miss_profile(machine, mlp_window)
-            self._persist_engine(*token, engine)
-        else:
-            profile = SinglePassEngine.for_trace(trace).miss_profile(
-                machine, mlp_window
-            )
+                profile = profile_machine(trace, machine, mlp_window,
+                                          exact=True)
+            elif isinstance(token, tuple):
+                engine = self.engine(*token)
+                profile = engine.miss_profile(machine, mlp_window)
+                self._persist_engine(*token, engine)
+            else:
+                profile = SinglePassEngine.for_trace(trace).miss_profile(
+                    machine, mlp_window
+                )
         self._miss_profiles[memo_key] = (trace, profile)
         return profile
 

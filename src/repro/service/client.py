@@ -27,6 +27,7 @@ from typing import Mapping
 
 from repro.api.spec import EvalRequest, EvalResult
 from repro.api.sweep import SweepRequest
+from repro.obs import tracing
 
 
 class ServiceError(Exception):
@@ -57,6 +58,12 @@ class ServiceClient:
         )
         try:
             headers = {"Content-Type": "application/json"} if body else {}
+            # Propagate the caller's trace context so the server's spans
+            # land in the same tree (the header names the trace and the
+            # parent span; the server echoes the trace id back).
+            ctx = tracing.current_context()
+            if ctx is not None:
+                headers[tracing.TRACE_HEADER] = ctx.to_header()
             connection.request(method, path, body=body, headers=headers)
             response = connection.getresponse()
             return response.status, response.read()
@@ -124,6 +131,11 @@ class ServiceClient:
     def metrics(self) -> dict:
         """``GET /v1/metrics`` as a dict."""
         return json.loads(self._checked("GET", "/v1/metrics").decode("utf-8"))
+
+    def metrics_prometheus(self) -> str:
+        """``GET /v1/metrics?format=prometheus`` as exposition text."""
+        return self._checked(
+            "GET", "/v1/metrics?format=prometheus").decode("utf-8")
 
     def wait_ready(self, timeout: float = 10.0, interval: float = 0.05) -> dict:
         """Poll ``/v1/health`` until the server answers (startup races)."""

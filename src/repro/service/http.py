@@ -55,6 +55,13 @@ class HttpRequest:
         """The target without any query string (routing key)."""
         return self.target.partition("?")[0]
 
+    @property
+    def query(self) -> dict[str, str]:
+        """Decoded query parameters (last value wins on duplicates)."""
+        from urllib.parse import parse_qsl
+
+        return dict(parse_qsl(self.target.partition("?")[2]))
+
 
 async def read_request(reader: asyncio.StreamReader) -> HttpRequest | None:
     """Parse one request from the stream (``None`` on a cleanly closed peer)."""
@@ -111,13 +118,19 @@ async def read_request(reader: asyncio.StreamReader) -> HttpRequest | None:
 
 
 def render_response(status: int, body: bytes,
-                    content_type: str = "application/json") -> bytes:
+                    content_type: str = "application/json",
+                    headers: dict[str, str] | None = None) -> bytes:
     """A complete ``Connection: close`` HTTP/1.1 response."""
     reason = REASON_PHRASES.get(status, "Unknown")
+    extra = ""
+    if headers:
+        extra = "".join(f"{name}: {value}\r\n"
+                        for name, value in headers.items())
     head = (
         f"HTTP/1.1 {status} {reason}\r\n"
         f"Content-Type: {content_type}\r\n"
         f"Content-Length: {len(body)}\r\n"
+        f"{extra}"
         "Connection: close\r\n"
         "\r\n"
     )

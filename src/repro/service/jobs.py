@@ -21,11 +21,13 @@ from __future__ import annotations
 
 import asyncio
 import threading
+import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Callable, Sequence
 
 from repro.api.spec import EvalRequest, EvalResult
+from repro.obs import tracing
 
 
 class ServiceOverloaded(Exception):
@@ -38,12 +40,17 @@ class Job:
 
     ``call`` jobs carry an arbitrary session function instead of a request
     batch (the optimize endpoint queues whole searches this way) — same
-    queue, same backpressure, same session serialization.
+    queue, same backpressure, same session serialization.  The submitting
+    request's trace context rides along (``run_in_executor`` drops
+    contextvars) so evaluation spans stay under their request's tree, and
+    the submission time feeds the queue-wait metric.
     """
 
     requests: Sequence[EvalRequest]
     future: asyncio.Future = field(repr=False)
     call: Callable | None = None
+    context: "tracing.TraceContext | None" = None
+    submitted_at: float = 0.0
 
 
 class EvalExecutor:
@@ -57,7 +64,8 @@ class EvalExecutor:
 
     def __init__(self, session, jobs: int = 1, max_queue: int = 64,
                  runner: Callable[[Sequence[EvalRequest]],
-                                  list[EvalResult]] | None = None):
+                                  list[EvalResult]] | None = None,
+                 metrics=None):
         if jobs < 1:
             raise ValueError("jobs must be at least 1")
         if max_queue < 1:
@@ -65,6 +73,8 @@ class EvalExecutor:
         self.session = session
         self.jobs = jobs
         self.max_queue = max_queue
+        #: Optional ``ServiceMetrics`` fed the queue-wait observations.
+        self.metrics = metrics
         self._runner = runner if runner is not None else self._run_with_session
         self._session_lock = threading.Lock()
         self._queue: asyncio.Queue[Job] | None = None
@@ -79,7 +89,8 @@ class EvalExecutor:
         from repro.api.batch import evaluate_many
 
         with self._session_lock:
-            return evaluate_many(requests, session=self.session)
+            with tracing.span("service.evaluate", requests=len(requests)):
+                return evaluate_many(requests, session=self.session)
 
     # ------------------------------------------------------------------
     @property
@@ -109,7 +120,11 @@ class EvalExecutor:
             raise RuntimeError("executor is not started")
         future = asyncio.get_running_loop().create_future()
         try:
-            self._queue.put_nowait(Job(requests=list(requests), future=future))
+            self._queue.put_nowait(Job(
+                requests=list(requests), future=future,
+                context=tracing.current_context(),
+                submitted_at=time.monotonic(),
+            ))
         except asyncio.QueueFull:
             raise ServiceOverloaded(
                 f"job queue is full ({self.max_queue} pending)"
@@ -129,7 +144,11 @@ class EvalExecutor:
             raise RuntimeError("executor is not started")
         future = asyncio.get_running_loop().create_future()
         try:
-            self._queue.put_nowait(Job(requests=(), future=future, call=call))
+            self._queue.put_nowait(Job(
+                requests=(), future=future, call=call,
+                context=tracing.current_context(),
+                submitted_at=time.monotonic(),
+            ))
         except asyncio.QueueFull:
             raise ServiceOverloaded(
                 f"job queue is full ({self.max_queue} pending)"
@@ -149,15 +168,24 @@ class EvalExecutor:
 
     async def _process(self, job: Job) -> None:
         loop = asyncio.get_running_loop()
+        if job.submitted_at:
+            waited = max(0.0, time.monotonic() - job.submitted_at)
+            if self.metrics is not None:
+                self.metrics.observe_queue_wait(waited)
+            with tracing.attach(job.context):
+                tracing.emit_span("service.queue_wait", waited)
+
+        # ``run_in_executor`` does not carry contextvars into the worker
+        # thread; re-attach the submitting request's trace context there
+        # so evaluation spans parent under the request.
+        def _run():
+            with tracing.attach(job.context):
+                if job.call is not None:
+                    return self._run_call(job.call)
+                return self._runner(job.requests)
+
         try:
-            if job.call is not None:
-                results = await loop.run_in_executor(
-                    self._pool, self._run_call, job.call
-                )
-            else:
-                results = await loop.run_in_executor(
-                    self._pool, self._runner, job.requests
-                )
+            results = await loop.run_in_executor(self._pool, _run)
             if not job.future.cancelled():
                 job.future.set_result(results)
         except Exception as exc:  # surfaced as a 500 by the server

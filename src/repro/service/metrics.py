@@ -1,36 +1,38 @@
 """Service observability: request counters and latency percentiles.
 
-Everything ``GET /v1/metrics`` reports is collected here.  Latencies are
-kept per endpoint in a bounded window (the most recent
-:data:`LATENCY_WINDOW` observations) so the percentile report tracks
-current behaviour rather than averaging over the server's whole lifetime;
-counters are cumulative.
+Everything ``GET /v1/metrics`` reports is collected here, now as a thin
+adapter over one :class:`~repro.obs.metrics.MetricsRegistry` — the same
+registry the Prometheus exposition (``?format=prometheus``) renders, so
+the JSON and text views can never drift apart.  Latencies are kept per
+endpoint in a bounded window (the registry histogram retains the most
+recent :data:`~repro.obs.metrics.HISTOGRAM_WINDOW` observations) so the
+percentile report tracks current behaviour rather than averaging over
+the server's whole lifetime; counters are cumulative.
+
+Two signals the pre-registry implementation could not see:
+
+* ``in_flight`` — requests currently being handled per endpoint (a gauge:
+  incremented at accept, decremented at response);
+* ``queue_wait_ms`` — time jobs spent queued behind the bounded executor
+  before a session thread picked them up.  A saturated server used to
+  report healthy handler latencies while requests aged in the queue;
+  queue wait makes saturation visible.
 """
 
 from __future__ import annotations
 
-import math
-import threading
 import time
-from collections import Counter, defaultdict, deque
-from typing import Sequence
 
-#: Observations retained per endpoint for the percentile report.
-LATENCY_WINDOW = 1024
+from repro.obs.metrics import MetricsRegistry, percentile
+
+#: Observations retained per endpoint for the percentile report (the
+#: registry histogram window; re-exported for the tests that assert it).
+from repro.obs.metrics import HISTOGRAM_WINDOW as LATENCY_WINDOW  # noqa: F401
 
 #: Percentiles reported for every endpoint.
 PERCENTILES = (50, 90, 99)
 
-
-def percentile(values: Sequence[float], q: float) -> float:
-    """The ``q``-th percentile (nearest-rank) of a non-empty sequence."""
-    if not values:
-        raise ValueError("percentile of an empty sequence")
-    if not 0 < q <= 100:
-        raise ValueError(f"percentile must be in (0, 100], got {q}")
-    ordered = sorted(values)
-    rank = max(1, math.ceil(q / 100.0 * len(ordered)))
-    return ordered[rank - 1]
+__all__ = ["LATENCY_WINDOW", "PERCENTILES", "ServiceMetrics", "percentile"]
 
 
 class ServiceMetrics:
@@ -39,52 +41,93 @@ class ServiceMetrics:
     def __init__(self, clock=time.monotonic):
         self._clock = clock
         self._started_at = clock()
-        self._lock = threading.Lock()
-        self._requests: Counter[str] = Counter()
-        self._errors: Counter[str] = Counter()
-        self._responses: Counter[int] = Counter()
-        self._latencies: dict[str, deque[float]] = defaultdict(
-            lambda: deque(maxlen=LATENCY_WINDOW)
-        )
-        self.evaluations_total = 0
+        self.registry = MetricsRegistry()
+        self._requests = self.registry.counter(
+            "http_requests_total", "Completed HTTP requests.",
+            labels=("endpoint",))
+        self._errors = self.registry.counter(
+            "http_errors_total", "HTTP responses with status >= 400.",
+            labels=("endpoint",))
+        self._responses = self.registry.counter(
+            "http_responses_total", "HTTP responses by status code.",
+            labels=("status",))
+        self._latency = self.registry.histogram(
+            "http_request_seconds", "End-to-end request handling time.",
+            labels=("endpoint",))
+        self._in_flight = self.registry.gauge(
+            "http_in_flight", "Requests currently being handled.",
+            labels=("endpoint",))
+        self._queue_wait = self.registry.histogram(
+            "queue_wait_seconds",
+            "Time jobs spent queued before a session thread picked them up.")
+        self._evaluations = self.registry.counter(
+            "evaluations_total", "Model evaluations answered.")
 
     @property
     def uptime_seconds(self) -> float:
         return self._clock() - self._started_at
 
-    def observe(self, endpoint: str, status: int, seconds: float) -> None:
-        """Record one completed request."""
-        with self._lock:
-            self._requests[endpoint] += 1
-            self._responses[status] += 1
-            if status >= 400:
-                self._errors[endpoint] += 1
-            self._latencies[endpoint].append(seconds)
+    @property
+    def evaluations_total(self) -> int:
+        return int(self._evaluations.value)
+
+    def request_started(self, endpoint: str) -> None:
+        """A request entered handling (pairs with :meth:`observe`)."""
+        self._in_flight.labels(endpoint=endpoint).inc()
+
+    def observe(self, endpoint: str, status: int, seconds: float, *,
+                started: bool = False) -> None:
+        """Record one completed request.
+
+        ``started=True`` also decrements the endpoint's in-flight gauge
+        (the caller bracketed handling with :meth:`request_started`).
+        """
+        self._requests.labels(endpoint=endpoint).inc()
+        self._responses.labels(status=str(status)).inc()
+        if status >= 400:
+            self._errors.labels(endpoint=endpoint).inc()
+        self._latency.labels(endpoint=endpoint).observe(seconds)
+        if started:
+            self._in_flight.labels(endpoint=endpoint).dec()
+
+    def observe_queue_wait(self, seconds: float) -> None:
+        """Record how long one job waited in the executor queue."""
+        self._queue_wait.observe(seconds)
 
     def count_evaluations(self, count: int) -> None:
-        with self._lock:
-            self.evaluations_total += count
+        self._evaluations.inc(count)
 
     def snapshot(self) -> dict:
         """The ``GET /v1/metrics`` payload body (sans queue/cache sections)."""
-        with self._lock:
-            endpoints = {}
-            for endpoint in sorted(self._requests):
-                window = list(self._latencies[endpoint])
-                latency_ms = {
-                    f"p{q}": round(percentile(window, q) * 1000.0, 3)
-                    for q in PERCENTILES
-                } if window else {}
-                endpoints[endpoint] = {
-                    "count": self._requests[endpoint],
-                    "errors": self._errors.get(endpoint, 0),
-                    "latency_ms": latency_ms,
-                }
-            return {
-                "uptime_seconds": round(self.uptime_seconds, 3),
-                "requests_total": sum(self._requests.values()),
-                "evaluations_total": self.evaluations_total,
-                "responses": {str(status): count for status, count
-                              in sorted(self._responses.items())},
-                "endpoints": endpoints,
+        counts = {child.label_values[0]: int(child.value)
+                  for child in self._requests.children()}
+        errors = {child.label_values[0]: int(child.value)
+                  for child in self._errors.children()}
+        in_flight = {child.label_values[0]: int(child.value)
+                     for child in self._in_flight.children()}
+        endpoints = {}
+        for endpoint in sorted(counts):
+            latency = self._latency.labels(endpoint=endpoint)
+            percentiles = latency.percentiles(PERCENTILES)
+            endpoints[endpoint] = {
+                "count": counts[endpoint],
+                "errors": errors.get(endpoint, 0),
+                "in_flight": in_flight.get(endpoint, 0),
+                "latency_ms": {name: round(value * 1000.0, 3)
+                               for name, value in percentiles.items()},
             }
+        return {
+            "uptime_seconds": round(self.uptime_seconds, 3),
+            "requests_total": sum(counts.values()),
+            "evaluations_total": self.evaluations_total,
+            "responses": {child.label_values[0]: int(child.value)
+                          for child in sorted(
+                              self._responses.children(),
+                              key=lambda c: c.label_values)},
+            "queue_wait_ms": {
+                name: round(value * 1000.0, 3)
+                for name, value in
+                self._queue_wait.percentiles(PERCENTILES).items()
+            },
+            "endpoints": endpoints,
+        }

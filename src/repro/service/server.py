@@ -36,6 +36,7 @@ from dataclasses import dataclass
 from repro.api.batch import validate_requests
 from repro.api.spec import API_SCHEMA_VERSION, EvalRequest
 from repro.api.sweep import SweepRequest
+from repro.obs import tracing
 from repro.runtime.session import pooled_session
 from repro.service.cache import ResultCache, canonical_key
 from repro.service.http import (
@@ -120,7 +121,8 @@ class EvalServer:
                                  max_bytes=config.cache_max_bytes)
         self.metrics = ServiceMetrics()
         self.executor = EvalExecutor(self.session, jobs=config.jobs,
-                                     max_queue=config.max_queue)
+                                     max_queue=config.max_queue,
+                                     metrics=self.metrics)
         self._server: asyncio.base_events.Server | None = None
         self._connections: set[asyncio.Task] = set()
         #: Handler task -> writer for connections still waiting on a
@@ -192,6 +194,9 @@ class EvalServer:
         started = time.perf_counter()
         endpoint = OTHER_ENDPOINT
         status: int | None = None
+        content_type = "application/json"
+        extra_headers: dict[str, str] = {}
+        in_flight = False
         task = asyncio.current_task()
         try:
             try:
@@ -211,7 +216,11 @@ class EvalServer:
                     label = f"{request.method} {request.path}"
                     if label in KNOWN_ENDPOINTS:
                         endpoint = label
-                    status, body = await self._dispatch(request)
+                    self.metrics.request_started(endpoint)
+                    in_flight = True
+                    status, body, content_type = await self._traced_dispatch(
+                        request, extra_headers
+                    )
             except HttpError as exc:
                 status, body = exc.status, _error_body(exc.message)
             except Exception as exc:  # never leak a traceback as a hung socket
@@ -220,7 +229,8 @@ class EvalServer:
                 )
             if status is not None:
                 try:
-                    writer.write(render_response(status, body))
+                    writer.write(render_response(status, body, content_type,
+                                                 extra_headers))
                     await asyncio.wait_for(writer.drain(),
                                            timeout=self.config.write_timeout)
                 except (ConnectionError, asyncio.TimeoutError):
@@ -234,7 +244,47 @@ class EvalServer:
                 await writer.wait_closed()
         if status is not None:
             self.metrics.observe(endpoint, status,
-                                 time.perf_counter() - started)
+                                 time.perf_counter() - started,
+                                 started=in_flight)
+        elif in_flight:
+            # Answered nothing (peer vanished mid-handling): still release
+            # the in-flight slot.
+            self.metrics.observe(endpoint, 499, time.perf_counter() - started,
+                                 started=True)
+
+    async def _traced_dispatch(
+        self, request: HttpRequest, extra_headers: dict[str, str]
+    ) -> tuple[int, bytes, str]:
+        """Dispatch under a root ``service.request`` span.
+
+        An incoming ``X-Repro-Trace-Id`` header (``trace_id`` or
+        ``trace_id:parent_span_id``) joins the request to the caller's
+        trace; the response always echoes the trace id back, so a client
+        can correlate its own spans with the server's even when only one
+        side has a sink configured.
+        """
+        incoming = request.headers.get(tracing.TRACE_HEADER.lower(), "")
+        if not tracing.enabled():
+            if incoming:
+                extra_headers[tracing.TRACE_HEADER] = incoming
+            return await self._normalized_dispatch(request)
+        parent = tracing.TraceContext.from_header(incoming) if incoming else None
+        with tracing.attach(parent):
+            with tracing.span("service.request", method=request.method,
+                              path=request.path) as root:
+                extra_headers[tracing.TRACE_HEADER] = root.context.trace_id
+                result = await self._normalized_dispatch(request)
+                root.set(status=result[0])
+                return result
+
+    async def _normalized_dispatch(
+        self, request: HttpRequest
+    ) -> tuple[int, bytes, str]:
+        answer = await self._dispatch(request)
+        if len(answer) == 2:
+            status, body = answer
+            return status, body, "application/json"
+        return answer
 
     # ------------------------------------------------------------------
     # Routing.
@@ -354,7 +404,9 @@ class EvalServer:
             "result_cache_entries": len(self.cache),
         })
 
-    async def _handle_metrics(self, request: HttpRequest) -> tuple[int, bytes]:
+    async def _handle_metrics(self, request: HttpRequest):
+        if request.query.get("format") == "prometheus":
+            return self._render_prometheus()
         payload = self.metrics.snapshot()
         payload["cache"] = {**self.cache.stats.as_dict(),
                             "entries": len(self.cache),
@@ -372,6 +424,29 @@ class EvalServer:
         payload["accel_backend"] = active_backend()
         payload["dataplane"] = self.session.dataplane_mode()
         return 200, _json_body(payload)
+
+    def _render_prometheus(self) -> tuple[int, bytes, str]:
+        """``GET /v1/metrics?format=prometheus``: text exposition.
+
+        Renders the service registry (request/latency/queue instruments)
+        and the shared session's registry (work counters, stage seconds)
+        in one scrape, refreshing the point-in-time gauges first.
+        """
+        from repro.obs.metrics import render_prometheus
+
+        registry = self.metrics.registry
+        registry.gauge("queue_depth",
+                       "Jobs currently queued.").set(self.executor.queue_depth)
+        registry.gauge("result_cache_entries",
+                       "Result-cache entries held.").set(len(self.cache))
+        registry.gauge("result_cache_bytes",
+                       "Result-cache bytes held.").set(self.cache.total_bytes)
+        registry.gauge("uptime_seconds",
+                       "Seconds since server start.").set(
+            self.metrics.uptime_seconds)
+        text = render_prometheus(registry, self.session.metrics)
+        return (200, text.encode("utf-8"),
+                "text/plain; version=0.0.4; charset=utf-8")
 
 
 # ----------------------------------------------------------------------

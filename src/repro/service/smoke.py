@@ -14,8 +14,11 @@ from __future__ import annotations
 import sys
 import tempfile
 
+from repro.obs.log import get_logger
 from repro.service.client import ServiceClient
 from repro.service.server import ServerThread, ServiceConfig
+
+_log = get_logger("repro.service.smoke")
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -45,8 +48,8 @@ def main(argv: list[str] | None = None) -> int:
         else:
             raise AssertionError(f"server still accepting on port {port} "
                                  "after shutdown")
-    print(f"serve-smoke OK: eval cpi={result.cpi:.4f}, warm repeat cached, "
-          "clean shutdown")
+    _log.info("serve-smoke OK", cpi=round(result.cpi, 4),
+              warm_repeat="cached", shutdown="clean")
     return 0
 
 

@@ -120,6 +120,55 @@ def test_search_quality_absent_on_one_side_passes_vacuously():
     assert compare_results(current, reference, 0.0) == []
 
 
+def _obs(median: float, pct: float | None = None,
+         limit: float | None = 2.0) -> dict:
+    entry: dict = {"median": median, "runs": [median]}
+    if pct is not None:
+        entry["overhead_pct"] = pct
+    if limit is not None:
+        entry["overhead_limit_pct"] = limit
+    return {"results": {"obs_overhead": entry}}
+
+
+def test_obs_overhead_under_limit_passes():
+    reference = _obs(1.0, pct=0.2)
+    current = _obs(1.0, pct=1.9)
+    assert compare_results(reference, current, 25.0) == []
+
+
+def test_obs_overhead_over_limit_reported():
+    reference = _obs(1.0, pct=0.2)
+    current = _obs(1.0, pct=2.5)
+    regressions = compare_results(reference, current, 1000.0)
+    assert len(regressions) == 1
+    assert regressions[0].startswith("obs_overhead[overhead_pct]:")
+    assert "2.5% vs limit 2%" in regressions[0]
+
+
+def test_obs_overhead_noisy_reference_escape():
+    # The reference itself was over the limit and we did not get worse:
+    # the gate must not wedge CI shut on a noisy committed reference.
+    reference = _obs(1.0, pct=3.0)
+    current = _obs(1.0, pct=2.5)
+    assert compare_results(reference, current, 1000.0) == []
+
+
+def test_obs_overhead_missing_reference_still_gates():
+    # Older (pre-v7) references carry no overhead figure; the limit is
+    # absolute, so the gate still fails.
+    reference = _obs(1.0)
+    current = _obs(1.0, pct=2.5)
+    regressions = compare_results(reference, current, 1000.0)
+    assert len(regressions) == 1
+    assert "reference n/a" in regressions[0]
+
+
+def test_obs_overhead_absent_on_current_passes_vacuously():
+    reference = _obs(1.0, pct=0.2)
+    current = _obs(1.0, limit=None)
+    assert compare_results(reference, current, 0.0) == []
+
+
 def test_cli_gate_exit_codes(tmp_path, monkeypatch):
     """End-to-end: the bench subcommand compares and gates on exit code."""
     from repro import bench

@@ -1,0 +1,175 @@
+"""Observability through the service: traced requests, Prometheus export.
+
+The acceptance-criteria check lives in
+:class:`TestServedTracing.test_served_sweep_yields_one_cross_process_tree`:
+one served ``POST /v1/sweep`` with tracing enabled and ``jobs=2`` produces
+a single Chrome-trace-event tree — one trace id, one root, every other
+span reachable from it — spanning the server process *and* its pool
+worker processes.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import os
+
+import pytest
+
+from repro.obs import tracing
+from repro.obs.report import load_events
+from repro.service import ServerThread, ServiceClient, ServiceConfig
+
+SWEEP = {"workloads": ["sha", "qsort", "dijkstra"],
+         "axes": {"l2_size": ["256KB", "1MB"]}}
+
+
+@pytest.fixture(autouse=True)
+def _tracing_disabled_after():
+    yield
+    tracing.configure(None)
+    os.environ.pop(tracing.TRACE_ENV, None)
+
+
+def _serve(tmp_path, jobs=2):
+    return ServerThread(ServiceConfig(
+        port=0, jobs=jobs, max_queue=16,
+        cache_dir=str(tmp_path / "cache"),
+    ))
+
+
+def _request_raw(port, method, path, body=None, headers=None):
+    connection = http.client.HTTPConnection("127.0.0.1", port, timeout=60)
+    try:
+        connection.request(method, path, body=body, headers=headers or {})
+        response = connection.getresponse()
+        return response.status, dict(response.getheaders()), response.read()
+    finally:
+        connection.close()
+
+
+class TestServedTracing:
+    def test_served_sweep_yields_one_cross_process_tree(self, tmp_path):
+        out = tmp_path / "spans.jsonl"
+        tracing.configure(str(out))  # before the server: workers inherit it
+        with _serve(tmp_path) as running:
+            client = ServiceClient(port=running.port)
+            client.wait_ready()
+            results = client.sweep(SWEEP)
+        assert len(results) == 6
+        events = load_events(str(out))
+        # The sweep's trace is the one rooted at its service.request span
+        # (wait_ready's health probes trace separately).
+        roots = [event for event in events
+                 if event["name"] == "service.request"
+                 and event["args"].get("path") == "/v1/sweep"]
+        assert len(roots) == 1
+        root = roots[0]
+        trace_id = root["args"]["trace_id"]
+        tree = [event for event in events
+                if event["args"]["trace_id"] == trace_id]
+        names = {event["name"] for event in tree}
+        assert {"service.request", "service.queue_wait", "service.evaluate",
+                "planner.plan", "planner.dispatch", "planner.group",
+                "planner.profile", "planner.model"} <= names
+        # One coherent tree: exactly one parentless span, and every
+        # parent_id resolves to a span in the same trace.
+        span_ids = {event["args"]["span_id"] for event in tree}
+        orphans = [event for event in tree
+                   if "parent_id" not in event["args"]]
+        assert orphans == [root]
+        assert all(event["args"]["parent_id"] in span_ids
+                   for event in tree if "parent_id" in event["args"])
+        # ...spanning the server process and at least one pool worker.
+        pids = {event["pid"] for event in tree}
+        server_pid = root["pid"]
+        assert server_pid == os.getpid()  # ServerThread runs in-process
+        assert pids - {server_pid}, "no spans from worker processes"
+        # Every line is a Chrome complete event Perfetto can load as-is.
+        assert all(event["ph"] == "X" and "ts" in event and "dur" in event
+                   for event in events)
+
+    def test_trace_header_is_parsed_and_echoed(self, tmp_path):
+        out = tmp_path / "spans.jsonl"
+        tracing.configure(str(out))
+        body = json.dumps({"workload": "sha"}).encode()
+        with _serve(tmp_path, jobs=1) as running:
+            ServiceClient(port=running.port).wait_ready()
+            status, headers, _ = _request_raw(
+                running.port, "POST", "/v1/eval", body,
+                {"Content-Type": "application/json",
+                 tracing.TRACE_HEADER: "cafe1234:beef5678"},
+            )
+        assert status == 200
+        assert headers[tracing.TRACE_HEADER] == "cafe1234"
+        (root,) = [event for event in load_events(str(out))
+                   if event["name"] == "service.request"
+                   and event["args"].get("path") == "/v1/eval"]
+        assert root["args"]["trace_id"] == "cafe1234"
+        assert root["args"]["parent_id"] == "beef5678"
+
+    def test_client_propagates_its_context_into_the_server(self, tmp_path):
+        out = tmp_path / "spans.jsonl"
+        tracing.configure(str(out))
+        with _serve(tmp_path, jobs=1) as running:
+            client = ServiceClient(port=running.port)
+            client.wait_ready()
+            with tracing.span("test.caller") as caller:
+                client.evaluate({"workload": "sha"})
+                trace_id = caller.context.trace_id
+        events = load_events(str(out))
+        (root,) = [event for event in events
+                   if event["name"] == "service.request"
+                   and event["args"]["trace_id"] == trace_id]
+        assert root["args"]["parent_id"]  # parented under the caller's span
+
+    def test_disabled_tracing_echoes_incoming_header(self, tmp_path):
+        tracing.configure(None)
+        with _serve(tmp_path, jobs=1) as running:
+            ServiceClient(port=running.port).wait_ready()
+            _, headers, _ = _request_raw(
+                running.port, "GET", "/v1/health", None,
+                {tracing.TRACE_HEADER: "feedface"},
+            )
+            assert headers[tracing.TRACE_HEADER] == "feedface"
+            _, headers, _ = _request_raw(running.port, "GET", "/v1/health")
+            assert tracing.TRACE_HEADER not in headers
+
+
+class TestServedMetrics:
+    def test_prometheus_endpoint_renders_service_and_session(self, tmp_path):
+        with _serve(tmp_path, jobs=1) as running:
+            client = ServiceClient(port=running.port)
+            client.wait_ready()
+            client.evaluate({"workload": "sha"})
+            text = client.metrics_prometheus()
+        assert "# TYPE repro_http_requests_total counter" in text
+        assert 'repro_http_requests_total{endpoint="POST /v1/eval"} 1' in text
+        assert "# TYPE repro_http_request_seconds histogram" in text
+        assert "repro_uptime_seconds" in text
+        assert "repro_queue_depth" in text
+        # The session's registry rides along in the same exposition.
+        assert 'repro_session_events_total{event="traces_generated"}' in text
+        assert "# TYPE repro_stage_seconds_total counter" in text
+
+    def test_prometheus_content_type(self, tmp_path):
+        with _serve(tmp_path, jobs=1) as running:
+            ServiceClient(port=running.port).wait_ready()
+            _, headers, body = _request_raw(
+                running.port, "GET", "/v1/metrics?format=prometheus")
+        assert headers["Content-Type"].startswith("text/plain; version=0.0.4")
+        assert body.decode().endswith("\n")
+
+    def test_snapshot_has_in_flight_and_queue_wait(self, tmp_path):
+        with _serve(tmp_path, jobs=1) as running:
+            client = ServiceClient(port=running.port)
+            client.wait_ready()
+            client.evaluate({"workload": "sha"})
+            metrics = client.metrics()
+        eval_stats = metrics["endpoints"]["POST /v1/eval"]
+        # The eval finished before /v1/metrics was answered.
+        assert eval_stats["in_flight"] == 0
+        assert eval_stats["count"] == 1 and eval_stats["errors"] == 0
+        wait = metrics["queue_wait_ms"]
+        assert set(wait) == {"p50", "p90", "p99"}
+        assert all(value >= 0 for value in wait.values())

@@ -1,0 +1,61 @@
+#!/usr/bin/env python
+"""Lint rule: no bare ``print()`` in library code under ``src/repro/``.
+
+Diagnostics belong on stderr through the structured :mod:`repro.obs.log`
+logger (machine-parseable with ``REPRO_LOG=json``, trace-correlated when a
+span is open); result tables belong to the reporters.  A stray ``print``
+in library code interleaves with both and breaks the byte-identical
+stdout contract the CLI tests rely on, so this checker fails the lint
+step when one appears outside the allowlisted entry points that *own*
+stdout.
+
+Usage: ``python tools/check_print.py`` (wired into ``make lint`` and CI).
+Exits 1 listing each offending ``file:line``.
+"""
+
+from __future__ import annotations
+
+import ast
+import sys
+from pathlib import Path
+
+#: Entry-point modules whose stdout IS the product: the CLI's tables and
+#: prompts, and the benchmark harness's progress lines / child JSON.
+ALLOWED = {
+    Path("src/repro/cli.py"),
+    Path("src/repro/bench.py"),
+}
+
+
+def violations(root: Path) -> list[str]:
+    found: list[str] = []
+    for path in sorted((root / "src" / "repro").rglob("*.py")):
+        relative = path.relative_to(root)
+        if relative in ALLOWED:
+            continue
+        try:
+            tree = ast.parse(path.read_text(), filename=str(relative))
+        except SyntaxError as exc:
+            found.append(f"{relative}:{exc.lineno}: unparsable: {exc.msg}")
+            continue
+        for node in ast.walk(tree):
+            if (isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Name)
+                    and node.func.id == "print"):
+                found.append(
+                    f"{relative}:{node.lineno}: print() in library code — "
+                    "use repro.obs.log.get_logger(...) for diagnostics or "
+                    "a reporter for tables"
+                )
+    return found
+
+
+def main() -> int:
+    found = violations(Path(__file__).resolve().parent.parent)
+    for line in found:
+        print(line, file=sys.stderr)
+    return 1 if found else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
