@@ -43,6 +43,31 @@ def _machine_label(request: EvalRequest, machine) -> str:
             + ",".join(f"{key}={value}" for key, value in sorted(rendered.items())))
 
 
+def _failed_result(request: EvalRequest, machines: dict,
+                   error: str) -> EvalResult:
+    """The structured per-item error envelope of a contained failure.
+
+    A quarantined or crashed unit keeps its slot in the batch: same
+    request/workload/machine labels as a success, zeroed metrics, and the
+    failure message in ``error`` — so a 76-point sweep with one poison
+    workload returns 72 answers plus 4 addressable errors instead of
+    nothing.
+    """
+    machine = machines.get(request.machine)
+    if machine is None:
+        machine = request.machine.resolve()
+    return EvalResult(
+        request=request,
+        backend=BACKENDS.canonical(request.backend),
+        workload=request.workload.name,
+        machine=_machine_label(request, machine),
+        instructions=0,
+        cycles=0.0,
+        seconds=0.0,
+        error=error,
+    )
+
+
 def _evaluate_one(session: Session, request: EvalRequest) -> EvalResult:
     """One request through its backend (module-level: process-pool unit)."""
     backend = get_backend(request.backend)
@@ -179,6 +204,7 @@ def _run_batch(session: Session, parsed: list[EvalRequest],
 
     from repro.api.planner import evaluate_group_timed, plan_requests
     from repro.obs.tracing import emit_span, span
+    from repro.resilience.containment import UnitFailure
 
     if not plan or len(parsed) <= 1:
         return session.map(_evaluate_one, parsed)
@@ -201,10 +227,19 @@ def _run_batch(session: Session, parsed: list[EvalRequest],
         session.stages.add("ship", elapsed)
         emit_span("planner.ship", elapsed, groups=len(groups))
     with span("planner.dispatch", groups=len(groups), jobs=session.jobs):
-        grouped = session.map(evaluate_group_timed, groups)
+        # Resilient dispatch: a group whose unit is quarantined (or whose
+        # worker failed) comes back as a UnitFailure instead of sinking
+        # the whole batch; its requests become per-item error results.
+        grouped = session.map_resilient(evaluate_group_timed, groups)
     started = time.perf_counter()
     results: list[EvalResult | None] = [None] * len(parsed)
-    for group, (answers, stages) in zip(groups, grouped):
+    for group, outcome in zip(groups, grouped):
+        if isinstance(outcome, UnitFailure):
+            for index in group.indices:
+                results[index] = _failed_result(parsed[index], machines,
+                                                outcome.error)
+            continue
+        answers, stages = outcome
         session.stages.merge(stages)
         for index, answer in zip(group.indices, answers):
             results[index] = answer

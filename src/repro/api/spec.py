@@ -216,6 +216,12 @@ class EvalResult:
     per-metric estimated relative errors) when the result came from a
     sampled evaluation of a chunked trace, and is ``None`` for exact
     evaluations.
+
+    ``error`` is the structured per-item failure channel: ``None`` on
+    every successful evaluation, a human-readable message on a unit that
+    was quarantined or failed while the rest of its batch succeeded (see
+    :func:`repro.api.batch.evaluate_many`).  A failed result carries
+    zeroed metrics; check ``error`` before consuming them.
     """
 
     request: EvalRequest
@@ -229,6 +235,7 @@ class EvalResult:
     energy_joules: float | None = None
     sampling: dict | None = None
     schema_version: int = API_SCHEMA_VERSION
+    error: str | None = None
 
     @property
     def cpi(self) -> float:
@@ -339,7 +346,7 @@ class EvalResult:
         )
 
     def to_dict(self) -> dict:
-        return {
+        payload = {
             "schema_version": self.schema_version,
             "request": self.request.to_dict(),
             "backend": self.backend,
@@ -352,6 +359,11 @@ class EvalResult:
             "energy_joules": self.energy_joules,
             "sampling": self.sampling,
         }
+        # Only failed results carry the key: success payloads stay
+        # byte-identical to every earlier schema generation.
+        if self.error is not None:
+            payload["error"] = self.error
+        return payload
 
     @classmethod
     def from_dict(cls, payload: Mapping) -> "EvalResult":
@@ -367,6 +379,7 @@ class EvalResult:
             energy_joules=payload.get("energy_joules"),
             sampling=payload.get("sampling"),
             schema_version=payload.get("schema_version", API_SCHEMA_VERSION),
+            error=payload.get("error"),
         )
 
     def to_json(self, indent: int | None = 2) -> str:

@@ -49,6 +49,12 @@ Times the paths every PR is expected to keep fast:
   disabled-instrumentation overhead it implies per batch
   (``overhead_pct``), which the compare gate holds to
   ``overhead_limit_pct`` (2%),
+* ``degraded_mode_evaluate`` — the same 19 workloads x 4 presets batch on
+  a 4-worker session whose circuit breaker has tripped
+  (:mod:`repro.resilience`): every request drains through the serial
+  in-process fallback, so this entry is the throughput floor the service
+  guarantees while its worker pool is broken — compare against
+  ``sharded_evaluate_many`` for the price of degradation,
 * ``search_surrogate_dse`` — :mod:`repro.search` surrogate-guided
   optimization: the Table-2 192-point space searched for the minimum-EDP
   configuration under a budget of a third of the space, checked against
@@ -117,7 +123,7 @@ from repro.runtime.session import Session
 from repro.workloads import get_workload
 
 #: Version of the BENCH_core.json layout.
-BENCH_SCHEMA_VERSION = 7
+BENCH_SCHEMA_VERSION = 8
 
 #: Allowed tracing overhead on the sharded hot path, in percent: the
 #: ``obs_overhead`` compare gate fails when ``overhead_pct`` exceeds this
@@ -605,6 +611,45 @@ def bench_long_workload_sampled() -> tuple[float, dict]:
     }
 
 
+def bench_degraded_mode_evaluate() -> tuple[float, dict]:
+    """Serial-fallback throughput: the batch path with the breaker open.
+
+    A 4-worker session has its circuit breaker tripped before the timed
+    region, so ``evaluate_many`` never touches the pool and every request
+    drains through :mod:`repro.resilience`'s serial in-process fallback —
+    the degraded-mode answer rate the service still guarantees after
+    repeated worker crashes.  Traces are parent-held (adopted from
+    payloads) exactly like ``sharded_evaluate_many``, making the two
+    medians directly comparable: their ratio is what degradation costs.
+    """
+    from repro.api import EvalRequest, MachineSpec, WorkloadSpec, evaluate_many
+    from repro.machine import MACHINE_PRESETS
+    from repro.runtime.session import pooled_session
+    from repro.trace.trace import Trace
+    from repro.workloads.registry import suite_names
+
+    names = suite_names("mibench")
+    _table2_session()  # populates the shared payload cache
+    requests = [
+        EvalRequest(workload=WorkloadSpec(name), machine=MachineSpec(preset))
+        for name in names
+        for preset in MACHINE_PRESETS.names()
+    ]
+    with pooled_session(None, 4) as session:
+        for name in names:
+            session.adopt_trace(
+                name, "O3", Trace.from_payload(_TABLE2_PAYLOADS[name])
+            )
+        evaluate_many(requests, session=session)  # warmup (pooled)
+        session.health.trip_breaker()
+        start = time.perf_counter()
+        evaluate_many(requests, session=session)
+        elapsed = time.perf_counter() - start
+        extras = {"breaker_open": session.health.breaker_open,
+                  "serial_units": len(requests)}
+    return elapsed, extras
+
+
 #: Search-bench shape: the Table-2 surrogate budget is a third of the
 #: 192-point space; the synthetic space must exceed a million points.
 SEARCH_TABLE2_BUDGET = 64
@@ -723,6 +768,7 @@ BENCHES = {
     "sharded_evaluate_many_payload": bench_sharded_evaluate_many_payload,
     "obs_overhead": bench_obs_overhead,
     "long_workload_sampled": bench_long_workload_sampled,
+    "degraded_mode_evaluate": bench_degraded_mode_evaluate,
     "search_surrogate_dse": bench_search_surrogate_dse,
 }
 

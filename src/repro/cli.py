@@ -19,6 +19,10 @@ Subcommands:
   ``POST /v1/eval``/``/v1/sweep``/``/v1/optimize`` over a warm shared
   session, with ``--port/--jobs/--cache-dir/--max-queue`` and a graceful
   drain on Ctrl-C.
+* ``chaos`` — the seeded resilience drill: attack live servers with
+  fault plans (worker kills, cache corruption, slow reads) and assert
+  the invariants — no hang, no wrong bytes, poison units quarantined,
+  graceful serial degradation after the circuit breaker trips.
 * ``cache`` — inspect (or ``--clear``) an artifact-cache directory.
 * ``list`` — the experiment registry: names, artefacts, declared options.
 * ``bench`` — the core hot-path benchmark (see :mod:`repro.bench`).
@@ -272,7 +276,65 @@ def build_parser() -> argparse.ArgumentParser:
              "(default: the REPRO_DATAPLANE environment variable, then "
              "auto); published in GET /v1/metrics",
     )
+    serve_parser.add_argument(
+        "--request-timeout", type=float, default=None, metavar="SECONDS",
+        help="server-side deadline per evaluation request; past it the "
+             "answer is 504 (sweeps include the partial results computed "
+             "before the deadline) and the job is cancelled "
+             "(default: unbounded)",
+    )
+    serve_parser.add_argument(
+        "--rate-limit", type=float, default=0.0, metavar="RPS",
+        help="sustained POST requests/second allowed per client IP; "
+             "excess answers 429 with a Retry-After header "
+             "(default: 0, unlimited)",
+    )
+    serve_parser.add_argument(
+        "--rate-burst", type=int, default=0, metavar="N",
+        help="burst allowance above --rate-limit "
+             "(default: derived from the rate)",
+    )
+    serve_parser.add_argument(
+        "--faults", default=None, metavar="PLAN",
+        help="install a fault-injection plan: a JSON file path or inline "
+             "JSON (see repro.resilience.faults; default: the "
+             "REPRO_FAULTS environment variable, else none)",
+    )
     _add_trace_out(serve_parser)
+
+    chaos_parser = subparsers.add_parser(
+        "chaos",
+        help="run the seeded chaos drill against live servers and assert "
+             "the resilience invariants (no hang, no wrong bytes, "
+             "quarantine, graceful degradation)",
+    )
+    chaos_parser.add_argument(
+        "--seed", type=int, default=None, metavar="S",
+        help="drill seed (default: 2012)",
+    )
+    chaos_parser.add_argument(
+        "--jobs", type=int, default=2, metavar="N",
+        help="worker processes for the attacked servers (default: 2)",
+    )
+    chaos_parser.add_argument(
+        "--quick", action="store_true",
+        help="drill 6 workloads x 2 presets instead of the full "
+             "19 x 4 sweep",
+    )
+    chaos_parser.add_argument(
+        "--timeout", type=float, default=120.0, metavar="SECONDS",
+        help="per-request client deadline — the no-hang invariant "
+             "(default: 120)",
+    )
+    chaos_parser.add_argument(
+        "--json", action="store_true",
+        help="emit the full report as JSON instead of text",
+    )
+    chaos_parser.add_argument(
+        "--accel", choices=("auto", "numpy", "python"), default=None,
+        metavar="BACKEND",
+        help="profiling-kernel backend (default: REPRO_ACCEL, then auto)",
+    )
 
     cache_parser = subparsers.add_parser(
         "cache", help="inspect or clear an artifact-cache directory"
@@ -503,6 +565,34 @@ def _apply_obs(args: argparse.Namespace) -> None:
         tracing.configure_from_env()
 
 
+def _apply_faults(args: argparse.Namespace) -> None:
+    """Install a fault-injection plan before any work starts.
+
+    ``--faults`` takes a JSON file path or inline JSON and is also
+    exported through ``REPRO_FAULTS`` so ``--jobs`` worker processes
+    inherit the plan; without the flag the environment variable alone
+    can install one.
+    """
+    from repro.resilience import faults
+
+    value = getattr(args, "faults", None)
+    if value:
+        try:
+            if value.lstrip().startswith("{"):
+                plan = faults.FaultPlan.from_json(value)
+            else:
+                plan = faults.FaultPlan.from_file(value)
+        except (OSError, ValueError) as exc:
+            raise SystemExit(f"--faults: {exc}") from exc
+        faults.install(plan)
+        os.environ[faults.FAULTS_ENV] = plan.to_json()
+    else:
+        try:
+            faults.install_from_env()
+        except (OSError, ValueError) as exc:
+            raise SystemExit(f"{faults.FAULTS_ENV}: {exc}") from exc
+
+
 def _select_experiments(names: list[str]) -> list[str]:
     known = experiment_names()
     if not names or "all" in names:
@@ -705,6 +795,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         max_queue=args.max_queue, cache_dir=args.cache_dir,
         cache_capacity=args.cache_capacity, cache_ttl=args.cache_ttl,
         cache_max_bytes=cache_max_bytes,
+        request_timeout=args.request_timeout,
+        rate_limit=args.rate_limit, rate_burst=args.rate_burst,
     )
 
     def announce(server) -> None:
@@ -724,6 +816,30 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         # (--cache-ttl 0, --jobs 0, ...) exit cleanly, no traceback.
         raise SystemExit(f"serve: {exc}") from exc
     return 0
+
+
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    from repro.resilience.chaos import DEFAULT_SEED, run_chaos
+
+    workloads = presets = None
+    if args.quick:
+        from repro.machine import MACHINE_PRESETS
+        from repro.workloads.registry import suite_names
+
+        workloads = suite_names("mibench")[:6]
+        presets = MACHINE_PRESETS.names()[:2]
+    report = run_chaos(
+        seed=args.seed if args.seed is not None else DEFAULT_SEED,
+        jobs=args.jobs, workloads=workloads, presets=presets,
+        timeout=args.timeout,
+    )
+    if args.json:
+        import json
+
+        print(json.dumps(report.as_dict(), indent=2))
+    else:
+        print(report.render())
+    return 0 if report.passed else 1
 
 
 def _cmd_cache(args: argparse.Namespace) -> int:
@@ -988,6 +1104,7 @@ def main(argv: list[str] | None = None) -> int:
     _apply_accel(args)
     _apply_dataplane(args)
     _apply_obs(args)
+    _apply_faults(args)
     try:
         if args.command == "run":
             return _cmd_run(args)
@@ -997,6 +1114,8 @@ def main(argv: list[str] | None = None) -> int:
             return _cmd_optimize(args)
         if args.command == "serve":
             return _cmd_serve(args)
+        if args.command == "chaos":
+            return _cmd_chaos(args)
         if args.command == "cache":
             return _cmd_cache(args)
         if args.command == "list":

@@ -1,0 +1,267 @@
+"""Chaos drill: seeded fault plans against a live server, with invariants.
+
+``repro-experiments chaos`` (and :func:`run_chaos` in-process) stands up
+real evaluation servers and attacks them with the same fault machinery
+:mod:`repro.resilience.faults` provides everywhere else — worker kills,
+artifact-cache corruption, slow reads — then *checks the contract* the
+resilience layer claims to uphold:
+
+1. **No hang** — every request is answered within the client timeout,
+   faults or not.
+2. **No wrong bytes** — every result produced under faults is identical
+   to the fault-free answer for the same request.  Degradation may cost
+   throughput or drop units, never correctness.
+3. **Bounded failure** — a poison unit is quarantined and reported as a
+   structured per-item error; it cannot take the batch down with it.
+4. **Graceful degradation** — a pool that keeps crashing trips the
+   circuit breaker and the server falls back to serial in-process
+   evaluation, still answering correctly, and says so in ``/v1/health``.
+
+The drill runs two acts against fresh servers (each act installs its
+fault plan *before* the server's worker pool spins up, so pool workers
+inherit it):
+
+* **Act 1 — poison unit.**  A kill rule matched to one workload murders
+  any worker that picks it up, plus a couple of artifact-cache
+  corruptions and slowed reads for background noise.  The breaker is
+  configured out of reach: the sweep must come back with the poisoned
+  workload quarantined (per-item errors) and every other result
+  byte-identical to the baseline.
+* **Act 2 — total pool failure.**  A kill rule matching everything
+  murders every worker.  The breaker (threshold 3) must trip, the sweep
+  must complete serially with *every* result byte-identical to the
+  baseline, and health must report the degraded state.
+
+Determinism: both acts derive everything from the drill seed and fixed
+fault plans, so two runs with the same seed make the same checks.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass, field
+
+from repro.resilience.faults import FaultPlan, FaultSpec
+
+#: Default drill seed (the paper's year, like every other seed here).
+DEFAULT_SEED = 2012
+
+
+@dataclass
+class ChaosCheck:
+    """One verified invariant: what was asserted and what happened."""
+
+    name: str
+    passed: bool
+    detail: str = ""
+
+    def as_dict(self) -> dict:
+        return {"name": self.name, "passed": self.passed,
+                "detail": self.detail}
+
+
+@dataclass
+class ChaosReport:
+    """Everything a ``repro-experiments chaos`` run observed."""
+
+    seed: int
+    jobs: int
+    requests: int
+    duration_s: float = 0.0
+    checks: list[ChaosCheck] = field(default_factory=list)
+    #: Per-act fault-plan reports (spec, hits, fires).
+    fault_reports: dict = field(default_factory=dict)
+
+    @property
+    def passed(self) -> bool:
+        return all(check.passed for check in self.checks)
+
+    def as_dict(self) -> dict:
+        return {
+            "seed": self.seed,
+            "jobs": self.jobs,
+            "requests": self.requests,
+            "duration_s": round(self.duration_s, 3),
+            "passed": self.passed,
+            "checks": [check.as_dict() for check in self.checks],
+            "fault_reports": self.fault_reports,
+        }
+
+    def render(self) -> str:
+        lines = [f"chaos drill: seed={self.seed} jobs={self.jobs} "
+                 f"requests={self.requests} "
+                 f"duration={self.duration_s:.2f}s"]
+        for check in self.checks:
+            mark = "PASS" if check.passed else "FAIL"
+            detail = f" — {check.detail}" if check.detail else ""
+            lines.append(f"  [{mark}] {check.name}{detail}")
+        lines.append("verdict: " + ("PASS" if self.passed else "FAIL"))
+        return "\n".join(lines)
+
+
+def _result_key(entry: dict) -> tuple:
+    return (entry["workload"], entry["machine"], entry["backend"])
+
+
+def _strip_error(entry: dict) -> dict:
+    return {key: value for key, value in entry.items() if key != "error"}
+
+
+def _compare(baseline: dict, outcome: list[dict],
+             expect_errors: set | None = None) -> tuple[list, list]:
+    """Split a faulted sweep against the baseline.
+
+    Returns ``(mismatched, errored)`` where ``mismatched`` holds keys
+    whose successful result differs from the fault-free answer and
+    ``errored`` the keys answered with a per-item error.
+    """
+    mismatched, errored = [], []
+    for entry in outcome:
+        key = _result_key(entry)
+        if entry.get("error"):
+            errored.append(key)
+            continue
+        if _strip_error(entry) != baseline[key]:
+            mismatched.append(key)
+    return mismatched, errored
+
+
+def run_chaos(*, seed: int = DEFAULT_SEED, jobs: int = 2,
+              workloads=None, presets=None,
+              timeout: float = 120.0) -> ChaosReport:
+    """Run the two-act drill and return the checked invariants.
+
+    ``workloads``/``presets`` default to the full MiBench-19 suite across
+    every machine preset (76 requests per sweep); trim them for a quick
+    smoke.  ``timeout`` is the per-request client deadline — it *is* the
+    no-hang invariant: a server that stops answering fails the drill
+    instead of wedging it.
+    """
+    from repro.machine import MACHINE_PRESETS
+    from repro.api.sweep import SweepRequest
+    from repro.resilience import faults
+    from repro.resilience.containment import RetryPolicy
+    from repro.service.client import ServiceClient, ServiceError
+    from repro.service.server import ServerThread, ServiceConfig
+
+    if workloads is None:
+        from repro.workloads.registry import suite_names
+
+        workloads = suite_names("mibench")
+    workloads = list(workloads)
+    if presets is None:
+        presets = MACHINE_PRESETS.names()
+    presets = list(presets)
+    sweep = SweepRequest.make(
+        workloads, machines=[{"preset": name} for name in presets])
+    report = ChaosReport(seed=seed, jobs=jobs,
+                         requests=len(workloads) * len(presets))
+    started = time.perf_counter()
+    poison = workloads[0]
+
+    def check(name: str, passed: bool, detail: str = "") -> None:
+        report.checks.append(ChaosCheck(name, bool(passed), detail))
+
+    def act(name: str, plan: FaultPlan | None, policy: RetryPolicy):
+        """One fresh server under one plan; returns (results, health, metrics)."""
+        faults.clear()
+        if plan is not None:
+            faults.install(plan)
+        try:
+            config = ServiceConfig(port=0, jobs=jobs)
+            with ServerThread(config) as running:
+                running.server.session.retry_policy = policy
+                client = ServiceClient(port=running.port, timeout=timeout)
+                client.wait_ready(timeout=min(timeout, 30.0))
+                results = [result.to_dict()
+                           for result in client.sweep(sweep)]
+                health = client.health()
+                metrics = client.metrics()
+            if plan is not None:
+                report.fault_reports[name] = plan.report()
+            return results, health, metrics
+        finally:
+            faults.clear()
+
+    # Fast backoffs keep the drill quick; thresholds are per act.
+    calm = RetryPolicy(backoff_base=0.01, backoff_max=0.05,
+                       breaker_threshold=10_000)
+    default = RetryPolicy(backoff_base=0.01, backoff_max=0.05)
+
+    # ------------------------------------------------------------------
+    # Baseline: the fault-free answers every act is compared against.
+    # ------------------------------------------------------------------
+    results, health, _ = act("baseline", None, default)
+    baseline = {_result_key(entry): _strip_error(entry) for entry in results}
+    check("baseline.clean", not any(entry.get("error") for entry in results),
+          f"{len(results)} fault-free results")
+    check("baseline.healthy", health.get("status") == "ok"
+          and not health.get("degraded"), f"status={health.get('status')}")
+
+    # ------------------------------------------------------------------
+    # Act 1: poison unit -> quarantine, everything else untouched.
+    # ------------------------------------------------------------------
+    act1_plan = FaultPlan(specs=(
+        FaultSpec(point="worker.entry", mode="kill", match=poison, count=99),
+        FaultSpec(point="cache.write", mode="corrupt", count=2),
+        FaultSpec(point="http.read", mode="delay", delay_s=0.02, count=2),
+    ), seed=seed)
+    try:
+        results, health, metrics = act("act1", act1_plan, calm)
+    except ServiceError as exc:
+        check("act1.no_hang", False, f"sweep failed: {exc}")
+    else:
+        mismatched, errored = _compare(baseline, results)
+        expected_errors = {key for key in baseline if key[0] == poison}
+        check("act1.no_hang", True,
+              f"sweep answered under worker kills ({len(results)} entries)")
+        check("act1.no_wrong_bytes", not mismatched,
+              f"{len(mismatched)} results differ from baseline"
+              if mismatched else
+              f"{len(results) - len(errored)} results byte-identical")
+        check("act1.poison_quarantined", set(errored) == expected_errors,
+              f"errored={sorted(set(key[0] for key in errored))} "
+              f"expected={{{poison!r}}}")
+        quarantined = metrics.get("resilience", {}).get("quarantined", {})
+        check("act1.quarantine_reported", poison in quarantined,
+              f"/v1/metrics resilience.quarantined={sorted(quarantined)}")
+        check("act1.breaker_closed", not health.get("degraded"),
+              f"degraded={health.get('degraded')}")
+        rate = len(errored) / max(1, len(results))
+        check("act1.bounded_error_rate", rate <= len(presets) / max(
+            1, len(results)) + 1e-9, f"error rate {rate:.3f}")
+
+    # ------------------------------------------------------------------
+    # Act 2: every worker dies -> breaker trips -> serial, all correct.
+    # ------------------------------------------------------------------
+    act2_plan = FaultPlan(specs=(
+        FaultSpec(point="worker.entry", mode="kill", count=10_000),
+    ), seed=seed)
+    try:
+        results, health, metrics = act("act2", act2_plan, default)
+    except ServiceError as exc:
+        check("act2.no_hang", False, f"sweep failed: {exc}")
+    else:
+        mismatched, errored = _compare(baseline, results)
+        check("act2.no_hang", True,
+              "sweep answered under total pool failure")
+        check("act2.all_correct", not mismatched and not errored,
+              f"mismatched={len(mismatched)} errored={len(errored)}"
+              if (mismatched or errored) else
+              f"all {len(results)} results byte-identical after fallback")
+        check("act2.breaker_tripped", bool(health.get("degraded"))
+              and health.get("status") == "degraded",
+              f"status={health.get('status')} "
+              f"degraded={health.get('degraded')}")
+        resilience = metrics.get("resilience", {})
+        check("act2.crashes_counted",
+              resilience.get("pool_crashes", 0) >= 3,
+              f"pool_crashes={resilience.get('pool_crashes')}")
+
+    report.duration_s = time.perf_counter() - started
+    return report
+
+
+def main_json(report: ChaosReport) -> str:
+    return json.dumps(report.as_dict(), indent=2)

@@ -1,0 +1,314 @@
+"""Failure containment for pooled maps: budgets, quarantine, breaker.
+
+:func:`resilient_map` is what :func:`repro.runtime.scheduler.session_map`
+runs instead of the old blind "reset the pool and rerun everything once".
+It submits each unit as its own future, so a worker crash only voids the
+units that had not finished, and it answers three questions the old retry
+could not:
+
+* **Who did it?**  Units that were in flight when the pool broke are
+  resubmitted, bisecting multi-unit batches down to singletons; a unit
+  that breaks the pool alone :attr:`~RetryPolicy.unit_crash_limit` times
+  is the culprit — it is *quarantined* (never pooled again this session)
+  and reported as a per-unit :class:`UnitFailure` instead of sinking the
+  batch.
+* **When do we stop retrying?**  Every pool respawn costs seconds; a map
+  exceeding :attr:`~RetryPolicy.max_pool_crashes` raises a typed
+  :class:`PoolCrashError` naming the suspect units rather than looping.
+  Respawns back off exponentially so a flapping host is not hammered.
+* **When do we stop pooling?**  :class:`PoolHealth` counts *consecutive*
+  crashes across maps (a map with zero crashes resets the streak); at
+  :attr:`~RetryPolicy.breaker_threshold` the circuit breaker trips and
+  every remaining and future unit runs serially in-process — degraded
+  throughput, not an outage.  Quarantined units stay failed even in
+  serial mode: a unit that killed two workers is never run in the parent.
+
+``strict=True`` restores the all-or-nothing contract (``session.map``):
+any unit failure raises.  ``strict=False`` (``session.map_resilient``,
+used by the batch API) returns a :class:`UnitFailure` in the failed
+unit's slot and results elsewhere — order preserved either way, so the
+byte-identity guarantee of serial-vs-parallel output holds for every
+unit that succeeds.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from concurrent.futures import BrokenExecutor
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.obs import tracing
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Containment budgets for one session's pooled maps."""
+
+    #: Solo pool crashes before a unit is quarantined as poison.
+    unit_crash_limit: int = 2
+    #: Pool respawns a single map may spend before raising PoolCrashError.
+    max_pool_crashes: int = 8
+    #: First respawn backoff; doubles per crash within a map.
+    backoff_base: float = 0.05
+    #: Backoff ceiling.
+    backoff_max: float = 1.0
+    #: Consecutive cross-map crashes that trip the serial-fallback breaker.
+    breaker_threshold: int = 3
+
+    def backoff(self, crash_number: int) -> float:
+        """Seconds to wait before respawn ``crash_number`` (1-based)."""
+        return min(self.backoff_max,
+                   self.backoff_base * (2 ** max(0, crash_number - 1)))
+
+
+@dataclass(frozen=True)
+class UnitFailure:
+    """A unit's structured per-item error (the non-strict failure slot)."""
+
+    index: int
+    label: str
+    error: str
+    #: Solo pool crashes attributed to the unit (0 for plain exceptions).
+    crashes: int = 0
+
+    def to_dict(self) -> dict:
+        return {"index": self.index, "label": self.label,
+                "error": self.error, "crashes": self.crashes}
+
+
+class PoolCrashError(RuntimeError):
+    """A map exhausted its crash budget (or hit poison under ``strict``).
+
+    ``suspects`` names the unit labels in flight at the fatal crash —
+    the shortlist a human starts from.
+    """
+
+    def __init__(self, message: str, suspects=()):
+        self.suspects = tuple(suspects)
+        if self.suspects:
+            message = f"{message} (suspect units: {', '.join(self.suspects)})"
+        super().__init__(message)
+
+
+class PoolHealth:
+    """Cross-map crash accounting, breaker state and the quarantine list.
+
+    Lives on the session (one per pool); counters land in the session's
+    metrics registry as ``resilience_events_total{event=...}`` so they
+    render under the service's ``repro_`` Prometheus prefix.
+    """
+
+    def __init__(self, registry=None):
+        from repro.obs.metrics import MetricsRegistry
+
+        if registry is None:
+            registry = MetricsRegistry()
+        self._events = registry.counter(
+            "resilience_events_total",
+            "Containment events: pool crashes, retries, quarantines, "
+            "breaker trips, serial-fallback units.",
+            labels=("event",),
+        )
+        self.pool_crashes = 0
+        self.consecutive_crashes = 0
+        self.breaker_open = False
+        #: label -> error string of units banned from the pool (and from
+        #: serial fallback — they already killed workers twice).
+        self.quarantined: dict[str, str] = {}
+
+    def _count(self, event: str, amount: int = 1) -> None:
+        self._events.labels(event=event).inc(amount)
+
+    def record_crash(self) -> None:
+        self.pool_crashes += 1
+        self.consecutive_crashes += 1
+        self._count("pool_crash")
+
+    def record_retry(self, units: int = 1) -> None:
+        self._count("retry", units)
+
+    def record_clean_map(self) -> None:
+        """A map finished without any pool crash: the streak resets."""
+        self.consecutive_crashes = 0
+
+    def quarantine(self, label: str, error: str) -> None:
+        if label not in self.quarantined:
+            self.quarantined[label] = error
+            self._count("quarantine")
+
+    def trip_breaker(self) -> None:
+        if not self.breaker_open:
+            self.breaker_open = True
+            self._count("breaker_trip")
+            tracing.emit_span("resilience.breaker_trip", 0.0,
+                              consecutive=self.consecutive_crashes)
+
+    def reset_breaker(self) -> None:
+        """Re-arm pooled execution (operator/test hook; not automatic)."""
+        self.breaker_open = False
+        self.consecutive_crashes = 0
+
+    def record_serial_units(self, units: int) -> None:
+        self._count("serial_fallback", units)
+
+    def as_dict(self) -> dict:
+        return {
+            "pool_crashes": self.pool_crashes,
+            "consecutive_crashes": self.consecutive_crashes,
+            "breaker_open": self.breaker_open,
+            "quarantined": dict(self.quarantined),
+        }
+
+
+def unit_label(item) -> str:
+    """A stable human name for a work unit (fault plans match on this)."""
+    label = getattr(item, "workload", None)
+    if label is None:
+        label = getattr(item, "name", None)
+    return str(item if label is None else label)
+
+
+def _quarantine_failure(index: int, label: str, error: str,
+                        crashes: int) -> UnitFailure:
+    return UnitFailure(index=index, label=label, error=error,
+                       crashes=crashes)
+
+
+def resilient_map(session, fn: Callable, items: list, *,
+                  strict: bool = True,
+                  policy: RetryPolicy | None = None,
+                  health: PoolHealth | None = None,
+                  sleeper: Callable[[float], None] = time.sleep) -> list:
+    """Pooled ``fn(session, item)`` with containment (see module doc).
+
+    Returns one outcome per item, in item order: the unit's result, or —
+    with ``strict=False`` — a :class:`UnitFailure`.  With ``strict=True``
+    any unit failure raises (:class:`PoolCrashError` for crash-attributed
+    ones, the unit's own exception otherwise).
+    """
+    if policy is None:
+        policy = getattr(session, "retry_policy", None) or RetryPolicy()
+    if health is None:
+        health = getattr(session, "health", None) or PoolHealth()
+
+    items = list(items)
+    labels = [unit_label(item) for item in items]
+    outcomes: list = [None] * len(items)
+    done = [False] * len(items)
+
+    def fail(index: int, error: str, crashes: int = 0):
+        if strict:
+            if crashes:
+                raise PoolCrashError(error, suspects=[labels[index]])
+            raise RuntimeError(error)
+        outcomes[index] = _quarantine_failure(index, labels[index], error,
+                                              crashes)
+        done[index] = True
+
+    # Units already quarantined by an earlier map fail immediately.
+    runnable = []
+    for index in range(len(items)):
+        prior = health.quarantined.get(labels[index])
+        if prior is None:
+            runnable.append(index)
+        else:
+            fail(index, prior, crashes=policy.unit_crash_limit)
+
+    pending: deque[list[int]] = deque()
+    if runnable:
+        pending.append(runnable)
+    crash_counts: dict[int, int] = {}
+    map_crashes = 0
+
+    def run_serial(indices: list[int]) -> None:
+        health.record_serial_units(len(indices))
+        for index in indices:
+            try:
+                with tracing.span("resilience.serial_unit",
+                                  unit=labels[index]):
+                    outcomes[index] = fn(session, items[index])
+                done[index] = True
+            except Exception as exc:
+                if strict:
+                    raise
+                fail(index, f"{type(exc).__name__}: {exc}")
+
+    while pending:
+        if health.breaker_open:
+            remaining = [index for batch in pending for index in batch]
+            pending.clear()
+            run_serial(remaining)
+            break
+
+        batch = pending.popleft()
+        futures = session.pool().submit_all(fn, [items[i] for i in batch])
+        crashed: list[int] = []
+        unit_errors: list[tuple[int, Exception]] = []
+        for index, future in zip(batch, futures):
+            try:
+                outcomes[index] = future.result()
+                done[index] = True
+            except BrokenExecutor:
+                crashed.append(index)
+            except Exception as exc:  # the unit itself failed, pool intact
+                unit_errors.append((index, exc))
+
+        for index, exc in unit_errors:
+            if strict:
+                raise exc
+            fail(index, f"{type(exc).__name__}: {exc}")
+
+        if not crashed:
+            continue
+
+        # The pool broke under this batch.  Account, respawn, back off.
+        map_crashes += 1
+        health.record_crash()
+        tracing.emit_span("resilience.pool_crash", 0.0,
+                          in_flight=len(crashed),
+                          suspects=",".join(labels[i] for i in crashed))
+        session.reset_pool()
+        if map_crashes > policy.max_pool_crashes:
+            raise PoolCrashError(
+                f"pool crashed {map_crashes} times in one map, "
+                f"exceeding the budget of {policy.max_pool_crashes}",
+                suspects=[labels[i] for i in crashed],
+            )
+        sleeper(policy.backoff(map_crashes))
+
+        if len(crashed) == 1:
+            # Solo crash: unambiguous attribution.
+            index = crashed[0]
+            count = crash_counts[index] = crash_counts.get(index, 0) + 1
+            if count >= policy.unit_crash_limit:
+                error = (f"unit {labels[index]!r} quarantined: broke the "
+                         f"worker pool {count} times")
+                health.quarantine(labels[index], error)
+                fail(index, error, crashes=count)
+            else:
+                health.record_retry()
+                pending.appendleft([index])
+        else:
+            # Ambiguous: bisect the in-flight set so the culprit isolates
+            # within O(log n) respawns.  Small sets go straight to
+            # singletons — one respawn per unit beats repeated halving.
+            health.record_retry(len(crashed))
+            if len(crashed) <= 4:
+                halves = [[index] for index in crashed]
+            else:
+                middle = len(crashed) // 2
+                halves = [crashed[:middle], crashed[middle:]]
+            for half in reversed(halves):
+                pending.appendleft(half)
+
+        if (not health.breaker_open
+                and health.consecutive_crashes >= policy.breaker_threshold):
+            health.trip_breaker()
+
+    if map_crashes == 0:
+        health.record_clean_map()
+
+    assert all(done), "resilient_map left units unaccounted"
+    return outcomes

@@ -1,0 +1,102 @@
+"""Token-bucket per-client rate limiting for the service edge.
+
+A :class:`TokenBucket` refills at ``rate`` tokens/second up to ``burst``;
+each admitted request spends one token.  :class:`RateLimiter` keeps one
+bucket per client key (the server keys on peer IP) and answers the only
+question the edge asks: *admit, or tell the client how long to wait* —
+the latter becoming a ``429`` with a ``Retry-After`` header.
+
+Buckets are created lazily and pruned once they have been idle long
+enough to refill completely, so the limiter's memory is bounded by the
+number of *concurrently active* clients, not every address ever seen.
+Time is injectable (monotonic clock by default) so tests drive refill
+deterministically.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+import time
+
+
+class TokenBucket:
+    """One client's budget: ``burst`` capacity refilled at ``rate``/s."""
+
+    __slots__ = ("rate", "burst", "tokens", "updated_at")
+
+    def __init__(self, rate: float, burst: int, now: float):
+        if rate <= 0:
+            raise ValueError("rate must be positive")
+        if burst < 1:
+            raise ValueError("burst must be at least 1")
+        self.rate = float(rate)
+        self.burst = int(burst)
+        self.tokens = float(burst)
+        self.updated_at = now
+
+    def _refill(self, now: float) -> None:
+        elapsed = max(0.0, now - self.updated_at)
+        self.tokens = min(self.burst, self.tokens + elapsed * self.rate)
+        self.updated_at = now
+
+    def take(self, now: float) -> float:
+        """Spend one token; 0.0 on admit, else seconds until one refills."""
+        self._refill(now)
+        if self.tokens >= 1.0:
+            self.tokens -= 1.0
+            return 0.0
+        return (1.0 - self.tokens) / self.rate
+
+    def idle_for(self, now: float) -> float:
+        return max(0.0, now - self.updated_at)
+
+
+class RateLimiter:
+    """Per-client token buckets with bounded memory.
+
+    ``rate <= 0`` disables limiting (every check admits), which is the
+    server's default so existing deployments see no behavior change.
+    """
+
+    def __init__(self, rate: float, burst: int = 0,
+                 clock=time.monotonic):
+        self.rate = float(rate)
+        #: Default burst: one second's worth of budget, at least 1.
+        self.burst = int(burst) if burst > 0 else max(1, math.ceil(self.rate))
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._buckets: dict[str, TokenBucket] = {}
+
+    @property
+    def enabled(self) -> bool:
+        return self.rate > 0
+
+    def check(self, client: str) -> float:
+        """0.0 when ``client`` may proceed, else a ``Retry-After`` hint."""
+        if not self.enabled:
+            return 0.0
+        now = self._clock()
+        with self._lock:
+            bucket = self._buckets.get(client)
+            if bucket is None:
+                bucket = self._buckets[client] = TokenBucket(
+                    self.rate, self.burst, now
+                )
+            wait = bucket.take(now)
+            if len(self._buckets) > 1:
+                self._prune(now)
+            return wait
+
+    def _prune(self, now: float) -> None:
+        # A bucket idle long enough to be full again is indistinguishable
+        # from a fresh one — drop it.
+        full_after = self.burst / self.rate
+        stale = [client for client, bucket in self._buckets.items()
+                 if bucket.idle_for(now) > full_after]
+        for client in stale:
+            del self._buckets[client]
+
+    def active_clients(self) -> int:
+        with self._lock:
+            return len(self._buckets)

@@ -225,6 +225,12 @@ class SegmentRegistry:
         """Lay a trace's packed columns into one fresh segment."""
         from multiprocessing import shared_memory
 
+        from repro.resilience import faults
+
+        # An injected publish fault degrades the session to payload
+        # shipping, the same path a full /dev/shm takes.
+        faults.fire("dataplane.publish", key=trace.name or "")
+
         columns: list[ColumnSpec] = []
         views = []
         offset = 0
@@ -380,6 +386,13 @@ def attach_trace(handle: SegmentHandle) -> Trace:
                                name=handle.trace_name,
                                seq_start=handle.seq_start, **columns)
     _ATTACHED[handle.name] = _Attachment(shm=shm, views=views, trace=trace)
+    # The fault point sits *after* the attachment is memoized: a ``kill``
+    # rule here dies between attach and first read, the exact window the
+    # orphan-cleanup machinery (parent-death sentinel + registry close)
+    # must cover without leaking /dev/shm segments.
+    from repro.resilience import faults
+
+    faults.fire("dataplane.attach", key=handle.name)
     return trace
 
 

@@ -20,37 +20,43 @@ what makes the warm-pool guarantee checkable.
 
 ``session_map`` preserves item order and degrades to an inline loop for
 ``jobs=1`` (and for trivially small batches), which is what makes parallel
-experiment output byte-identical to serial output.  A worker killed
-mid-batch (OOM, SIGKILL) breaks the executor; the map transparently
-respawns the pool and retries the batch once, so a single crash costs
-latency, not results.
+experiment output byte-identical to serial output.  Failure handling is
+:func:`repro.resilience.containment.resilient_map`: a worker killed
+mid-batch (OOM, SIGKILL) only voids the units still in flight; the pool
+respawns with exponential backoff under a bounded crash budget, units
+that repeatedly break the pool alone are quarantined, and a session whose
+pool keeps dying trips a circuit breaker into serial in-process execution
+(see :class:`~repro.resilience.containment.RetryPolicy`).
 """
 
 from __future__ import annotations
 
 import os
-from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
+from concurrent.futures import Future, ProcessPoolExecutor
 from typing import Callable, Iterable
 
 from repro.obs import tracing
+from repro.resilience import faults
+from repro.resilience.containment import resilient_map, unit_label
 
 #: The per-process session of pool workers (created by the initializer).
 _WORKER_SESSION = None
 
 
 def _worker_init(spec, parent_pid: int, dataplane_mode: str,
-                 obs_config=None) -> None:
+                 obs_config=None, faults_config=None) -> None:
     global _WORKER_SESSION
     from repro.runtime import dataplane
 
     # Workers run their shard inline: nested pools would oversubscribe.
     _WORKER_SESSION = spec.create(jobs=1)
-    # Pin the data plane and span sink the parent resolved (spawned
-    # workers cannot rely on inherited module state) and watch for the
-    # parent disappearing — an orphaned worker detaches its segments and
-    # exits.
+    # Pin the data plane, span sink and fault plan the parent resolved
+    # (spawned workers cannot rely on inherited module state) and watch
+    # for the parent disappearing — an orphaned worker detaches its
+    # segments and exits.
     dataplane.set_mode(dataplane_mode)
     tracing.apply_worker_config(obs_config)
+    faults.apply_worker_config(faults_config)
     dataplane.start_parent_watch(parent_pid)
 
 
@@ -58,6 +64,7 @@ def _worker_call(payload):
     # Envelopes carry the parent's trace context (or None) so a worker's
     # spans parent under the span that dispatched the batch.
     fn, item, wire_ctx = payload
+    faults.fire("worker.entry", key=unit_label(item))
     with tracing.attach(tracing.TraceContext.from_wire(wire_ctx)):
         return fn(_WORKER_SESSION, item)
 
@@ -86,21 +93,36 @@ class WorkerPool:
         self._executor: ProcessPoolExecutor | None = ProcessPoolExecutor(
             max_workers=jobs, initializer=_worker_init,
             initargs=(spec, os.getpid(), active_mode(),
-                      tracing.worker_config()),
+                      tracing.worker_config(), faults.worker_config()),
         )
 
     @property
     def alive(self) -> bool:
         return self._executor is not None
 
+    def _wire_context(self):
+        ctx = tracing.current_context()
+        return ctx.to_wire() if ctx else None
+
     def map(self, fn: Callable, items: list) -> list:
         if self._executor is None:
             raise RuntimeError("worker pool is closed")
-        ctx = tracing.current_context()
-        wire_ctx = ctx.to_wire() if ctx else None
+        wire_ctx = self._wire_context()
         return list(self._executor.map(
             _worker_call, [(fn, item, wire_ctx) for item in items]
         ))
+
+    def submit_all(self, fn: Callable, items: list) -> list[Future]:
+        """One future per item (same order), so a worker crash only voids
+        the units that had not finished — the containment layer's lever:
+        completed futures keep their results across a ``BrokenExecutor``,
+        pending ones raise it, which is what attributes the crash.
+        """
+        if self._executor is None:
+            raise RuntimeError("worker pool is closed")
+        wire_ctx = self._wire_context()
+        return [self._executor.submit(_worker_call, (fn, item, wire_ctx))
+                for item in items]
 
     def close(self) -> None:
         """Shut the workers down (idempotent); safe on a broken pool."""
@@ -114,17 +136,13 @@ def session_map(session, fn: Callable, items: Iterable) -> list:
 
     See :meth:`repro.runtime.session.Session.map` for the contract.  The
     session's persistent pool is created on first use and reused after;
-    a batch that loses a worker to a crash is retried once on a fresh
-    pool (same items, same order — results stay deterministic).
+    crashes are contained by :func:`~repro.resilience.containment.
+    resilient_map` in strict mode — transient worker deaths are retried
+    within budget, but any unit failure still raises (all-or-nothing),
+    as a typed :class:`~repro.resilience.containment.PoolCrashError` when
+    crash-attributed.
     """
     items = list(items)
     if session.jobs <= 1 or len(items) <= 1:
         return [fn(session, item) for item in items]
-    try:
-        return session.pool().map(fn, items)
-    except BrokenExecutor:
-        # A worker died mid-batch (crash/SIGKILL).  The executor is
-        # unusable; respawn it and rerun the whole batch once.  Published
-        # shared-memory segments belong to the parent and survive intact.
-        session.reset_pool()
-        return session.pool().map(fn, items)
+    return resilient_map(session, fn, items, strict=True)

@@ -34,6 +34,7 @@ from repro.obs.tracing import span
 from repro.profiler.machine_stats import MissProfile
 from repro.profiler.program import ProgramProfile, profile_program
 from repro.profiler.single_pass_engine import ENGINE_SCHEMA_VERSION, SinglePassEngine
+from repro.resilience.faults import InjectedFault
 from repro.runtime.artifacts import MISSING, ArtifactCache
 from repro.trace.trace import TRACE_SCHEMA_VERSION, Trace
 from repro.workloads.base import Workload
@@ -67,6 +68,7 @@ SESSION_EVENTS = (
     "miss_profiles_built",
     "interval_cache_hits",
     "interval_profiles_built",
+    "cache_corruptions",
 )
 
 
@@ -142,6 +144,8 @@ class Session:
         from repro.obs.metrics import MetricsRegistry
         from repro.runtime.dataplane import StageTimings
 
+        from repro.resilience.containment import PoolHealth, RetryPolicy
+
         if jobs < 1:
             raise ValueError("jobs must be at least 1")
         self.jobs = jobs
@@ -154,6 +158,13 @@ class Session:
         #: Per-stage (ship/attach/profile/model/collect) wall time of every
         #: batch this session evaluated; surfaced in /v1/metrics and bench.
         self.stages = StageTimings(self.metrics)
+        #: Crash accounting, circuit-breaker state and the quarantine list
+        #: for this session's pooled maps (``resilience_events_total``).
+        self.health = PoolHealth(self.metrics)
+        #: Containment budgets (tests and the chaos drill override this).
+        self.retry_policy = RetryPolicy()
+        # Corrupt cache entries self-heal to misses; count each one.
+        self.cache.on_corruption = self._record_cache_corruption
         #: The persistent worker pool (created on first sharded map).
         self._pool = None
         self._pool_finalizer = None
@@ -323,9 +334,10 @@ class Session:
             return None
         try:
             handle = registry.publish(workload.trace())
-        except OSError:
-            # /dev/shm full or withdrawn mid-run: degrade to payloads and
-            # report it (dataplane_mode()) instead of failing the batch.
+        except (OSError, InjectedFault):
+            # /dev/shm full or withdrawn mid-run (or a fault-plan rule at
+            # the publish seam): degrade to payloads and report it
+            # (dataplane_mode()) instead of failing the batch.
             self._dataplane_failed = True
             return None
         self._segment_handles[key] = handle
@@ -537,12 +549,34 @@ class Session:
 
         return session_map(self, fn, items)
 
+    def map_resilient(self, fn: Callable, items: Iterable) -> list:
+        """:meth:`map` with per-unit failure containment.
+
+        Same sharding and ordering contract, but instead of the
+        all-or-nothing strict mode, a unit that fails (its own exception,
+        or quarantine after repeatedly breaking the pool) yields a
+        :class:`~repro.resilience.containment.UnitFailure` in its slot
+        while every other unit's result comes back intact.  The inline
+        (``jobs=1``/small-batch) path stays strict: with no pool there is
+        no crash to contain, and byte-identity with :meth:`map` holds.
+        """
+        from repro.resilience.containment import resilient_map
+
+        items = list(items)
+        if self.jobs <= 1 or len(items) <= 1:
+            return [fn(self, item) for item in items]
+        return resilient_map(self, fn, items, strict=False)
+
+    def _record_cache_corruption(self) -> None:
+        self.stats.cache_corruptions += 1
+
     def summary(self) -> dict:
         """Counters for the CLI's end-of-run session report."""
         return {**self.stats.as_dict(),
                 "dataplane": self.dataplane_mode(),
                 "stages": self.stages.as_dict(),
-                "artifact_cache": self.cache.stats.as_dict()}
+                "artifact_cache": self.cache.stats.as_dict(),
+                "resilience": self.health.as_dict()}
 
 
 @contextlib.contextmanager

@@ -24,9 +24,14 @@ dictionary lookup.  Served answers are byte-identical to direct
 """
 
 from repro.service.cache import ResultCache, ResultCacheStats, canonical_key
-from repro.service.client import ServiceClient, ServiceError
+from repro.service.client import (
+    ServiceClient,
+    ServiceError,
+    ServiceTimeout,
+    ServiceUnavailable,
+)
 from repro.service.http import HttpError, HttpRequest, read_request, render_response
-from repro.service.jobs import EvalExecutor, Job, ServiceOverloaded
+from repro.service.jobs import EvalExecutor, Job, JobCancelled, ServiceOverloaded
 from repro.service.metrics import ServiceMetrics, percentile
 from repro.service.server import EvalServer, ServerThread, ServiceConfig, serve
 
@@ -36,6 +41,7 @@ __all__ = [
     "HttpError",
     "HttpRequest",
     "Job",
+    "JobCancelled",
     "ResultCache",
     "ResultCacheStats",
     "ServerThread",
@@ -44,6 +50,8 @@ __all__ = [
     "ServiceError",
     "ServiceMetrics",
     "ServiceOverloaded",
+    "ServiceTimeout",
+    "ServiceUnavailable",
     "canonical_key",
     "percentile",
     "read_request",

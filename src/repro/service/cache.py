@@ -6,6 +6,14 @@ successful evaluations keyed by the canonical JSON of the request, so a
 cache hit skips parsing, queueing, evaluation and re-serialization
 entirely and is guaranteed byte-identical to the original answer.
 
+That byte-identity guarantee is enforced, not assumed: every entry stores
+the SHA-256 of its body at insertion, every hit re-verifies it, and a
+mismatch (a stray write through a leaked buffer, a cosmic-ray flip, an
+injected corruption in a chaos drill) evicts the entry and serves a miss
+— a corrupt answer is never returned.  Evictions are counted by *reason*
+(``capacity`` / ``expired`` / ``corrupt``), so a cache thrashing on size
+is distinguishable from one aging out or self-healing.
+
 It sits *above* the on-disk :class:`~repro.runtime.artifacts.ArtifactCache`
 (which persists traces and profiling state between server runs): an entry
 expiring here only costs a re-evaluation against the still-warm session,
@@ -14,12 +22,15 @@ not a recompilation.
 
 from __future__ import annotations
 
+import hashlib
 import json
 import threading
 import time
 from collections import OrderedDict
-from dataclasses import dataclass
 from typing import Callable
+
+#: Why an entry left the cache; each is a distinct metrics label.
+EVICTION_REASONS = ("capacity", "expired", "corrupt")
 
 
 def canonical_key(payload) -> str:
@@ -31,14 +42,32 @@ def canonical_key(payload) -> str:
     return json.dumps(payload, sort_keys=True, separators=(",", ":"))
 
 
-@dataclass
 class ResultCacheStats:
-    """Counters reported through ``GET /v1/metrics``."""
+    """Counters reported through ``GET /v1/metrics``.
 
-    hits: int = 0
-    misses: int = 0
-    evictions: int = 0
-    expirations: int = 0
+    Evictions are kept per reason; the ``evictions``/``expirations``
+    properties preserve the original flat-counter reading (capacity
+    evictions and TTL expirations respectively) for existing callers.
+    """
+
+    __slots__ = ("hits", "misses", "evicted")
+
+    def __init__(self):
+        self.hits = 0
+        self.misses = 0
+        self.evicted = {reason: 0 for reason in EVICTION_REASONS}
+
+    @property
+    def evictions(self) -> int:
+        return self.evicted["capacity"]
+
+    @property
+    def expirations(self) -> int:
+        return self.evicted["expired"]
+
+    @property
+    def corruptions(self) -> int:
+        return self.evicted["corrupt"]
 
     @property
     def hit_rate(self) -> float:
@@ -50,8 +79,7 @@ class ResultCacheStats:
             "hits": self.hits,
             "misses": self.misses,
             "hit_rate": round(self.hit_rate, 4),
-            "evictions": self.evictions,
-            "expirations": self.expirations,
+            "evictions": dict(self.evicted),
         }
 
 
@@ -82,8 +110,10 @@ class ResultCache:
         self.max_bytes = max_bytes
         self._clock = clock
         self._lock = threading.Lock()
-        #: key -> (expires_at, value); insertion/touch order is LRU order.
-        self._entries: "OrderedDict[str, tuple[float, bytes]]" = OrderedDict()
+        #: key -> (expires_at, value, sha256 hexdigest); insertion/touch
+        #: order is LRU order.
+        self._entries: "OrderedDict[str, tuple[float, bytes, str]]" = (
+            OrderedDict())
         self._bytes = 0
         self.stats = ResultCacheStats()
 
@@ -103,11 +133,19 @@ class ResultCache:
             if entry is None:
                 self.stats.misses += 1
                 return None
-            expires_at, value = entry
+            expires_at, value, digest = entry
             if self._clock() >= expires_at:
                 del self._entries[key]
                 self._bytes -= len(value)
-                self.stats.expirations += 1
+                self.stats.evicted["expired"] += 1
+                self.stats.misses += 1
+                return None
+            if hashlib.sha256(value).hexdigest() != digest:
+                # The stored bytes no longer match what was inserted:
+                # never serve them — self-heal to a miss.
+                del self._entries[key]
+                self._bytes -= len(value)
+                self.stats.evicted["corrupt"] += 1
                 self.stats.misses += 1
                 return None
             self._entries.move_to_end(key)
@@ -121,13 +159,14 @@ class ResultCache:
             stale = self._entries.pop(key, None)
             if stale is not None:
                 self._bytes -= len(stale[1])
-            self._entries[key] = (self._clock() + self.ttl_seconds, value)
+            self._entries[key] = (self._clock() + self.ttl_seconds, value,
+                                  hashlib.sha256(value).hexdigest())
             self._bytes += len(value)
             while (len(self._entries) > self.capacity
                    or self._bytes > self.max_bytes):
-                _, (_, evicted) = self._entries.popitem(last=False)
+                _, (_, evicted, _) = self._entries.popitem(last=False)
                 self._bytes -= len(evicted)
-                self.stats.evictions += 1
+                self.stats.evicted["capacity"] += 1
 
     def clear(self) -> None:
         with self._lock:

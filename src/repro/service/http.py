@@ -21,9 +21,11 @@ REASON_PHRASES = {
     404: "Not Found",
     405: "Method Not Allowed",
     413: "Payload Too Large",
+    429: "Too Many Requests",
     431: "Request Header Fields Too Large",
     500: "Internal Server Error",
     503: "Service Unavailable",
+    504: "Gateway Timeout",
     505: "HTTP Version Not Supported",
 }
 

@@ -28,10 +28,21 @@ from typing import Callable, Sequence
 
 from repro.api.spec import EvalRequest, EvalResult
 from repro.obs import tracing
+from repro.resilience import faults
 
 
 class ServiceOverloaded(Exception):
     """The bounded job queue is full; the caller should retry later (503)."""
+
+
+class JobCancelled(Exception):
+    """A chunked job observed its cancel flag and stopped early."""
+
+
+#: Requests evaluated per chunk when a job runs under a deadline: small
+#: enough that a cancelled sweep releases the session within one chunk,
+#: large enough that per-chunk overhead stays negligible.
+DEADLINE_CHUNK = 16
 
 
 @dataclass
@@ -44,6 +55,13 @@ class Job:
     request's trace context rides along (``run_in_executor`` drops
     contextvars) so evaluation spans stay under their request's tree, and
     the submission time feeds the queue-wait metric.
+
+    ``chunked`` jobs evaluate in :data:`DEADLINE_CHUNK`-request slices,
+    appending finished results to ``progress`` and checking ``cancel``
+    between slices — the machinery behind server-side deadlines: a 504'd
+    sweep hands back ``progress`` as its partial envelope and the
+    cancelled job releases the session at the next chunk boundary instead
+    of computing a full answer nobody is waiting for.
     """
 
     requests: Sequence[EvalRequest]
@@ -51,6 +69,12 @@ class Job:
     call: Callable | None = None
     context: "tracing.TraceContext | None" = None
     submitted_at: float = 0.0
+    chunked: bool = False
+    cancel: threading.Event = field(default_factory=threading.Event,
+                                    repr=False)
+    #: Results completed so far (chunked jobs only); appended from the
+    #: worker thread, snapshotted by the server on deadline expiry.
+    progress: list = field(default_factory=list, repr=False)
 
 
 class EvalExecutor:
@@ -75,6 +99,9 @@ class EvalExecutor:
         self.max_queue = max_queue
         #: Optional ``ServiceMetrics`` fed the queue-wait observations.
         self.metrics = metrics
+        #: Chunked (cancellable) execution only applies to the default
+        #: session runner; injected test runners always get the batch.
+        self._default_runner = runner is None
         self._runner = runner if runner is not None else self._run_with_session
         self._session_lock = threading.Lock()
         self._queue: asyncio.Queue[Job] | None = None
@@ -109,28 +136,41 @@ class EvalExecutor:
             for index in range(self.jobs)
         ]
 
-    def submit(self, requests: Sequence[EvalRequest]) -> asyncio.Future:
-        """Enqueue a batch; the future resolves to its ``EvalResult`` list.
+    def submit_job(self, requests: Sequence[EvalRequest], *,
+                   chunked: bool = False) -> Job:
+        """Enqueue a batch and return its :class:`Job` handle.
 
+        The job's ``future`` resolves to the ``EvalResult`` list; the
+        handle additionally exposes ``cancel`` and ``progress`` so a
+        deadline-bound caller can stop the work and keep what finished.
         Raises :class:`ServiceOverloaded` immediately when the queue is
         full — the server maps this to ``503`` so clients get an honest
-        backpressure signal instead of unbounded latency.
+        backpressure signal instead of unbounded latency.  A ``jobs.admit``
+        fault rule fires here, before the queue is touched, modelling an
+        admission-control failure.
         """
         if self._queue is None:
             raise RuntimeError("executor is not started")
+        faults.fire("jobs.admit")
         future = asyncio.get_running_loop().create_future()
+        job = Job(
+            requests=list(requests), future=future,
+            context=tracing.current_context(),
+            submitted_at=time.monotonic(),
+            chunked=chunked,
+        )
         try:
-            self._queue.put_nowait(Job(
-                requests=list(requests), future=future,
-                context=tracing.current_context(),
-                submitted_at=time.monotonic(),
-            ))
+            self._queue.put_nowait(job)
         except asyncio.QueueFull:
             raise ServiceOverloaded(
                 f"job queue is full ({self.max_queue} pending)"
             ) from None
         self._pending += 1
-        return future
+        return job
+
+    def submit(self, requests: Sequence[EvalRequest]) -> asyncio.Future:
+        """Enqueue a batch; the future resolves to its ``EvalResult`` list."""
+        return self.submit_job(requests).future
 
     def submit_call(self, call: Callable) -> asyncio.Future:
         """Enqueue a session function; the future resolves to its return.
@@ -142,6 +182,7 @@ class EvalExecutor:
         """
         if self._queue is None:
             raise RuntimeError("executor is not started")
+        faults.fire("jobs.admit")
         future = asyncio.get_running_loop().create_future()
         try:
             self._queue.put_nowait(Job(
@@ -159,6 +200,33 @@ class EvalExecutor:
     def _run_call(self, call: Callable):
         with self._session_lock:
             return call(self.session)
+
+    def _run_chunked(self, job: Job) -> list[EvalResult]:
+        """Evaluate a deadline-bound job in cancellable chunks.
+
+        Results accumulate on ``job.progress`` so a caller whose wait
+        expired can still serve what completed; ``job.cancel`` is checked
+        between chunks, releasing the session within one chunk of the
+        deadline instead of finishing an answer nobody is waiting for.
+        Chunking changes only scheduling, not results: each request is
+        evaluated exactly as in the unchunked path, so the concatenated
+        chunks are byte-identical to a full-batch answer.
+        """
+        from repro.api.batch import evaluate_many
+
+        requests = list(job.requests)
+        with self._session_lock:
+            with tracing.span("service.evaluate", requests=len(requests),
+                              chunked=True):
+                for start in range(0, len(requests), DEADLINE_CHUNK):
+                    if job.cancel.is_set():
+                        raise JobCancelled(
+                            f"cancelled after {len(job.progress)}"
+                            f"/{len(requests)} results")
+                    chunk = requests[start:start + DEADLINE_CHUNK]
+                    job.progress.extend(
+                        evaluate_many(chunk, session=self.session))
+        return list(job.progress)
 
     async def _worker(self) -> None:
         assert self._queue is not None
@@ -182,6 +250,8 @@ class EvalExecutor:
             with tracing.attach(job.context):
                 if job.call is not None:
                     return self._run_call(job.call)
+                if job.chunked and self._default_runner:
+                    return self._run_chunked(job)
                 return self._runner(job.requests)
 
         try:

@@ -62,6 +62,12 @@ class ServiceMetrics:
             "Time jobs spent queued before a session thread picked them up.")
         self._evaluations = self.registry.counter(
             "evaluations_total", "Model evaluations answered.")
+        self._rate_limited = self.registry.counter(
+            "rate_limited_total",
+            "Requests rejected by per-client rate limiting (429).")
+        self._deadline_timeouts = self.registry.counter(
+            "deadline_timeouts_total",
+            "Requests that outran the server-side deadline (504).")
 
     @property
     def uptime_seconds(self) -> float:
@@ -97,6 +103,12 @@ class ServiceMetrics:
     def count_evaluations(self, count: int) -> None:
         self._evaluations.inc(count)
 
+    def count_rate_limited(self) -> None:
+        self._rate_limited.inc()
+
+    def count_deadline_timeout(self) -> None:
+        self._deadline_timeouts.inc()
+
     def snapshot(self) -> dict:
         """The ``GET /v1/metrics`` payload body (sans queue/cache sections)."""
         counts = {child.label_values[0]: int(child.value)
@@ -120,6 +132,8 @@ class ServiceMetrics:
             "uptime_seconds": round(self.uptime_seconds, 3),
             "requests_total": sum(counts.values()),
             "evaluations_total": self.evaluations_total,
+            "rate_limited_total": int(self._rate_limited.value),
+            "deadline_timeouts_total": int(self._deadline_timeouts.value),
             "responses": {child.label_values[0]: int(child.value)
                           for child in sorted(
                               self._responses.children(),

@@ -47,6 +47,9 @@ from repro.service.http import (
 )
 from repro.service.jobs import EvalExecutor, ServiceOverloaded
 from repro.service.metrics import ServiceMetrics
+from repro.resilience import faults
+from repro.resilience.faults import InjectedFault
+from repro.resilience.ratelimit import RateLimiter
 
 
 @dataclass(frozen=True)
@@ -75,6 +78,16 @@ class ServiceConfig:
     #: past it the connection is dropped so shutdown can never hang on a
     #: client that requested a large sweep and stopped consuming it.
     write_timeout: float = 30.0
+    #: Server-side deadline per evaluation request (None: unbounded).  A
+    #: request that outruns it is answered 504 — for sweeps with a partial
+    #: envelope holding the results completed before the deadline — and
+    #: the job is cancelled at its next chunk boundary.
+    request_timeout: float | None = None
+    #: Sustained POST requests/second allowed per client IP (0: unlimited).
+    #: Excess requests are answered 429 with a ``Retry-After`` header.
+    rate_limit: float = 0.0
+    #: Burst allowance above ``rate_limit`` (0: derived from the rate).
+    rate_burst: int = 0
 
 
 #: The routing table: path -> (method, EvalServer handler method name).
@@ -123,6 +136,7 @@ class EvalServer:
         self.executor = EvalExecutor(self.session, jobs=config.jobs,
                                      max_queue=config.max_queue,
                                      metrics=self.metrics)
+        self.ratelimiter = RateLimiter(config.rate_limit, config.rate_burst)
         self._server: asyncio.base_events.Server | None = None
         self._connections: set[asyncio.Task] = set()
         #: Handler task -> writer for connections still waiting on a
@@ -200,9 +214,14 @@ class EvalServer:
         task = asyncio.current_task()
         try:
             try:
+                # Chaos seam: a failed accept (error mode) answers 500
+                # before any request is read; delay mode stalls the
+                # connection; kill mode takes the whole process down.
+                await faults.async_fire("http.accept")
                 if task is not None:
                     self._reading[task] = writer
                 try:
+                    await faults.async_fire("http.read")
                     request = await asyncio.wait_for(
                         read_request(reader),
                         timeout=self.config.read_timeout,
@@ -216,11 +235,20 @@ class EvalServer:
                     label = f"{request.method} {request.path}"
                     if label in KNOWN_ENDPOINTS:
                         endpoint = label
-                    self.metrics.request_started(endpoint)
-                    in_flight = True
-                    status, body, content_type = await self._traced_dispatch(
-                        request, extra_headers
-                    )
+                    retry_after = self._rate_limit_wait(request, writer)
+                    if retry_after is not None:
+                        self.metrics.count_rate_limited()
+                        extra_headers["Retry-After"] = (
+                            f"{max(0.001, retry_after):.3f}")
+                        status, body = 429, _error_body(
+                            "rate limit exceeded; retry after the delay in "
+                            "the Retry-After header")
+                    else:
+                        self.metrics.request_started(endpoint)
+                        in_flight = True
+                        status, body, content_type = (
+                            await self._traced_dispatch(request,
+                                                        extra_headers))
             except HttpError as exc:
                 status, body = exc.status, _error_body(exc.message)
             except Exception as exc:  # never leak a traceback as a hung socket
@@ -229,12 +257,15 @@ class EvalServer:
                 )
             if status is not None:
                 try:
+                    await faults.async_fire("http.write", key=endpoint)
                     writer.write(render_response(status, body, content_type,
                                                  extra_headers))
                     await asyncio.wait_for(writer.drain(),
                                            timeout=self.config.write_timeout)
                 except (ConnectionError, asyncio.TimeoutError):
                     pass  # peer gone or not reading: the finally drops it
+                except InjectedFault:
+                    pass  # injected write failure: connection drops unanswered
         finally:
             # Always release the transport — including for peers that
             # connect and close without sending a request (liveness
@@ -251,6 +282,21 @@ class EvalServer:
             # the in-flight slot.
             self.metrics.observe(endpoint, 499, time.perf_counter() - started,
                                  started=True)
+
+    def _rate_limit_wait(self, request: HttpRequest,
+                         writer: asyncio.StreamWriter) -> float | None:
+        """Seconds the peer must wait, or ``None`` when admitted.
+
+        Only POSTs (evaluation work) are limited — health and metrics
+        probes stay answerable even from a throttled client, so the
+        operator can still see *why* requests are bouncing.
+        """
+        if request.method != "POST" or not self.ratelimiter.enabled:
+            return None
+        peer = writer.get_extra_info("peername")
+        client = peer[0] if isinstance(peer, (tuple, list)) and peer else "?"
+        wait = self.ratelimiter.check(str(client))
+        return wait if wait > 0 else None
 
     async def _traced_dispatch(
         self, request: HttpRequest, extra_headers: dict[str, str]
@@ -307,16 +353,41 @@ class EvalServer:
             raise HttpError(400, f"request body is not valid JSON: {exc}") from exc
 
     async def _answer(self, key: str, requests: list[EvalRequest],
-                      serialize) -> tuple[int, bytes]:
-        """Shared eval/sweep tail: cache lookup, queue, serialize, cache fill."""
+                      serialize, partial=None) -> tuple[int, bytes]:
+        """Shared eval/sweep tail: cache lookup, queue, serialize, cache fill.
+
+        With ``request_timeout`` configured the job runs chunked and the
+        wait is bounded: on expiry the job is cancelled (it releases the
+        session at its next chunk boundary) and the answer is ``504`` —
+        built by ``partial`` from the results completed so far when the
+        endpoint supports partial envelopes (sweeps), a plain error
+        otherwise.  Partial answers are never cached.
+        """
         cached = self.cache.get(key)
         if cached is not None:
             return 200, cached
+        timeout = self.config.request_timeout
         try:
-            future = self.executor.submit(requests)
+            job = self.executor.submit_job(requests,
+                                           chunked=timeout is not None)
         except ServiceOverloaded as exc:
             raise HttpError(503, str(exc)) from exc
-        results = await future
+        except InjectedFault as exc:
+            raise HttpError(503, f"admission fault injected: {exc}") from exc
+        if timeout is None:
+            results = await job.future
+        else:
+            try:
+                results = await asyncio.wait_for(job.future, timeout)
+            except asyncio.TimeoutError:
+                job.cancel.set()
+                self.metrics.count_deadline_timeout()
+                message = (f"request exceeded the server deadline of "
+                           f"{timeout}s")
+                completed = list(job.progress)
+                if partial is not None:
+                    return 504, partial(message, completed)
+                return 504, _error_body(message)
         self.metrics.count_evaluations(len(results))
         body = serialize(results)
         self.cache.put(key, body)
@@ -353,6 +424,16 @@ class EvalServer:
                 "count": len(results),
                 "results": [result.to_dict() for result in results],
             }),
+            # Deadline-expired sweeps still return every result computed
+            # before the cut: same entry shape, flagged partial.
+            partial=lambda message, completed: _json_body({
+                "error": message,
+                "schema_version": API_SCHEMA_VERSION,
+                "count": len(expanded),
+                "completed": len(completed),
+                "partial": True,
+                "results": [result.to_dict() for result in completed],
+            }),
         )
 
     async def _handle_optimize(self, request: HttpRequest) -> tuple[int, bytes]:
@@ -386,6 +467,8 @@ class EvalServer:
             )
         except ServiceOverloaded as exc:
             raise HttpError(503, str(exc)) from exc
+        except InjectedFault as exc:
+            raise HttpError(503, f"admission fault injected: {exc}") from exc
         result = await future
         self.metrics.count_evaluations(result.evaluations)
         # The body is exactly OptimizeResult.to_json(), so a served answer
@@ -395,13 +478,20 @@ class EvalServer:
         return 200, body
 
     async def _handle_health(self, request: HttpRequest) -> tuple[int, bytes]:
+        health = self.session.health
         return 200, _json_body({
-            "status": "draining" if self._draining else "ok",
+            "status": "draining" if self._draining else (
+                "degraded" if health.breaker_open else "ok"),
             "uptime_seconds": round(self.metrics.uptime_seconds, 3),
             "jobs": self.config.jobs,
             "queue_depth": self.executor.queue_depth,
             "max_queue": self.config.max_queue,
             "result_cache_entries": len(self.cache),
+            # Degradation state: breaker open means the pool gave up on
+            # parallelism and evaluations run serially in-process.
+            "degraded": health.breaker_open,
+            "quarantined_units": len(health.quarantined),
+            "faults_active": faults.active_plan() is not None,
         })
 
     async def _handle_metrics(self, request: HttpRequest):
@@ -419,6 +509,7 @@ class EvalServer:
                             "jobs_completed": self.executor.jobs_completed}
         payload["jobs"] = self.config.jobs
         payload["session"] = self.session.summary()
+        payload["resilience"] = self.session.health.as_dict()
         from repro.accel import active_backend
 
         payload["accel_backend"] = active_backend()

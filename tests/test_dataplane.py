@@ -285,6 +285,55 @@ class TestCrashSafety:
             assert handle.name in live_segments()
         assert live_segments() == []
 
+    def test_sigkill_between_attach_and_first_read_leaks_no_segment(
+            self, tmp_path):
+        """The orphan-cleanup window: die right after mapping a segment.
+
+        A ``dataplane.attach`` kill fault SIGKILLs the first worker that
+        attaches a published trace — after the segment is mapped, before
+        the first read.  The batch must still complete via retry, the
+        parent's segment must survive its worker's death, and closing the
+        session must drain every attachment and ``/dev/shm`` entry.
+        """
+        from repro.resilience import faults
+        from repro.resilience.faults import FaultPlan, FaultSpec
+
+        dataplane.set_mode("shm")
+        # state_dir shares the firing window across the worker fleet:
+        # exactly ONE kill, not one per respawned worker.
+        plan = FaultPlan(specs=(
+            FaultSpec(point="dataplane.attach", mode="kill", count=1),
+        ), seed=7, state_dir=str(tmp_path / "faults"))
+        faults.install(plan)
+        try:
+            with pooled_session(None, 2) as session:
+                session.workload("sha")
+                handle = session.publish_trace("sha")
+                assert handle.name in live_segments()
+                results = _serialized(
+                    evaluate_many(_requests(workloads=("sha",)),
+                                  session=session))
+                # The kill really happened and was contained as a retry.
+                assert plan.report()["rules"][0]["fires"] == 1
+                assert session.health.pool_crashes >= 1
+                # Results survived the crash, byte-identical to serial.
+                assert results == _serialized(
+                    evaluate_many(_requests(workloads=("sha",)),
+                                  session=Session()))
+                # The parent's segment survived its worker's death.
+                assert handle.name in live_segments()
+        finally:
+            faults.clear()
+        # Session closed: nothing attached, nothing published, and no
+        # orphaned /dev/shm/repro-dp-* entry from the killed worker.
+        assert live_segments() == []
+        assert attached_count() == 0
+        shm_root = "/dev/shm"
+        if os.path.isdir(shm_root):
+            leaked = [name for name in os.listdir(shm_root)
+                      if name.startswith("repro-dp-")]
+            assert leaked == []
+
     def test_worker_exit_does_not_unlink_parent_segments(self):
         dataplane.set_mode("shm")
         with pooled_session(None, 2) as session:

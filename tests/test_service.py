@@ -27,6 +27,7 @@ from repro.service import (
     ServiceError,
     ServiceMetrics,
     ServiceOverloaded,
+    ServiceUnavailable,
     canonical_key,
     percentile,
 )
@@ -494,8 +495,9 @@ class TestShutdown:
         assert "error" not in outcome, outcome.get("error")
         assert len(outcome["results"]) == 3
 
-        # And the listener is really gone.
-        with pytest.raises((ConnectionError, OSError)):
+        # And the listener is really gone: the client reports the refused
+        # connection as the retryable ServiceUnavailable.
+        with pytest.raises(ServiceUnavailable):
             ServiceClient(port=running.port, timeout=2.0).health()
 
     def test_stop_is_idempotent(self, tmp_path):
